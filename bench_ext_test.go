@@ -1,0 +1,168 @@
+package repro
+
+// Benchmarks for the extension experiments (E10-E16): the claims the paper
+// makes in prose (§1-§2 geo-blocking, §4 striping, §5 expansion, duty
+// cycling, wormholing, Space VMs, §3.2 bufferbloat).
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkGeoBlocking(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.GeoBlocking()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("geoblock", func() {
+			fmt.Print("E10 geo-blocking (regenerated) spurious rates: ")
+			for _, r := range rows[:4] {
+				fmt.Printf("%s %.1f%%  ", r.Country, 100*r.StarlinkSpuriousRate)
+			}
+			fmt.Println()
+		})
+	}
+}
+
+func BenchmarkGroundExpansion(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.GroundExpansion()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("gs-expansion", func() {
+			fmt.Print("E11 expansion (regenerated): ")
+			for _, r := range rows[:3] {
+				fmt.Printf("%s %.0f->%.0f ms  ", r.Country, r.BaselineMs, r.ExpandedMs)
+			}
+			fmt.Println()
+		})
+	}
+}
+
+func BenchmarkDutyCycleSweep(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.DutyCycleSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("duty-sweep", func() {
+			fmt.Print("E12 duty sweep (regenerated) medians: ")
+			for _, r := range rows {
+				fmt.Printf("%d%%:%.1f  ", r.FractionPct, r.MedianMs)
+			}
+			fmt.Println("ms")
+		})
+	}
+}
+
+func BenchmarkStripingAblation(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.StripingAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("striping", func() {
+			r := rows[0]
+			fmt.Printf("E13 striping (regenerated): %s startup %.0f->%.0f ms, %d/%d from space\n",
+				r.City, r.ColdStartupMs, r.WarmStartupMs, r.WarmFromSpace, r.Segments)
+		})
+	}
+}
+
+func BenchmarkWormholing(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Wormholing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("wormhole", func() {
+			r := rows[1]
+			fmt.Printf("E14 wormhole (regenerated): %s %.0f TB in %.0f min vs WAN %.1f h (wins=%v)\n",
+				r.Route, r.ObjectTB, r.TransitMin, r.WANHours, r.WormholeWin)
+		})
+	}
+}
+
+func BenchmarkSpaceVMs(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.SpaceVMs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("spacevms", func() {
+			r := rows[0]
+			fmt.Printf("E15 space VMs (regenerated): %s %d handovers, mean %.0f ms, availability %.4f\n",
+				r.City, r.Handovers, r.MeanDowntimeMs, r.Availability)
+		})
+	}
+}
+
+func BenchmarkThermalFeasibility(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, maxDuty, err := s.ThermalFeasibility()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("thermal", func() {
+			fmt.Printf("E17 thermal (regenerated): sustainable <= %.0f%%; peaks:", 100*maxDuty)
+			for _, r := range rows {
+				fmt.Printf(" %d%%:%.1fC", r.FractionPct, r.PeakC)
+			}
+			fmt.Println()
+		})
+	}
+}
+
+func BenchmarkCacheMissRates(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.CacheMissRates()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("hitrate", func() {
+			fmt.Print("E18 hit rates (regenerated, terr/starlink): ")
+			for _, r := range rows {
+				if r.Country == "MZ" || r.Country == "KE" || r.Country == "DE" {
+					fmt.Printf("%s %.0f%%/%.0f%%  ", r.Country, 100*r.TerrestrialHit, 100*r.StarlinkHit)
+				}
+			}
+			fmt.Println()
+		})
+	}
+}
+
+func BenchmarkBufferbloat(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Bufferbloat()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("bufferbloat", func() {
+			fmt.Print("E16 bufferbloat (regenerated): ")
+			for _, r := range rows {
+				fmt.Printf("%s +%.0f ms (%.0f%% >200ms)  ", r.Network, r.MedianInflation, 100*r.Share200)
+			}
+			fmt.Println()
+		})
+	}
+}

@@ -1,0 +1,359 @@
+// Package repro holds the repository-level benchmark harness: one benchmark
+// per table and figure of the paper (each regenerates and prints its rows or
+// series once, then times the computation), plus micro-benchmarks of the hot
+// paths underneath them.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/experiments"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/report"
+	"spacecdn/internal/routing"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+)
+
+// The shared suite uses the fast configuration so that the full benchmark
+// sweep completes in minutes; cmd/spacecdn (without -fast) regenerates the
+// full-resolution artifacts.
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.NewSuite(true, 42)
+		if suiteErr == nil {
+			// Generate the shared datasets outside any timer.
+			if _, err := suite.AIM(); err != nil {
+				suiteErr = err
+				return
+			}
+			_, suiteErr = suite.Web()
+		}
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+var printOnce sync.Map
+
+// printArtifact renders an experiment's output exactly once per process so
+// that `go test -bench=.` shows the regenerated rows/series.
+func printArtifact(name string, render func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Fprintf(os.Stdout, "\n")
+		render()
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("table1", func() {
+			t := report.NewTable("Table 1 (regenerated)",
+				"Country", "Terr km", "Terr minRTT", "Star km", "Star minRTT")
+			for _, r := range rows {
+				t.AddRow(r.Name, r.TerrDistKm, r.TerrMinRTT, r.StarDistKm, r.StarMinRTT)
+			}
+			_ = t.Render(os.Stdout)
+		})
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, pops, err := s.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("fig2", func() {
+			fmt.Printf("Figure 2 (regenerated): %d countries, %d PoPs; first/last deltas: %s %.1f ms ... %s %.1f ms\n",
+				len(rows), len(pops), rows[0].Country, rows[0].DeltaMs,
+				rows[len(rows)-1].Country, rows[len(rows)-1].DeltaMs)
+		})
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig3("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("fig3", func() {
+			fmt.Printf("Figure 3 (regenerated): Maputo optimal CDN — starlink %s %.0f ms, terrestrial %s %.0f ms\n",
+				res.Starlink[0].CDNCity, res.Starlink[0].MedianMs,
+				res.Terrestrial[0].CDNCity, res.Terrestrial[0].MedianMs)
+		})
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("fig4", func() {
+			fmt.Print("Figure 4 (regenerated) median HRT differences: ")
+			for _, sr := range series {
+				fmt.Printf("%s %.0f ms  ", sr.Country, sr.CDF.Median())
+			}
+			fmt.Println()
+		})
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("fig5", func() {
+			t := report.NewTable("Figure 5 (regenerated): FCP ms", "Country", "Network", "Median", "Q1", "Q3")
+			for _, r := range rows {
+				t.AddRow(r.Country, string(r.Network), r.Box.Median, r.Box.Q1, r.Box.Q3)
+			}
+			_ = t.Render(os.Stdout)
+		})
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("fig7", func() {
+			fmt.Print("Figure 7 (regenerated) medians: ")
+			for _, n := range experiments.Fig7HopCounts {
+				fmt.Printf("%d-isl %.1f ms  ", n, res.Hop[n].Median())
+			}
+			fmt.Printf("starlink %.1f ms  terrestrial %.1f ms\n",
+				res.Starlink.Median(), res.Terrestrial.Median())
+		})
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, terr, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("fig8", func() {
+			fmt.Print("Figure 8 (regenerated) medians: ")
+			for _, r := range rows {
+				fmt.Printf("%d%% %.1f ms  ", r.FractionPct, r.Box.Median)
+			}
+			fmt.Printf("(terrestrial median %.1f ms)\n", terr)
+		})
+	}
+}
+
+func BenchmarkAblationReplicas(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.AblationReplicas()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("ablation", func() {
+			fmt.Print("Replica ablation (regenerated): ")
+			for _, r := range rows {
+				fmt.Printf("k=%d med %.1f ms/%.0f hops  ", r.ReplicasPerPlane, r.MedianRTTMs, r.MedianHops)
+			}
+			fmt.Println()
+		})
+	}
+}
+
+func BenchmarkCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.PaperCapacity()
+		if res.TotalPB < 800 {
+			b.Fatal("capacity arithmetic broken")
+		}
+	}
+}
+
+// --- micro-benchmarks of the substrates the experiments run on ---
+
+func benchConstellation(b *testing.B) *constellation.Constellation {
+	b.Helper()
+	c, err := constellation.New(constellation.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	c := benchConstellation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Snapshot(time.Duration(i) * time.Second)
+	}
+}
+
+func BenchmarkISLGraphBuild(b *testing.B) {
+	c := benchConstellation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := c.Snapshot(time.Duration(i) * time.Second)
+		_ = snap.ISLGraph()
+	}
+}
+
+func BenchmarkDijkstraShell1(b *testing.B) {
+	c := benchConstellation(b)
+	g := c.Snapshot(0).ISLGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ShortestPathsFrom(routing.NodeID(i % g.Len()))
+	}
+}
+
+func BenchmarkVisibleQuery(b *testing.B) {
+	c := benchConstellation(b)
+	snap := c.Snapshot(0)
+	loc := geo.NewPoint(50.11, 8.68)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap.Visible(loc)
+	}
+}
+
+func BenchmarkResolvePath(b *testing.B) {
+	c := benchConstellation(b)
+	m := lsn.NewModel(c, groundseg.NewCatalog(), lsn.DefaultConfig())
+	snap := c.Snapshot(0)
+	loc := geo.NewPoint(-25.97, 32.57)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ResolvePath(loc, "MZ", snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpaceResolve(b *testing.B) {
+	c := benchConstellation(b)
+	m := lsn.NewModel(c, groundseg.NewCatalog(), lsn.DefaultConfig())
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), c, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := content.Object{ID: "bench", Bytes: 1 << 20}
+	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 4}, obj); err != nil {
+		b.Fatal(err)
+	}
+	snap := c.Snapshot(0)
+	rng := stats.NewRand(1)
+	loc := geo.NewPoint(-1.29, 36.82)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Resolve(loc, "KE", obj, snap, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetchAtHops(b *testing.B) {
+	c := benchConstellation(b)
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), c, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := c.Snapshot(0)
+	loc := geo.NewPoint(48.85, 2.35)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.FetchAtHops(loc, 5, snap, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLRUPutGet(b *testing.B) {
+	c := cache.NewLRU(1 << 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := cache.Key(fmt.Sprintf("k%d", i%10000))
+		c.Put(cache.Item{Key: k, Size: 1 << 10})
+		c.Get(k)
+	}
+}
+
+func BenchmarkCatalogSample(b *testing.B) {
+	cat, err := content.GenerateCatalog(content.DefaultCatalogConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cat.Sample(geo.RegionAfrica, rng)
+	}
+}
+
+func BenchmarkStripePlan(b *testing.B) {
+	c := benchConstellation(b)
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), c, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := content.Object{ID: "vid", Bytes: 1 << 30, Video: true}
+	video, err := content.Segmentize(obj, 10*time.Minute, 10*time.Second, 4_500_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loc := geo.NewPoint(-34.60, -58.38)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.PlanStripes(loc, video, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command aimgen emits the synthetic AIM speed-test dataset as CSV (the
+// schema mirrors what the paper consumes from Cloudflare's AIM: client
+// location, network, target CDN, idle/loaded latency, throughput).
+//
+// Usage:
+//
+//	aimgen [-tests N] [-seed N] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spacecdn/internal/measure"
+)
+
+func main() {
+	var (
+		tests = flag.Int("tests", 25, "tests per city per network per snapshot")
+		seed  = flag.Int64("seed", 42, "random seed")
+		out   = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*tests, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "aimgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tests int, seed int64, out string) error {
+	env, err := measure.NewEnvironment()
+	if err != nil {
+		return err
+	}
+	cfg := measure.DefaultAIMConfig()
+	cfg.TestsPerCity = tests
+	cfg.Seed = seed
+	records, err := env.GenerateAIM(cfg)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return measure.WriteCSV(w, records)
+}

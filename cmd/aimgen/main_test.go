@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"spacecdn/internal/measure"
+)
+
+func TestWriteCSV(t *testing.T) {
+	env, err := measure.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := env.GenerateAIM(measure.AIMConfig{
+		TestsPerCity: 2,
+		Snapshots:    []time.Duration{0},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := measure.WriteCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := measure.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(records))
+	}
+	for i := range back {
+		a, b := records[i], back[i]
+		if a.Country != b.Country || a.City != b.City || a.Network != b.Network ||
+			a.CDNCity != b.CDNCity {
+			t.Fatalf("record %d identity mismatch: %+v vs %+v", i, a, b)
+		}
+		if diff := a.IdleRTTMs - b.IdleRTTMs; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("record %d idle RTT mismatch: %v vs %v", i, a.IdleRTTMs, b.IdleRTTMs)
+		}
+		if b.LoadedMs < b.IdleRTTMs {
+			t.Fatalf("loaded < idle after round trip: %+v", b)
+		}
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := t.TempDir() + "/aim.csv"
+	if err := run(1, 7, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) < 1000 {
+		t.Errorf("output file too small: %d bytes", len(f))
+	}
+}

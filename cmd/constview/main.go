@@ -1,0 +1,89 @@
+// Command constview inspects the simulated constellation: satellite
+// positions, visibility from a city, ISL topology statistics and the
+// serving-window schedule the striping planner relies on.
+//
+// Usage:
+//
+//	constview [-t DURATION] [-city NAME] [-windows DURATION]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/report"
+	"spacecdn/internal/routing"
+)
+
+func main() {
+	var (
+		at      = flag.Duration("t", 0, "snapshot time offset from epoch")
+		city    = flag.String("city", "Frankfurt, DE", "observer city")
+		windows = flag.Duration("windows", 20*time.Minute, "serving-window horizon (0 to skip)")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *at, *city, *windows); err != nil {
+		fmt.Fprintln(os.Stderr, "constview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, at time.Duration, cityName string, windows time.Duration) error {
+	city, ok := geo.CityByName(cityName)
+	if !ok {
+		return fmt.Errorf("unknown city %q", cityName)
+	}
+	c, err := constellation.New(constellation.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	snap := c.Snapshot(at)
+
+	cfg := c.Config()
+	fmt.Fprintf(w, "constellation: %d planes x %d sats @ %.0f km, %.0f deg (t=%v)\n",
+		cfg.Walker.Planes, cfg.Walker.SatsPerPlane, cfg.Walker.AltitudeKm,
+		cfg.Walker.InclinationDeg, at)
+
+	g := snap.ISLGraph()
+	fmt.Fprintf(w, "ISL graph: %d nodes, %d directed edges\n", g.Len(), g.EdgeCount())
+	dists := g.ShortestPathsFrom(routing.NodeID(0))
+	maxMs := 0.0
+	for _, d := range dists {
+		if d > maxMs {
+			maxMs = d
+		}
+	}
+	fmt.Fprintf(w, "ISL diameter from sat 0: %.1f ms one-way\n", maxMs)
+
+	vis := snap.Visible(city.Loc)
+	t := report.NewTable(
+		fmt.Sprintf("satellites visible from %s (%d)", city.Name, len(vis)),
+		"Sat", "Plane", "Slot", "Elev deg", "Slant km")
+	for i, v := range vis {
+		if i >= 10 {
+			break
+		}
+		t.AddRow(int(v.ID), c.Plane(v.ID), c.Slot(v.ID), v.ElevationDeg, v.SlantKm)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	if windows > 0 {
+		wins := c.OverheadWindows(city.Loc, at, at+windows, 15*time.Second)
+		wt := report.NewTable(
+			fmt.Sprintf("serving windows over %v", windows),
+			"Sat", "Start", "End", "Duration")
+		for _, win := range wins {
+			wt.AddRow(int(win.Sat), win.Start, win.End, win.End-win.Start)
+		}
+		return wt.Render(w)
+	}
+	return nil
+}

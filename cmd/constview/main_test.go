@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunConstview(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, "Frankfurt, DE", 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"72 planes x 22 sats",
+		"ISL graph: 1584 nodes",
+		"visible from Frankfurt",
+		"serving windows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunConstviewNoWindows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 5*time.Minute, "Tokyo, JP", 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "serving windows") {
+		t.Error("windows rendered despite windows=0")
+	}
+}
+
+func TestRunConstviewUnknownCity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, "Atlantis", time.Minute); err == nil {
+		t.Fatal("unknown city accepted")
+	}
+}

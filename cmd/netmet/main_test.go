@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spacecdn/internal/stats"
+	"spacecdn/internal/webmodel"
+)
+
+// startServer spins up a shaped loopback server for tests and returns its
+// base URL plus a shutdown func.
+func startServer(t *testing.T, rtt time.Duration, rateBps float64, pages []webmodel.Page) string {
+	t.Helper()
+	srv := &shapedServer{
+		rng:     stats.NewRand(1),
+		rttFn:   func(*stats.Rand) time.Duration { return rtt },
+		rateBps: rateBps,
+		pages:   map[string]webmodel.Page{},
+	}
+	for _, p := range pages {
+		srv.pages["/"+p.Name] = p
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	t.Cleanup(func() {
+		_ = httpSrv.Shutdown(context.Background())
+		_ = ln.Close()
+	})
+	return "http://" + ln.Addr().String()
+}
+
+func TestLoadPageOverRealSockets(t *testing.T) {
+	page := webmodel.Page{
+		Name:      "test-page",
+		HTMLBytes: 64 << 10,
+		Critical:  []int64{32 << 10, 32 << 10},
+	}
+	rtt := 20 * time.Millisecond
+	base := startServer(t, rtt, 100e6, []webmodel.Page{page})
+	client := &http.Client{Timeout: 30 * time.Second}
+	res, err := loadPage(client, base, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected delay dominates TTFB: HRT >= rtt, and well below 10x.
+	if res.hrt < rtt {
+		t.Errorf("HRT %v below injected latency %v", res.hrt, rtt)
+	}
+	if res.hrt > 10*rtt {
+		t.Errorf("HRT %v implausibly high", res.hrt)
+	}
+	if res.fcp < res.hrt {
+		t.Errorf("FCP %v below HRT %v", res.fcp, res.hrt)
+	}
+	if res.bytes != page.TotalBytes() {
+		t.Errorf("bytes = %d, want %d", res.bytes, page.TotalBytes())
+	}
+}
+
+func TestLoadPageLatencyScales(t *testing.T) {
+	page := webmodel.Page{Name: "p", HTMLBytes: 16 << 10, Critical: []int64{16 << 10}}
+	fastBase := startServer(t, 5*time.Millisecond, 100e6, []webmodel.Page{page})
+	slowBase := startServer(t, 60*time.Millisecond, 100e6, []webmodel.Page{page})
+	client := &http.Client{Timeout: 30 * time.Second}
+	fast, err := loadPage(client, fastBase, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := loadPage(client, slowBase, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.fcp < fast.fcp+50*time.Millisecond {
+		t.Errorf("latency did not shape the load: fast %v, slow %v", fast.fcp, slow.fcp)
+	}
+}
+
+func TestShapedServerUnknownPath(t *testing.T) {
+	base := startServer(t, time.Millisecond, 100e6, nil)
+	resp, err := http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestShapedServerAssetQuery(t *testing.T) {
+	base := startServer(t, time.Millisecond, 100e6, nil)
+	resp, err := http.Get(base + "/asset?bytes=1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 1024 {
+		t.Errorf("asset bytes = %d, want 1024", buf.Len())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket campaign")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "ES", "terrestrial", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "median HRT") || !strings.Contains(out, "ES / terrestrial") {
+		t.Errorf("unexpected output: %q", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "ES", "terrestrial", 0, 1); err == nil {
+		t.Error("zero loads accepted")
+	}
+	if err := run(&buf, "ZZ", "terrestrial", 1, 1); err == nil {
+		t.Error("unknown country accepted")
+	}
+	if err := run(&buf, "ES", "carrier-pigeon", 1, 1); err == nil {
+		t.Error("unknown network accepted")
+	}
+	// KR has no Starlink coverage in the modelled window.
+	if err := run(&buf, "KR", "starlink", 1, 1); err == nil {
+		t.Error("uncovered country accepted for starlink")
+	}
+}

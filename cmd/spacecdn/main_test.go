@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "capacity", true, 1, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "storage arithmetic") || !strings.Contains(out, "6000") {
+		t.Errorf("capacity output wrong: %q", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", true, 1, false, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1, fig2", true, 1, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 1") {
+		t.Error("missing table1 output")
+	}
+	if !strings.Contains(out, "Figure 2") {
+		t.Error("missing fig2 output")
+	}
+	// The paper's Table 1 countries appear.
+	for _, name := range []string{"Mozambique", "Spain", "Japan"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %s row", name)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1", true, 1, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]interface{}
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rows); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rows) != 11 {
+		t.Errorf("JSON rows = %d", len(rows))
+	}
+	if _, ok := rows[0]["StarMinRTT"]; !ok {
+		t.Errorf("row missing StarMinRTT: %v", rows[0])
+	}
+}
+
+func TestRunFig3CustomCity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig3", true, 1, false, "Nairobi"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Nairobi") {
+		t.Error("custom city not honored")
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "geoblock,wormhole,rtt-series", true, 1, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "spurious geo-blocking") {
+		t.Error("missing geoblock output")
+	}
+	if !strings.Contains(out, "wormholing") {
+		t.Error("missing wormhole output")
+	}
+	if !strings.Contains(out, "RTT time series") || !strings.Contains(out, "handover rate") {
+		t.Error("missing rtt-series output")
+	}
+}

@@ -1,0 +1,48 @@
+// Capacity (paper §5): reproduce the storage arithmetic behind "the total
+// storage capacity that the satellite constellation might be able to host
+// will be upwards of 900 PB i.e. > 300M 2-hour long 1080p videos", and size
+// a per-region catalog against a single shell.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/experiments"
+	"spacecdn/internal/geo"
+)
+
+func main() {
+	// The paper's fleet-level arithmetic.
+	paper := experiments.PaperCapacity()
+	fmt.Printf("paper fleet:  %d satellites x %d TB = %.0f PB = %d 2-hour 1080p videos\n",
+		paper.Satellites, paper.PerSatBytes>>40, paper.TotalPB, paper.VideosStored)
+
+	// The same arithmetic for the simulated Shell 1.
+	shell1 := experiments.Capacity(1584, 150<<40, 3<<30)
+	fmt.Printf("shell 1 only: %d satellites x %d TB = %.0f PB = %d videos\n",
+		shell1.Satellites, shell1.PerSatBytes>>40, shell1.TotalPB, shell1.VideosStored)
+
+	// How much of a realistic regional catalog fits on ONE satellite?
+	cfg := content.DefaultCatalogConfig()
+	cat, err := content.GenerateCatalog(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const perSat = int64(150) << 40
+	for _, region := range []geo.Region{geo.RegionAfrica, geo.RegionSouthAmerica} {
+		var used int64
+		count := 0
+		for i := 0; i < cat.Len(); i++ {
+			o := cat.ByRank(region, i)
+			if used+o.Bytes > perSat {
+				break
+			}
+			used += o.Bytes
+			count++
+		}
+		fmt.Printf("one satellite holds the top %d objects of the %v catalog (%.1f TB of %d TB)\n",
+			count, region, float64(used)/(1<<40), perSat>>40)
+	}
+}

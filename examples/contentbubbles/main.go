@@ -1,0 +1,80 @@
+// Content bubbles (paper §5): prefetch regionally popular content onto
+// satellites approaching a region and evict the content of the region they
+// leave. The example measures the fraction of each region's top content
+// servable from satellites currently overhead, before and after bubble
+// management, and shows bubbles following the constellation's motion.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/spacecdn"
+)
+
+func main() {
+	consts, err := constellation.New(constellation.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ground := groundseg.NewCatalog()
+	access := lsn.NewModel(consts, ground, lsn.DefaultConfig())
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), consts, access)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat, err := content.GenerateCatalog(content.DefaultCatalogConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := spacecdn.NewBubbleManager(sys, cat, spacecdn.DefaultBubbleConfig())
+
+	observers := []struct {
+		city   string
+		region geo.Region
+	}{
+		{"Maputo, MZ", geo.RegionAfrica},
+		{"Buenos Aires, AR", geo.RegionSouthAmerica},
+		{"Tokyo, JP", geo.RegionAsia},
+	}
+
+	snap := consts.Snapshot(0)
+	fmt.Println("local hit rate of the region's top content from overhead satellites:")
+	fmt.Printf("%-18s %10s", "city", "no bubbles")
+	for _, o := range observers {
+		city, _ := geo.CityByName(o.city)
+		fmt.Printf("\n%-18s %9.0f%%", o.city, 100*mgr.LocalHitRate(city.Loc, o.region, snap))
+	}
+
+	changed := mgr.Update(0)
+	fmt.Printf("\n\nbubble update at t=0 retargeted %d satellites\n", changed)
+	fmt.Printf("%-18s %10s", "city", "bubbles on")
+	for _, o := range observers {
+		city, _ := geo.CityByName(o.city)
+		fmt.Printf("\n%-18s %9.0f%%", o.city, 100*mgr.LocalHitRate(city.Loc, o.region, snap))
+	}
+
+	// Let the constellation move half an orbit and refresh.
+	later := 45 * time.Minute
+	changed = mgr.Update(later)
+	snapLater := consts.Snapshot(later)
+	fmt.Printf("\n\nafter %v, %d satellites crossed regions and re-bubbled\n", later, changed)
+	for _, o := range observers {
+		city, _ := geo.CityByName(o.city)
+		fmt.Printf("%-18s %9.0f%%\n", o.city, 100*mgr.LocalHitRate(city.Loc, o.region, snapLater))
+	}
+
+	// Show one satellite's journey.
+	sat := constellation.SatID(0)
+	fmt.Println("\nsatellite 0's bubble as it moves:")
+	for t := time.Duration(0); t <= 90*time.Minute; t += 15 * time.Minute {
+		sub := consts.Elements(sat).SubPoint(t)
+		fmt.Printf("  t=%-8v subpoint %-22v region %v\n", t, sub, mgr.RegionUnder(sat, t))
+	}
+}

@@ -1,0 +1,84 @@
+// Quickstart: build the Starlink Shell 1 constellation, deploy SpaceCDN on
+// it, place one object, and fetch it from three client locations — showing
+// the three resolution stages of the paper's Figure 6 (overhead satellite,
+// ISL neighbour, ground fallback).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+)
+
+func main() {
+	// 1. The constellation: 72 planes x 22 satellites at 550 km.
+	consts, err := constellation.New(constellation.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constellation: %d satellites, orbital period %v\n",
+		consts.Total(), consts.Config().Walker.RevisitPeriod().Round(time.Second))
+
+	// 2. The ground segment and the LSN access model (the status quo path).
+	ground := groundseg.NewCatalog()
+	access := lsn.NewModel(consts, ground, lsn.DefaultConfig())
+
+	// 3. SpaceCDN on top.
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), consts, access)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Place a popular object with 4 replicas per orbital plane — the
+	// paper's density for <= 5 hop reachability.
+	obj := content.Object{ID: "news-frontpage", Bytes: 2 << 20, Region: geo.RegionAfrica}
+	placed, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 4}, obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d replicas of %s (%.1f%% of the fleet)\n\n",
+		placed, obj.ID, 100*float64(placed)/float64(consts.Total()))
+
+	// 5. Fetch it from three places.
+	rng := stats.NewRand(1)
+	snap := consts.Snapshot(0)
+	clients := []struct {
+		name string
+		iso  string
+	}{
+		{"Maputo, MZ", "MZ"},
+		{"Nairobi, KE", "KE"},
+		{"Frankfurt, DE", "DE"},
+	}
+	for _, c := range clients {
+		city, ok := geo.CityByName(c.name)
+		if !ok {
+			log.Fatalf("unknown city %s", c.name)
+		}
+		res, err := sys.Resolve(city.Loc, c.iso, obj, snap, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s -> served from %-8s (%d hops) in %6.1f ms\n",
+			c.name, res.Source, res.Hops, float64(res.RTT)/float64(time.Millisecond))
+	}
+
+	// 6. Compare with the status quo: the same fetch via the ground CDN.
+	fmt.Println()
+	maputo, _ := geo.CityByName("Maputo, MZ")
+	path, err := access.ResolvePath(maputo.Loc, "MZ", snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status quo for Maputo: %v\n", path)
+	fmt.Printf("ground-CDN RTT (via %s PoP): %.1f ms\n",
+		path.PoP.Name, float64(access.MinRTTToPoP(path))/float64(time.Millisecond))
+}

@@ -1,0 +1,66 @@
+// Space VMs (paper §5): run a stateful service (think: the coordination
+// server of a multiplayer game) for a metro area on the satellites passing
+// overhead, migrating the VM's state deltas to the next serving satellite
+// over ISLs. Compare proactive delta streaming with cold migration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/spacecdn"
+)
+
+func main() {
+	consts, err := constellation.New(constellation.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	access := lsn.NewModel(consts, groundseg.NewCatalog(), lsn.DefaultConfig())
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), consts, access)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	area, _ := geo.CityByName("Buenos Aires, AR")
+	dur := 45 * time.Minute
+
+	lead, err := sys.VMPlacementLeadTime(area.Loc, 0, 30*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving area: %s — next satellite known %v in advance\n", area.Name, lead.Round(time.Second))
+
+	for _, cfg := range []struct {
+		name string
+		vm   spacecdn.VMConfig
+	}{
+		{"proactive delta sync", spacecdn.DefaultVMConfig()},
+		{"cold migration", func() spacecdn.VMConfig {
+			c := spacecdn.DefaultVMConfig()
+			c.Proactive = false
+			return c
+		}()},
+	} {
+		res, err := sys.SimulateVMService(area.Loc, 0, dur, cfg.vm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s over %v:\n", cfg.name, dur)
+		fmt.Printf("  handovers:      %d\n", len(res.Handovers))
+		fmt.Printf("  total downtime: %v (max %v per handover)\n",
+			res.TotalDowntime.Round(time.Millisecond), res.MaxDowntime.Round(time.Millisecond))
+		fmt.Printf("  availability:   %.4f\n", res.Availability)
+		fmt.Printf("  sync traffic:   %.1f GB\n", float64(res.SyncBytes)/(1<<30))
+		if len(res.Handovers) > 0 {
+			h := res.Handovers[0]
+			fmt.Printf("  first handover: sat %d -> sat %d (%d ISL hops) at %v\n",
+				h.From, h.To, h.Hops, h.At.Round(time.Second))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Video striping (paper §4): stripe a DASH video across the satellites that
+// will successively be overhead of a viewer in Buenos Aires, preload the
+// stripes to hide the bent-pipe latency, and compare playback with and
+// without preloading.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+)
+
+func main() {
+	consts, err := constellation.New(constellation.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ground := groundseg.NewCatalog()
+	access := lsn.NewModel(consts, ground, lsn.DefaultConfig())
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), consts, access)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 30-minute 1080p match stream, 10-second DASH segments.
+	match := content.Object{
+		ID: "superclasico-2026", Bytes: 1 << 30,
+		Region: geo.RegionSouthAmerica, Video: true,
+	}
+	video, err := content.Segmentize(match, 30*time.Minute, 10*time.Second, 4_500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("video: %d segments, %.1f GB, %v\n",
+		len(video.Segments), float64(video.TotalBytes())/(1<<30), video.Duration())
+
+	viewer, _ := geo.CityByName("Buenos Aires, AR")
+	plan, err := sys.PlanStripes(viewer.Loc, video, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sats := plan.Satellites()
+	fmt.Printf("stripe plan: %d serving satellites across the playback window\n", len(sats))
+	for i, a := range plan.Assignments {
+		if i%36 != 0 { // print one line per ~6 minutes
+			continue
+		}
+		fmt.Printf("  seg %3d -> sat %4d (window %v - %v)\n",
+			a.Segment.Index, a.Sat, a.Window.Start, a.Window.End)
+	}
+
+	cfg := spacecdn.DefaultPlaybackConfig()
+
+	// Cold: no preloading — every segment takes the bent pipe.
+	cold, err := sys.SimulatePlayback(plan, cfg, stats.NewRand(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm: stripes preloaded onto their satellites ahead of time.
+	n := sys.Preload(plan)
+	warm, err := sys.SimulatePlayback(plan, cfg, stats.NewRand(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\npreloaded %d stripes onto %d satellites\n", n, len(sats))
+	fmt.Printf("%-22s %12s %8s %12s %10s\n", "", "startup", "stalls", "stall time", "from space")
+	fmt.Printf("%-22s %12v %8d %12v %9d%%\n", "cold (bent pipe)",
+		cold.StartupDelay.Round(time.Millisecond), cold.Stalls, cold.StallTime.Round(time.Millisecond),
+		100*cold.FromSpace/len(video.Segments))
+	fmt.Printf("%-22s %12v %8d %12v %9d%%\n", "striped + preloaded",
+		warm.StartupDelay.Round(time.Millisecond), warm.Stalls, warm.StallTime.Round(time.Millisecond),
+		100*warm.FromSpace/len(video.Segments))
+}

@@ -1,0 +1,3 @@
+module spacecdn
+
+go 1.22

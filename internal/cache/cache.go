@@ -1,0 +1,201 @@
+// Package cache implements the byte-capacity caches used by both the
+// terrestrial CDN edges and the SpaceCDN satellite caches: LRU, LFU and
+// TTL-wrapped variants, plus a geography-aware eviction policy for the
+// paper's "content bubbles" (§5) — evict objects whose popularity region the
+// satellite is leaving.
+//
+// All caches are instrumented (hits, misses, evictions, bytes) and safe for
+// concurrent use.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Key identifies a cached object.
+type Key string
+
+// Item is a cached object's metadata. Value payloads are not stored — the
+// simulator tracks placement and sizes, not contents.
+type Item struct {
+	Key  Key
+	Size int64
+	// Tag is opaque metadata the eviction policy may use (the content
+	// bubble policy stores the object's popularity region here).
+	Tag string
+}
+
+// Stats counts cache activity. Retrieved via the Stats method; the zero
+// value is a valid empty count.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Inserts   int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is the common interface of all eviction policies.
+type Cache interface {
+	// Get reports whether the key is cached and marks it used.
+	Get(k Key) bool
+	// Peek reports whether the key is cached without side effects.
+	Peek(k Key) bool
+	// Put inserts an item, evicting as needed. It reports whether the item
+	// was admitted (an item larger than the capacity is rejected).
+	Put(it Item) bool
+	// Remove deletes a key if present.
+	Remove(k Key) bool
+	// Len returns the number of cached items.
+	Len() int
+	// UsedBytes returns the sum of cached item sizes.
+	UsedBytes() int64
+	// Capacity returns the configured byte capacity.
+	Capacity() int64
+	// Stats returns a snapshot of the counters.
+	Stats() Stats
+	// Keys returns the cached keys in policy order (eviction candidates
+	// last for LRU; unspecified for others).
+	Keys() []Key
+}
+
+// LRU is a least-recently-used byte-capacity cache.
+type LRU struct {
+	mu    sync.Mutex
+	cap   int64
+	used  int64
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+	stats Stats
+}
+
+type lruEntry struct{ it Item }
+
+// NewLRU creates an LRU cache with the given byte capacity. It panics on a
+// non-positive capacity (a construction bug).
+func NewLRU(capacity int64) *LRU {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: non-positive capacity %d", capacity))
+	}
+	return &LRU{cap: capacity, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// Get implements Cache.
+func (c *LRU) Get(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return true
+}
+
+// Peek implements Cache.
+func (c *LRU) Peek(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[k]
+	return ok
+}
+
+// Put implements Cache.
+func (c *LRU) Put(it Item) bool {
+	if it.Size < 0 || it.Size > c.cap {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[it.Key]; ok {
+		old := el.Value.(*lruEntry)
+		c.used += it.Size - old.it.Size
+		old.it = it
+		c.ll.MoveToFront(el)
+		c.evictLocked()
+		return true
+	}
+	c.items[it.Key] = c.ll.PushFront(&lruEntry{it: it})
+	c.used += it.Size
+	c.stats.Inserts++
+	c.evictLocked()
+	return true
+}
+
+func (c *LRU) evictLocked() {
+	for c.used > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.it.Key)
+		c.used -= e.it.Size
+		c.stats.Evictions++
+	}
+}
+
+// Remove implements Cache.
+func (c *LRU) Remove(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, k)
+	c.used -= e.it.Size
+	return true
+}
+
+// Len implements Cache.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// UsedBytes implements Cache.
+func (c *LRU) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int64 { return c.cap }
+
+// Stats implements Cache.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Keys implements Cache: most recently used first.
+func (c *LRU) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, len(c.items))
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).it.Key)
+	}
+	return out
+}
+
+var _ Cache = (*LRU)(nil)

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// GeoAware is the "content bubble" eviction policy from the paper's §5: a
+// satellite crossing from one region to another should evict content tagged
+// for the region it is leaving before falling back to recency. Items are
+// tagged with their popularity region (Item.Tag); SetRegion updates the
+// satellite's current region as it moves.
+//
+// Eviction order: (1) items whose Tag differs from the current region,
+// least recently used first; (2) current-region items, least recently used
+// first.
+type GeoAware struct {
+	mu     sync.Mutex
+	lru    *LRU
+	region string
+}
+
+// NewGeoAware creates a geo-aware cache with the given byte capacity and
+// initial region.
+func NewGeoAware(capacity int64, region string) *GeoAware {
+	return &GeoAware{lru: NewLRU(capacity), region: region}
+}
+
+// SetRegion updates the region the satellite currently serves.
+func (c *GeoAware) SetRegion(region string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.region = region
+}
+
+// Region returns the current serving region.
+func (c *GeoAware) Region() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.region
+}
+
+// Get implements Cache.
+func (c *GeoAware) Get(k Key) bool { return c.lru.Get(k) }
+
+// Peek implements Cache.
+func (c *GeoAware) Peek(k Key) bool { return c.lru.Peek(k) }
+
+// Put implements Cache. It admits the item, then, if over capacity, evicts
+// out-of-region items (LRU order) before in-region ones.
+func (c *GeoAware) Put(it Item) bool {
+	if it.Size < 0 || it.Size > c.lru.Capacity() {
+		return false
+	}
+	c.mu.Lock()
+	region := c.region
+	c.mu.Unlock()
+
+	// Admit into the inner LRU without letting it evict on its own: reserve
+	// room first by geo-aware eviction.
+	c.makeRoom(it.Size, it.Key, region)
+	return c.lru.Put(it)
+}
+
+// makeRoom evicts until size fits, preferring out-of-region victims.
+func (c *GeoAware) makeRoom(size int64, incoming Key, region string) {
+	need := c.lru.UsedBytes() + size - c.lru.Capacity()
+	if need <= 0 {
+		return
+	}
+	// Pass 1: out-of-region, least recently used first.
+	// Keys() returns MRU first, so walk backwards.
+	keys := c.lru.Keys()
+	for pass := 0; pass < 2 && need > 0; pass++ {
+		for i := len(keys) - 1; i >= 0 && need > 0; i-- {
+			k := keys[i]
+			if k == incoming {
+				continue
+			}
+			e, ok := c.lru.item(k)
+			if !ok {
+				continue
+			}
+			outOfRegion := e.Tag != region
+			if (pass == 0 && outOfRegion) || pass == 1 {
+				if c.lru.evict(k) {
+					need -= e.Size
+				}
+			}
+		}
+	}
+}
+
+// item fetches an item's metadata without promotion.
+func (c *LRU) item(k Key) (Item, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return Item{}, false
+	}
+	return el.Value.(*lruEntry).it, true
+}
+
+// evict removes a key and counts it as an eviction (not a removal).
+func (c *LRU) evict(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, k)
+	c.used -= e.it.Size
+	c.stats.Evictions++
+	return true
+}
+
+// Remove implements Cache.
+func (c *GeoAware) Remove(k Key) bool { return c.lru.Remove(k) }
+
+// Len implements Cache.
+func (c *GeoAware) Len() int { return c.lru.Len() }
+
+// UsedBytes implements Cache.
+func (c *GeoAware) UsedBytes() int64 { return c.lru.UsedBytes() }
+
+// Capacity implements Cache.
+func (c *GeoAware) Capacity() int64 { return c.lru.Capacity() }
+
+// Stats implements Cache.
+func (c *GeoAware) Stats() Stats { return c.lru.Stats() }
+
+// Keys implements Cache.
+func (c *GeoAware) Keys() []Key { return c.lru.Keys() }
+
+// String describes the cache state briefly.
+func (c *GeoAware) String() string {
+	return fmt.Sprintf("geo-aware(region=%s, %d items, %d/%d bytes)",
+		c.Region(), c.Len(), c.UsedBytes(), c.Capacity())
+}
+
+var _ Cache = (*GeoAware)(nil)

@@ -1,0 +1,186 @@
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// LFU is a least-frequently-used byte-capacity cache. Ties are broken by
+// insertion order (older first), which makes eviction deterministic.
+type LFU struct {
+	mu    sync.Mutex
+	cap   int64
+	used  int64
+	items map[Key]*lfuEntry
+	heap  lfuHeap
+	seq   int64
+	stats Stats
+}
+
+type lfuEntry struct {
+	it    Item
+	freq  int64
+	seq   int64 // insertion sequence for deterministic ties
+	index int   // heap index
+}
+
+type lfuHeap []*lfuEntry
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].seq < h[j].seq
+}
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *lfuHeap) Push(x interface{}) {
+	e := x.(*lfuEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *lfuHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewLFU creates an LFU cache with the given byte capacity.
+func NewLFU(capacity int64) *LFU {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: non-positive capacity %d", capacity))
+	}
+	return &LFU{cap: capacity, items: make(map[Key]*lfuEntry)}
+}
+
+// Get implements Cache.
+func (c *LFU) Get(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	e.freq++
+	heap.Fix(&c.heap, e.index)
+	c.stats.Hits++
+	return true
+}
+
+// Peek implements Cache.
+func (c *LFU) Peek(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[k]
+	return ok
+}
+
+// Put implements Cache.
+func (c *LFU) Put(it Item) bool {
+	if it.Size < 0 || it.Size > c.cap {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[it.Key]; ok {
+		c.used += it.Size - e.it.Size
+		e.it = it
+		e.freq++
+		heap.Fix(&c.heap, e.index)
+		c.evictLocked(it.Key)
+		return true
+	}
+	c.seq++
+	e := &lfuEntry{it: it, freq: 1, seq: c.seq}
+	c.items[it.Key] = e
+	heap.Push(&c.heap, e)
+	c.used += it.Size
+	c.stats.Inserts++
+	c.evictLocked(it.Key)
+	return true
+}
+
+// evictLocked evicts lowest-frequency entries until within capacity, never
+// evicting protect (the just-inserted key).
+func (c *LFU) evictLocked(protect Key) {
+	for c.used > c.cap && c.heap.Len() > 0 {
+		e := c.heap[0]
+		if e.it.Key == protect {
+			// The newest item is itself the lowest-frequency entry. Evict
+			// the next candidate instead; if it is the only entry we are
+			// stuck over capacity with protect only, which cannot happen
+			// because Put rejects items larger than the capacity.
+			if c.heap.Len() == 1 {
+				return
+			}
+			// Temporarily pop protect, evict, then push back.
+			heap.Pop(&c.heap)
+			c.evictLocked("")
+			heap.Push(&c.heap, e)
+			return
+		}
+		heap.Pop(&c.heap)
+		delete(c.items, e.it.Key)
+		c.used -= e.it.Size
+		c.stats.Evictions++
+	}
+}
+
+// Remove implements Cache.
+func (c *LFU) Remove(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	heap.Remove(&c.heap, e.index)
+	delete(c.items, k)
+	c.used -= e.it.Size
+	return true
+}
+
+// Len implements Cache.
+func (c *LFU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// UsedBytes implements Cache.
+func (c *LFU) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Capacity implements Cache.
+func (c *LFU) Capacity() int64 { return c.cap }
+
+// Stats implements Cache.
+func (c *LFU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Keys implements Cache; order is unspecified.
+func (c *LFU) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, len(c.items))
+	for k := range c.items {
+		out = append(out, k)
+	}
+	return out
+}
+
+var _ Cache = (*LFU)(nil)

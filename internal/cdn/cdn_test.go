@@ -1,0 +1,207 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/terrestrial"
+)
+
+func newCDN(t *testing.T) *CDN {
+	t.Helper()
+	c, err := New(DefaultConfig(), terrestrial.NewModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	tm := terrestrial.NewModel()
+	bad := DefaultConfig()
+	bad.EdgeCacheBytes = 0
+	if _, err := New(bad, tm); err == nil {
+		t.Error("zero cache capacity accepted")
+	}
+	bad = DefaultConfig()
+	bad.AnycastSpread = 0
+	if _, err := New(bad, tm); err == nil {
+		t.Error("zero anycast spread accepted")
+	}
+	bad = DefaultConfig()
+	bad.OriginCities = []string{"Atlantis, XX"}
+	if _, err := New(bad, tm); err == nil {
+		t.Error("unknown origin accepted")
+	}
+	bad = DefaultConfig()
+	bad.OriginCities = nil
+	if _, err := New(bad, tm); err == nil {
+		t.Error("no origins accepted")
+	}
+}
+
+func TestDeploymentCoversWorld(t *testing.T) {
+	c := newCDN(t)
+	if len(c.Edges()) < 120 {
+		t.Errorf("edge count = %d, want one per dataset city", len(c.Edges()))
+	}
+	// A Maputo edge must exist (paper Fig. 3b).
+	if _, ok := c.EdgeIn("Maputo, MZ"); !ok {
+		t.Error("no Maputo edge")
+	}
+	if _, ok := c.EdgeIn("Atlantis"); ok {
+		t.Error("unknown city resolved to an edge")
+	}
+}
+
+func TestNearestEdge(t *testing.T) {
+	c := newCDN(t)
+	maputo, _ := geo.CityByName("Maputo, MZ")
+	e := c.NearestEdge(maputo.Loc)
+	if e.City.Name != "Maputo" {
+		t.Errorf("nearest edge to Maputo = %s", e.City.Name)
+	}
+	// From the Frankfurt PoP vantage, the nearest edge is Frankfurt — this
+	// is exactly the paper's mis-mapping for African Starlink users.
+	fra, _ := geo.CityByName("Frankfurt, DE")
+	if e := c.NearestEdge(fra.Loc); e.City.Name != "Frankfurt" {
+		t.Errorf("nearest edge to Frankfurt PoP = %s", e.City.Name)
+	}
+}
+
+func TestEdgesByDistanceSorted(t *testing.T) {
+	c := newCDN(t)
+	london, _ := geo.CityByName("London, GB")
+	edges := c.EdgesByDistance(london.Loc, 5)
+	if len(edges) != 5 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	last := -1.0
+	for _, e := range edges {
+		d := geo.HaversineKm(london.Loc, e.City.Loc)
+		if d < last {
+			t.Error("edges not sorted by distance")
+		}
+		last = d
+	}
+	if got := c.EdgesByDistance(london.Loc, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := c.EdgesByDistance(london.Loc, 10000); len(got) != len(c.Edges()) {
+		t.Error("k beyond deployment should clamp")
+	}
+}
+
+func TestSelectAnycastSpread(t *testing.T) {
+	c := newCDN(t)
+	rng := stats.NewRand(1)
+	vantage, _ := geo.CityByName("London, GB")
+	seen := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		e := c.SelectAnycast(vantage.Loc, rng)
+		seen[e.City.Name]++
+	}
+	if len(seen) < 2 || len(seen) > DefaultConfig().AnycastSpread {
+		t.Errorf("anycast spread hit %d distinct edges, want 2..%d", len(seen), DefaultConfig().AnycastSpread)
+	}
+	// The nearest edge must dominate.
+	if seen["London"] < 1000 {
+		t.Errorf("nearest edge selected only %d/2000 times", seen["London"])
+	}
+}
+
+func TestFetchHitMiss(t *testing.T) {
+	c := newCDN(t)
+	rng := stats.NewRand(2)
+	e, _ := c.EdgeIn("Frankfurt, DE")
+	obj := content.Object{ID: "x", Bytes: 1 << 20, Region: geo.RegionEurope}
+	clientRTT := 30 * time.Millisecond
+
+	// First fetch: miss, pays origin RTT.
+	r1 := c.Fetch(e, obj, clientRTT, rng)
+	if r1.CacheHit {
+		t.Fatal("first fetch should miss")
+	}
+	if r1.OriginRTT <= 0 {
+		t.Error("miss must pay origin RTT")
+	}
+	if r1.TTFB <= clientRTT {
+		t.Error("TTFB must exceed client RTT")
+	}
+
+	// Second fetch: hit, no origin RTT, faster.
+	r2 := c.Fetch(e, obj, clientRTT, rng)
+	if !r2.CacheHit {
+		t.Fatal("second fetch should hit")
+	}
+	if r2.OriginRTT != 0 {
+		t.Error("hit must not pay origin RTT")
+	}
+	if r2.TTFB >= r1.TTFB {
+		t.Errorf("hit TTFB %v should beat miss TTFB %v", r2.TTFB, r1.TTFB)
+	}
+}
+
+func TestFetchOriginDistanceMatters(t *testing.T) {
+	c := newCDN(t)
+	rng := stats.NewRand(3)
+	// Frankfurt edge has a Frankfurt origin (0 km); Auckland's nearest
+	// origin is Singapore (~8,400 km) — a much longer miss penalty.
+	fra, _ := c.EdgeIn("Frankfurt, DE")
+	akl, _ := c.EdgeIn("Auckland, NZ")
+	oFra := content.Object{ID: "of", Bytes: 1 << 20}
+	oAkl := content.Object{ID: "oa", Bytes: 1 << 20}
+	rFra := c.Fetch(fra, oFra, 0, rng)
+	rAkl := c.Fetch(akl, oAkl, 0, rng)
+	if rAkl.OriginRTT <= rFra.OriginRTT+20*time.Millisecond {
+		t.Errorf("Auckland origin RTT %v should far exceed Frankfurt %v", rAkl.OriginRTT, rFra.OriginRTT)
+	}
+}
+
+func TestNearestOrigin(t *testing.T) {
+	c := newCDN(t)
+	tokyo, _ := geo.CityByName("Tokyo, JP")
+	if o := c.NearestOrigin(tokyo.Loc); o.Name != "Singapore" {
+		t.Errorf("nearest origin to Tokyo = %s, want Singapore", o.Name)
+	}
+	ny, _ := geo.CityByName("New York, US")
+	if o := c.NearestOrigin(ny.Loc); o.Name != "Ashburn" {
+		t.Errorf("nearest origin to NY = %s, want Ashburn", o.Name)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	c := newCDN(t)
+	cat, err := content.GenerateCatalog(content.CatalogConfig{
+		Objects: 500, MeanObjectBytes: 1 << 20, ZipfS: 0.9, RegionBoost: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.EdgeIn("Maputo, MZ")
+	placed := Warm(e, cat, geo.RegionAfrica, 100<<20)
+	if placed == 0 {
+		t.Fatal("warm placed nothing")
+	}
+	if e.Cache.UsedBytes() > 100<<20+e.Cache.Capacity() {
+		t.Error("warm exceeded budget wildly")
+	}
+	// The region's hottest object must now be a hit.
+	hot := cat.ByRank(geo.RegionAfrica, 0)
+	if !e.Cache.Peek(cache.Key(hot.ID)) {
+		t.Error("hottest object not warmed")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on bad config")
+		}
+	}()
+	MustNew(Config{}, terrestrial.NewModel())
+}

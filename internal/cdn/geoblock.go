@@ -1,0 +1,170 @@
+package cdn
+
+import (
+	"fmt"
+	"strings"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+// Geo-blocking (paper §1-§2): CDNs enforce content licensing by IP
+// geolocation. A terrestrial subscriber geolocates to their own country; an
+// LSN subscriber geolocates to their PoP's country, because the public
+// address is assigned at the carrier-grade-NAT egress. "Starlink
+// subscribers experience unwarranted geo-blocking from CDNs when their
+// connections are routed to PoPs deployed in countries where the requested
+// content is geo-blocked."
+
+// License describes where an object may be served.
+type License struct {
+	// AllowedCountries is the ISO2 whitelist. Empty means unrestricted.
+	AllowedCountries []string
+}
+
+// Unrestricted reports whether the license allows everyone.
+func (l License) Unrestricted() bool { return len(l.AllowedCountries) == 0 }
+
+// Allows reports whether a client geolocated to iso2 may be served.
+func (l License) Allows(iso2 string) bool {
+	if l.Unrestricted() {
+		return true
+	}
+	iso2 = strings.ToUpper(iso2)
+	for _, c := range l.AllowedCountries {
+		if c == iso2 {
+			return true
+		}
+	}
+	return false
+}
+
+// LicenseDB maps objects to licenses. Objects without an entry are
+// unrestricted.
+type LicenseDB struct {
+	byObject map[content.ID]License
+}
+
+// NewLicenseDB creates an empty license database.
+func NewLicenseDB() *LicenseDB {
+	return &LicenseDB{byObject: make(map[content.ID]License)}
+}
+
+// Set records an object's license.
+func (db *LicenseDB) Set(id content.ID, l License) {
+	norm := make([]string, len(l.AllowedCountries))
+	for i, c := range l.AllowedCountries {
+		norm[i] = strings.ToUpper(c)
+	}
+	db.byObject[id] = License{AllowedCountries: norm}
+}
+
+// Lookup returns the license for an object (unrestricted when absent).
+func (db *LicenseDB) Lookup(id content.ID) License {
+	return db.byObject[id]
+}
+
+// Len returns the number of restricted objects.
+func (db *LicenseDB) Len() int { return len(db.byObject) }
+
+// GenerateNationalLicenses marks a fraction of the catalog as licensed only
+// for the home country of the object's region: the "national broadcaster"
+// pattern behind most real geo-blocks. Deterministic in the seed.
+func GenerateNationalLicenses(cat *content.Catalog, fraction float64, seed int64) *LicenseDB {
+	db := NewLicenseDB()
+	if fraction <= 0 {
+		return db
+	}
+	rng := stats.NewRand(seed)
+	// Representative national markets per region.
+	markets := map[geo.Region][]string{
+		geo.RegionAfrica:       {"ZA", "NG", "KE", "EG", "MZ", "ZM", "RW", "TZ"},
+		geo.RegionEurope:       {"GB", "DE", "FR", "ES", "IT", "PL", "LT", "CY"},
+		geo.RegionNorthAmerica: {"US", "CA", "MX", "GT", "HT"},
+		geo.RegionSouthAmerica: {"BR", "AR", "CL", "CO", "PE"},
+		geo.RegionAsia:         {"JP", "KR", "IN", "ID", "PH"},
+		geo.RegionOceania:      {"AU", "NZ", "FJ"},
+	}
+	for i := 0; i < cat.Len(); i++ {
+		o := cat.ByRank(geo.RegionEurope, i) // rank order irrelevant; scan all
+		if !rng.Bool(fraction) {
+			continue
+		}
+		ms := markets[o.Region]
+		if len(ms) == 0 {
+			continue
+		}
+		db.Set(o.ID, License{AllowedCountries: []string{ms[rng.Intn(len(ms))]}})
+	}
+	return db
+}
+
+// AccessDecision is the outcome of a geo-filtered request.
+type AccessDecision struct {
+	Allowed bool
+	// GeolocatedISO is the country the CDN believes the client is in.
+	GeolocatedISO string
+	// Spurious is true when the request was blocked even though the
+	// client's true country is licensed — the paper's "unwarranted
+	// geo-blocking" for LSN subscribers.
+	Spurious bool
+}
+
+// CheckAccess applies the license using the vantage the CDN actually sees:
+// geolocatedISO is derived from the client's public address (their own
+// country terrestrially, the PoP's country over the LSN); trueISO is where
+// the subscriber physically is.
+func CheckAccess(db *LicenseDB, obj content.ID, geolocatedISO, trueISO string) AccessDecision {
+	l := db.Lookup(obj)
+	d := AccessDecision{GeolocatedISO: strings.ToUpper(geolocatedISO)}
+	d.Allowed = l.Allows(geolocatedISO)
+	if !d.Allowed && l.Allows(trueISO) {
+		d.Spurious = true
+	}
+	return d
+}
+
+// GeoBlockStats aggregates access decisions.
+type GeoBlockStats struct {
+	Requests int
+	Blocked  int
+	Spurious int
+	Falsely  int // allowed although the true country is not licensed
+}
+
+// BlockRate returns blocked/requests.
+func (s GeoBlockStats) BlockRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Requests)
+}
+
+// SpuriousRate returns spuriously-blocked/requests.
+func (s GeoBlockStats) SpuriousRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Spurious) / float64(s.Requests)
+}
+
+// Record folds one decision into the stats, given the true country.
+func (s *GeoBlockStats) Record(db *LicenseDB, obj content.ID, d AccessDecision, trueISO string) {
+	s.Requests++
+	if !d.Allowed {
+		s.Blocked++
+		if d.Spurious {
+			s.Spurious++
+		}
+		return
+	}
+	if !db.Lookup(obj).Allows(trueISO) {
+		s.Falsely++
+	}
+}
+
+func (s GeoBlockStats) String() string {
+	return fmt.Sprintf("requests=%d blocked=%d (%.1f%%) spurious=%d (%.1f%%) falselyAllowed=%d",
+		s.Requests, s.Blocked, 100*s.BlockRate(), s.Spurious, 100*s.SpuriousRate(), s.Falsely)
+}

@@ -1,0 +1,159 @@
+package cdn
+
+import (
+	"testing"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+)
+
+func TestLicenseAllows(t *testing.T) {
+	unrestricted := License{}
+	if !unrestricted.Unrestricted() || !unrestricted.Allows("ZZ") {
+		t.Error("empty license should allow everyone")
+	}
+	l := License{AllowedCountries: []string{"MZ", "ZA"}}
+	if !l.Allows("MZ") || !l.Allows("mz") {
+		t.Error("whitelisted country blocked (case sensitivity?)")
+	}
+	if l.Allows("DE") {
+		t.Error("non-whitelisted country allowed")
+	}
+}
+
+func TestLicenseDB(t *testing.T) {
+	db := NewLicenseDB()
+	if db.Len() != 0 {
+		t.Fatal("fresh DB not empty")
+	}
+	db.Set("x", License{AllowedCountries: []string{"de"}})
+	if db.Len() != 1 {
+		t.Error("Set did not record")
+	}
+	if !db.Lookup("x").Allows("DE") {
+		t.Error("lookup lost normalization")
+	}
+	if !db.Lookup("unknown").Allows("ANY") {
+		t.Error("missing entries must be unrestricted")
+	}
+}
+
+func TestCheckAccessSpurious(t *testing.T) {
+	db := NewLicenseDB()
+	db.Set("match", License{AllowedCountries: []string{"MZ"}})
+
+	// Terrestrial Mozambican: geolocated correctly, allowed.
+	d := CheckAccess(db, "match", "MZ", "MZ")
+	if !d.Allowed || d.Spurious {
+		t.Errorf("terrestrial decision wrong: %+v", d)
+	}
+
+	// Starlink Mozambican: geolocated at the Frankfurt PoP => blocked even
+	// though their true country is licensed. The paper's complaint.
+	d = CheckAccess(db, "match", "DE", "MZ")
+	if d.Allowed {
+		t.Error("PoP-geolocated client should be blocked")
+	}
+	if !d.Spurious {
+		t.Error("block should be flagged spurious")
+	}
+
+	// German client blocked legitimately: not spurious.
+	d = CheckAccess(db, "match", "DE", "DE")
+	if d.Allowed || d.Spurious {
+		t.Errorf("legitimate block misclassified: %+v", d)
+	}
+
+	// Unrestricted object: always allowed.
+	d = CheckAccess(db, "open", "DE", "MZ")
+	if !d.Allowed {
+		t.Error("unrestricted object blocked")
+	}
+}
+
+func TestCheckAccessFalselyAllowed(t *testing.T) {
+	// The inverse leak: a German Starlink roamer whose PoP is in MZ would be
+	// allowed MZ-only content. Stats must count it.
+	db := NewLicenseDB()
+	db.Set("match", License{AllowedCountries: []string{"MZ"}})
+	var s GeoBlockStats
+	d := CheckAccess(db, "match", "MZ", "DE")
+	s.Record(db, "match", d, "DE")
+	if s.Falsely != 1 {
+		t.Errorf("falsely allowed not counted: %+v", s)
+	}
+}
+
+func TestGeoBlockStats(t *testing.T) {
+	db := NewLicenseDB()
+	db.Set("o", License{AllowedCountries: []string{"MZ"}})
+	var s GeoBlockStats
+	for i := 0; i < 6; i++ {
+		d := CheckAccess(db, "o", "DE", "MZ") // spurious block
+		s.Record(db, "o", d, "MZ")
+	}
+	for i := 0; i < 4; i++ {
+		d := CheckAccess(db, "o", "MZ", "MZ") // allowed
+		s.Record(db, "o", d, "MZ")
+	}
+	if s.Requests != 10 || s.Blocked != 6 || s.Spurious != 6 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.BlockRate() != 0.6 || s.SpuriousRate() != 0.6 {
+		t.Errorf("rates = %v/%v", s.BlockRate(), s.SpuriousRate())
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	var empty GeoBlockStats
+	if empty.BlockRate() != 0 || empty.SpuriousRate() != 0 {
+		t.Error("empty rates should be 0")
+	}
+}
+
+func TestGenerateNationalLicenses(t *testing.T) {
+	cat, err := content.GenerateCatalog(content.CatalogConfig{
+		Objects: 2000, MeanObjectBytes: 1 << 20, ZipfS: 0.9, RegionBoost: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := GenerateNationalLicenses(cat, 0.25, 7)
+	frac := float64(db.Len()) / float64(cat.Len())
+	if frac < 0.18 || frac > 0.32 {
+		t.Errorf("licensed fraction = %v, want ~0.25", frac)
+	}
+	// Licenses are national: exactly one allowed country, in the object's
+	// home region's market list.
+	checked := 0
+	for i := 0; i < cat.Len(); i++ {
+		o := cat.ByRank(geo.RegionEurope, i)
+		l := db.Lookup(o.ID)
+		if l.Unrestricted() {
+			continue
+		}
+		checked++
+		if len(l.AllowedCountries) != 1 {
+			t.Fatalf("license has %d countries", len(l.AllowedCountries))
+		}
+		cc, ok := geo.CountryByISO(l.AllowedCountries[0])
+		if !ok {
+			t.Fatalf("license references unknown country %s", l.AllowedCountries[0])
+		}
+		if cc.Region != o.Region {
+			t.Errorf("object of region %v licensed to %s (%v)", o.Region, cc.ISO2, cc.Region)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no restricted objects inspected")
+	}
+	// Determinism.
+	db2 := GenerateNationalLicenses(cat, 0.25, 7)
+	if db2.Len() != db.Len() {
+		t.Error("license generation not deterministic")
+	}
+	// Zero fraction.
+	if GenerateNationalLicenses(cat, 0, 7).Len() != 0 {
+		t.Error("zero fraction should restrict nothing")
+	}
+}

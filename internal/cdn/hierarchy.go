@@ -1,0 +1,126 @@
+package cdn
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/terrestrial"
+)
+
+// Hierarchy adds the paper's §2 description — "a content delivery network
+// is a hierarchy of geo-distributed servers" — as a second caching tier:
+// regional hubs between the edges and the origins. An edge miss tries the
+// hub serving the edge's region before falling back to the origin, which is
+// exactly how large CDNs bound origin offload.
+
+// regionalHubCities hosts one hub per region.
+var regionalHubCities = map[geo.Region]string{
+	geo.RegionAfrica:       "Johannesburg, ZA",
+	geo.RegionEurope:       "Frankfurt, DE",
+	geo.RegionNorthAmerica: "Ashburn, US",
+	geo.RegionSouthAmerica: "Sao Paulo, BR",
+	geo.RegionAsia:         "Singapore, SG",
+	geo.RegionOceania:      "Sydney, AU",
+}
+
+// Hub is a regional cache tier.
+type Hub struct {
+	Region geo.Region
+	City   geo.City
+	Cache  cache.Cache
+}
+
+// Hierarchy is a two-tier cache deployment over a CDN.
+type Hierarchy struct {
+	cdn  *CDN
+	hubs map[geo.Region]*Hub
+	// HubCacheBytes is each hub's capacity (typically much larger than an
+	// edge).
+	hubProcMs float64
+}
+
+// NewHierarchy attaches regional hubs to a CDN deployment.
+func NewHierarchy(c *CDN, hubCacheBytes int64) (*Hierarchy, error) {
+	if hubCacheBytes <= 0 {
+		return nil, fmt.Errorf("cdn: hub capacity must be positive")
+	}
+	h := &Hierarchy{cdn: c, hubs: make(map[geo.Region]*Hub), hubProcMs: 2}
+	for region, cityName := range regionalHubCities {
+		city, ok := geo.CityByName(cityName)
+		if !ok {
+			return nil, fmt.Errorf("cdn: unknown hub city %q", cityName)
+		}
+		h.hubs[region] = &Hub{
+			Region: region,
+			City:   city,
+			Cache:  cache.NewLRU(hubCacheBytes),
+		}
+	}
+	return h, nil
+}
+
+// Hub returns the hub serving a region.
+func (h *Hierarchy) Hub(r geo.Region) (*Hub, bool) {
+	hub, ok := h.hubs[r]
+	return hub, ok
+}
+
+// Tier labels where a hierarchical fetch was served from.
+type Tier int
+
+// Service tiers, nearest first.
+const (
+	TierEdge Tier = iota
+	TierHub
+	TierOrigin
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierEdge:
+		return "edge"
+	case TierHub:
+		return "hub"
+	case TierOrigin:
+		return "origin"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// HierFetchResult describes one hierarchical fetch.
+type HierFetchResult struct {
+	Tier Tier
+	// TTFB from the client's perspective, given clientRTT to the edge.
+	TTFB time.Duration
+}
+
+// Fetch serves an object through edge -> hub -> origin, filling caches on
+// the way back down.
+func (h *Hierarchy) Fetch(e *Edge, obj content.Object, clientRTT time.Duration, rng *stats.Rand) HierFetchResult {
+	edgeProc := time.Duration(h.cdn.cfg.EdgeProcMs * float64(time.Millisecond))
+	if e.Cache.Get(cache.Key(obj.ID)) {
+		return HierFetchResult{Tier: TierEdge, TTFB: clientRTT + edgeProc}
+	}
+	item := cache.Item{Key: cache.Key(obj.ID), Size: obj.Bytes, Tag: obj.Region.String()}
+
+	hub := h.hubs[e.City.Region]
+	hubRTT := 2*terrestrial.FiberDelay(geo.HaversineKm(e.City.Loc, hub.City.Loc)*1.35) +
+		time.Duration(h.hubProcMs*float64(time.Millisecond))
+	if hub.Cache.Get(cache.Key(obj.ID)) {
+		e.Cache.Put(item)
+		return HierFetchResult{Tier: TierHub, TTFB: clientRTT + edgeProc + hubRTT}
+	}
+
+	origin := h.cdn.NearestOrigin(hub.City.Loc)
+	originRTT := 2*terrestrial.FiberDelay(geo.HaversineKm(hub.City.Loc, origin.Loc)*1.35) +
+		time.Duration(h.cdn.cfg.OriginProcMs*float64(time.Millisecond)) +
+		time.Duration(rng.Exponential(2)*float64(time.Millisecond))
+	hub.Cache.Put(item)
+	e.Cache.Put(item)
+	return HierFetchResult{Tier: TierOrigin, TTFB: clientRTT + edgeProc + hubRTT + originRTT}
+}

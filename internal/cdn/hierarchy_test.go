@@ -1,0 +1,104 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/terrestrial"
+)
+
+func newHierarchy(t *testing.T) (*CDN, *Hierarchy) {
+	t.Helper()
+	c, err := New(DefaultConfig(), terrestrial.NewModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(c, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, h
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	c, _ := newHierarchy(t)
+	if _, err := NewHierarchy(c, 0); err == nil {
+		t.Error("zero hub capacity accepted")
+	}
+}
+
+func TestHierarchyHubsCoverRegions(t *testing.T) {
+	_, h := newHierarchy(t)
+	for _, r := range geo.Regions() {
+		hub, ok := h.Hub(r)
+		if !ok {
+			t.Errorf("no hub for %v", r)
+			continue
+		}
+		if hub.City.Region != r {
+			t.Errorf("hub for %v sits in %v", r, hub.City.Region)
+		}
+	}
+}
+
+func TestHierarchicalFetchTiers(t *testing.T) {
+	c, h := newHierarchy(t)
+	rng := stats.NewRand(1)
+	e, _ := c.EdgeIn("Maputo, MZ")
+	obj := content.Object{ID: "tiered", Bytes: 1 << 20, Region: geo.RegionAfrica}
+	clientRTT := 20 * time.Millisecond
+
+	// First fetch: misses everywhere -> origin.
+	r1 := h.Fetch(e, obj, clientRTT, rng)
+	if r1.Tier != TierOrigin {
+		t.Fatalf("first fetch tier = %v", r1.Tier)
+	}
+	// Both tiers are now filled: a different edge in the same region hits
+	// the hub.
+	e2, _ := c.EdgeIn("Nairobi, KE")
+	r2 := h.Fetch(e2, obj, clientRTT, rng)
+	if r2.Tier != TierHub {
+		t.Fatalf("regional sibling fetch tier = %v, want hub", r2.Tier)
+	}
+	// And the original edge now serves locally.
+	r3 := h.Fetch(e, obj, clientRTT, rng)
+	if r3.Tier != TierEdge {
+		t.Fatalf("repeat fetch tier = %v, want edge", r3.Tier)
+	}
+	// Latency ordering: edge < hub < origin.
+	if !(r3.TTFB < r2.TTFB && r2.TTFB < r1.TTFB) {
+		t.Errorf("TTFB ordering broken: edge %v, hub %v, origin %v", r3.TTFB, r2.TTFB, r1.TTFB)
+	}
+	// The sibling edge is filled after its hub hit.
+	if !e2.Cache.Peek(cache.Key(obj.ID)) {
+		t.Error("hub hit did not fill the edge")
+	}
+	if tierName := TierEdge.String(); tierName != "edge" {
+		t.Errorf("tier name = %s", tierName)
+	}
+}
+
+func TestHierarchyBoundsOriginLoad(t *testing.T) {
+	// With the hierarchy, N distinct edges in one region cause exactly one
+	// origin fetch per object.
+	c, h := newHierarchy(t)
+	rng := stats.NewRand(2)
+	obj := content.Object{ID: "one-origin-fetch", Bytes: 1 << 20, Region: geo.RegionEurope}
+	originFetches := 0
+	for _, name := range []string{"Frankfurt, DE", "London, GB", "Paris, FR", "Madrid, ES", "Milan, IT"} {
+		e, ok := c.EdgeIn(name)
+		if !ok {
+			t.Fatalf("no edge in %s", name)
+		}
+		if h.Fetch(e, obj, 0, rng).Tier == TierOrigin {
+			originFetches++
+		}
+	}
+	if originFetches != 1 {
+		t.Errorf("origin fetches = %d, want 1", originFetches)
+	}
+}

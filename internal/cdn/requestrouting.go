@@ -1,0 +1,98 @@
+package cdn
+
+import (
+	"fmt"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+// Request routing (paper §2): "user requests are mapped to the 'optimal'
+// CDN cache based on network conditions and server load, using techniques
+// like DNS-based redirection, anycast routing, and IP geolocation". This
+// file implements all three so experiments can show the paper's point is
+// structural: for an LSN subscriber behind carrier-grade NAT, every one of
+// these signals resolves to the PoP, not the user.
+
+// RoutingMethod selects the mapping technique.
+type RoutingMethod int
+
+// The paper's three mapping techniques.
+const (
+	// MethodAnycast routes by BGP towards the client's network entry point.
+	MethodAnycast RoutingMethod = iota
+	// MethodDNSResolver maps by the recursive resolver's location (classic
+	// DNS-based redirection without ECS).
+	MethodDNSResolver
+	// MethodDNSECS maps by the EDNS-Client-Subnet prefix — the client's
+	// *public* address, which behind CGNAT is the egress, not the home.
+	MethodDNSECS
+	// MethodGeoIP maps by geolocating the client's public address.
+	MethodGeoIP
+)
+
+func (m RoutingMethod) String() string {
+	switch m {
+	case MethodAnycast:
+		return "anycast"
+	case MethodDNSResolver:
+		return "dns-resolver"
+	case MethodDNSECS:
+		return "dns-ecs"
+	case MethodGeoIP:
+		return "geoip"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Vantage carries the signals visible to the mapping system for one client.
+type Vantage struct {
+	// ClientLoc is where the subscriber physically is (unknown to the CDN).
+	ClientLoc geo.Point
+	// ResolverLoc is where the ISP's recursive resolver answers from. LSN
+	// operators host resolvers at the PoP; terrestrial ISPs in-region.
+	ResolverLoc geo.Point
+	// PublicIPLoc is where the client's public address geolocates: the home
+	// ISP's footprint terrestrially, the CGNAT egress (PoP) over the LSN.
+	PublicIPLoc geo.Point
+}
+
+// TerrestrialVantage builds the signals for a terrestrial subscriber: every
+// signal points at the client's own metro.
+func TerrestrialVantage(client geo.Point) Vantage {
+	return Vantage{ClientLoc: client, ResolverLoc: client, PublicIPLoc: client}
+}
+
+// LSNVantage builds the signals for a satellite subscriber: everything the
+// CDN can see points at the PoP.
+func LSNVantage(client, pop geo.Point) Vantage {
+	return Vantage{ClientLoc: client, ResolverLoc: pop, PublicIPLoc: pop}
+}
+
+// SelectEdge maps a request to an edge using the chosen technique. rng is
+// used only by anycast's spread; pass nil for the deterministic nearest
+// mapping.
+func (c *CDN) SelectEdge(m RoutingMethod, v Vantage, rng *stats.Rand) *Edge {
+	switch m {
+	case MethodAnycast:
+		if rng != nil {
+			return c.SelectAnycast(v.PublicIPLoc, rng)
+		}
+		return c.NearestEdge(v.PublicIPLoc)
+	case MethodDNSResolver:
+		return c.NearestEdge(v.ResolverLoc)
+	case MethodDNSECS, MethodGeoIP:
+		return c.NearestEdge(v.PublicIPLoc)
+	default:
+		return c.NearestEdge(v.PublicIPLoc)
+	}
+}
+
+// MappingErrorKm returns the distance between the client and the edge the
+// method selects — the localization error the paper's §3 measures as
+// latency.
+func (c *CDN) MappingErrorKm(m RoutingMethod, v Vantage) float64 {
+	e := c.SelectEdge(m, v, nil)
+	return geo.HaversineKm(v.ClientLoc, e.City.Loc)
+}

@@ -1,0 +1,307 @@
+// Package constellation assembles orbital mechanics into a queryable LEO
+// constellation: satellite identities, time-indexed position snapshots, the
+// +grid inter-satellite-link (ISL) topology, and ground visibility queries.
+//
+// A Snapshot freezes the constellation at one instant; all geometric queries
+// (visible satellites, nearest satellite, ISL graph) run against a snapshot
+// so that concurrent readers never observe satellites "move".
+package constellation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/orbit"
+	"spacecdn/internal/routing"
+)
+
+// SatID identifies a satellite as a dense index in [0, Total).
+// Index = plane*SatsPerPlane + slot.
+type SatID int
+
+// Config describes the constellation and its link geometry.
+type Config struct {
+	Walker orbit.Walker
+	// MinElevationDeg is the user-terminal elevation mask. Starlink
+	// terminals track satellites above 25 degrees.
+	MinElevationDeg float64
+	// CrossPlaneISLs enables the east-west links of the +grid topology.
+	// When false only intra-plane (north-south) ISLs exist.
+	CrossPlaneISLs bool
+}
+
+// DefaultConfig returns the paper's simulation setup: Starlink Shell 1 with
+// a 25 degree elevation mask and full +grid ISLs.
+func DefaultConfig() Config {
+	return Config{
+		Walker:          orbit.StarlinkShell1(),
+		MinElevationDeg: 25,
+		CrossPlaneISLs:  true,
+	}
+}
+
+// Constellation owns the satellite set. It is immutable after construction
+// and safe for concurrent use.
+type Constellation struct {
+	cfg      Config
+	elements []orbit.Elements
+}
+
+// New builds a constellation from the configuration.
+func New(cfg Config) (*Constellation, error) {
+	if err := cfg.Walker.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinElevationDeg < 0 || cfg.MinElevationDeg >= 90 {
+		return nil, fmt.Errorf("constellation: elevation mask %v out of range [0,90)", cfg.MinElevationDeg)
+	}
+	return &Constellation{cfg: cfg, elements: cfg.Walker.All()}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *Constellation {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the constellation configuration.
+func (c *Constellation) Config() Config { return c.cfg }
+
+// Total returns the number of satellites.
+func (c *Constellation) Total() int { return len(c.elements) }
+
+// Planes returns the number of orbital planes.
+func (c *Constellation) Planes() int { return c.cfg.Walker.Planes }
+
+// SatsPerPlane returns the number of satellites per plane.
+func (c *Constellation) SatsPerPlane() int { return c.cfg.Walker.SatsPerPlane }
+
+// Plane returns the plane index of a satellite.
+func (c *Constellation) Plane(id SatID) int { return int(id) / c.cfg.Walker.SatsPerPlane }
+
+// Slot returns the in-plane slot index of a satellite.
+func (c *Constellation) Slot(id SatID) int { return int(id) % c.cfg.Walker.SatsPerPlane }
+
+// ID returns the satellite identifier for a (plane, slot) pair.
+func (c *Constellation) ID(plane, slot int) SatID {
+	return SatID(plane*c.cfg.Walker.SatsPerPlane + slot)
+}
+
+// Elements returns the orbital elements of a satellite.
+func (c *Constellation) Elements(id SatID) orbit.Elements { return c.elements[id] }
+
+// Snapshot captures every satellite position at time t after epoch.
+func (c *Constellation) Snapshot(t time.Duration) *Snapshot {
+	pos := make([]geo.Vec3, len(c.elements))
+	for i, e := range c.elements {
+		pos[i] = e.PositionECEF(t)
+	}
+	return &Snapshot{c: c, t: t, pos: pos}
+}
+
+// Snapshot is the constellation geometry frozen at one instant. It is
+// immutable and safe for concurrent use. The ISL graph is built lazily on
+// first request and cached.
+type Snapshot struct {
+	c   *Constellation
+	t   time.Duration
+	pos []geo.Vec3
+
+	islGraph *routing.Graph // built lazily; nil until first ISLGraph call
+}
+
+// Time returns the snapshot's offset from the constellation epoch.
+func (s *Snapshot) Time() time.Duration { return s.t }
+
+// Constellation returns the parent constellation.
+func (s *Snapshot) Constellation() *Constellation { return s.c }
+
+// Position returns the ECEF position of a satellite in this snapshot.
+func (s *Snapshot) Position(id SatID) geo.Vec3 { return s.pos[id] }
+
+// SubPoint returns the geographic point under a satellite.
+func (s *Snapshot) SubPoint(id SatID) geo.Point { return s.pos[id].ToPoint() }
+
+// ISLNeighbors returns the +grid neighbours of a satellite: the two
+// intra-plane neighbours (previous and next slot) and, when cross-plane ISLs
+// are enabled, the phase-nearest slot in each adjacent plane. Phase-nearest
+// pairing keeps link lengths physical across the phasing seam between the
+// last and first plane, where same-slot satellites can be a quarter orbit
+// apart.
+func (s *Snapshot) ISLNeighbors(id SatID) []SatID {
+	w := s.c.cfg.Walker
+	p, k := s.c.Plane(id), s.c.Slot(id)
+	out := make([]SatID, 0, 4)
+	out = append(out,
+		s.c.ID(p, (k+1)%w.SatsPerPlane),
+		s.c.ID(p, (k-1+w.SatsPerPlane)%w.SatsPerPlane),
+	)
+	if s.c.cfg.CrossPlaneISLs {
+		east := (p + 1) % w.Planes
+		west := (p - 1 + w.Planes) % w.Planes
+		out = append(out,
+			s.c.ID(east, s.c.crossPlaneSlot(p, k, east)),
+			s.c.ID(west, s.c.crossPlaneSlot(p, k, west)),
+		)
+	}
+	return out
+}
+
+// crossPlaneSlot returns the slot in plane q whose orbital phase is nearest
+// to that of satellite (p, k). Since all satellites advance at the same rate,
+// the pairing is time-invariant.
+func (c *Constellation) crossPlaneSlot(p, k, q int) int {
+	w := c.cfg.Walker
+	// phase(q, s) = 360*s/S + 360*F*q/(P*S); solve for s nearest to
+	// phase(p, k).
+	phase := 360*float64(k)/float64(w.SatsPerPlane) +
+		360*float64(w.PhasingF)*float64(p)/float64(w.Planes*w.SatsPerPlane)
+	base := 360 * float64(w.PhasingF) * float64(q) / float64(w.Planes*w.SatsPerPlane)
+	s := int(math.Round((phase - base) * float64(w.SatsPerPlane) / 360))
+	s %= w.SatsPerPlane
+	if s < 0 {
+		s += w.SatsPerPlane
+	}
+	return s
+}
+
+// ISLDistanceKm returns the straight-line distance between two satellites.
+func (s *Snapshot) ISLDistanceKm(a, b SatID) float64 {
+	return s.pos[a].Sub(s.pos[b]).Norm()
+}
+
+// ISLDelay returns the one-way laser-link propagation delay between two
+// satellites in this snapshot.
+func (s *Snapshot) ISLDelay(a, b SatID) time.Duration {
+	return orbit.PropagationDelay(s.ISLDistanceKm(a, b))
+}
+
+// ISLGraph returns the +grid ISL topology with edge weights equal to the
+// one-way propagation delay in milliseconds. The graph is cached; the
+// returned value is shared and must not be mutated.
+func (s *Snapshot) ISLGraph() *routing.Graph {
+	if s.islGraph != nil {
+		return s.islGraph
+	}
+	g := routing.NewGraph(len(s.pos))
+	type link struct{ a, b SatID }
+	seen := make(map[link]bool, 2*len(s.pos))
+	for id := 0; id < len(s.pos); id++ {
+		for _, nb := range s.ISLNeighbors(SatID(id)) {
+			a, b := SatID(id), nb
+			if a > b {
+				a, b = b, a
+			}
+			if a == b || seen[link{a, b}] {
+				continue
+			}
+			seen[link{a, b}] = true
+			w := s.ISLDistanceKm(a, b) / orbit.LightSpeedKmPerSec * 1000
+			g.AddUndirected(routing.NodeID(a), routing.NodeID(b), w)
+		}
+	}
+	s.islGraph = g
+	return g
+}
+
+// VisibleSat is a satellite visible from a ground point.
+type VisibleSat struct {
+	ID           SatID
+	ElevationDeg float64
+	SlantKm      float64
+}
+
+// Visible returns all satellites above the configured elevation mask as seen
+// from the ground point, sorted by descending elevation (best first).
+func (s *Snapshot) Visible(ground geo.Point) []VisibleSat {
+	g := ground.ToECEF()
+	// Pre-filter with the coverage cone: a satellite can only be visible if
+	// its distance from the ground point is at most the max slant range.
+	maxSlant := geo.SlantRangeKm(s.c.cfg.Walker.AltitudeKm, s.c.cfg.MinElevationDeg)
+	var out []VisibleSat
+	for id, p := range s.pos {
+		d := p.Sub(g).Norm()
+		if d > maxSlant {
+			continue
+		}
+		el := geo.ElevationDeg(g, p)
+		if el >= s.c.cfg.MinElevationDeg {
+			out = append(out, VisibleSat{ID: SatID(id), ElevationDeg: el, SlantKm: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ElevationDeg > out[j].ElevationDeg })
+	return out
+}
+
+// BestVisible returns the highest-elevation visible satellite. ok is false
+// when no satellite is above the mask (possible at extreme latitudes for an
+// inclined shell).
+func (s *Snapshot) BestVisible(ground geo.Point) (VisibleSat, bool) {
+	vis := s.Visible(ground)
+	if len(vis) == 0 {
+		return VisibleSat{}, false
+	}
+	return vis[0], true
+}
+
+// Nearest returns the satellite with the smallest straight-line distance to
+// the ground point, regardless of the elevation mask. It never fails for a
+// non-empty constellation.
+func (s *Snapshot) Nearest(ground geo.Point) VisibleSat {
+	g := ground.ToECEF()
+	best := VisibleSat{ID: -1, SlantKm: math.Inf(1)}
+	for id, p := range s.pos {
+		if d := p.Sub(g).Norm(); d < best.SlantKm {
+			best = VisibleSat{ID: SatID(id), SlantKm: d, ElevationDeg: geo.ElevationDeg(g, p)}
+		}
+	}
+	return best
+}
+
+// UpDownDelay returns the one-way radio propagation delay between the ground
+// point and the given satellite.
+func (s *Snapshot) UpDownDelay(ground geo.Point, id SatID) time.Duration {
+	d := s.pos[id].Sub(ground.ToECEF()).Norm()
+	return orbit.PropagationDelay(d)
+}
+
+// OverheadWindows predicts the future intervals during which each satellite
+// serves (is the best visible satellite for) the ground point, scanning
+// [from, to) with the given step. Consecutive samples with the same best
+// satellite merge into one window. Gaps (no visible satellite) are skipped.
+type OverheadWindow struct {
+	Sat   SatID
+	Start time.Duration
+	End   time.Duration
+}
+
+// OverheadWindows computes serving windows for a ground point by sampling.
+// Step must be positive; typical values are 5-30 seconds.
+func (c *Constellation) OverheadWindows(ground geo.Point, from, to, step time.Duration) []OverheadWindow {
+	if step <= 0 || to <= from {
+		return nil
+	}
+	var out []OverheadWindow
+	var cur *OverheadWindow
+	for t := from; t < to; t += step {
+		snap := c.Snapshot(t)
+		best, ok := snap.BestVisible(ground)
+		if !ok {
+			cur = nil
+			continue
+		}
+		if cur != nil && cur.Sat == best.ID {
+			cur.End = t + step
+			continue
+		}
+		out = append(out, OverheadWindow{Sat: best.ID, Start: t, End: t + step})
+		cur = &out[len(out)-1]
+	}
+	return out
+}

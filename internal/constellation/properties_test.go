@@ -1,0 +1,134 @@
+package constellation
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/orbit"
+)
+
+// Cross-cutting invariants of the constellation geometry.
+
+func TestISLNeighborSymmetry(t *testing.T) {
+	// Property: the +grid must be symmetric — if a lists b as a neighbour,
+	// b lists a. Asymmetry would make the undirected ISL graph depend on
+	// construction order.
+	for _, cfg := range []Config{
+		DefaultConfig(),
+		{Walker: orbit.Walker{AltitudeKm: 550, InclinationDeg: 53, Planes: 12, SatsPerPlane: 10, PhasingF: 5},
+			MinElevationDeg: 25, CrossPlaneISLs: true},
+		{Walker: orbit.Walker{AltitudeKm: 600, InclinationDeg: 70, Planes: 18, SatsPerPlane: 14, PhasingF: 7},
+			MinElevationDeg: 25, CrossPlaneISLs: true},
+	} {
+		c := MustNew(cfg)
+		s := c.Snapshot(0)
+		asym := 0
+		for id := 0; id < c.Total(); id++ {
+			for _, nb := range s.ISLNeighbors(SatID(id)) {
+				back := false
+				for _, rev := range s.ISLNeighbors(nb) {
+					if rev == SatID(id) {
+						back = true
+						break
+					}
+				}
+				if !back {
+					asym++
+				}
+			}
+		}
+		// The phase-nearest pairing can produce isolated asymmetric pairs at
+		// half-slot ties; the graph construction dedups them, but the count
+		// must be negligible.
+		if asym > c.Total()/50 {
+			t.Errorf("config %dx%d: %d asymmetric neighbour entries", cfg.Walker.Planes, cfg.Walker.SatsPerPlane, asym)
+		}
+	}
+}
+
+func TestSnapshotPositionsMatchElements(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	for _, dt := range []time.Duration{0, 7 * time.Minute, time.Hour} {
+		s := c.Snapshot(dt)
+		for _, id := range []SatID{0, 123, 791, 1583} {
+			want := c.Elements(id).PositionECEF(dt)
+			if got := s.Position(id); got.Sub(want).Norm() > 1e-9 {
+				t.Fatalf("snapshot position mismatch for sat %d at %v", id, dt)
+			}
+		}
+	}
+}
+
+func TestVisibleConsistentOverMask(t *testing.T) {
+	// A stricter elevation mask must yield a subset of the satellites.
+	loose := MustNew(Config{Walker: orbit.StarlinkShell1(), MinElevationDeg: 15, CrossPlaneISLs: true})
+	strict := MustNew(Config{Walker: orbit.StarlinkShell1(), MinElevationDeg: 40, CrossPlaneISLs: true})
+	for _, city := range geo.Cities()[:30] {
+		lv := loose.Snapshot(0).Visible(city.Loc)
+		sv := strict.Snapshot(0).Visible(city.Loc)
+		if len(sv) > len(lv) {
+			t.Fatalf("%s: strict mask sees more satellites (%d > %d)", city.Name, len(sv), len(lv))
+		}
+		inLoose := map[SatID]bool{}
+		for _, v := range lv {
+			inLoose[v.ID] = true
+		}
+		for _, v := range sv {
+			if !inLoose[v.ID] {
+				t.Fatalf("%s: sat %d visible at 40deg but not 15deg", city.Name, v.ID)
+			}
+		}
+	}
+}
+
+func TestCoverageAcrossLatitudes(t *testing.T) {
+	// Shell 1 covers the mid-latitudes continuously and leaves the poles
+	// dark; coverage (visible count) should peak near the inclination.
+	c := MustNew(DefaultConfig())
+	s := c.Snapshot(0)
+	counts := map[int]int{}
+	for lat := -80; lat <= 80; lat += 10 {
+		total := 0
+		for lon := -180; lon < 180; lon += 30 {
+			total += len(s.Visible(geo.NewPoint(float64(lat), float64(lon))))
+		}
+		counts[lat] = total
+	}
+	if counts[50] <= counts[0] {
+		t.Errorf("coverage at 50 deg (%d) should exceed equator (%d) for a 53-deg shell",
+			counts[50], counts[0])
+	}
+	if counts[80] != 0 || counts[-80] != 0 {
+		t.Errorf("polar coverage should be zero: %d / %d", counts[80], counts[-80])
+	}
+	if counts[-50] == 0 || counts[50] == 0 {
+		t.Error("mid-latitudes must be covered")
+	}
+}
+
+func TestISLGraphStableDistances(t *testing.T) {
+	// The +grid's topology is time-invariant (same neighbour pairs), and
+	// intra-plane distances are constant; cross-plane distances oscillate
+	// with latitude but stay within physical bounds at all times.
+	c := MustNew(DefaultConfig())
+	s0 := c.Snapshot(0)
+	s1 := c.Snapshot(20 * time.Minute)
+	for id := 0; id < c.Total(); id += 97 {
+		n0 := s0.ISLNeighbors(SatID(id))
+		n1 := s1.ISLNeighbors(SatID(id))
+		if len(n0) != len(n1) {
+			t.Fatalf("sat %d neighbour count changed", id)
+		}
+		for i := range n0 {
+			if n0[i] != n1[i] {
+				t.Fatalf("sat %d neighbour set changed over time", id)
+			}
+		}
+		for _, nb := range n1 {
+			if d := s1.ISLDistanceKm(SatID(id), nb); d < 50 || d > 2100 {
+				t.Fatalf("sat %d-%d distance %v km out of bounds at t=20m", id, nb, d)
+			}
+		}
+	}
+}

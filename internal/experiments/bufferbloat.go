@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spacecdn/internal/measure"
+	"spacecdn/internal/stats"
+)
+
+// BufferbloatRow quantifies §3.2's claim that "Starlink suffers from
+// significant bufferbloat ... we observed > 200 ms during active downloads"
+// while terrestrial access queues stay modest (E16).
+type BufferbloatRow struct {
+	Network        measure.Network
+	MedianIdleMs   float64
+	MedianLoadedMs float64
+	// MedianInflation is the median per-test (loaded - idle) delta.
+	MedianInflation float64
+	P90Inflation    float64
+	// Share200 is the fraction of tests whose loaded RTT exceeds 200 ms.
+	Share200 float64
+	N        int
+}
+
+// Bufferbloat (E16) aggregates idle-vs-loaded RTTs from the AIM dataset per
+// network.
+func (s *Suite) Bufferbloat() ([]BufferbloatRow, error) {
+	tests, err := s.AIM()
+	if err != nil {
+		return nil, err
+	}
+	var rows []BufferbloatRow
+	for _, net := range []measure.Network{measure.NetworkStarlink, measure.NetworkTerrestrial} {
+		var idle, loaded, inflation []float64
+		over200 := 0
+		for _, ts := range tests {
+			if ts.Network != net {
+				continue
+			}
+			idle = append(idle, ts.IdleRTTMs)
+			loaded = append(loaded, ts.LoadedMs)
+			inflation = append(inflation, ts.LoadedMs-ts.IdleRTTMs)
+			if ts.LoadedMs > 200 {
+				over200++
+			}
+		}
+		if len(idle) == 0 {
+			return nil, fmt.Errorf("experiments: no %s tests", net)
+		}
+		rows = append(rows, BufferbloatRow{
+			Network:         net,
+			MedianIdleMs:    stats.Median(idle),
+			MedianLoadedMs:  stats.Median(loaded),
+			MedianInflation: stats.Median(inflation),
+			P90Inflation:    stats.Quantile(inflation, 0.9),
+			Share200:        float64(over200) / float64(len(loaded)),
+			N:               len(idle),
+		})
+	}
+	return rows, nil
+}

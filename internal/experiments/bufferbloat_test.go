@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"spacecdn/internal/measure"
+)
+
+func TestBufferbloat(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.Bufferbloat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byNet := map[measure.Network]BufferbloatRow{}
+	for _, r := range rows {
+		byNet[r.Network] = r
+		if r.N == 0 || r.MedianLoadedMs <= r.MedianIdleMs {
+			t.Errorf("%s: degenerate row %+v", r.Network, r)
+		}
+	}
+	sl := byNet[measure.NetworkStarlink]
+	te := byNet[measure.NetworkTerrestrial]
+	// Paper: Starlink inflates by >200 ms under load; terrestrial stays
+	// modest (tens of ms).
+	if sl.MedianInflation < 100 || sl.MedianInflation > 400 {
+		t.Errorf("Starlink median inflation = %.0f ms, paper observes 100-350", sl.MedianInflation)
+	}
+	if te.MedianInflation > 50 {
+		t.Errorf("terrestrial median inflation = %.0f ms, want modest", te.MedianInflation)
+	}
+	if sl.Share200 < 0.5 {
+		t.Errorf("Starlink share of loaded RTTs >200 ms = %.2f, paper observes it routinely", sl.Share200)
+	}
+	if te.Share200 > 0.2 {
+		t.Errorf("terrestrial share >200 ms = %.2f, want rare", te.Share200)
+	}
+}

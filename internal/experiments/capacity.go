@@ -1,0 +1,38 @@
+package experiments
+
+// CapacityResult reproduces the paper's §5 storage arithmetic (E9): "the
+// same high-end server comes with ~150 TB ... 6000 satellites ... upwards
+// of 900 PB i.e. > 300M 2-hour long 1080p videos at 30FPS".
+type CapacityResult struct {
+	Satellites   int
+	PerSatBytes  int64
+	TotalBytes   int64
+	TotalPB      float64
+	VideoBytes   int64
+	VideosStored int64
+}
+
+// Capacity computes fleet storage for a satellite count, per-satellite
+// capacity and representative video size.
+func Capacity(satellites int, perSatBytes, videoBytes int64) CapacityResult {
+	total := int64(satellites) * perSatBytes
+	r := CapacityResult{
+		Satellites:  satellites,
+		PerSatBytes: perSatBytes,
+		TotalBytes:  total,
+		TotalPB:     float64(total) / (1 << 50),
+		VideoBytes:  videoBytes,
+	}
+	if videoBytes > 0 {
+		r.VideosStored = total / videoBytes
+	}
+	return r
+}
+
+// PaperCapacity evaluates the paper's own numbers: 6,000 satellites with
+// 150 TB each against a 2-hour 1080p video (~3 GB at ~3.3 Mbps effective).
+func PaperCapacity() CapacityResult {
+	const perSat = 150 << 40     // 150 TB
+	const video = int64(3 << 30) // ~3 GB for 2h 1080p
+	return Capacity(6000, perSat, video)
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// TestSuiteDeterminism runs the headline experiment twice with identical
+// seeds on fresh suites (fresh environments, fresh caches) and demands
+// bit-identical rows — the property EXPERIMENTS.md promises.
+func TestSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two environments")
+	}
+	a, err := NewSuite(true, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSuite(true, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("row counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Errorf("row %d differs:\n  %+v\n  %+v", i, ra[i], rb[i])
+		}
+	}
+	// A different seed must actually change the samples.
+	c, err := NewSuite(true, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := c.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ra {
+		if ra[i] != rc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical results")
+	}
+}

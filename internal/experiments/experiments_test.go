@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"spacecdn/internal/measure"
+)
+
+// One fast suite shared by every test in the package: suite construction
+// builds the constellation and the first AIM call generates the dataset.
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+	suiteErr  error
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() { suite, suiteErr = NewSuite(true, 1) })
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func TestTable1(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table1Countries) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Table1Countries))
+	}
+	for _, r := range rows {
+		if r.Name == "" {
+			t.Errorf("row %s missing country name", r.Country)
+		}
+		if r.TerrMinRTT <= 0 || r.StarMinRTT <= 0 {
+			t.Errorf("row %s has non-positive RTTs: %+v", r.Country, r)
+		}
+		// The paper's qualitative claim: Starlink is worse everywhere except
+		// where a local PoP makes it merely comparable — never better by a
+		// wide margin.
+		if r.StarMinRTT < r.TerrMinRTT-10 {
+			t.Errorf("row %s: Starlink (%.1f) beats terrestrial (%.1f) too much",
+				r.Country, r.StarMinRTT, r.TerrMinRTT)
+		}
+	}
+	// Spot-check the shape against the paper's extremes.
+	byISO := map[string]Table1Row{}
+	for _, r := range rows {
+		byISO[r.Country] = r
+	}
+	mz := byISO["MZ"]
+	if mz.StarDistKm < 5000 || mz.StarMinRTT < 90 {
+		t.Errorf("MZ row lacks the paper's remote-PoP signature: %+v", mz)
+	}
+	es := byISO["ES"]
+	if es.StarDistKm > 700 {
+		t.Errorf("ES Starlink distance = %.0f, want local (paper: 13.4)", es.StarDistKm)
+	}
+	// Starlink distance exceeds terrestrial distance for the unserved
+	// countries.
+	for _, iso := range []string{"MZ", "KE", "ZM", "GT", "HT"} {
+		r := byISO[iso]
+		if r.StarDistKm <= r.TerrDistKm {
+			t.Errorf("%s: Starlink CDN distance should exceed terrestrial: %+v", iso, r)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	s := testSuite(t)
+	rows, pops, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pops) != 22 {
+		t.Errorf("PoPs = %d, want 22", len(pops))
+	}
+	if len(rows) < 40 {
+		t.Fatalf("countries = %d, want >= 40", len(rows))
+	}
+	pos := 0
+	for _, r := range rows {
+		if r.DeltaMs > 0 {
+			pos++
+		}
+	}
+	if float64(pos) < 0.8*float64(len(rows)) {
+		t.Errorf("positive deltas = %d/%d; terrestrial should nearly always win", pos, len(rows))
+	}
+}
+
+func TestFig3(t *testing.T) {
+	s := testSuite(t)
+	res, err := s.Fig3("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.City != "Maputo" {
+		t.Errorf("default city = %s", res.City)
+	}
+	if len(res.Starlink) == 0 || len(res.Terrestrial) == 0 {
+		t.Fatal("missing series")
+	}
+	// Fig 3a: the optimal Starlink CDN is remote (~160 ms); Fig 3b: the
+	// optimal terrestrial CDN is Maputo (~20 ms).
+	if res.Starlink[0].MedianMs < 100 {
+		t.Errorf("Starlink best CDN = %.1f ms, want >= 100", res.Starlink[0].MedianMs)
+	}
+	if res.Terrestrial[0].CDNCity != "Maputo" {
+		t.Errorf("terrestrial best CDN = %s", res.Terrestrial[0].CDNCity)
+	}
+	if _, err := s.Fig3("Atlantis"); err == nil {
+		t.Error("unknown city accepted")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	s := testSuite(t)
+	series, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Fig4Countries) {
+		t.Fatalf("series = %d", len(series))
+	}
+	med := map[string]float64{}
+	for _, sr := range series {
+		if sr.CDF.N() == 0 {
+			t.Fatalf("%s: empty CDF", sr.Country)
+		}
+		med[sr.Country] = sr.CDF.Median()
+	}
+	// GB/DE/CA medians positive (terrestrial faster); Nigeria is the
+	// paper's outlier — its curve sits left of the others.
+	for _, iso := range []string{"GB", "DE", "CA"} {
+		if med[iso] <= 0 {
+			t.Errorf("%s median diff = %.1f, want > 0", iso, med[iso])
+		}
+	}
+	if med["NG"] >= med["GB"] {
+		t.Errorf("NG median (%.1f) should sit left of GB (%.1f)", med["NG"], med["GB"])
+	}
+}
+
+func TestFig5(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // DE/GB x starlink/terrestrial
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(iso string, n measure.Network) float64 {
+		for _, r := range rows {
+			if r.Country == iso && r.Network == n {
+				return r.Box.Median
+			}
+		}
+		t.Fatalf("missing %s/%s", iso, n)
+		return 0
+	}
+	for _, iso := range []string{"DE", "GB"} {
+		gap := get(iso, measure.NetworkStarlink) - get(iso, measure.NetworkTerrestrial)
+		if gap < 60 || gap > 600 {
+			t.Errorf("%s FCP gap = %.0f ms, paper ~200", iso, gap)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	s := testSuite(t)
+	res, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone in hop count.
+	prev := 0.0
+	for _, n := range Fig7HopCounts {
+		cdf := res.Hop[n]
+		if cdf == nil || cdf.N() == 0 {
+			t.Fatalf("missing CDF for %d hops", n)
+		}
+		m := cdf.Median()
+		if m <= prev {
+			t.Errorf("median at %d hops (%.1f) not greater than previous (%.1f)", n, m, prev)
+		}
+		prev = m
+	}
+	// Paper claims: <= 5 hops is competitive with terrestrial CDN access;
+	// 10 hops still beats the Starlink status quo handily.
+	if res.Hop[5].Median() > res.Terrestrial.Median()*2.2 {
+		t.Errorf("5-hop median %.1f not competitive with terrestrial %.1f",
+			res.Hop[5].Median(), res.Terrestrial.Median())
+	}
+	if res.Hop[10].Median() >= res.Starlink.Median() {
+		t.Errorf("10-hop median %.1f should beat Starlink median %.1f",
+			res.Hop[10].Median(), res.Starlink.Median())
+	}
+	// In the tail the gap widens: Starlink's p90 dwarfs 10-hop p90.
+	if res.Hop[10].Quantile(0.9) >= res.Starlink.Quantile(0.9) {
+		t.Errorf("10-hop p90 %.1f should beat Starlink p90 %.1f",
+			res.Hop[10].Quantile(0.9), res.Starlink.Quantile(0.9))
+	}
+}
+
+func TestFig8(t *testing.T) {
+	s := testSuite(t)
+	rows, terrMedian, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if terrMedian <= 0 {
+		t.Fatal("terrestrial median missing")
+	}
+	med := map[int]float64{}
+	for _, r := range rows {
+		if r.Box.N == 0 {
+			t.Fatalf("empty box for %d%%", r.FractionPct)
+		}
+		med[r.FractionPct] = r.Box.Median
+	}
+	// Fewer caches -> slower.
+	if !(med[30] >= med[50] && med[50] >= med[80]) {
+		t.Errorf("medians not monotone: %v", med)
+	}
+	// Paper: >= 50% duty cycle is competitive with the terrestrial median.
+	if med[50] > terrMedian*2.2 {
+		t.Errorf("50%% median %.1f not competitive with terrestrial %.1f", med[50], terrMedian)
+	}
+}
+
+func TestAblationReplicas(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.AblationReplicas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ReplicasPerPlane <= rows[i-1].ReplicasPerPlane {
+			t.Fatal("rows out of order")
+		}
+		// More replicas never hurt.
+		if rows[i].MedianHops > rows[i-1].MedianHops+0.5 {
+			t.Errorf("median hops increased with density: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+	// The paper's claim: with 4 replicas/plane everything reachable within
+	// the 10-hop search, and hop counts small.
+	for _, r := range rows {
+		if r.ReplicasPerPlane >= 4 {
+			if r.Reachable < 0.99 {
+				t.Errorf("k=%d reachable = %.2f", r.ReplicasPerPlane, r.Reachable)
+			}
+			if r.MedianHops > 5 {
+				t.Errorf("k=%d median hops = %.1f, want <= 5", r.ReplicasPerPlane, r.MedianHops)
+			}
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	r := PaperCapacity()
+	// Paper: "upwards of 900 PB" and "> 300M 2-hour videos".
+	if r.TotalPB < 850 || r.TotalPB > 900 {
+		t.Errorf("total = %.0f PB, want ~879 (6000 x 150 TB)", r.TotalPB)
+	}
+	if r.VideosStored < 300_000_000 {
+		t.Errorf("videos = %d, want > 300M", r.VideosStored)
+	}
+	// Degenerate video size.
+	if got := Capacity(10, 100, 0); got.VideosStored != 0 {
+		t.Error("zero video size should store zero videos")
+	}
+}

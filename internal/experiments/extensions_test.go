@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestGeoBlocking(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.GeoBlocking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byISO := map[string]GeoBlockRow{}
+	for _, r := range rows {
+		byISO[r.Country] = r
+		// Terrestrial clients are geolocated correctly: never spuriously
+		// blocked.
+		if r.TerrestrialSpuriousRate != 0 {
+			t.Errorf("%s terrestrial spurious rate = %v", r.Country, r.TerrestrialSpuriousRate)
+		}
+		if r.Requests == 0 {
+			t.Errorf("%s has no requests", r.Country)
+		}
+	}
+	// Countries whose PoP sits abroad suffer spurious blocks; countries with
+	// a domestic PoP do not.
+	for _, iso := range []string{"MZ", "KE", "ZM"} {
+		r := byISO[iso]
+		if r.PoPISO == iso {
+			t.Errorf("%s unexpectedly has a domestic PoP", iso)
+		}
+		if r.StarlinkSpuriousRate <= 0 {
+			t.Errorf("%s Starlink spurious rate = %v, want > 0", iso, r.StarlinkSpuriousRate)
+		}
+	}
+	for _, iso := range []string{"DE", "ES", "US", "NG"} {
+		r := byISO[iso]
+		if r.PoPISO != iso {
+			t.Errorf("%s should have a domestic PoP, got %s", iso, r.PoPISO)
+			continue
+		}
+		if r.StarlinkSpuriousRate != 0 {
+			t.Errorf("%s with domestic PoP has spurious blocks: %v", iso, r.StarlinkSpuriousRate)
+		}
+	}
+	// Sorted by descending spurious rate.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].StarlinkSpuriousRate > rows[i-1].StarlinkSpuriousRate {
+			t.Fatal("rows not sorted")
+		}
+	}
+}
+
+func TestGroundExpansion(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.GroundExpansion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Expansion must shrink both the PoP distance and the latency floor.
+		if r.ExpandedDist >= r.BaselineDist {
+			t.Errorf("%s: distance did not shrink (%.0f -> %.0f km)",
+				r.Country, r.BaselineDist, r.ExpandedDist)
+		}
+		if r.ExpandedMs >= r.BaselineMs {
+			t.Errorf("%s: latency did not improve (%.1f -> %.1f ms)",
+				r.Country, r.BaselineMs, r.ExpandedMs)
+		}
+		// §5's claim: the best case hovers around 20-30 ms even with local
+		// infrastructure (scheduling floor + radio legs).
+		if r.ExpandedMs < 20 || r.ExpandedMs > 45 {
+			t.Errorf("%s expanded floor = %.1f ms, want ~20-40", r.Country, r.ExpandedMs)
+		}
+	}
+}
+
+func TestDutyCycleSweep(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.DutyCycleSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FractionPct <= rows[i-1].FractionPct {
+			t.Fatal("fractions out of order")
+		}
+		// More caching never hurts the median (allow small sampling noise).
+		if rows[i].MedianMs > rows[i-1].MedianMs+2 {
+			t.Errorf("median not monotone: %d%% %.1f -> %d%% %.1f",
+				rows[i-1].FractionPct, rows[i-1].MedianMs,
+				rows[i].FractionPct, rows[i].MedianMs)
+		}
+	}
+	// Full fleet: hops mostly 0-1 for 4/plane placement.
+	full := rows[len(rows)-1]
+	if full.FractionPct != 100 || full.MedianHops > 1 {
+		t.Errorf("full-fleet row wrong: %+v", full)
+	}
+	// Everything found within the bound at >= 30%.
+	for _, r := range rows {
+		if r.FractionPct >= 30 && r.FoundRate < 0.95 {
+			t.Errorf("%d%%: found rate %.2f", r.FractionPct, r.FoundRate)
+		}
+	}
+}
+
+func TestStripingAblation(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.StripingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Segments == 0 || r.Satellites < 2 {
+			t.Errorf("%s: degenerate plan %+v", r.City, r)
+		}
+		// Preloading serves everything from space and improves startup.
+		if r.WarmFromSpace != r.Segments {
+			t.Errorf("%s: warm playback served %d/%d from space", r.City, r.WarmFromSpace, r.Segments)
+		}
+		if r.ColdFromGround != r.Segments {
+			t.Errorf("%s: cold playback should be all bent-pipe", r.City)
+		}
+		if r.WarmStartupMs >= r.ColdStartupMs {
+			t.Errorf("%s: preloading did not improve startup (%.0f vs %.0f ms)",
+				r.City, r.WarmStartupMs, r.ColdStartupMs)
+		}
+		if r.WarmStallTimeMs > r.ColdStallTimeMs {
+			t.Errorf("%s: preloading increased stalls", r.City)
+		}
+	}
+}
+
+func TestWormholing(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.Wormholing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 routes x 2 sizes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TransitMin <= 0 {
+			t.Errorf("%s: non-positive transit", r.Route)
+		}
+		// The 50 TB pre-position always wins against a 10 Gbps WAN
+		// (12+ hours of WAN transfer vs tens of minutes of orbit).
+		if r.ObjectTB == 50 && !r.WormholeWin {
+			t.Errorf("%s: 50 TB wormhole should win (transit %.0f min vs WAN %.1f h)",
+				r.Route, r.TransitMin, r.WANHours)
+		}
+	}
+}
+
+func TestSpaceVMs(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.SpaceVMs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Handovers < 1 {
+			t.Errorf("%s: no handovers in the window", r.City)
+		}
+		if r.Availability <= r.ColdAvailability {
+			t.Errorf("%s: proactive sync should beat cold migration", r.City)
+		}
+		if r.Availability < 0.99 {
+			t.Errorf("%s: availability %.4f too low", r.City, r.Availability)
+		}
+		if r.MeanDowntimeMs <= 0 || r.MaxDowntimeMs < r.MeanDowntimeMs {
+			t.Errorf("%s: inconsistent downtimes %+v", r.City, r)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/measure"
+	"spacecdn/internal/stats"
+)
+
+// This file regenerates the measurement-study artifacts: Table 1 (E1),
+// Figure 2 (E2), Figure 3 (E3), Figure 4 (E4) and Figure 5 (E5).
+
+// Table1Row matches the paper's Table 1 schema: per country, the average
+// distance to the best CDN and the median minimum RTT, on both networks.
+type Table1Row struct {
+	Country    string
+	Name       string
+	TerrDistKm float64
+	TerrMinRTT float64
+	StarDistKm float64
+	StarMinRTT float64
+}
+
+// Table1Countries is the paper's row order.
+var Table1Countries = []string{"GT", "MZ", "CY", "SZ", "HT", "KE", "ZM", "RW", "LT", "ES", "JP"}
+
+// Table1 (E1) regenerates the paper's Table 1.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	tests, err := s.AIM()
+	if err != nil {
+		return nil, err
+	}
+	byCountry := measure.ByCountry(measure.OptimalPerCity(tests))
+	var rows []Table1Row
+	for _, iso := range Table1Countries {
+		nets, ok := byCountry[iso]
+		if !ok {
+			return nil, fmt.Errorf("experiments: no AIM data for %s", iso)
+		}
+		country, _ := geo.CountryByISO(iso)
+		star, okS := nets[measure.NetworkStarlink]
+		terr, okT := nets[measure.NetworkTerrestrial]
+		if !okS || !okT {
+			return nil, fmt.Errorf("experiments: %s missing a network", iso)
+		}
+		rows = append(rows, Table1Row{
+			Country:    iso,
+			Name:       country.Name,
+			TerrDistKm: terr.AvgDistKm,
+			TerrMinRTT: terr.MinRTTMs,
+			StarDistKm: star.AvgDistKm,
+			StarMinRTT: star.MinRTTMs,
+		})
+	}
+	return rows, nil
+}
+
+// Fig2Row is one country's bar in Figure 2: the delta of median RTTs to the
+// optimal CDN (Starlink minus terrestrial).
+type Fig2Row struct {
+	Country string
+	DeltaMs float64
+}
+
+// Fig2PoP is a PoP marker on the Figure 2 map.
+type Fig2PoP struct {
+	Name string
+	City string
+	Loc  geo.Point
+}
+
+// Fig2 (E2) regenerates Figure 2: per-country deltas plus the 22 PoPs.
+func (s *Suite) Fig2() ([]Fig2Row, []Fig2PoP, error) {
+	tests, err := s.AIM()
+	if err != nil {
+		return nil, nil, err
+	}
+	countries, deltas := measure.DeltaByCountry(tests)
+	rows := make([]Fig2Row, len(countries))
+	for i := range countries {
+		rows[i] = Fig2Row{Country: countries[i], DeltaMs: deltas[i]}
+	}
+	var pops []Fig2PoP
+	for _, p := range s.Env.Ground.PoPs() {
+		pops = append(pops, Fig2PoP{Name: p.Name, City: p.City, Loc: p.Loc})
+	}
+	return rows, pops, nil
+}
+
+// Fig3Result is the Maputo case study: median latency to every reachable
+// CDN site on each network.
+type Fig3Result struct {
+	City        string
+	Starlink    []measure.CityCDNLatency
+	Terrestrial []measure.CityCDNLatency
+}
+
+// Fig3 (E3) regenerates Figure 3 for the paper's city (Maputo) — or any
+// other city when cityName is non-empty.
+func (s *Suite) Fig3(cityName string) (Fig3Result, error) {
+	if cityName == "" {
+		cityName = "Maputo"
+	}
+	tests, err := s.AIM()
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	res := Fig3Result{
+		City:        cityName,
+		Starlink:    measure.PerCDNFromCity(tests, cityName, measure.NetworkStarlink),
+		Terrestrial: measure.PerCDNFromCity(tests, cityName, measure.NetworkTerrestrial),
+	}
+	if len(res.Starlink) == 0 && len(res.Terrestrial) == 0 {
+		return Fig3Result{}, fmt.Errorf("experiments: no AIM data for city %q", cityName)
+	}
+	return res, nil
+}
+
+// Fig4Countries is the paper's Figure 4 legend.
+var Fig4Countries = []string{"CA", "GB", "DE", "NG"}
+
+// Fig4Series is one country's CDF of HTTP-response-time differences.
+type Fig4Series struct {
+	Country string
+	CDF     *stats.CDF
+}
+
+// Fig4 (E4) regenerates Figure 4: per-country CDFs of paired HRT
+// differences (Starlink minus terrestrial).
+func (s *Suite) Fig4() ([]Fig4Series, error) {
+	web, err := s.Web()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig4Series
+	for _, iso := range Fig4Countries {
+		diffs := measure.HRTDifference(web, iso)
+		if len(diffs) == 0 {
+			return nil, fmt.Errorf("experiments: no paired web data for %s", iso)
+		}
+		out = append(out, Fig4Series{Country: iso, CDF: stats.NewCDF(diffs)})
+	}
+	return out, nil
+}
+
+// Fig5Row is one box of Figure 5: FCP distribution for a (country, network).
+type Fig5Row struct {
+	Country string
+	Network measure.Network
+	Box     stats.Boxplot
+}
+
+// Fig5 (E5) regenerates Figure 5: FCP boxplots for DE and GB on both
+// networks.
+func (s *Suite) Fig5() ([]Fig5Row, error) {
+	web, err := s.Web()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig5Row
+	for _, iso := range []string{"GB", "DE"} {
+		byNet := measure.FCPByNetwork(web, iso)
+		for _, net := range []measure.Network{measure.NetworkStarlink, measure.NetworkTerrestrial} {
+			samples := byNet[net]
+			if len(samples) == 0 {
+				return nil, fmt.Errorf("experiments: no FCP samples for %s/%s", iso, net)
+			}
+			out = append(out, Fig5Row{Country: iso, Network: net, Box: stats.NewBoxplot(samples)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Country != out[j].Country {
+			return out[i].Country < out[j].Country
+		}
+		return out[i].Network < out[j].Network
+	})
+	return out, nil
+}

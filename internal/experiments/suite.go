@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a method on Suite returning structured
+// results that cmd/spacecdn renders and bench_test.go exercises; the
+// experiment IDs follow DESIGN.md's index (E1 = Table 1, E2 = Figure 2, ...).
+package experiments
+
+import (
+	"time"
+
+	"spacecdn/internal/measure"
+)
+
+// Suite owns the environment and memoizes the expensive datasets so that
+// several experiments can share one AIM generation run.
+type Suite struct {
+	Env *measure.Environment
+	// Fast trades sample count for speed (used by tests; benchmarks use the
+	// full configuration).
+	Fast bool
+	Seed int64
+
+	aim []measure.SpeedTest
+	web []measure.WebMeasurement
+}
+
+// NewSuite builds a suite with a fresh environment.
+func NewSuite(fast bool, seed int64) (*Suite, error) {
+	env, err := measure.NewEnvironment()
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Env: env, Fast: fast, Seed: seed}, nil
+}
+
+// aimConfig returns the AIM generation settings for the current mode.
+func (s *Suite) aimConfig() measure.AIMConfig {
+	cfg := measure.DefaultAIMConfig()
+	cfg.Seed = s.Seed
+	if s.Fast {
+		cfg.TestsPerCity = 6
+		cfg.Snapshots = []time.Duration{0, 17 * time.Minute}
+	}
+	return cfg
+}
+
+// AIM returns the (memoized) synthetic AIM dataset.
+func (s *Suite) AIM() ([]measure.SpeedTest, error) {
+	if s.aim != nil {
+		return s.aim, nil
+	}
+	tests, err := s.Env.GenerateAIM(s.aimConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.aim = tests
+	return tests, nil
+}
+
+// webConfig returns the NetMet campaign settings for the current mode.
+func (s *Suite) webConfig() measure.WebConfig {
+	cfg := measure.DefaultWebConfig()
+	cfg.Seed = s.Seed
+	if s.Fast {
+		cfg.LoadsPerSite = 6
+	}
+	return cfg
+}
+
+// Web returns the (memoized) NetMet campaign results.
+func (s *Suite) Web() ([]measure.WebMeasurement, error) {
+	if s.web != nil {
+		return s.web, nil
+	}
+	ms, err := s.Env.RunNetMet(s.webConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.web = ms
+	return ms, nil
+}
+
+// snapshotTimes returns the constellation sample times used by the
+// space-side experiments.
+func (s *Suite) snapshotTimes() []time.Duration {
+	if s.Fast {
+		return []time.Duration{0, 23 * time.Minute}
+	}
+	return []time.Duration{0, 11 * time.Minute, 23 * time.Minute, 37 * time.Minute, 51 * time.Minute}
+}

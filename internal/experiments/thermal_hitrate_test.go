@@ -1,0 +1,80 @@
+package experiments
+
+import "testing"
+
+func TestThermalFeasibility(t *testing.T) {
+	s := testSuite(t)
+	rows, maxDuty, err := s.ThermalFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if maxDuty < 0.5 || maxDuty > 0.7 {
+		t.Errorf("sustainable bound = %v, want ~0.6", maxDuty)
+	}
+	byPct := map[int]ThermalRow{}
+	for _, r := range rows {
+		byPct[r.FractionPct] = r
+		if r.PeakC <= 0 {
+			t.Errorf("%d%%: no peak recorded", r.FractionPct)
+		}
+	}
+	// The paper's feasible point (50%) stays thermally safe; 100% does not.
+	if r := byPct[50]; !r.Sustainable || r.OverShare > 0.02 {
+		t.Errorf("50%% should be sustainable: %+v", r)
+	}
+	if r := byPct[100]; r.Sustainable || r.OverShare == 0 {
+		t.Errorf("100%% should overheat: %+v", r)
+	}
+	// Peak temperature grows with the duty fraction.
+	if byPct[30].PeakC > byPct[80].PeakC {
+		t.Errorf("peaks not monotone: 30%%=%.1f 80%%=%.1f", byPct[30].PeakC, byPct[80].PeakC)
+	}
+}
+
+func TestCacheMissRates(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.CacheMissRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byISO := map[string]HitRateRow{}
+	for _, r := range rows {
+		byISO[r.Country] = r
+		if r.TerrestrialHit <= 0 {
+			t.Errorf("%s: terrestrial hit rate %v, edges were warmed", r.Country, r.TerrestrialHit)
+		}
+	}
+	// §2's claim: Starlink users in PoP-remote countries see far worse hit
+	// rates than terrestrial users in the same country, because the remote
+	// edge caches another region's content.
+	for _, iso := range []string{"MZ", "KE", "ZM"} {
+		r, ok := byISO[iso]
+		if !ok {
+			t.Fatalf("missing row for %s", iso)
+		}
+		if r.StarlinkEdge == r.TerrestrialEdge {
+			t.Errorf("%s: same serving edge on both networks (%s)", iso, r.StarlinkEdge)
+		}
+		if r.StarlinkHit >= r.TerrestrialHit {
+			t.Errorf("%s: Starlink hit rate %.2f should be below terrestrial %.2f",
+				iso, r.StarlinkHit, r.TerrestrialHit)
+		}
+		if r.TerrestrialHit-r.StarlinkHit < 0.1 {
+			t.Errorf("%s: hit-rate gap %.2f too small for the paper's claim",
+				iso, r.TerrestrialHit-r.StarlinkHit)
+		}
+	}
+	// Countries with a domestic PoP in the same region see similar rates.
+	for _, iso := range []string{"DE", "ES", "JP", "US"} {
+		r, ok := byISO[iso]
+		if !ok {
+			t.Fatalf("missing row for %s", iso)
+		}
+		if gap := r.TerrestrialHit - r.StarlinkHit; gap > 0.25 {
+			t.Errorf("%s: unexpected hit-rate gap %.2f with a local PoP", iso, gap)
+		}
+	}
+}

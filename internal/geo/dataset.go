@@ -1,0 +1,448 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Region is a coarse continental region used for popularity modelling and
+// infrastructure placement.
+type Region int
+
+// Continental regions.
+const (
+	RegionUnknown Region = iota
+	RegionAfrica
+	RegionEurope
+	RegionNorthAmerica
+	RegionSouthAmerica
+	RegionAsia
+	RegionOceania
+)
+
+var regionNames = map[Region]string{
+	RegionUnknown:      "unknown",
+	RegionAfrica:       "africa",
+	RegionEurope:       "europe",
+	RegionNorthAmerica: "north-america",
+	RegionSouthAmerica: "south-america",
+	RegionAsia:         "asia",
+	RegionOceania:      "oceania",
+}
+
+func (r Region) String() string {
+	if s, ok := regionNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("region(%d)", int(r))
+}
+
+// Regions lists all concrete regions (excluding RegionUnknown).
+func Regions() []Region {
+	return []Region{
+		RegionAfrica, RegionEurope, RegionNorthAmerica,
+		RegionSouthAmerica, RegionAsia, RegionOceania,
+	}
+}
+
+// City is an embedded world-city record.
+type City struct {
+	Name    string
+	Country string // ISO 3166-1 alpha-2
+	Loc     Point
+	Region  Region
+}
+
+// Country is an embedded country record. Centroid is approximated by the
+// country's most significant population centre in the city table.
+type Country struct {
+	ISO2     string
+	Name     string
+	Region   Region
+	Capital  string // city name used as the country's reference location
+	Starlink bool   // Starlink consumer coverage as of the paper's study (2024)
+}
+
+// city constructs a City record; keeps the table below compact.
+func city(name, iso2 string, lat, lon float64, r Region) City {
+	return City{Name: name, Country: iso2, Loc: NewPoint(lat, lon), Region: r}
+}
+
+// cities is the embedded world-city dataset. Coordinates are city centres,
+// rounded to ~100 m. The set is chosen to cover: every country named in the
+// paper's Table 1 and figures, the Starlink PoP cities of Fig. 2, a
+// Cloudflare-like CDN footprint on all continents, and enough extra
+// population centres to sample "55 countries with Starlink coverage".
+var cities = []City{
+	// --- Africa ---
+	city("Maputo", "MZ", -25.9692, 32.5732, RegionAfrica),
+	city("Beira", "MZ", -19.8436, 34.8389, RegionAfrica),
+	city("Johannesburg", "ZA", -26.2041, 28.0473, RegionAfrica),
+	city("Cape Town", "ZA", -33.9249, 18.4241, RegionAfrica),
+	city("Durban", "ZA", -29.8587, 31.0218, RegionAfrica),
+	city("Nairobi", "KE", -1.2921, 36.8219, RegionAfrica),
+	city("Mombasa", "KE", -4.0435, 39.6682, RegionAfrica),
+	city("Lagos", "NG", 6.5244, 3.3792, RegionAfrica),
+	city("Abuja", "NG", 9.0765, 7.3986, RegionAfrica),
+	city("Kigali", "RW", -1.9441, 30.0619, RegionAfrica),
+	city("Lusaka", "ZM", -15.3875, 28.3228, RegionAfrica),
+	city("Ndola", "ZM", -12.9587, 28.6366, RegionAfrica),
+	city("Mbabane", "SZ", -26.3054, 31.1367, RegionAfrica),
+	city("Manzini", "SZ", -26.4833, 31.3667, RegionAfrica),
+	city("Dar es Salaam", "TZ", -6.7924, 39.2083, RegionAfrica),
+	city("Kampala", "UG", 0.3476, 32.5825, RegionAfrica),
+	city("Accra", "GH", 5.6037, -0.1870, RegionAfrica),
+	city("Abidjan", "CI", 5.3600, -4.0083, RegionAfrica),
+	city("Dakar", "SN", 14.7167, -17.4677, RegionAfrica),
+	city("Cairo", "EG", 30.0444, 31.2357, RegionAfrica),
+	city("Casablanca", "MA", 33.5731, -7.5898, RegionAfrica),
+	city("Tunis", "TN", 36.8065, 10.1815, RegionAfrica),
+	city("Luanda", "AO", -8.8390, 13.2894, RegionAfrica),
+	city("Harare", "ZW", -17.8252, 31.0335, RegionAfrica),
+	city("Gaborone", "BW", -24.6282, 25.9231, RegionAfrica),
+	city("Windhoek", "NA", -22.5609, 17.0658, RegionAfrica),
+	city("Antananarivo", "MG", -18.8792, 47.5079, RegionAfrica),
+	city("Lilongwe", "MW", -13.9626, 33.7741, RegionAfrica),
+	city("Kinshasa", "CD", -4.4419, 15.2663, RegionAfrica),
+	city("Addis Ababa", "ET", 9.0054, 38.7636, RegionAfrica),
+
+	// --- Europe ---
+	city("London", "GB", 51.5074, -0.1278, RegionEurope),
+	city("Manchester", "GB", 53.4808, -2.2426, RegionEurope),
+	city("Frankfurt", "DE", 50.1109, 8.6821, RegionEurope),
+	city("Berlin", "DE", 52.5200, 13.4050, RegionEurope),
+	city("Munich", "DE", 48.1351, 11.5820, RegionEurope),
+	city("Paris", "FR", 48.8566, 2.3522, RegionEurope),
+	city("Marseille", "FR", 43.2965, 5.3698, RegionEurope),
+	city("Madrid", "ES", 40.4168, -3.7038, RegionEurope),
+	city("Barcelona", "ES", 41.3874, 2.1686, RegionEurope),
+	city("Lisbon", "PT", 38.7223, -9.1393, RegionEurope),
+	city("Milan", "IT", 45.4642, 9.1900, RegionEurope),
+	city("Rome", "IT", 41.9028, 12.4964, RegionEurope),
+	city("Amsterdam", "NL", 52.3676, 4.9041, RegionEurope),
+	city("Brussels", "BE", 50.8503, 4.3517, RegionEurope),
+	city("Zurich", "CH", 47.3769, 8.5417, RegionEurope),
+	city("Vienna", "AT", 48.2082, 16.3738, RegionEurope),
+	city("Warsaw", "PL", 52.2297, 21.0122, RegionEurope),
+	city("Prague", "CZ", 50.0755, 14.4378, RegionEurope),
+	city("Stockholm", "SE", 59.3293, 18.0686, RegionEurope),
+	city("Oslo", "NO", 59.9139, 10.7522, RegionEurope),
+	city("Copenhagen", "DK", 55.6761, 12.5683, RegionEurope),
+	city("Helsinki", "FI", 60.1699, 24.9384, RegionEurope),
+	city("Dublin", "IE", 53.3498, -6.2603, RegionEurope),
+	city("Vilnius", "LT", 54.6872, 25.2797, RegionEurope),
+	city("Kaunas", "LT", 54.8985, 23.9036, RegionEurope),
+	city("Riga", "LV", 56.9496, 24.1052, RegionEurope),
+	city("Tallinn", "EE", 59.4370, 24.7536, RegionEurope),
+	city("Athens", "GR", 37.9838, 23.7275, RegionEurope),
+	city("Nicosia", "CY", 35.1856, 33.3823, RegionEurope),
+	city("Limassol", "CY", 34.7071, 33.0226, RegionEurope),
+	city("Sofia", "BG", 42.6977, 23.3219, RegionEurope),
+	city("Bucharest", "RO", 44.4268, 26.1025, RegionEurope),
+	city("Budapest", "HU", 47.4979, 19.0402, RegionEurope),
+	city("Zagreb", "HR", 45.8150, 15.9819, RegionEurope),
+	city("Kyiv", "UA", 50.4501, 30.5234, RegionEurope),
+	city("Istanbul", "TR", 41.0082, 28.9784, RegionEurope),
+	city("Reykjavik", "IS", 64.1466, -21.9426, RegionEurope),
+
+	// --- North America & Caribbean ---
+	city("Seattle", "US", 47.6062, -122.3321, RegionNorthAmerica),
+	city("Los Angeles", "US", 34.0522, -118.2437, RegionNorthAmerica),
+	city("San Jose", "US", 37.3382, -121.8863, RegionNorthAmerica),
+	city("Denver", "US", 39.7392, -104.9903, RegionNorthAmerica),
+	city("Dallas", "US", 32.7767, -96.7970, RegionNorthAmerica),
+	city("Chicago", "US", 41.8781, -87.6298, RegionNorthAmerica),
+	city("Atlanta", "US", 33.7490, -84.3880, RegionNorthAmerica),
+	city("Ashburn", "US", 39.0438, -77.4874, RegionNorthAmerica),
+	city("New York", "US", 40.7128, -74.0060, RegionNorthAmerica),
+	city("Miami", "US", 25.7617, -80.1918, RegionNorthAmerica),
+	city("Kansas City", "US", 39.0997, -94.5786, RegionNorthAmerica),
+	city("Phoenix", "US", 33.4484, -112.0740, RegionNorthAmerica),
+	city("Anchorage", "US", 61.2181, -149.9003, RegionNorthAmerica),
+	city("Honolulu", "US", 21.3069, -157.8583, RegionNorthAmerica),
+	city("Toronto", "CA", 43.6532, -79.3832, RegionNorthAmerica),
+	city("Vancouver", "CA", 49.2827, -123.1207, RegionNorthAmerica),
+	city("Montreal", "CA", 45.5017, -73.5673, RegionNorthAmerica),
+	city("Calgary", "CA", 51.0447, -114.0719, RegionNorthAmerica),
+	city("Winnipeg", "CA", 49.8951, -97.1384, RegionNorthAmerica),
+	city("Mexico City", "MX", 19.4326, -99.1332, RegionNorthAmerica),
+	city("Queretaro", "MX", 20.5888, -100.3899, RegionNorthAmerica),
+	city("Guadalajara", "MX", 20.6597, -103.3496, RegionNorthAmerica),
+	city("Guatemala City", "GT", 14.6349, -90.5069, RegionNorthAmerica),
+	city("Quetzaltenango", "GT", 14.8347, -91.5181, RegionNorthAmerica),
+	city("Port-au-Prince", "HT", 18.5944, -72.3074, RegionNorthAmerica),
+	city("Cap-Haitien", "HT", 19.7580, -72.2042, RegionNorthAmerica),
+	city("San Juan", "PR", 18.4655, -66.1057, RegionNorthAmerica),
+	city("Santo Domingo", "DO", 18.4861, -69.9312, RegionNorthAmerica),
+	city("Panama City", "PA", 8.9824, -79.5199, RegionNorthAmerica),
+	city("San Jose CR", "CR", 9.9281, -84.0907, RegionNorthAmerica),
+	city("Kingston", "JM", 17.9714, -76.7922, RegionNorthAmerica),
+
+	// --- South America ---
+	city("Sao Paulo", "BR", -23.5505, -46.6333, RegionSouthAmerica),
+	city("Rio de Janeiro", "BR", -22.9068, -43.1729, RegionSouthAmerica),
+	city("Fortaleza", "BR", -3.7319, -38.5267, RegionSouthAmerica),
+	city("Porto Alegre", "BR", -30.0346, -51.2177, RegionSouthAmerica),
+	city("Buenos Aires", "AR", -34.6037, -58.3816, RegionSouthAmerica),
+	city("Cordoba", "AR", -31.4201, -64.1888, RegionSouthAmerica),
+	city("Santiago", "CL", -33.4489, -70.6693, RegionSouthAmerica),
+	city("Punta Arenas", "CL", -53.1638, -70.9171, RegionSouthAmerica),
+	city("Lima", "PE", -12.0464, -77.0428, RegionSouthAmerica),
+	city("Bogota", "CO", 4.7110, -74.0721, RegionSouthAmerica),
+	city("Quito", "EC", -0.1807, -78.4678, RegionSouthAmerica),
+	city("Asuncion", "PY", -25.2637, -57.5759, RegionSouthAmerica),
+	city("Montevideo", "UY", -34.9011, -56.1645, RegionSouthAmerica),
+	city("La Paz", "BO", -16.4897, -68.1193, RegionSouthAmerica),
+	city("Caracas", "VE", 10.4806, -66.9036, RegionSouthAmerica),
+
+	// --- Asia & Middle East ---
+	city("Tokyo", "JP", 35.6762, 139.6503, RegionAsia),
+	city("Osaka", "JP", 34.6937, 135.5023, RegionAsia),
+	city("Sapporo", "JP", 43.0618, 141.3545, RegionAsia),
+	city("Seoul", "KR", 37.5665, 126.9780, RegionAsia),
+	city("Singapore", "SG", 1.3521, 103.8198, RegionAsia),
+	city("Kuala Lumpur", "MY", 3.1390, 101.6869, RegionAsia),
+	city("Jakarta", "ID", -6.2088, 106.8456, RegionAsia),
+	city("Manila", "PH", 14.5995, 120.9842, RegionAsia),
+	city("Bangkok", "TH", 13.7563, 100.5018, RegionAsia),
+	city("Hanoi", "VN", 21.0285, 105.8542, RegionAsia),
+	city("Hong Kong", "HK", 22.3193, 114.1694, RegionAsia),
+	city("Taipei", "TW", 25.0330, 121.5654, RegionAsia),
+	city("Mumbai", "IN", 19.0760, 72.8777, RegionAsia),
+	city("Delhi", "IN", 28.7041, 77.1025, RegionAsia),
+	city("Chennai", "IN", 13.0827, 80.2707, RegionAsia),
+	city("Karachi", "PK", 24.8607, 67.0011, RegionAsia),
+	city("Dubai", "AE", 25.2048, 55.2708, RegionAsia),
+	city("Doha", "QA", 25.2854, 51.5310, RegionAsia),
+	city("Riyadh", "SA", 24.7136, 46.6753, RegionAsia),
+	city("Tel Aviv", "IL", 32.0853, 34.7818, RegionAsia),
+	city("Amman", "JO", 31.9454, 35.9284, RegionAsia),
+	city("Almaty", "KZ", 43.2220, 76.8512, RegionAsia),
+	city("Ulaanbaatar", "MN", 47.8864, 106.9057, RegionAsia),
+
+	// --- Oceania ---
+	city("Sydney", "AU", -33.8688, 151.2093, RegionOceania),
+	city("Melbourne", "AU", -37.8136, 144.9631, RegionOceania),
+	city("Perth", "AU", -31.9505, 115.8605, RegionOceania),
+	city("Brisbane", "AU", -27.4698, 153.0251, RegionOceania),
+	city("Auckland", "NZ", -36.8509, 174.7645, RegionOceania),
+	city("Christchurch", "NZ", -43.5321, 172.6362, RegionOceania),
+	city("Suva", "FJ", -18.1248, 178.4501, RegionOceania),
+	city("Port Moresby", "PG", -9.4438, 147.1803, RegionOceania),
+}
+
+// countries is the embedded country dataset. The Starlink flag marks consumer
+// availability during the paper's measurement window (March–June 2024); it
+// gates which countries contribute "Starlink client" samples.
+var countries = []Country{
+	{"MZ", "Mozambique", RegionAfrica, "Maputo", true},
+	{"ZA", "South Africa", RegionAfrica, "Johannesburg", false},
+	{"KE", "Kenya", RegionAfrica, "Nairobi", true},
+	{"NG", "Nigeria", RegionAfrica, "Lagos", true},
+	{"RW", "Rwanda", RegionAfrica, "Kigali", true},
+	{"ZM", "Zambia", RegionAfrica, "Lusaka", true},
+	{"SZ", "Swaziland", RegionAfrica, "Mbabane", true},
+	{"TZ", "Tanzania", RegionAfrica, "Dar es Salaam", false},
+	{"UG", "Uganda", RegionAfrica, "Kampala", false},
+	{"GH", "Ghana", RegionAfrica, "Accra", false},
+	{"CI", "Ivory Coast", RegionAfrica, "Abidjan", false},
+	{"SN", "Senegal", RegionAfrica, "Dakar", false},
+	{"EG", "Egypt", RegionAfrica, "Cairo", false},
+	{"MA", "Morocco", RegionAfrica, "Casablanca", false},
+	{"TN", "Tunisia", RegionAfrica, "Tunis", false},
+	{"AO", "Angola", RegionAfrica, "Luanda", false},
+	{"ZW", "Zimbabwe", RegionAfrica, "Harare", true},
+	{"BW", "Botswana", RegionAfrica, "Gaborone", true},
+	{"NA", "Namibia", RegionAfrica, "Windhoek", false},
+	{"MG", "Madagascar", RegionAfrica, "Antananarivo", true},
+	{"MW", "Malawi", RegionAfrica, "Lilongwe", true},
+	{"CD", "DR Congo", RegionAfrica, "Kinshasa", false},
+	{"ET", "Ethiopia", RegionAfrica, "Addis Ababa", false},
+
+	{"GB", "United Kingdom", RegionEurope, "London", true},
+	{"DE", "Germany", RegionEurope, "Frankfurt", true},
+	{"FR", "France", RegionEurope, "Paris", true},
+	{"ES", "Spain", RegionEurope, "Madrid", true},
+	{"PT", "Portugal", RegionEurope, "Lisbon", true},
+	{"IT", "Italy", RegionEurope, "Milan", true},
+	{"NL", "Netherlands", RegionEurope, "Amsterdam", true},
+	{"BE", "Belgium", RegionEurope, "Brussels", true},
+	{"CH", "Switzerland", RegionEurope, "Zurich", true},
+	{"AT", "Austria", RegionEurope, "Vienna", true},
+	{"PL", "Poland", RegionEurope, "Warsaw", true},
+	{"CZ", "Czechia", RegionEurope, "Prague", true},
+	{"SE", "Sweden", RegionEurope, "Stockholm", true},
+	{"NO", "Norway", RegionEurope, "Oslo", true},
+	{"DK", "Denmark", RegionEurope, "Copenhagen", true},
+	{"FI", "Finland", RegionEurope, "Helsinki", true},
+	{"IE", "Ireland", RegionEurope, "Dublin", true},
+	{"LT", "Lithuania", RegionEurope, "Vilnius", true},
+	{"LV", "Latvia", RegionEurope, "Riga", true},
+	{"EE", "Estonia", RegionEurope, "Tallinn", true},
+	{"GR", "Greece", RegionEurope, "Athens", true},
+	{"CY", "Cyprus", RegionEurope, "Nicosia", true},
+	{"BG", "Bulgaria", RegionEurope, "Sofia", true},
+	{"RO", "Romania", RegionEurope, "Bucharest", true},
+	{"HU", "Hungary", RegionEurope, "Budapest", true},
+	{"HR", "Croatia", RegionEurope, "Zagreb", true},
+	{"UA", "Ukraine", RegionEurope, "Kyiv", true},
+	{"TR", "Turkey", RegionEurope, "Istanbul", false},
+	{"IS", "Iceland", RegionEurope, "Reykjavik", true},
+
+	{"US", "United States", RegionNorthAmerica, "Chicago", true},
+	{"CA", "Canada", RegionNorthAmerica, "Toronto", true},
+	{"MX", "Mexico", RegionNorthAmerica, "Mexico City", true},
+	{"GT", "Guatemala", RegionNorthAmerica, "Guatemala City", true},
+	{"HT", "Haiti", RegionNorthAmerica, "Port-au-Prince", true},
+	{"PR", "Puerto Rico", RegionNorthAmerica, "San Juan", true},
+	{"DO", "Dominican Republic", RegionNorthAmerica, "Santo Domingo", true},
+	{"PA", "Panama", RegionNorthAmerica, "Panama City", true},
+	{"CR", "Costa Rica", RegionNorthAmerica, "San Jose CR", true},
+	{"JM", "Jamaica", RegionNorthAmerica, "Kingston", true},
+
+	{"BR", "Brazil", RegionSouthAmerica, "Sao Paulo", true},
+	{"AR", "Argentina", RegionSouthAmerica, "Buenos Aires", true},
+	{"CL", "Chile", RegionSouthAmerica, "Santiago", true},
+	{"PE", "Peru", RegionSouthAmerica, "Lima", true},
+	{"CO", "Colombia", RegionSouthAmerica, "Bogota", true},
+	{"EC", "Ecuador", RegionSouthAmerica, "Quito", true},
+	{"PY", "Paraguay", RegionSouthAmerica, "Asuncion", true},
+	{"UY", "Uruguay", RegionSouthAmerica, "Montevideo", true},
+	{"BO", "Bolivia", RegionSouthAmerica, "La Paz", false},
+	{"VE", "Venezuela", RegionSouthAmerica, "Caracas", false},
+
+	{"JP", "Japan", RegionAsia, "Tokyo", true},
+	{"KR", "South Korea", RegionAsia, "Seoul", false},
+	{"SG", "Singapore", RegionAsia, "Singapore", false},
+	{"MY", "Malaysia", RegionAsia, "Kuala Lumpur", true},
+	{"ID", "Indonesia", RegionAsia, "Jakarta", true},
+	{"PH", "Philippines", RegionAsia, "Manila", true},
+	{"TH", "Thailand", RegionAsia, "Bangkok", false},
+	{"VN", "Vietnam", RegionAsia, "Hanoi", false},
+	{"HK", "Hong Kong", RegionAsia, "Hong Kong", false},
+	{"TW", "Taiwan", RegionAsia, "Taipei", false},
+	{"IN", "India", RegionAsia, "Mumbai", false},
+	{"PK", "Pakistan", RegionAsia, "Karachi", false},
+	{"AE", "UAE", RegionAsia, "Dubai", false},
+	{"QA", "Qatar", RegionAsia, "Doha", false},
+	{"SA", "Saudi Arabia", RegionAsia, "Riyadh", false},
+	{"IL", "Israel", RegionAsia, "Tel Aviv", false},
+	{"JO", "Jordan", RegionAsia, "Amman", false},
+	{"KZ", "Kazakhstan", RegionAsia, "Almaty", false},
+	{"MN", "Mongolia", RegionAsia, "Ulaanbaatar", true},
+
+	{"AU", "Australia", RegionOceania, "Sydney", true},
+	{"NZ", "New Zealand", RegionOceania, "Auckland", true},
+	{"FJ", "Fiji", RegionOceania, "Suva", true},
+	{"PG", "Papua New Guinea", RegionOceania, "Port Moresby", false},
+}
+
+var (
+	indexOnce      sync.Once
+	cityByKey      map[string]*City // "name|CC"
+	cityByName     map[string]*City // first match by name
+	countryByISO   map[string]*Country
+	citiesByISO    map[string][]*City
+	starlinkISOSet []string
+)
+
+func buildIndexes() {
+	cityByKey = make(map[string]*City, len(cities))
+	cityByName = make(map[string]*City, len(cities))
+	countryByISO = make(map[string]*Country, len(countries))
+	citiesByISO = make(map[string][]*City)
+	for i := range cities {
+		c := &cities[i]
+		cityByKey[strings.ToLower(c.Name)+"|"+c.Country] = c
+		if _, ok := cityByName[strings.ToLower(c.Name)]; !ok {
+			cityByName[strings.ToLower(c.Name)] = c
+		}
+		citiesByISO[c.Country] = append(citiesByISO[c.Country], c)
+	}
+	for i := range countries {
+		countryByISO[countries[i].ISO2] = &countries[i]
+		if countries[i].Starlink {
+			starlinkISOSet = append(starlinkISOSet, countries[i].ISO2)
+		}
+	}
+	sort.Strings(starlinkISOSet)
+}
+
+// Cities returns a copy of the embedded city dataset.
+func Cities() []City {
+	out := make([]City, len(cities))
+	copy(out, cities)
+	return out
+}
+
+// Countries returns a copy of the embedded country dataset.
+func Countries() []Country {
+	out := make([]Country, len(countries))
+	copy(out, countries)
+	return out
+}
+
+// CityByName looks a city up by name, optionally qualified as "Name, CC".
+// Lookup is case-insensitive.
+func CityByName(name string) (City, bool) {
+	indexOnce.Do(buildIndexes)
+	name = strings.TrimSpace(name)
+	if i := strings.LastIndexByte(name, ','); i >= 0 {
+		base := strings.TrimSpace(name[:i])
+		cc := strings.ToUpper(strings.TrimSpace(name[i+1:]))
+		if c, ok := cityByKey[strings.ToLower(base)+"|"+cc]; ok {
+			return *c, true
+		}
+		return City{}, false
+	}
+	if c, ok := cityByName[strings.ToLower(name)]; ok {
+		return *c, true
+	}
+	return City{}, false
+}
+
+// CountryByISO returns the country record for an ISO 3166-1 alpha-2 code.
+func CountryByISO(iso2 string) (Country, bool) {
+	indexOnce.Do(buildIndexes)
+	c, ok := countryByISO[strings.ToUpper(iso2)]
+	if !ok {
+		return Country{}, false
+	}
+	return *c, true
+}
+
+// CitiesInCountry returns all embedded cities for the given ISO code.
+func CitiesInCountry(iso2 string) []City {
+	indexOnce.Do(buildIndexes)
+	src := citiesByISO[strings.ToUpper(iso2)]
+	out := make([]City, len(src))
+	for i, c := range src {
+		out[i] = *c
+	}
+	return out
+}
+
+// CountryCentroid returns the country's reference location (its capital /
+// largest city in the dataset).
+func CountryCentroid(iso2 string) (Point, bool) {
+	c, ok := CountryByISO(iso2)
+	if !ok {
+		return Point{}, false
+	}
+	cc, ok := CityByName(c.Capital + ", " + c.ISO2)
+	if !ok {
+		return Point{}, false
+	}
+	return cc.Loc, true
+}
+
+// StarlinkCountries returns the ISO codes of countries with Starlink
+// consumer coverage in the modelled measurement window, sorted.
+func StarlinkCountries() []string {
+	indexOnce.Do(buildIndexes)
+	out := make([]string, len(starlinkISOSet))
+	copy(out, starlinkISOSet)
+	return out
+}

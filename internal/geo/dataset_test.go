@@ -1,0 +1,139 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cities() {
+		if c.Name == "" || len(c.Country) != 2 {
+			t.Errorf("malformed city record: %+v", c)
+		}
+		if !c.Loc.Valid() {
+			t.Errorf("invalid coordinates for %s: %v", c.Name, c.Loc)
+		}
+		if c.Region == RegionUnknown {
+			t.Errorf("city %s has unknown region", c.Name)
+		}
+		key := c.Name + "|" + c.Country
+		if seen[key] {
+			t.Errorf("duplicate city record %s", key)
+		}
+		seen[key] = true
+		if _, ok := CountryByISO(c.Country); !ok {
+			t.Errorf("city %s references unknown country %s", c.Name, c.Country)
+		}
+	}
+	if len(seen) < 120 {
+		t.Errorf("expected at least 120 cities, got %d", len(seen))
+	}
+}
+
+func TestCountryIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Countries() {
+		if len(c.ISO2) != 2 || c.ISO2 != strings.ToUpper(c.ISO2) {
+			t.Errorf("bad ISO code %q", c.ISO2)
+		}
+		if seen[c.ISO2] {
+			t.Errorf("duplicate country %s", c.ISO2)
+		}
+		seen[c.ISO2] = true
+		if _, ok := CountryCentroid(c.ISO2); !ok {
+			t.Errorf("country %s (%s) has no resolvable capital %q", c.ISO2, c.Name, c.Capital)
+		}
+		if c.Region == RegionUnknown {
+			t.Errorf("country %s has unknown region", c.ISO2)
+		}
+	}
+}
+
+func TestTable1CountriesPresent(t *testing.T) {
+	// Every country in the paper's Table 1 must exist, be marked as Starlink
+	// covered, and have at least one city.
+	for _, iso := range []string{"GT", "MZ", "CY", "SZ", "HT", "KE", "ZM", "RW", "LT", "ES", "JP"} {
+		c, ok := CountryByISO(iso)
+		if !ok {
+			t.Fatalf("Table 1 country %s missing", iso)
+		}
+		if !c.Starlink {
+			t.Errorf("Table 1 country %s must have Starlink coverage", iso)
+		}
+		if len(CitiesInCountry(iso)) == 0 {
+			t.Errorf("Table 1 country %s has no cities", iso)
+		}
+	}
+}
+
+func TestStarlinkCountriesCount(t *testing.T) {
+	// The paper reports measurements from 55 countries (~60% of coverage).
+	// Our dataset models the covered set; it must be large enough to sample
+	// tens of countries on both networks.
+	got := StarlinkCountries()
+	if len(got) < 50 {
+		t.Errorf("expected >= 50 Starlink countries, got %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Errorf("StarlinkCountries not sorted: %s >= %s", got[i-1], got[i])
+		}
+	}
+}
+
+func TestCityLookup(t *testing.T) {
+	c, ok := CityByName("Maputo")
+	if !ok || c.Country != "MZ" {
+		t.Fatalf("Maputo lookup failed: %+v ok=%v", c, ok)
+	}
+	c, ok = CityByName("maputo, mz")
+	if !ok || c.Name != "Maputo" {
+		t.Fatalf("qualified lookup failed: %+v ok=%v", c, ok)
+	}
+	if _, ok := CityByName("Atlantis"); ok {
+		t.Fatal("nonexistent city should not resolve")
+	}
+	if _, ok := CityByName("Maputo, US"); ok {
+		t.Fatal("wrong-country qualified lookup should not resolve")
+	}
+}
+
+func TestCitiesInCountry(t *testing.T) {
+	us := CitiesInCountry("us")
+	if len(us) < 10 {
+		t.Errorf("expected >= 10 US cities, got %d", len(us))
+	}
+	for _, c := range us {
+		if c.Country != "US" {
+			t.Errorf("non-US city returned: %+v", c)
+		}
+	}
+	if len(CitiesInCountry("XX")) != 0 {
+		t.Error("unknown country should return no cities")
+	}
+}
+
+func TestCountryCentroidsReasonable(t *testing.T) {
+	p, ok := CountryCentroid("MZ")
+	if !ok {
+		t.Fatal("MZ centroid missing")
+	}
+	if HaversineKm(p, NewPoint(-25.9692, 32.5732)) > 1 {
+		t.Errorf("MZ centroid should be Maputo, got %v", p)
+	}
+}
+
+func TestRegionsString(t *testing.T) {
+	for _, r := range Regions() {
+		if r.String() == "unknown" || strings.HasPrefix(r.String(), "region(") {
+			t.Errorf("region %d has no name", int(r))
+		}
+	}
+	if RegionUnknown.String() != "unknown" {
+		t.Errorf("unknown region name = %q", RegionUnknown.String())
+	}
+	if Region(99).String() != "region(99)" {
+		t.Errorf("out-of-range region = %q", Region(99).String())
+	}
+}

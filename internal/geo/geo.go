@@ -1,0 +1,259 @@
+// Package geo provides spherical-Earth geodesy primitives used throughout the
+// simulator: geographic coordinates, Earth-centered Earth-fixed (ECEF)
+// vectors, great-circle distances, bearings, and satellite-to-ground slant
+// geometry.
+//
+// The simulator uses a spherical Earth (radius EarthRadiusKm). The error
+// relative to WGS84 is below 0.5%, far smaller than the latency modelling
+// noise, and a sphere keeps orbit propagation and visibility math exact and
+// cheap.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius in kilometres.
+const EarthRadiusKm = 6371.0
+
+// Point is a geographic coordinate in degrees. Positive latitudes are north,
+// positive longitudes are east.
+type Point struct {
+	LatDeg float64
+	LonDeg float64
+}
+
+// NewPoint returns a Point with the longitude normalized to (-180, 180] and
+// the latitude clamped to [-90, 90].
+func NewPoint(latDeg, lonDeg float64) Point {
+	return Point{LatDeg: clampLat(latDeg), LonDeg: NormalizeLonDeg(lonDeg)}
+}
+
+func clampLat(lat float64) float64 {
+	if lat > 90 {
+		return 90
+	}
+	if lat < -90 {
+		return -90
+	}
+	return lat
+}
+
+// NormalizeLonDeg maps an arbitrary longitude in degrees to (-180, 180].
+func NormalizeLonDeg(lon float64) float64 {
+	lon = math.Mod(lon, 360)
+	if lon <= -180 {
+		lon += 360
+	} else if lon > 180 {
+		lon -= 360
+	}
+	return lon
+}
+
+func (p Point) String() string {
+	ns, ew := "N", "E"
+	lat, lon := p.LatDeg, p.LonDeg
+	if lat < 0 {
+		ns, lat = "S", -lat
+	}
+	if lon < 0 {
+		ew, lon = "W", -lon
+	}
+	return fmt.Sprintf("%.3f%s%s %.3f%s%s", lat, "°", ns, lon, "°", ew)
+}
+
+// Valid reports whether the point holds finite, in-range coordinates.
+func (p Point) Valid() bool {
+	return !math.IsNaN(p.LatDeg) && !math.IsNaN(p.LonDeg) &&
+		p.LatDeg >= -90 && p.LatDeg <= 90 &&
+		p.LonDeg >= -180 && p.LonDeg <= 180
+}
+
+// Radians returns the latitude and longitude in radians.
+func (p Point) Radians() (lat, lon float64) {
+	return p.LatDeg * math.Pi / 180, p.LonDeg * math.Pi / 180
+}
+
+// Vec3 is a vector in the Earth-centered Earth-fixed frame, in kilometres.
+// +X pierces the equator at the prime meridian, +Z the north pole.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v in kilometres.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Unit returns v scaled to unit length. The zero vector is returned unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// ToECEF converts a surface point to an ECEF vector on the spherical Earth.
+func (p Point) ToECEF() Vec3 {
+	return p.ToECEFAltitude(0)
+}
+
+// ToECEFAltitude converts a point at altKm kilometres above the surface to an
+// ECEF vector.
+func (p Point) ToECEFAltitude(altKm float64) Vec3 {
+	lat, lon := p.Radians()
+	r := EarthRadiusKm + altKm
+	cl := math.Cos(lat)
+	return Vec3{
+		X: r * cl * math.Cos(lon),
+		Y: r * cl * math.Sin(lon),
+		Z: r * math.Sin(lat),
+	}
+}
+
+// ToPoint converts an ECEF vector back to a geographic point, ignoring
+// altitude.
+func (v Vec3) ToPoint() Point {
+	r := v.Norm()
+	if r == 0 {
+		return Point{}
+	}
+	lat := math.Asin(v.Z/r) * 180 / math.Pi
+	lon := math.Atan2(v.Y, v.X) * 180 / math.Pi
+	return Point{LatDeg: lat, LonDeg: lon}
+}
+
+// AltitudeKm returns the height of the ECEF vector above the spherical
+// surface in kilometres.
+func (v Vec3) AltitudeKm() float64 { return v.Norm() - EarthRadiusKm }
+
+// HaversineKm returns the great-circle surface distance between a and b in
+// kilometres.
+func HaversineKm(a, b Point) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// CentralAngleRad returns the central angle between two surface points.
+func CentralAngleRad(a, b Point) float64 {
+	return HaversineKm(a, b) / EarthRadiusKm
+}
+
+// LineOfSightKm returns the straight-line (chord) distance between two ECEF
+// positions in kilometres. This is the propagation distance for a free-space
+// radio or laser link.
+func LineOfSightKm(a, b Vec3) float64 {
+	return a.Sub(b).Norm()
+}
+
+// ElevationDeg returns the elevation angle, in degrees, of a target at ECEF
+// position sat as seen from a ground point at ECEF position ground.
+// 90 means directly overhead; negative values are below the horizon.
+func ElevationDeg(ground, sat Vec3) float64 {
+	up := ground.Unit()
+	d := sat.Sub(ground)
+	dn := d.Norm()
+	if dn == 0 {
+		return 90
+	}
+	s := d.Dot(up) / dn
+	if s > 1 {
+		s = 1
+	} else if s < -1 {
+		s = -1
+	}
+	return math.Asin(s) * 180 / math.Pi
+}
+
+// SlantRangeKm returns the distance from a ground observer to a satellite at
+// altitude altKm observed at elevation elevDeg. It solves the triangle formed
+// by the Earth's center, the observer and the satellite.
+func SlantRangeKm(altKm, elevDeg float64) float64 {
+	re := EarthRadiusKm
+	rs := re + altKm
+	e := elevDeg * math.Pi / 180
+	// Law of cosines with the angle at the observer being 90 deg + elevation.
+	return -re*math.Sin(e) + math.Sqrt(rs*rs-re*re*math.Cos(e)*math.Cos(e))
+}
+
+// CoverageAngleRad returns the maximum central angle between a satellite's
+// sub-point and a ground user that still sees the satellite at or above
+// minElevDeg, for a satellite at altitude altKm.
+func CoverageAngleRad(altKm, minElevDeg float64) float64 {
+	re := EarthRadiusKm
+	rs := re + altKm
+	e := minElevDeg * math.Pi / 180
+	// beta = acos(re/rs * cos(e)) - e
+	return math.Acos(re/rs*math.Cos(e)) - e
+}
+
+// InitialBearingDeg returns the initial great-circle bearing from a to b in
+// degrees clockwise from north, in [0, 360).
+func InitialBearingDeg(a, b Point) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLon := lon2 - lon1
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	brng := math.Atan2(y, x) * 180 / math.Pi
+	if brng < 0 {
+		brng += 360
+	}
+	return brng
+}
+
+// Destination returns the point reached by travelling distKm kilometres from
+// start along the given initial bearing.
+func Destination(start Point, bearingDeg, distKm float64) Point {
+	lat1, lon1 := start.Radians()
+	brng := bearingDeg * math.Pi / 180
+	d := distKm / EarthRadiusKm
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(d) + math.Cos(lat1)*math.Sin(d)*math.Cos(brng))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brng)*math.Sin(d)*math.Cos(lat1),
+		math.Cos(d)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	return NewPoint(lat2*180/math.Pi, lon2*180/math.Pi)
+}
+
+// Midpoint returns the great-circle midpoint between a and b.
+func Midpoint(a, b Point) Point {
+	va := a.ToECEF()
+	vb := b.ToECEF()
+	m := va.Add(vb)
+	if m.Norm() == 0 {
+		// Antipodal points: midpoint is ill-defined; pick the pole route.
+		return NewPoint((a.LatDeg+b.LatDeg)/2, a.LonDeg)
+	}
+	return m.ToPoint()
+}

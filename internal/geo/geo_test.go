@@ -1,0 +1,265 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNormalizeLonDeg(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{180, 180},
+		{-180, 180},
+		{181, -179},
+		{-181, 179},
+		{360, 0},
+		{540, 180},
+		{720, 0},
+		{-359, 1},
+	}
+	for _, c := range cases {
+		if got := NormalizeLonDeg(c.in); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("NormalizeLonDeg(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNewPointClamps(t *testing.T) {
+	p := NewPoint(95, 200)
+	if p.LatDeg != 90 {
+		t.Errorf("latitude not clamped: %v", p.LatDeg)
+	}
+	if p.LonDeg != -160 {
+		t.Errorf("longitude not normalized: %v", p.LonDeg)
+	}
+	if !p.Valid() {
+		t.Errorf("clamped point should be valid: %v", p)
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	cases := []struct {
+		name   string
+		a, b   Point
+		wantKm float64
+		tolKm  float64
+	}{
+		{"same-point", NewPoint(10, 20), NewPoint(10, 20), 0, 1e-9},
+		{"london-newyork", NewPoint(51.5074, -0.1278), NewPoint(40.7128, -74.0060), 5570, 30},
+		{"maputo-frankfurt", NewPoint(-25.9692, 32.5732), NewPoint(50.1109, 8.6821), 8776, 80},
+		{"equator-quarter", NewPoint(0, 0), NewPoint(0, 90), 2 * math.Pi * EarthRadiusKm / 4, 1},
+		{"pole-to-pole", NewPoint(90, 0), NewPoint(-90, 0), math.Pi * EarthRadiusKm, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := HaversineKm(c.a, c.b)
+			if !almostEqual(got, c.wantKm, c.tolKm) {
+				t.Errorf("HaversineKm = %.1f, want %.1f +/- %.1f", got, c.wantKm, c.tolKm)
+			}
+		})
+	}
+}
+
+func TestHaversineProperties(t *testing.T) {
+	gen := func(latA, lonA, latB, lonB float64) (Point, Point) {
+		a := NewPoint(math.Mod(latA, 90), math.Mod(lonA, 180))
+		b := NewPoint(math.Mod(latB, 90), math.Mod(lonB, 180))
+		return a, b
+	}
+	symmetric := func(latA, lonA, latB, lonB float64) bool {
+		a, b := gen(latA, lonA, latB, lonB)
+		return almostEqual(HaversineKm(a, b), HaversineKm(b, a), 1e-6)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("haversine not symmetric: %v", err)
+	}
+	bounded := func(latA, lonA, latB, lonB float64) bool {
+		a, b := gen(latA, lonA, latB, lonB)
+		d := HaversineKm(a, b)
+		return d >= 0 && d <= math.Pi*EarthRadiusKm+1e-6
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Errorf("haversine out of bounds: %v", err)
+	}
+}
+
+func TestECEFRoundTrip(t *testing.T) {
+	prop := func(lat, lon float64) bool {
+		p := NewPoint(math.Mod(lat, 89), math.Mod(lon, 179))
+		q := p.ToECEF().ToPoint()
+		return almostEqual(p.LatDeg, q.LatDeg, 1e-9) && almostEqual(p.LonDeg, q.LonDeg, 1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("ECEF round trip failed: %v", err)
+	}
+}
+
+func TestECEFAltitude(t *testing.T) {
+	p := NewPoint(45, 45)
+	v := p.ToECEFAltitude(550)
+	if !almostEqual(v.Norm(), EarthRadiusKm+550, 1e-6) {
+		t.Errorf("radius = %v, want %v", v.Norm(), EarthRadiusKm+550)
+	}
+	if !almostEqual(v.AltitudeKm(), 550, 1e-6) {
+		t.Errorf("altitude = %v, want 550", v.AltitudeKm())
+	}
+}
+
+func TestChordVsArc(t *testing.T) {
+	// A straight-line chord must never exceed the surface arc between the
+	// same two surface points.
+	prop := func(latA, lonA, latB, lonB float64) bool {
+		a := NewPoint(math.Mod(latA, 90), math.Mod(lonA, 180))
+		b := NewPoint(math.Mod(latB, 90), math.Mod(lonB, 180))
+		chord := LineOfSightKm(a.ToECEF(), b.ToECEF())
+		arc := HaversineKm(a, b)
+		return chord <= arc+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("chord exceeded arc: %v", err)
+	}
+}
+
+func TestElevationDeg(t *testing.T) {
+	ground := NewPoint(0, 0).ToECEF()
+	overhead := NewPoint(0, 0).ToECEFAltitude(550)
+	if e := ElevationDeg(ground, overhead); !almostEqual(e, 90, 1e-4) {
+		t.Errorf("overhead elevation = %v, want 90", e)
+	}
+	// A satellite on the opposite side of the Earth is far below the horizon.
+	antipode := NewPoint(0, 180).ToECEFAltitude(550)
+	if e := ElevationDeg(ground, antipode); e > -45 {
+		t.Errorf("antipodal elevation = %v, want strongly negative", e)
+	}
+}
+
+func TestSlantRange(t *testing.T) {
+	// At 90 deg elevation the slant range equals the altitude.
+	if r := SlantRangeKm(550, 90); !almostEqual(r, 550, 1e-6) {
+		t.Errorf("slant at zenith = %v, want 550", r)
+	}
+	// Slant range grows monotonically as elevation drops.
+	prev := 0.0
+	for e := 90.0; e >= 10; e -= 10 {
+		r := SlantRangeKm(550, e)
+		if r < prev {
+			t.Fatalf("slant range not monotone: %v at elev %v < %v", r, e, prev)
+		}
+		prev = r
+	}
+	// At 25 deg elevation and 550 km altitude the slant is ~1100 km.
+	if r := SlantRangeKm(550, 25); r < 1000 || r > 1250 {
+		t.Errorf("slant at 25deg = %v, want ~1100", r)
+	}
+}
+
+func TestSlantRangeConsistentWithElevation(t *testing.T) {
+	// Place a satellite at the coverage-edge central angle and verify the
+	// observed elevation matches the requested minimum elevation.
+	for _, minElev := range []float64{5, 15, 25, 40} {
+		beta := CoverageAngleRad(550, minElev)
+		user := NewPoint(0, 0)
+		subpoint := Destination(user, 90, beta*EarthRadiusKm)
+		sat := subpoint.ToECEFAltitude(550)
+		got := ElevationDeg(user.ToECEF(), sat)
+		if !almostEqual(got, minElev, 0.01) {
+			t.Errorf("elevation at coverage edge = %v, want %v", got, minElev)
+		}
+	}
+}
+
+func TestBearingAndDestination(t *testing.T) {
+	start := NewPoint(0, 0)
+	// Due east along the equator.
+	p := Destination(start, 90, 1000)
+	if !almostEqual(p.LatDeg, 0, 1e-6) {
+		t.Errorf("eastward destination drifted in latitude: %v", p)
+	}
+	wantLon := 1000 / EarthRadiusKm * 180 / math.Pi
+	if !almostEqual(p.LonDeg, wantLon, 1e-6) {
+		t.Errorf("eastward lon = %v, want %v", p.LonDeg, wantLon)
+	}
+	if b := InitialBearingDeg(start, p); !almostEqual(b, 90, 1e-6) {
+		t.Errorf("bearing = %v, want 90", b)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	prop := func(lat, lon, bearing, dist float64) bool {
+		start := NewPoint(math.Mod(lat, 80), math.Mod(lon, 180))
+		b := math.Mod(math.Abs(bearing), 360)
+		d := math.Mod(math.Abs(dist), 5000)
+		end := Destination(start, b, d)
+		return almostEqual(HaversineKm(start, end), d, 1e-6*d+1e-6)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("destination distance mismatch: %v", err)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := NewPoint(0, 0)
+	b := NewPoint(0, 90)
+	m := Midpoint(a, b)
+	if !almostEqual(m.LatDeg, 0, 1e-9) || !almostEqual(m.LonDeg, 45, 1e-9) {
+		t.Errorf("midpoint = %v, want 0,45", m)
+	}
+	da := HaversineKm(a, m)
+	db := HaversineKm(b, m)
+	if !almostEqual(da, db, 1e-6) {
+		t.Errorf("midpoint not equidistant: %v vs %v", da, db)
+	}
+}
+
+func TestCoverageAngle(t *testing.T) {
+	// Shell 1 at 550 km with a 25 deg mask covers a cap of roughly 940 km
+	// great-circle radius.
+	beta := CoverageAngleRad(550, 25)
+	radiusKm := beta * EarthRadiusKm
+	if radiusKm < 800 || radiusKm > 1100 {
+		t.Errorf("coverage radius = %v km, want ~940", radiusKm)
+	}
+	// Lower masks cover more ground.
+	if CoverageAngleRad(550, 5) <= CoverageAngleRad(550, 40) {
+		t.Error("coverage angle should shrink with a higher elevation mask")
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if got := v.Add(w); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Cross(w); got != (Vec3{-3, 6, -3}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if u := v.Unit(); !almostEqual(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if z := (Vec3{}).Unit(); z != (Vec3{}) {
+		t.Errorf("zero Unit = %v", z)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	s := NewPoint(-25.9692, 32.5732).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	n := NewPoint(51.5, -0.1).String()
+	if n == s {
+		t.Fatal("distinct points should render differently")
+	}
+}

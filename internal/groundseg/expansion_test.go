@@ -1,0 +1,85 @@
+package groundseg
+
+import (
+	"testing"
+
+	"spacecdn/internal/geo"
+)
+
+func TestWithPoPExpansion(t *testing.T) {
+	c := NewCatalog(
+		WithPoP("nbo", "Nairobi, KE"),
+		WithPoP("mpm", "Maputo, MZ"),
+		WithAssignment("KE", "nbo"),
+		WithAssignment("MZ", "mpm"),
+	)
+	if got := len(c.PoPs()); got != 24 {
+		t.Fatalf("PoPs = %d, want 24", got)
+	}
+	p, ok := c.AssignPoP("KE")
+	if !ok || p.Name != "nbo" {
+		t.Errorf("KE assigned to %v", p.Name)
+	}
+	p, ok = c.AssignPoP("MZ")
+	if !ok || p.Name != "mpm" {
+		t.Errorf("MZ assigned to %v", p.Name)
+	}
+	// Every new PoP has a colocated station.
+	if gs := c.StationsForPoP("nbo"); len(gs) != 1 || gs[0].Name != "gs-nbo" {
+		t.Errorf("nbo stations = %v", gs)
+	}
+	// Unrelated assignments untouched.
+	p, _ = c.AssignPoP("ZM")
+	if p.Name != "fra" {
+		t.Errorf("ZM assignment changed: %s", p.Name)
+	}
+	// The baseline catalog is unaffected by options applied to another
+	// instance (no global state leaks).
+	base := NewCatalog()
+	if got := len(base.PoPs()); got != 22 {
+		t.Errorf("baseline PoPs = %d after expansion elsewhere", got)
+	}
+	if p, _ := base.AssignPoP("KE"); p.Name != "fra" {
+		t.Errorf("baseline KE assignment changed: %s", p.Name)
+	}
+}
+
+func TestWithPoPPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate PoP should panic")
+		}
+	}()
+	NewCatalog(WithPoP("fra", "Frankfurt, DE"))
+}
+
+func TestWithPoPPanicsOnUnknownCity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown city should panic")
+		}
+	}()
+	NewCatalog(WithPoP("zzz", "Atlantis, XX"))
+}
+
+func TestWithAssignmentPanicsOnUnknownPoP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown PoP should panic")
+		}
+	}()
+	NewCatalog(WithAssignment("KE", "nope"))
+}
+
+func TestExpansionShrinksDistance(t *testing.T) {
+	base := NewCatalog()
+	expanded := NewCatalog(WithPoP("mpm", "Maputo, MZ"), WithAssignment("MZ", "mpm"))
+	centroid, _ := geo.CountryCentroid("MZ")
+	before, _ := base.AssignPoP("MZ")
+	after, _ := expanded.AssignPoP("MZ")
+	dBefore := geo.HaversineKm(centroid, before.Loc)
+	dAfter := geo.HaversineKm(centroid, after.Loc)
+	if dAfter >= dBefore/10 {
+		t.Errorf("expansion did not shrink PoP distance: %v -> %v km", dBefore, dAfter)
+	}
+}

@@ -1,0 +1,231 @@
+package groundseg
+
+import (
+	"testing"
+
+	"spacecdn/internal/geo"
+)
+
+func TestCatalogShape(t *testing.T) {
+	c := NewCatalog()
+	if got := len(c.PoPs()); got != 22 {
+		t.Errorf("PoP count = %d, want 22 (paper Fig. 2)", got)
+	}
+	if got := len(c.Stations()); got < 22+len(extraGS) {
+		t.Errorf("station count = %d, want >= %d", got, 22+len(extraGS))
+	}
+	// Exactly one African PoP: Lagos.
+	african := 0
+	for _, p := range c.PoPs() {
+		cc, ok := geo.CountryByISO(p.Country)
+		if !ok {
+			t.Fatalf("PoP %s has unknown country %s", p.Name, p.Country)
+		}
+		if cc.Region == geo.RegionAfrica {
+			african++
+			if p.Name != "los" {
+				t.Errorf("unexpected African PoP %s", p.Name)
+			}
+		}
+	}
+	if african != 1 {
+		t.Errorf("African PoPs = %d, want 1", african)
+	}
+}
+
+func TestEveryStationHasValidPoP(t *testing.T) {
+	c := NewCatalog()
+	for _, gs := range c.Stations() {
+		p, ok := c.PoPByName(gs.PoP)
+		if !ok {
+			t.Errorf("station %s references unknown PoP %s", gs.Name, gs.PoP)
+			continue
+		}
+		// Stations serve their home PoP from within a continental distance.
+		if d := geo.HaversineKm(gs.Loc, p.Loc); d > 4500 {
+			t.Errorf("station %s is %v km from its PoP %s", gs.Name, d, p.Name)
+		}
+		if !gs.Loc.Valid() {
+			t.Errorf("station %s has invalid location", gs.Name)
+		}
+	}
+}
+
+func TestPoPByName(t *testing.T) {
+	c := NewCatalog()
+	p, ok := c.PoPByName("fra")
+	if !ok || p.City != "Frankfurt" {
+		t.Fatalf("fra lookup: %+v ok=%v", p, ok)
+	}
+	if _, ok := c.PoPByName("xxx"); ok {
+		t.Error("unknown PoP resolved")
+	}
+	// Case-insensitive.
+	if _, ok := c.PoPByName("FRA"); !ok {
+		t.Error("uppercase lookup failed")
+	}
+}
+
+func TestAssignPoPPaperGeography(t *testing.T) {
+	c := NewCatalog()
+	// The assignments that drive the paper's Table 1 shape.
+	cases := map[string]string{
+		"MZ": "fra", // Maputo -> Frankfurt, ~8,776 km
+		"KE": "fra",
+		"ZM": "fra",
+		"RW": "los", // Rwanda's Table 1 distance matches Lagos
+		"SZ": "los",
+		"NG": "los", // the paper's outlier: local PoP
+		"LT": "fra", // Vilnius -> Frankfurt ~1,243 km
+		"CY": "fra",
+		"ES": "mad", // local PoP -> near parity with terrestrial
+		"JP": "tyo",
+		"DE": "fra",
+		"GB": "lhr",
+		"GT": "qro", // Guatemala City -> Queretaro ~1,221 km
+		"HT": "iad", // Port-au-Prince -> Ashburn ~2,063 km
+	}
+	for iso, want := range cases {
+		p, ok := c.AssignPoP(iso)
+		if !ok {
+			t.Errorf("AssignPoP(%s) failed", iso)
+			continue
+		}
+		if p.Name != want {
+			t.Errorf("AssignPoP(%s) = %s, want %s", iso, p.Name, want)
+		}
+	}
+}
+
+func TestAssignPoPDistancesMatchTable1(t *testing.T) {
+	// The geodesic from the country's capital to its assigned PoP should be
+	// within ~20% of the paper's Table 1 "Starlink distance" column (their
+	// distances are averages over client cities; ours use the capital).
+	c := NewCatalog()
+	cases := []struct {
+		iso    string
+		paper  float64
+		relTol float64
+	}{
+		{"GT", 1220.9, 0.25},
+		{"MZ", 8776.5, 0.15},
+		{"CY", 2595.3, 0.15},
+		{"HT", 2063.2, 0.15},
+		{"KE", 6310.8, 0.15},
+		{"ZM", 7545.9, 0.15},
+		{"LT", 1243.2, 0.15},
+	}
+	for _, tc := range cases {
+		p, ok := c.AssignPoP(tc.iso)
+		if !ok {
+			t.Fatalf("AssignPoP(%s) failed", tc.iso)
+		}
+		centroid, _ := geo.CountryCentroid(tc.iso)
+		d := geo.HaversineKm(centroid, p.Loc)
+		if d < tc.paper*(1-tc.relTol) || d > tc.paper*(1+tc.relTol) {
+			t.Errorf("%s: capital->PoP distance %.0f km, paper %.0f km", tc.iso, d, tc.paper)
+		}
+	}
+}
+
+func TestAssignPoPFallback(t *testing.T) {
+	c := NewCatalog()
+	// US is not in the explicit table: falls back to nearest from centroid.
+	if _, ok := c.AssignPoP("US"); !ok {
+		t.Error("US fallback failed")
+	}
+	if _, ok := c.AssignPoP("ZZ"); ok {
+		t.Error("unknown country should fail")
+	}
+}
+
+func TestAssignPoPForClient(t *testing.T) {
+	c := NewCatalog()
+	// US clients use their nearest PoP, not a single national one.
+	seattle, _ := geo.CityByName("Seattle, US")
+	miami, _ := geo.CityByName("Miami, US")
+	p1, _ := c.AssignPoPForClient("US", seattle.Loc)
+	p2, _ := c.AssignPoPForClient("US", miami.Loc)
+	if p1.Name != "sea" || p2.Name != "mia" {
+		t.Errorf("US clients: %s/%s, want sea/mia", p1.Name, p2.Name)
+	}
+	// Non-US clients use the country table regardless of location.
+	beira, _ := geo.CityByName("Beira, MZ")
+	p3, _ := c.AssignPoPForClient("MZ", beira.Loc)
+	if p3.Name != "fra" {
+		t.Errorf("MZ client PoP = %s, want fra", p3.Name)
+	}
+}
+
+func TestNearestPoP(t *testing.T) {
+	c := NewCatalog()
+	ffm, _ := geo.CityByName("Frankfurt, DE")
+	if p := c.NearestPoP(ffm.Loc); p.Name != "fra" {
+		t.Errorf("nearest to Frankfurt = %s", p.Name)
+	}
+	nairobi, _ := geo.CityByName("Nairobi, KE")
+	p := c.NearestPoP(nairobi.Loc)
+	// Geographically nearest to Nairobi is Lagos (3,800 km) — the point of
+	// the paper is that assignment does NOT use it for Kenya.
+	if p.Name != "los" {
+		t.Errorf("nearest to Nairobi = %s, want los", p.Name)
+	}
+	assigned, _ := c.AssignPoP("KE")
+	if assigned.Name == p.Name {
+		t.Error("Kenya's assigned PoP should differ from its nearest PoP")
+	}
+}
+
+func TestStationsForPoP(t *testing.T) {
+	c := NewCatalog()
+	fra := c.StationsForPoP("fra")
+	if len(fra) < 2 { // colocated + Hamburg
+		t.Errorf("fra stations = %d, want >= 2", len(fra))
+	}
+	for _, gs := range fra {
+		if gs.PoP != "fra" {
+			t.Errorf("station %s not homed on fra", gs.Name)
+		}
+	}
+	if got := c.StationsForPoP("nope"); len(got) != 0 {
+		t.Error("unknown PoP should have no stations")
+	}
+}
+
+func TestNearestStationForPoP(t *testing.T) {
+	c := NewCatalog()
+	// From Hamburg, the nearest fra-homed station is the Hamburg GS.
+	gs, ok := c.NearestStationForPoP("fra", geo.NewPoint(53.55, 9.99))
+	if !ok {
+		t.Fatal("no station for fra")
+	}
+	if gs.Name != "gs-hamburg" {
+		t.Errorf("nearest fra station from Hamburg = %s", gs.Name)
+	}
+	if _, ok := c.NearestStationForPoP("nope", geo.NewPoint(0, 0)); ok {
+		t.Error("unknown PoP should fail")
+	}
+}
+
+func TestCountriesServed(t *testing.T) {
+	served := CountriesServed()
+	if len(served) < 40 {
+		t.Errorf("explicit assignments = %d, want >= 40", len(served))
+	}
+	for i := 1; i < len(served); i++ {
+		if served[i-1] >= served[i] {
+			t.Error("CountriesServed not sorted")
+		}
+	}
+	// Every explicitly served country must exist in the geo dataset and
+	// resolve to a real PoP.
+	c := NewCatalog()
+	for _, iso := range served {
+		if _, ok := geo.CountryByISO(iso); !ok {
+			t.Errorf("served country %s missing from geo dataset", iso)
+		}
+		if _, ok := c.AssignPoP(iso); !ok {
+			t.Errorf("served country %s does not resolve to a PoP", iso)
+		}
+	}
+}

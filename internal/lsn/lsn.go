@@ -1,0 +1,280 @@
+// Package lsn models the LEO satellite network access path — the simulator's
+// equivalent of Starlink's production network. A subscriber's traffic goes:
+//
+//	terminal --Ku-band--> satellite --(0..n ISLs)--> satellite --> ground
+//	station --fiber--> PoP --> Internet
+//
+// The PoP (not the subscriber) is what the terrestrial Internet and CDN
+// anycast "see", which is the root of the paper's observations. Subscribers
+// in countries without nearby ground infrastructure ride inter-satellite
+// links to a remote ground station (e.g. Mozambique to Frankfurt), adding
+// tens of milliseconds and — more importantly — landing at a PoP on another
+// continent.
+//
+// Latency composition per direction: radio up/down (speed of light over the
+// slant range), laser ISL hops (speed of light, plus per-hop switching),
+// ground-station-to-PoP fiber, and the MAC scheduling delay of the
+// frame-based Ku-band access link. Under load, the access queue adds the
+// severe bufferbloat the paper reports (>200 ms).
+package lsn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/orbit"
+	"spacecdn/internal/routing"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/terrestrial"
+)
+
+// ErrNoVisibility is returned when the client or ground station has no
+// satellite above the elevation mask.
+var ErrNoVisibility = errors.New("lsn: no satellite above elevation mask")
+
+// Config tunes the non-geometric latency components, all in milliseconds.
+type Config struct {
+	// SchedFloorRTTMs is the fixed two-way MAC/PHY overhead of the access
+	// link (frame alignment, grant cycles, FEC). Starlink's observed ~20 ms
+	// floor over and above propagation is dominated by this.
+	SchedFloorRTTMs float64
+	// SchedJitterMs is the upper bound of the additional uniform two-way
+	// scheduling delay (frame phase).
+	SchedJitterMs float64
+	// PerHopProcMs is the switching delay per ISL hop, per direction.
+	PerHopProcMs float64
+	// GatewayProcRTTMs covers GS modem + PoP CGNAT processing, two-way.
+	GatewayProcRTTMs float64
+	// QueueNoiseMeanMs is the mean of the exponential idle queueing noise.
+	QueueNoiseMeanMs float64
+	// BloatLoadedMinMs/MaxMs bound the uniform bufferbloat added under
+	// active load (the paper observes >200 ms during downloads).
+	BloatLoadedMinMs float64
+	BloatLoadedMaxMs float64
+}
+
+// DefaultConfig is calibrated so that a subscriber with a local PoP sees a
+// ~30-35 ms idle minimum RTT to a nearby host (paper Table 1: Spain 33 ms,
+// Japan 34 ms), and loaded RTTs inflate by 100-350 ms.
+func DefaultConfig() Config {
+	return Config{
+		SchedFloorRTTMs:  18,
+		SchedJitterMs:    14,
+		PerHopProcMs:     0.35,
+		GatewayProcRTTMs: 4,
+		QueueNoiseMeanMs: 7,
+		BloatLoadedMinMs: 100,
+		BloatLoadedMaxMs: 350,
+	}
+}
+
+// Model computes subscriber paths over a constellation and ground segment.
+// It is safe for concurrent use.
+type Model struct {
+	Constellation *constellation.Constellation
+	Ground        *groundseg.Catalog
+	cfg           Config
+}
+
+// NewModel assembles the LSN access model.
+func NewModel(c *constellation.Constellation, g *groundseg.Catalog, cfg Config) *Model {
+	return &Model{Constellation: c, Ground: g, cfg: cfg}
+}
+
+// Config returns the model's latency configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Path is a resolved subscriber path at one constellation snapshot.
+type Path struct {
+	Client geo.Point
+	PoP    groundseg.PoP
+	GS     groundseg.GroundStation
+
+	UpSat   constellation.SatID // satellite serving the terminal
+	DownSat constellation.SatID // satellite over the ground station
+
+	UplinkDelay   time.Duration // one-way terminal -> UpSat
+	ISLDelay      time.Duration // one-way UpSat -> DownSat over ISLs
+	ISLHops       int
+	DownlinkDelay time.Duration // one-way DownSat -> GS
+	GSFiberDelay  time.Duration // one-way GS -> PoP terrestrial fiber
+}
+
+// OneWayPropagation returns the total one-way propagation delay of the path,
+// excluding scheduling and processing.
+func (p Path) OneWayPropagation() time.Duration {
+	return p.UplinkDelay + p.ISLDelay + p.DownlinkDelay + p.GSFiberDelay
+}
+
+func (p Path) String() string {
+	return fmt.Sprintf("client->sat%d -(%d isl, %.1fms)-> sat%d ->%s ->pop %s (oneway %.1fms)",
+		p.UpSat, p.ISLHops, float64(p.ISLDelay)/float64(time.Millisecond),
+		p.DownSat, p.GS.Name, p.PoP.Name,
+		float64(p.OneWayPropagation())/float64(time.Millisecond))
+}
+
+// maxUplinkCandidates bounds how many client-visible satellites are
+// evaluated as serving candidates. The operator's scheduler can serve the
+// terminal from any sufficiently elevated satellite; evaluating the top few
+// by elevation captures that without scanning the whole sky.
+const maxUplinkCandidates = 6
+
+// ResolvePath computes the subscriber's path to their assigned PoP at a
+// snapshot. It evaluates the top visible satellites at the terminal against
+// every visible satellite at each ground station homed on the PoP, and picks
+// the pair minimizing total one-way propagation — modelling an operator that
+// schedules terminals and gateways onto the cheapest space path.
+func (m *Model) ResolvePath(client geo.Point, iso2 string, snap *constellation.Snapshot) (Path, error) {
+	pop, ok := m.Ground.AssignPoPForClient(iso2, client)
+	if !ok {
+		return Path{}, fmt.Errorf("lsn: no PoP assignment for country %q", iso2)
+	}
+	ups := snap.Visible(client)
+	if len(ups) == 0 {
+		return Path{}, fmt.Errorf("%w: client at %v", ErrNoVisibility, client)
+	}
+	if len(ups) > maxUplinkCandidates {
+		ups = ups[:maxUplinkCandidates]
+	}
+	stations := m.Ground.StationsForPoP(pop.Name)
+	if len(stations) == 0 {
+		return Path{}, fmt.Errorf("lsn: PoP %s has no ground stations", pop.Name)
+	}
+	// Pre-compute visibility and the fiber tail per station.
+	type gsInfo struct {
+		gs    groundseg.GroundStation
+		vis   []constellation.VisibleSat
+		fiber time.Duration
+	}
+	var gss []gsInfo
+	for _, gs := range stations {
+		vis := snap.Visible(gs.Loc)
+		if len(vis) == 0 {
+			continue
+		}
+		gss = append(gss, gsInfo{
+			gs:    gs,
+			vis:   vis,
+			fiber: terrestrial.FiberDelay(geo.HaversineKm(gs.Loc, pop.Loc) * 1.4),
+		})
+	}
+	if len(gss) == 0 {
+		return Path{}, fmt.Errorf("%w: no station of PoP %s has coverage", ErrNoVisibility, pop.Name)
+	}
+
+	g := snap.ISLGraph()
+	best := Path{}
+	bestCost := time.Duration(1<<63 - 1)
+	found := false
+	for _, up := range ups {
+		dist := g.ShortestPathsFrom(routing.NodeID(up.ID)) // ms
+		for _, gi := range gss {
+			for _, down := range gi.vis {
+				islMs := dist[down.ID]
+				if math.IsInf(islMs, 1) {
+					continue
+				}
+				p := Path{
+					Client:        client,
+					PoP:           pop,
+					GS:            gi.gs,
+					UpSat:         up.ID,
+					DownSat:       down.ID,
+					UplinkDelay:   orbit.PropagationDelay(up.SlantKm),
+					ISLDelay:      time.Duration(islMs * float64(time.Millisecond)),
+					DownlinkDelay: orbit.PropagationDelay(down.SlantKm),
+					GSFiberDelay:  gi.fiber,
+				}
+				if cost := p.OneWayPropagation(); cost < bestCost {
+					bestCost = cost
+					best = p
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return Path{}, fmt.Errorf("%w: no ISL route to PoP %s", ErrNoVisibility, pop.Name)
+	}
+	if best.UpSat != best.DownSat {
+		sp, ok := g.ShortestPath(routing.NodeID(best.UpSat), routing.NodeID(best.DownSat))
+		if ok {
+			best.ISLHops = sp.Hops()
+		}
+	}
+	return best, nil
+}
+
+// MinRTTToPoP returns the floor round-trip time from the client to its PoP:
+// two-way propagation plus the fixed scheduling and processing overheads.
+func (m *Model) MinRTTToPoP(p Path) time.Duration {
+	rtt := 2 * p.OneWayPropagation()
+	rtt += time.Duration((m.cfg.SchedFloorRTTMs + m.cfg.GatewayProcRTTMs) * float64(time.Millisecond))
+	rtt += time.Duration(2 * float64(p.ISLHops) * m.cfg.PerHopProcMs * float64(time.Millisecond))
+	return rtt
+}
+
+// SampleRTTToPoP draws one idle RTT measurement to the PoP: the floor plus
+// frame-phase jitter and light queueing.
+func (m *Model) SampleRTTToPoP(p Path, rng *stats.Rand) time.Duration {
+	rtt := m.MinRTTToPoP(p)
+	jitter := rng.Uniform(0, m.cfg.SchedJitterMs) + rng.Exponential(m.cfg.QueueNoiseMeanMs)
+	return rtt + time.Duration(jitter*float64(time.Millisecond))
+}
+
+// LoadedRTTToPoP draws an RTT under concurrent load: idle sample plus the
+// access-link bufferbloat.
+func (m *Model) LoadedRTTToPoP(p Path, rng *stats.Rand) time.Duration {
+	bloat := rng.Uniform(m.cfg.BloatLoadedMinMs, m.cfg.BloatLoadedMaxMs)
+	return m.SampleRTTToPoP(p, rng) + time.Duration(bloat*float64(time.Millisecond))
+}
+
+// RTTToHost composes the satellite path with the terrestrial leg from the
+// PoP to a host (e.g. a CDN edge): sample = satellite RTT + fiber RTT from
+// PoP to host. The PoP-side leg has no last-mile component — it leaves from
+// a datacenter — so only routed propagation and small transit noise apply.
+func (m *Model) RTTToHost(p Path, host geo.Point, hostRegion geo.Region, t *terrestrial.Model, rng *stats.Rand) time.Duration {
+	popRegion := regionOf(p.PoP.Country)
+	fiber := 2 * terrestrial.FiberDelay(routedKm(p.PoP.Loc, host, popRegion, hostRegion, t))
+	transitNoise := time.Duration(rng.Exponential(2) * float64(time.Millisecond))
+	return m.SampleRTTToPoP(p, rng) + fiber + transitNoise
+}
+
+// MinRTTToHost is the floor composition of MinRTTToPoP and the PoP-to-host
+// fiber leg.
+func (m *Model) MinRTTToHost(p Path, host geo.Point, hostRegion geo.Region, t *terrestrial.Model) time.Duration {
+	popRegion := regionOf(p.PoP.Country)
+	fiber := 2 * terrestrial.FiberDelay(routedKm(p.PoP.Loc, host, popRegion, hostRegion, t))
+	return m.MinRTTToPoP(p) + fiber
+}
+
+// DownlinkMbps samples the subscriber's access throughput. Starlink consumer
+// service delivers tens to ~200 Mbps with high variance.
+func (m *Model) DownlinkMbps(rng *stats.Rand) float64 {
+	return rng.PositiveNormal(110, 45, 15)
+}
+
+func regionOf(iso2 string) geo.Region {
+	if c, ok := geo.CountryByISO(iso2); ok {
+		return c.Region
+	}
+	return geo.RegionUnknown
+}
+
+// routedKm mirrors the terrestrial model's route-stretch policy for the
+// PoP-to-host leg.
+func routedKm(a, b geo.Point, ra, rb geo.Region, t *terrestrial.Model) float64 {
+	d := geo.HaversineKm(a, b)
+	stretch := terrestrial.ProfileFor(ra).PathStretch
+	if ra != rb {
+		stretch = t.InterRegionStretch
+	} else if s := terrestrial.ProfileFor(rb).PathStretch; s > stretch {
+		stretch = s
+	}
+	return d * stretch
+}

@@ -1,0 +1,254 @@
+package lsn
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/terrestrial"
+)
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+var (
+	testConst  = constellation.MustNew(constellation.DefaultConfig())
+	testGround = groundseg.NewCatalog()
+)
+
+func testModel() *Model {
+	return NewModel(testConst, testGround, DefaultConfig())
+}
+
+func mustCity(t *testing.T, name string) geo.City {
+	t.Helper()
+	c, ok := geo.CityByName(name)
+	if !ok {
+		t.Fatalf("city %q not found", name)
+	}
+	return c
+}
+
+func TestResolvePathLocalPoP(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	madrid := mustCity(t, "Madrid, ES")
+	p, err := m.ResolvePath(madrid.Loc, "ES", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PoP.Name != "mad" {
+		t.Errorf("PoP = %s, want mad", p.PoP.Name)
+	}
+	// Local PoP: few or no ISL hops, one-way propagation under ~12 ms.
+	if p.ISLHops > 4 {
+		t.Errorf("ISL hops = %d for a local PoP, want <= 4", p.ISLHops)
+	}
+	if ow := ms(p.OneWayPropagation()); ow > 15 {
+		t.Errorf("one-way propagation %v ms too high for local PoP", ow)
+	}
+	if p.UplinkDelay <= 0 || p.DownlinkDelay <= 0 {
+		t.Error("radio legs must be positive")
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestResolvePathRemotePoP(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	maputo := mustCity(t, "Maputo, MZ")
+	p, err := m.ResolvePath(maputo.Loc, "MZ", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PoP.Name != "fra" {
+		t.Fatalf("PoP = %s, want fra", p.PoP.Name)
+	}
+	// ~8,800 km over the ISL grid: many hops, tens of ms one way.
+	if p.ISLHops < 5 {
+		t.Errorf("ISL hops = %d, want >= 5 for an intercontinental path", p.ISLHops)
+	}
+	ow := ms(p.OneWayPropagation())
+	if ow < 30 || ow > 110 {
+		t.Errorf("one-way propagation = %v ms, want ~40-90", ow)
+	}
+}
+
+func TestMinRTTMatchesTable1(t *testing.T) {
+	// Paper Table 1, Starlink column (median minRTT in ms). The model should
+	// land within a generous band — the shape (which countries are bad and
+	// by how much) is the target, not the third digit.
+	m := testModel()
+	cases := []struct {
+		city   string
+		iso    string
+		paper  float64
+		tolLow float64 // fraction below
+		tolHi  float64 // fraction above
+	}{
+		{"Madrid, ES", "ES", 33, 0.35, 0.35},
+		{"Tokyo, JP", "JP", 34, 0.35, 0.35},
+		{"Maputo, MZ", "MZ", 138.7, 0.30, 0.45},
+		{"Nairobi, KE", "KE", 110.9, 0.30, 0.45},
+		{"Lusaka, ZM", "ZM", 143.5, 0.30, 0.45},
+		{"Vilnius, LT", "LT", 40, 0.35, 0.45},
+		{"Guatemala City, GT", "GT", 44.2, 0.35, 0.45},
+		{"Port-au-Prince, HT", "HT", 50, 0.35, 0.45},
+	}
+	// minRTT over a few snapshot times (the paper's is a min over weeks).
+	snaps := []*constellation.Snapshot{
+		testConst.Snapshot(0),
+		testConst.Snapshot(11 * time.Minute),
+		testConst.Snapshot(29 * time.Minute),
+		testConst.Snapshot(53 * time.Minute),
+	}
+	for _, tc := range cases {
+		t.Run(tc.iso, func(t *testing.T) {
+			c := mustCity(t, tc.city)
+			best := time.Duration(1<<63 - 1)
+			for _, snap := range snaps {
+				p, err := m.ResolvePath(c.Loc, tc.iso, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// RTT to a CDN colocated with the PoP (the "optimal" CDN
+				// in the paper's methodology).
+				if rtt := m.MinRTTToPoP(p); rtt < best {
+					best = rtt
+				}
+			}
+			got := ms(best)
+			if got < tc.paper*(1-tc.tolLow) || got > tc.paper*(1+tc.tolHi) {
+				t.Errorf("minRTT = %.1f ms, paper %.1f ms", got, tc.paper)
+			}
+		})
+	}
+}
+
+func TestSamplesAboveFloor(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	rng := stats.NewRand(4)
+	c := mustCity(t, "London, GB")
+	p, err := m.ResolvePath(c.Loc, "GB", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := m.MinRTTToPoP(p)
+	for i := 0; i < 2000; i++ {
+		if s := m.SampleRTTToPoP(p, rng); s < floor {
+			t.Fatalf("sample %v below floor %v", s, floor)
+		}
+	}
+}
+
+func TestLoadedBufferbloat(t *testing.T) {
+	// The paper: >200 ms RTT inflation during active downloads.
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	rng := stats.NewRand(5)
+	c := mustCity(t, "London, GB")
+	p, err := m.ResolvePath(c.Loc, "GB", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idle, loaded []float64
+	for i := 0; i < 3000; i++ {
+		idle = append(idle, ms(m.SampleRTTToPoP(p, rng)))
+		loaded = append(loaded, ms(m.LoadedRTTToPoP(p, rng)))
+	}
+	inflation := stats.Median(loaded) - stats.Median(idle)
+	if inflation < 100 || inflation > 400 {
+		t.Errorf("median bufferbloat inflation = %v ms, want 100-400", inflation)
+	}
+	if stats.Quantile(loaded, 0.9) < 200 {
+		t.Errorf("p90 loaded RTT = %v ms, paper observes >200", stats.Quantile(loaded, 0.9))
+	}
+}
+
+func TestRTTToHostCompose(t *testing.T) {
+	m := testModel()
+	tm := terrestrial.NewModel()
+	snap := testConst.Snapshot(0)
+	rng := stats.NewRand(6)
+	maputo := mustCity(t, "Maputo, MZ")
+	p, err := m.ResolvePath(maputo.Loc, "MZ", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fra := mustCity(t, "Frankfurt, DE")
+	cpt := mustCity(t, "Cape Town, ZA")
+
+	// Frankfurt CDN (next to the PoP) must beat Cape Town CDN (a long
+	// terrestrial leg from Frankfurt) — the paper's Fig. 3a inversion.
+	fraRTT := ms(m.MinRTTToHost(p, fra.Loc, fra.Region, tm))
+	cptRTT := ms(m.MinRTTToHost(p, cpt.Loc, cpt.Region, tm))
+	if fraRTT >= cptRTT {
+		t.Errorf("Frankfurt CDN (%v ms) should beat Cape Town CDN (%v ms) over Starlink", fraRTT, cptRTT)
+	}
+	// Paper: Frankfurt ~160 ms, African CDNs often exceeding 250 ms.
+	if fraRTT < 90 || fraRTT > 210 {
+		t.Errorf("Maputo->fra CDN = %v ms, paper ~160", fraRTT)
+	}
+	if cptRTT < 180 {
+		t.Errorf("Maputo->Cape Town CDN over Starlink = %v ms, paper >250", cptRTT)
+	}
+	// Samples include the floor.
+	for i := 0; i < 500; i++ {
+		if got := m.RTTToHost(p, fra.Loc, fra.Region, tm, rng); ms(got) < fraRTT {
+			t.Fatalf("sampled host RTT %v below floor %v", ms(got), fraRTT)
+		}
+	}
+}
+
+func TestUnknownCountry(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	if _, err := m.ResolvePath(geo.NewPoint(0, 0), "ZZ", snap); err == nil {
+		t.Error("unknown country should fail")
+	}
+}
+
+func TestNoVisibilityAtPole(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	_, err := m.ResolvePath(geo.NewPoint(89.5, 0), "NO", snap)
+	if err == nil {
+		t.Error("pole should have no Shell 1 coverage at 25 deg mask")
+	}
+}
+
+func TestDownlinkThroughput(t *testing.T) {
+	m := testModel()
+	rng := stats.NewRand(7)
+	var xs []float64
+	for i := 0; i < 2000; i++ {
+		v := m.DownlinkMbps(rng)
+		if v < 15 {
+			t.Fatalf("throughput %v below floor", v)
+		}
+		xs = append(xs, v)
+	}
+	med := stats.Median(xs)
+	if med < 60 || med > 180 {
+		t.Errorf("median downlink = %v Mbps, want ~110", med)
+	}
+}
+
+func TestPathDeterminism(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(17 * time.Minute)
+	c := mustCity(t, "Nairobi, KE")
+	p1, err1 := m.ResolvePath(c.Loc, "KE", snap)
+	p2, err2 := m.ResolvePath(c.Loc, "KE", snap)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if p1 != p2 {
+		t.Errorf("path resolution not deterministic: %+v vs %+v", p1, p2)
+	}
+}

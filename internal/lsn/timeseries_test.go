@@ -1,0 +1,82 @@
+package lsn
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+func TestRTTTimeSeries(t *testing.T) {
+	m := testModel()
+	rng := stats.NewRand(9)
+	c := mustCity(t, "Madrid, ES")
+	series, err := m.RTTTimeSeries(c.Loc, "ES", 0, 10*time.Minute, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 minutes at 15 s = 40 intervals; Madrid has continuous coverage.
+	if len(series) != 40 {
+		t.Fatalf("samples = %d, want 40", len(series))
+	}
+	for i, s := range series {
+		if s.RTT <= 0 {
+			t.Fatalf("sample %d has non-positive RTT", i)
+		}
+		if i > 0 && s.At <= series[i-1].At {
+			t.Fatal("timestamps not increasing")
+		}
+		if i == 0 && s.Handover {
+			t.Error("first sample cannot be a handover")
+		}
+	}
+	// Over 10 minutes the serving satellite must change at least once
+	// (satellites leave view within 5-10 minutes per the paper).
+	sats := map[int]bool{}
+	for _, s := range series {
+		sats[s.UpSat] = true
+	}
+	if len(sats) < 2 {
+		t.Errorf("serving satellite never changed over 10 minutes")
+	}
+	// Handover flags agree with satellite changes.
+	for i := 1; i < len(series); i++ {
+		want := series[i].UpSat != series[i-1].UpSat
+		if series[i].Handover != want {
+			t.Fatalf("sample %d handover flag %v, want %v", i, series[i].Handover, want)
+		}
+	}
+}
+
+func TestHandoverRate(t *testing.T) {
+	m := testModel()
+	rng := stats.NewRand(10)
+	c := mustCity(t, "London, GB")
+	series, err := m.RTTTimeSeries(c.Loc, "GB", 0, 20*time.Minute, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := HandoverRate(series)
+	// Serving windows of 1-10 minutes imply roughly 0.1-1.5 handovers per
+	// minute.
+	if rate <= 0 || rate > 4 {
+		t.Errorf("handover rate = %v per minute", rate)
+	}
+	if HandoverRate(nil) != 0 || HandoverRate(series[:1]) != 0 {
+		t.Error("degenerate series should have zero rate")
+	}
+}
+
+func TestRTTTimeSeriesErrors(t *testing.T) {
+	m := testModel()
+	rng := stats.NewRand(11)
+	c := mustCity(t, "Madrid, ES")
+	if _, err := m.RTTTimeSeries(c.Loc, "ES", time.Minute, time.Minute, rng); err == nil {
+		t.Error("empty range accepted")
+	}
+	// No coverage at the pole.
+	if _, err := m.RTTTimeSeries(geo.NewPoint(89.5, 0), "NO", 0, 5*time.Minute, rng); err == nil {
+		t.Error("uncovered client accepted")
+	}
+}

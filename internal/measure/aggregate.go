@@ -1,0 +1,190 @@
+package measure
+
+import (
+	"sort"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+// This file implements the paper's aggregation pipeline (§3.1): "Since
+// Cloudflare uses anycast ... clients from the same city often target
+// several CDN servers ... We use the median of the idle latencies over both
+// Starlink and terrestrial from a city to determine the optimal CDN server
+// for the network at that location."
+
+// CityOptimal is a city's optimal-CDN summary for one network.
+type CityOptimal struct {
+	Country  string
+	City     string
+	Network  Network
+	CDNCity  string  // the optimal (lowest median idle RTT) CDN target
+	MedianMs float64 // median idle RTT to the optimal CDN
+	MinMs    float64 // minimum idle RTT observed to the optimal CDN
+	DistKm   float64 // geodesic to the optimal CDN
+	N        int     // samples behind the choice
+}
+
+// OptimalPerCity groups speed tests by (city, network) and picks the optimal
+// CDN target per the paper's methodology.
+func OptimalPerCity(tests []SpeedTest) []CityOptimal {
+	type key struct {
+		city    string
+		country string
+		network Network
+	}
+	type perCDN struct {
+		samples []float64
+		dist    float64
+	}
+	groups := map[key]map[string]*perCDN{}
+	for _, t := range tests {
+		k := key{city: t.City, country: t.Country, network: t.Network}
+		if groups[k] == nil {
+			groups[k] = map[string]*perCDN{}
+		}
+		pc := groups[k][t.CDNCity]
+		if pc == nil {
+			pc = &perCDN{dist: t.DistKm}
+			groups[k][t.CDNCity] = pc
+		}
+		pc.samples = append(pc.samples, t.IdleRTTMs)
+	}
+	var out []CityOptimal
+	for k, cdns := range groups {
+		best := CityOptimal{Country: k.country, City: k.city, Network: k.network}
+		first := true
+		for cdnCity, pc := range cdns {
+			med := stats.Median(pc.samples)
+			if first || med < best.MedianMs {
+				first = false
+				best.CDNCity = cdnCity
+				best.MedianMs = med
+				best.MinMs = stats.Min(pc.samples)
+				best.DistKm = pc.dist
+				best.N = len(pc.samples)
+			}
+		}
+		out = append(out, best)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Country != out[j].Country {
+			return out[i].Country < out[j].Country
+		}
+		if out[i].City != out[j].City {
+			return out[i].City < out[j].City
+		}
+		return out[i].Network < out[j].Network
+	})
+	return out
+}
+
+// CountryStat aggregates a country's optimal-CDN experience on one network.
+type CountryStat struct {
+	Country string
+	Network Network
+	// MedianMs is the median (across cities) of per-city optimal medians.
+	MedianMs float64
+	// MinRTTMs is the median (across cities) of per-city minimum RTTs —
+	// Table 1's "minRTT".
+	MinRTTMs float64
+	// AvgDistKm is the mean geodesic to the optimal CDN — Table 1's
+	// "Distance".
+	AvgDistKm float64
+	Cities    int
+}
+
+// ByCountry rolls city optima up to countries.
+func ByCountry(cities []CityOptimal) map[string]map[Network]CountryStat {
+	type key struct {
+		c string
+		n Network
+	}
+	meds := map[key][]float64{}
+	mins := map[key][]float64{}
+	dists := map[key][]float64{}
+	for _, c := range cities {
+		k := key{c: c.Country, n: c.Network}
+		meds[k] = append(meds[k], c.MedianMs)
+		mins[k] = append(mins[k], c.MinMs)
+		dists[k] = append(dists[k], c.DistKm)
+	}
+	out := map[string]map[Network]CountryStat{}
+	for k, m := range meds {
+		if out[k.c] == nil {
+			out[k.c] = map[Network]CountryStat{}
+		}
+		out[k.c][k.n] = CountryStat{
+			Country:   k.c,
+			Network:   k.n,
+			MedianMs:  stats.Median(m),
+			MinRTTMs:  stats.Median(mins[k]),
+			AvgDistKm: stats.Mean(dists[k]),
+			Cities:    len(m),
+		}
+	}
+	return out
+}
+
+// DeltaByCountry computes Figure 2's series: median RTT difference
+// (Starlink - terrestrial) per country where both networks have data,
+// sorted by country code.
+func DeltaByCountry(tests []SpeedTest) ([]string, []float64) {
+	byCountry := ByCountry(OptimalPerCity(tests))
+	sl := map[string]float64{}
+	te := map[string]float64{}
+	for iso, nets := range byCountry {
+		if s, ok := nets[NetworkStarlink]; ok {
+			sl[iso] = s.MedianMs
+		}
+		if t, ok := nets[NetworkTerrestrial]; ok {
+			te[iso] = t.MedianMs
+		}
+	}
+	return stats.DeltaSeries(sl, te)
+}
+
+// CityCDNLatency is the per-CDN-site median latency from one city — the
+// paper's Figure 3 (Maputo case study) series.
+type CityCDNLatency struct {
+	CDNCity  string
+	CDNLoc   geo.Point
+	MedianMs float64
+	N        int
+}
+
+// PerCDNFromCity returns, for one city and network, the median idle latency
+// to every CDN site observed, sorted by latency.
+func PerCDNFromCity(tests []SpeedTest, city string, network Network) []CityCDNLatency {
+	agg := map[string]*CityCDNLatency{}
+	samples := map[string][]float64{}
+	for _, t := range tests {
+		if t.City != city || t.Network != network {
+			continue
+		}
+		if agg[t.CDNCity] == nil {
+			agg[t.CDNCity] = &CityCDNLatency{CDNCity: t.CDNCity, CDNLoc: t.CDNLoc}
+		}
+		samples[t.CDNCity] = append(samples[t.CDNCity], t.IdleRTTMs)
+	}
+	var out []CityCDNLatency
+	for cdnCity, a := range agg {
+		a.MedianMs = stats.Median(samples[cdnCity])
+		a.N = len(samples[cdnCity])
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MedianMs < out[j].MedianMs })
+	return out
+}
+
+// IdleCDF builds the latency CDF over all tests of one network — Figure 7's
+// Starlink/terrestrial reference curves.
+func IdleCDF(tests []SpeedTest, network Network) *stats.CDF {
+	var xs []float64
+	for _, t := range tests {
+		if t.Network == network {
+			xs = append(xs, t.IdleRTTMs)
+		}
+	}
+	return stats.NewCDF(xs)
+}

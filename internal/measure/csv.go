@@ -1,0 +1,117 @@
+package measure
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV codec for the synthetic AIM dataset. The schema mirrors the fields the
+// paper consumes from Cloudflare AIM; cmd/aimgen writes it and downstream
+// analysis can round-trip it.
+
+// csvHeader is the canonical column order.
+var csvHeader = []string{
+	"country", "city", "network", "cdn_city", "cdn_lat", "cdn_lon",
+	"distance_km", "idle_rtt_ms", "loaded_rtt_ms", "down_mbps", "at_seconds",
+}
+
+// WriteCSV writes speed-test records with a header row.
+func WriteCSV(w io.Writer, records []SpeedTest) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, r := range records {
+		row := []string{
+			r.Country, r.City, string(r.Network), r.CDNCity,
+			f(r.CDNLoc.LatDeg), f(r.CDNLoc.LonDeg),
+			f(r.DistKm), f(r.IdleRTTMs), f(r.LoadedMs), f(r.DownMbps),
+			f(r.At.Seconds()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]SpeedTest, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("measure: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("measure: CSV has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("measure: CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []SpeedTest
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("measure: reading CSV: %w", err)
+		}
+		line++
+		rec, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("measure: CSV line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseCSVRow(row []string) (SpeedTest, error) {
+	var rec SpeedTest
+	fl := func(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+	rec.Country = row[0]
+	rec.City = row[1]
+	switch Network(row[2]) {
+	case NetworkStarlink, NetworkTerrestrial:
+		rec.Network = Network(row[2])
+	default:
+		return rec, fmt.Errorf("unknown network %q", row[2])
+	}
+	rec.CDNCity = row[3]
+	lat, err := fl(row[4])
+	if err != nil {
+		return rec, err
+	}
+	lon, err := fl(row[5])
+	if err != nil {
+		return rec, err
+	}
+	rec.CDNLoc.LatDeg, rec.CDNLoc.LonDeg = lat, lon
+	if rec.DistKm, err = fl(row[6]); err != nil {
+		return rec, err
+	}
+	if rec.IdleRTTMs, err = fl(row[7]); err != nil {
+		return rec, err
+	}
+	if rec.LoadedMs, err = fl(row[8]); err != nil {
+		return rec, err
+	}
+	if rec.DownMbps, err = fl(row[9]); err != nil {
+		return rec, err
+	}
+	secs, err := fl(row[10])
+	if err != nil {
+		return rec, err
+	}
+	rec.At = time.Duration(secs * float64(time.Second))
+	return rec, nil
+}

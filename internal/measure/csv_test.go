@@ -1,0 +1,89 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"spacecdn/internal/geo"
+)
+
+func sampleRecords() []SpeedTest {
+	return []SpeedTest{
+		{
+			Country: "MZ", City: "Maputo", Network: NetworkStarlink,
+			CDNCity: "Frankfurt", CDNLoc: geo.NewPoint(50.1109, 8.6821),
+			DistKm: 8776.5, IdleRTTMs: 164.2, LoadedMs: 380.7, DownMbps: 95.3,
+			At: 13 * time.Minute,
+		},
+		{
+			Country: "MZ", City: "Maputo", Network: NetworkTerrestrial,
+			CDNCity: "Maputo", CDNLoc: geo.NewPoint(-25.9692, 32.5732),
+			DistKm: 0, IdleRTTMs: 20.3, LoadedMs: 42.1, DownMbps: 48.9,
+			At: 0,
+		},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(back) != len(want) {
+		t.Fatalf("records = %d", len(back))
+	}
+	for i := range back {
+		a, b := want[i], back[i]
+		if a.Country != b.Country || a.Network != b.Network || a.CDNCity != b.CDNCity {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, a, b)
+		}
+		// Floats survive to 4 decimal places; At to sub-millisecond.
+		if d := a.IdleRTTMs - b.IdleRTTMs; d > 1e-3 || d < -1e-3 {
+			t.Errorf("idle mismatch: %v vs %v", a.IdleRTTMs, b.IdleRTTMs)
+		}
+		if d := a.At - b.At; d > time.Millisecond || d < -time.Millisecond {
+			t.Errorf("At mismatch: %v vs %v", a.At, b.At)
+		}
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("records = %d", len(back))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty input", ""},
+		{"wrong column count", "a,b,c\n"},
+		{"wrong header name", strings.Replace(strings.Join(csvHeader, ","), "country", "nation", 1) + "\n"},
+		{"bad network", strings.Join(csvHeader, ",") + "\nMZ,Maputo,carrier-pigeon,X,0,0,0,1,2,3,4\n"},
+		{"bad float", strings.Join(csvHeader, ",") + "\nMZ,Maputo,starlink,X,zero,0,0,1,2,3,4\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

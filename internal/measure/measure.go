@@ -1,0 +1,219 @@
+// Package measure is the simulator's stand-in for the paper's two data
+// sources: the Cloudflare AIM crowdsourced speed-test dataset and the NetMet
+// browser-plugin campaign. It generates synthetic measurement records with
+// the same schema and aggregation pipeline the paper applies — per-city
+// optimal-CDN medians, country-level deltas, paired web-browsing timings —
+// driven by the geometric network models instead of production traffic.
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/cdn"
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/terrestrial"
+)
+
+// Network labels a measurement's access network.
+type Network string
+
+// The two access networks the paper compares.
+const (
+	NetworkStarlink    Network = "starlink"
+	NetworkTerrestrial Network = "terrestrial"
+)
+
+// Environment bundles every model the measurement campaigns need. Build one
+// with NewEnvironment and share it across experiments — constructing the
+// constellation is the expensive part.
+type Environment struct {
+	Constellation *constellation.Constellation
+	Ground        *groundseg.Catalog
+	LSN           *lsn.Model
+	Terrestrial   *terrestrial.Model
+	CDN           *cdn.CDN
+
+	// pathCache memoizes LSN path resolution per (city, snapshot).
+	pathCache map[pathKey]lsn.Path
+	snapCache map[time.Duration]*constellation.Snapshot
+}
+
+type pathKey struct {
+	lat, lon float64
+	iso      string
+	t        time.Duration
+}
+
+// NewEnvironment assembles the default simulation environment.
+func NewEnvironment() (*Environment, error) {
+	c, err := constellation.New(constellation.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	ground := groundseg.NewCatalog()
+	terr := terrestrial.NewModel()
+	cd, err := cdn.New(cdn.DefaultConfig(), terr)
+	if err != nil {
+		return nil, err
+	}
+	return &Environment{
+		Constellation: c,
+		Ground:        ground,
+		LSN:           lsn.NewModel(c, ground, lsn.DefaultConfig()),
+		Terrestrial:   terr,
+		CDN:           cd,
+		pathCache:     make(map[pathKey]lsn.Path),
+		snapCache:     make(map[time.Duration]*constellation.Snapshot),
+	}, nil
+}
+
+// Snapshot returns a memoized constellation snapshot.
+func (e *Environment) Snapshot(t time.Duration) *constellation.Snapshot {
+	if s, ok := e.snapCache[t]; ok {
+		return s
+	}
+	s := e.Constellation.Snapshot(t)
+	e.snapCache[t] = s
+	return s
+}
+
+// Path returns a memoized LSN path for a client.
+func (e *Environment) Path(loc geo.Point, iso string, t time.Duration) (lsn.Path, error) {
+	k := pathKey{lat: loc.LatDeg, lon: loc.LonDeg, iso: iso, t: t}
+	if p, ok := e.pathCache[k]; ok {
+		return p, nil
+	}
+	p, err := e.LSN.ResolvePath(loc, iso, e.Snapshot(t))
+	if err != nil {
+		return lsn.Path{}, err
+	}
+	e.pathCache[k] = p
+	return p, nil
+}
+
+// SpeedTest is one synthetic AIM record.
+type SpeedTest struct {
+	Country   string // ISO2
+	City      string
+	Network   Network
+	CDNCity   string // serving CDN edge
+	CDNLoc    geo.Point
+	DistKm    float64 // client -> CDN geodesic
+	IdleRTTMs float64
+	LoadedMs  float64
+	DownMbps  float64
+	At        time.Duration
+}
+
+// AIMConfig controls dataset generation.
+type AIMConfig struct {
+	// TestsPerCity per network per snapshot.
+	TestsPerCity int
+	// Snapshots are the constellation times sampled (spread over an orbit
+	// so satellite geometry varies like a weeks-long campaign).
+	Snapshots []time.Duration
+	Seed      int64
+}
+
+// DefaultAIMConfig spreads four snapshots over an orbital period.
+func DefaultAIMConfig() AIMConfig {
+	return AIMConfig{
+		TestsPerCity: 25,
+		Snapshots: []time.Duration{
+			0, 13 * time.Minute, 31 * time.Minute, 53 * time.Minute,
+		},
+		Seed: 42,
+	}
+}
+
+// GenerateAIM produces the synthetic AIM dataset: Starlink tests from every
+// covered country and terrestrial tests from every country in the dataset.
+func (e *Environment) GenerateAIM(cfg AIMConfig) ([]SpeedTest, error) {
+	if cfg.TestsPerCity <= 0 || len(cfg.Snapshots) == 0 {
+		return nil, fmt.Errorf("measure: need positive tests and snapshots")
+	}
+	rng := stats.NewRand(cfg.Seed)
+	var out []SpeedTest
+	for _, country := range geo.Countries() {
+		cities := geo.CitiesInCountry(country.ISO2)
+		for _, city := range cities {
+			// Terrestrial tests: everyone has some terrestrial ISP.
+			tst, err := e.terrestrialTests(city, cfg, rng.Fork("terr/"+city.Name))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tst...)
+			// Starlink tests only where coverage exists.
+			if country.Starlink {
+				sts, err := e.starlinkTests(city, cfg, rng.Fork("sl/"+city.Name))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sts...)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *Environment) terrestrialTests(city geo.City, cfg AIMConfig, rng *stats.Rand) ([]SpeedTest, error) {
+	var out []SpeedTest
+	for _, at := range cfg.Snapshots {
+		for i := 0; i < cfg.TestsPerCity; i++ {
+			edge := e.CDN.SelectAnycast(city.Loc, rng)
+			idle := e.Terrestrial.SampleRTT(city.Loc, edge.City.Loc, city.Region, edge.City.Region, rng)
+			loaded := idle + e.Terrestrial.Bloat(rng)
+			out = append(out, SpeedTest{
+				Country:   city.Country,
+				City:      city.Name,
+				Network:   NetworkTerrestrial,
+				CDNCity:   edge.City.Name,
+				CDNLoc:    edge.City.Loc,
+				DistKm:    geo.HaversineKm(city.Loc, edge.City.Loc),
+				IdleRTTMs: ms(idle),
+				LoadedMs:  ms(loaded),
+				DownMbps:  e.Terrestrial.DownlinkMbps(city.Region, rng),
+				At:        at,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (e *Environment) starlinkTests(city geo.City, cfg AIMConfig, rng *stats.Rand) ([]SpeedTest, error) {
+	var out []SpeedTest
+	for _, at := range cfg.Snapshots {
+		path, err := e.Path(city.Loc, city.Country, at)
+		if err != nil {
+			// No coverage at this instant (e.g. extreme latitude): skip.
+			continue
+		}
+		for i := 0; i < cfg.TestsPerCity; i++ {
+			// Anycast sees the PoP, not the subscriber.
+			edge := e.CDN.SelectAnycast(path.PoP.Loc, rng)
+			idle := e.LSN.RTTToHost(path, edge.City.Loc, edge.City.Region, e.Terrestrial, rng)
+			loaded := idle + time.Duration(rng.Uniform(
+				e.LSN.Config().BloatLoadedMinMs, e.LSN.Config().BloatLoadedMaxMs)*float64(time.Millisecond))
+			out = append(out, SpeedTest{
+				Country:   city.Country,
+				City:      city.Name,
+				Network:   NetworkStarlink,
+				CDNCity:   edge.City.Name,
+				CDNLoc:    edge.City.Loc,
+				DistKm:    geo.HaversineKm(city.Loc, edge.City.Loc),
+				IdleRTTMs: ms(idle),
+				LoadedMs:  ms(loaded),
+				DownMbps:  e.LSN.DownlinkMbps(rng),
+				At:        at,
+			})
+		}
+	}
+	return out, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

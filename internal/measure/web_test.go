@@ -1,0 +1,154 @@
+package measure
+
+import (
+	"sync"
+	"testing"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+func mustLoc(t *testing.T, name string) geo.Point {
+	t.Helper()
+	c, ok := geo.CityByName(name)
+	if !ok {
+		t.Fatalf("city %q missing", name)
+	}
+	return c.Loc
+}
+
+var (
+	webOnce sync.Once
+	webData []WebMeasurement
+)
+
+func sharedWeb(t *testing.T) []WebMeasurement {
+	t.Helper()
+	webOnce.Do(func() {
+		e := testEnv(t)
+		cfg := WebConfig{
+			Countries:    []string{"GB", "DE", "CA", "NG", "MZ"},
+			LoadsPerSite: 5,
+			Seed:         3,
+		}
+		var err error
+		webData, err = e.RunNetMet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return webData
+}
+
+func TestRunNetMetValidation(t *testing.T) {
+	e := testEnv(t)
+	if _, err := e.RunNetMet(WebConfig{Countries: []string{"GB"}, LoadsPerSite: 0}); err == nil {
+		t.Error("zero loads accepted")
+	}
+	if _, err := e.RunNetMet(WebConfig{LoadsPerSite: 1}); err == nil {
+		t.Error("no countries accepted")
+	}
+	if _, err := e.RunNetMet(WebConfig{Countries: []string{"ZZ"}, LoadsPerSite: 1}); err == nil {
+		t.Error("unknown country accepted")
+	}
+}
+
+func TestNetMetPairedMeasurements(t *testing.T) {
+	ms := sharedWeb(t)
+	if len(ms) == 0 {
+		t.Fatal("no measurements")
+	}
+	byCountry := map[string]map[Network]int{}
+	for _, m := range ms {
+		if m.HRTMs <= 0 || m.FCPMs <= 0 || m.FCPMs < m.HRTMs {
+			t.Fatalf("inconsistent timings: %+v", m)
+		}
+		if byCountry[m.Country] == nil {
+			byCountry[m.Country] = map[Network]int{}
+		}
+		byCountry[m.Country][m.Network]++
+	}
+	// Every probed country with coverage has both networks, equal counts.
+	for _, iso := range []string{"GB", "DE", "CA", "NG", "MZ"} {
+		counts := byCountry[iso]
+		if counts[NetworkStarlink] == 0 || counts[NetworkTerrestrial] == 0 {
+			t.Errorf("%s missing a network: %v", iso, counts)
+			continue
+		}
+		if counts[NetworkStarlink] != counts[NetworkTerrestrial] {
+			t.Errorf("%s unpaired counts: %v", iso, counts)
+		}
+	}
+}
+
+func TestHRTDifferenceFig4Shape(t *testing.T) {
+	ms := sharedWeb(t)
+	// GB/DE/CA: terrestrial faster, typical difference ~20-50 ms (paper).
+	for _, iso := range []string{"GB", "DE", "CA"} {
+		diffs := HRTDifference(ms, iso)
+		if len(diffs) == 0 {
+			t.Fatalf("no paired diffs for %s", iso)
+		}
+		med := stats.Median(diffs)
+		if med < 5 || med > 90 {
+			t.Errorf("%s median HRT difference = %.1f ms, want ~20-60", iso, med)
+		}
+	}
+	// Mozambique: the difference is much larger (no local PoP).
+	mz := stats.Median(HRTDifference(ms, "MZ"))
+	gb := stats.Median(HRTDifference(ms, "GB"))
+	if mz <= gb+30 {
+		t.Errorf("MZ diff (%.1f) should far exceed GB diff (%.1f)", mz, gb)
+	}
+	// Nigeria is the paper's outlier: local PoP plus weak terrestrial
+	// infrastructure makes Starlink competitive — difference distribution
+	// shifted left of Mozambique's and of the other African country.
+	ng := stats.Median(HRTDifference(ms, "NG"))
+	if ng >= mz {
+		t.Errorf("NG diff (%.1f) should be below MZ diff (%.1f)", ng, mz)
+	}
+}
+
+func TestFCPByNetworkFig5Shape(t *testing.T) {
+	ms := sharedWeb(t)
+	for _, iso := range []string{"DE", "GB"} {
+		fcp := FCPByNetwork(ms, iso)
+		sl := fcp[NetworkStarlink]
+		te := fcp[NetworkTerrestrial]
+		if len(sl) == 0 || len(te) == 0 {
+			t.Fatalf("%s missing FCP samples", iso)
+		}
+		slMed := stats.Median(sl)
+		teMed := stats.Median(te)
+		gap := slMed - teMed
+		// Paper: ~200 ms higher median FCP on Starlink even with local PoPs.
+		if gap < 60 || gap > 600 {
+			t.Errorf("%s FCP gap = %.0f ms, paper ~200", iso, gap)
+		}
+		// FCP magnitudes are sub-~3s for top-20 landing pages.
+		if teMed < 200 || teMed > 2500 {
+			t.Errorf("%s terrestrial FCP median = %.0f ms, implausible", iso, teMed)
+		}
+	}
+}
+
+func TestNetMetDeterminism(t *testing.T) {
+	e := testEnv(t)
+	cfg := WebConfig{Countries: []string{"GB"}, LoadsPerSite: 3, Seed: 5}
+	a, err := e.RunNetMet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.RunNetMet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package measure
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV codec for NetMet-style web measurements, mirroring what the paper's
+// plugin uploads: per-load country, network, site and timings.
+
+var webCSVHeader = []string{
+	"country", "city", "network", "site", "run", "hrt_ms", "fcp_ms",
+}
+
+// WriteWebCSV writes web measurements with a header row.
+func WriteWebCSV(w io.Writer, ms []WebMeasurement) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(webCSVHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, m := range ms {
+		row := []string{
+			m.Country, m.City, string(m.Network), m.Site,
+			strconv.Itoa(m.Run), f(m.HRTMs), f(m.FCPMs),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadWebCSV parses measurements written by WriteWebCSV.
+func ReadWebCSV(r io.Reader) ([]WebMeasurement, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("measure: reading web CSV header: %w", err)
+	}
+	if len(header) != len(webCSVHeader) {
+		return nil, fmt.Errorf("measure: web CSV has %d columns, want %d", len(header), len(webCSVHeader))
+	}
+	for i, h := range webCSVHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("measure: web CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []WebMeasurement
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("measure: reading web CSV: %w", err)
+		}
+		line++
+		var m WebMeasurement
+		m.Country, m.City, m.Site = row[0], row[1], row[3]
+		switch Network(row[2]) {
+		case NetworkStarlink, NetworkTerrestrial:
+			m.Network = Network(row[2])
+		default:
+			return nil, fmt.Errorf("measure: web CSV line %d: unknown network %q", line, row[2])
+		}
+		if m.Run, err = strconv.Atoi(row[4]); err != nil {
+			return nil, fmt.Errorf("measure: web CSV line %d: %w", line, err)
+		}
+		if m.HRTMs, err = strconv.ParseFloat(row[5], 64); err != nil {
+			return nil, fmt.Errorf("measure: web CSV line %d: %w", line, err)
+		}
+		if m.FCPMs, err = strconv.ParseFloat(row[6], 64); err != nil {
+			return nil, fmt.Errorf("measure: web CSV line %d: %w", line, err)
+		}
+		out = append(out, m)
+	}
+}

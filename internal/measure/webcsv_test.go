@@ -1,0 +1,68 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleWeb() []WebMeasurement {
+	return []WebMeasurement{
+		{Country: "DE", City: "Frankfurt", Network: NetworkStarlink, Site: "site-00", Run: 0, HRTMs: 52.3, FCPMs: 640.1},
+		{Country: "DE", City: "Frankfurt", Network: NetworkTerrestrial, Site: "site-00", Run: 0, HRTMs: 19.8, FCPMs: 451.7},
+	}
+}
+
+func TestWebCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWebCSV(&buf, sampleWeb()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWebCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleWeb()
+	if len(back) != len(want) {
+		t.Fatalf("records = %d", len(back))
+	}
+	for i := range back {
+		if back[i] != want[i] {
+			t.Errorf("record %d: %+v vs %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestWebCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWebCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWebCSV(&buf)
+	if err != nil || len(back) != 0 {
+		t.Errorf("empty round trip: %v, %d records", err, len(back))
+	}
+}
+
+func TestReadWebCSVErrors(t *testing.T) {
+	h := strings.Join(webCSVHeader, ",")
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad column count", "a,b\n"},
+		{"bad header", strings.Replace(h, "site", "page", 1) + "\n"},
+		{"bad network", h + "\nDE,Frankfurt,pigeon,s,0,1,2\n"},
+		{"bad run", h + "\nDE,Frankfurt,starlink,s,x,1,2\n"},
+		{"bad hrt", h + "\nDE,Frankfurt,starlink,s,0,x,2\n"},
+		{"bad fcp", h + "\nDE,Frankfurt,starlink,s,0,1,x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadWebCSV(strings.NewReader(tc.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

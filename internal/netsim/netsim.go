@@ -1,0 +1,283 @@
+// Package netsim is a small discrete-event network simulator: an event
+// queue, store-and-forward links with finite rates and drop-tail queues, and
+// flow transfers pipelined across link paths.
+//
+// It exists to reproduce emergent timing behaviour that closed-form models
+// miss — most importantly the access-link bufferbloat the paper measures on
+// Starlink (idle RTTs of tens of ms inflating past 200 ms during downloads),
+// and the interleaving of parallel object downloads during a page load.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Simulator owns virtual time and the pending event set. It is strictly
+// single-goroutine: callbacks run inside Run on the calling goroutine.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+}
+
+type event struct {
+	at  time.Duration
+	seq int64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewSimulator returns a simulator at time zero.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Schedule runs fn at the given absolute virtual time. Times in the past are
+// clamped to now (the event runs next).
+func (s *Simulator) Schedule(at time.Duration, fn func()) {
+	if fn == nil {
+		return
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a delay from now.
+func (s *Simulator) After(d time.Duration, fn func()) {
+	s.Schedule(s.now+d, fn)
+}
+
+// Run processes events until none remain. It returns the final virtual time.
+func (s *Simulator) Run() time.Duration {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil processes events up to and including time t, then stops. Pending
+// later events remain queued.
+func (s *Simulator) RunUntil(t time.Duration) {
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.events.Len() }
+
+// Link is a store-and-forward link: packets serialize at RateBps, wait in a
+// drop-tail queue bounded by QueueBytes, and arrive Prop later.
+type Link struct {
+	Name       string
+	RateBps    float64
+	Prop       time.Duration
+	QueueBytes int64 // 0 means unbounded
+
+	busyUntil time.Duration
+	queued    int64
+
+	// Stats
+	Delivered   int64 // bytes delivered
+	Dropped     int64 // bytes dropped at the queue
+	MaxQueueObs int64
+}
+
+// NewLink constructs a link; it panics on a non-positive rate (construction
+// bug).
+func NewLink(name string, rateBps float64, prop time.Duration, queueBytes int64) *Link {
+	if rateBps <= 0 {
+		panic(fmt.Sprintf("netsim: link %s has non-positive rate", name))
+	}
+	return &Link{Name: name, RateBps: rateBps, Prop: prop, QueueBytes: queueBytes}
+}
+
+// TxTime returns the serialization time of n bytes on this link.
+func (l *Link) TxTime(n int64) time.Duration {
+	return time.Duration(float64(n) * 8 / l.RateBps * float64(time.Second))
+}
+
+// QueueDelay returns how long a packet enqueued now would wait before its
+// first bit is transmitted.
+func (l *Link) QueueDelay(now time.Duration) time.Duration {
+	if l.busyUntil <= now {
+		return 0
+	}
+	return l.busyUntil - now
+}
+
+// QueuedBytes returns the bytes currently waiting or in transmission.
+func (l *Link) QueuedBytes() int64 { return l.queued }
+
+// Send enqueues n bytes. onDelivered runs when the last bit arrives at the
+// far end; onDropped (optional) runs immediately if the drop-tail queue is
+// full. Exactly one of the callbacks fires.
+func (l *Link) Send(s *Simulator, n int64, onDelivered func(), onDropped func()) {
+	if n <= 0 {
+		if onDelivered != nil {
+			s.After(l.Prop, onDelivered)
+		}
+		return
+	}
+	if l.QueueBytes > 0 && l.queued+n > l.QueueBytes {
+		l.Dropped += n
+		if onDropped != nil {
+			s.Schedule(s.Now(), onDropped)
+		}
+		return
+	}
+	l.queued += n
+	if l.queued > l.MaxQueueObs {
+		l.MaxQueueObs = l.queued
+	}
+	start := s.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start + l.TxTime(n)
+	l.busyUntil = done
+	arrive := done + l.Prop
+	s.Schedule(done, func() {
+		l.queued -= n
+		l.Delivered += n
+	})
+	if onDelivered != nil {
+		s.Schedule(arrive, onDelivered)
+	}
+}
+
+// Path is an ordered sequence of links from source to destination.
+type Path []*Link
+
+// PropagationDelay returns the sum of link propagation delays.
+func (p Path) PropagationDelay() time.Duration {
+	var d time.Duration
+	for _, l := range p {
+		d += l.Prop
+	}
+	return d
+}
+
+// Transfer moves total bytes along the path in chunkBytes pieces, pipelining
+// chunks across links (chunk i+1 can occupy link 1 while chunk i is on link
+// 2). onComplete fires when the last chunk arrives at the destination;
+// onDrop (optional) fires per dropped chunk, which is then lost (no
+// retransmit — callers model reliability).
+func Transfer(s *Simulator, p Path, total, chunkBytes int64, onComplete func(), onDrop func()) {
+	if len(p) == 0 || total <= 0 {
+		if onComplete != nil {
+			s.Schedule(s.Now(), onComplete)
+		}
+		return
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = 64 << 10
+	}
+	remaining := total
+	inFlight := 0
+	sentAll := false
+	var arrived func()
+	checkDone := func() {
+		if sentAll && inFlight == 0 && onComplete != nil {
+			done := onComplete
+			onComplete = nil
+			done()
+		}
+	}
+	// forward sends a chunk from link index i onwards.
+	var forward func(i int, n int64)
+	forward = func(i int, n int64) {
+		if i == len(p) {
+			arrived()
+			return
+		}
+		p[i].Send(s, n,
+			func() { forward(i+1, n) },
+			func() {
+				inFlight--
+				if onDrop != nil {
+					onDrop()
+				}
+				checkDone()
+			})
+	}
+	arrived = func() {
+		inFlight--
+		checkDone()
+	}
+	for remaining > 0 {
+		n := chunkBytes
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		inFlight++
+		forward(0, n)
+	}
+	sentAll = true
+	checkDone()
+}
+
+// Probe measures the round-trip time through a path at the current moment:
+// a small packet out over the path and back over the same links. onRTT
+// receives the measured RTT. Probes share queues with data traffic, so a
+// loaded link yields an inflated RTT — this is how the bufferbloat
+// experiments measure the queue.
+func Probe(s *Simulator, p Path, probeBytes int64, onRTT func(rtt time.Duration)) {
+	if probeBytes <= 0 {
+		probeBytes = 64
+	}
+	start := s.Now()
+	var back func(i int)
+	var out func(i int)
+	out = func(i int) {
+		if i == len(p) {
+			back(len(p) - 1)
+			return
+		}
+		p[i].Send(s, probeBytes, func() { out(i + 1) }, func() { /* lost: no reply */ })
+	}
+	back = func(i int) {
+		if i < 0 {
+			if onRTT != nil {
+				onRTT(s.Now() - start)
+			}
+			return
+		}
+		p[i].Send(s, probeBytes, func() { back(i - 1) }, func() { /* lost */ })
+	}
+	out(0)
+}

@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.Schedule(3*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(1*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 3*time.Millisecond {
+		t.Errorf("end time = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	s.Schedule(time.Second, func() {
+		s.Schedule(0, func() { fired = true }) // "in the past"
+	})
+	end := s.Run()
+	if !fired {
+		t.Error("past event never fired")
+	}
+	if end != time.Second {
+		t.Errorf("end = %v", end)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator()
+	a, b := false, false
+	s.Schedule(time.Second, func() { a = true })
+	s.Schedule(2*time.Second, func() { b = true })
+	s.RunUntil(1500 * time.Millisecond)
+	if !a || b {
+		t.Errorf("a=%v b=%v after RunUntil(1.5s)", a, b)
+	}
+	if s.Now() != 1500*time.Millisecond {
+		t.Errorf("now = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if !b {
+		t.Error("b never fired")
+	}
+}
+
+func TestNilAndNegativeSchedules(t *testing.T) {
+	s := NewSimulator()
+	s.Schedule(time.Second, nil) // must not panic or queue
+	if s.Pending() != 0 {
+		t.Error("nil event queued")
+	}
+}
+
+func TestLinkBandwidth(t *testing.T) {
+	// 10 Mbit over a 10 Mbps link = 1 s serialization + 10 ms propagation.
+	s := NewSimulator()
+	l := NewLink("dl", 10e6, 10*time.Millisecond, 0)
+	var done time.Duration
+	l.Send(s, 10e6/8, func() { done = s.Now() }, nil)
+	s.Run()
+	want := time.Second + 10*time.Millisecond
+	if diff := done - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("delivery at %v, want %v", done, want)
+	}
+	if l.Delivered != 10e6/8 {
+		t.Errorf("delivered bytes = %d", l.Delivered)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// Two back-to-back packets: the second waits for the first.
+	s := NewSimulator()
+	l := NewLink("dl", 8e6, 0, 0) // 1 MB/s
+	var t1, t2 time.Duration
+	l.Send(s, 1e6, func() { t1 = s.Now() }, nil)
+	l.Send(s, 1e6, func() { t2 = s.Now() }, nil)
+	s.Run()
+	if t1 < 990*time.Millisecond || t1 > 1010*time.Millisecond {
+		t.Errorf("first packet at %v", t1)
+	}
+	if t2 < 1990*time.Millisecond || t2 > 2010*time.Millisecond {
+		t.Errorf("second packet at %v, want ~2s (serialized)", t2)
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	s := NewSimulator()
+	l := NewLink("dl", 8e6, 0, 1500)
+	delivered, dropped := 0, 0
+	l.Send(s, 1000, func() { delivered++ }, func() { dropped++ })
+	l.Send(s, 1000, func() { delivered++ }, func() { dropped++ }) // exceeds queue
+	s.Run()
+	if delivered != 1 || dropped != 1 {
+		t.Errorf("delivered=%d dropped=%d, want 1/1", delivered, dropped)
+	}
+	if l.Dropped != 1000 {
+		t.Errorf("dropped bytes = %d", l.Dropped)
+	}
+}
+
+func TestZeroByteSend(t *testing.T) {
+	s := NewSimulator()
+	l := NewLink("dl", 1e6, 5*time.Millisecond, 0)
+	var at time.Duration = -1
+	l.Send(s, 0, func() { at = s.Now() }, nil)
+	s.Run()
+	if at != 5*time.Millisecond {
+		t.Errorf("zero-byte delivery at %v, want prop only", at)
+	}
+}
+
+func TestNewLinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero rate")
+		}
+	}()
+	NewLink("bad", 0, 0, 0)
+}
+
+func TestTransferPipelining(t *testing.T) {
+	// Two equal links: pipelined transfer takes ~ one serialization plus one
+	// chunk time, not two serializations.
+	s := NewSimulator()
+	a := NewLink("a", 8e6, 0, 0)
+	b := NewLink("b", 8e6, 0, 0)
+	var done time.Duration
+	total := int64(1e6) // 1 s at 1 MB/s
+	Transfer(s, Path{a, b}, total, 64<<10, func() { done = s.Now() }, nil)
+	s.Run()
+	if done < time.Second {
+		t.Errorf("transfer finished at %v, faster than line rate", done)
+	}
+	if done > 1200*time.Millisecond {
+		t.Errorf("transfer at %v: pipelining broken (want ~1.07s, not ~2s)", done)
+	}
+}
+
+func TestTransferBottleneck(t *testing.T) {
+	// The slow link dominates.
+	s := NewSimulator()
+	fast := NewLink("fast", 80e6, 0, 0)
+	slow := NewLink("slow", 8e6, 0, 0)
+	var done time.Duration
+	Transfer(s, Path{fast, slow}, 1e6, 64<<10, func() { done = s.Now() }, nil)
+	s.Run()
+	if done < time.Second || done > 1200*time.Millisecond {
+		t.Errorf("bottleneck transfer at %v, want ~1s", done)
+	}
+}
+
+func TestTransferEmptyAndDegenerate(t *testing.T) {
+	s := NewSimulator()
+	called := 0
+	Transfer(s, nil, 100, 10, func() { called++ }, nil)
+	Transfer(s, Path{NewLink("l", 1e6, 0, 0)}, 0, 10, func() { called++ }, nil)
+	s.Run()
+	if called != 2 {
+		t.Errorf("degenerate transfers complete = %d, want 2", called)
+	}
+}
+
+func TestTransferWithDrops(t *testing.T) {
+	s := NewSimulator()
+	l := NewLink("lossy", 8e6, 0, 100<<10) // 100 KB queue
+	drops := 0
+	completed := false
+	// 10 MB dumped at once into a 100 KB queue: most chunks drop.
+	Transfer(s, Path{l}, 10<<20, 64<<10, func() { completed = true }, func() { drops++ })
+	s.Run()
+	if drops == 0 {
+		t.Error("expected drops with a tiny queue")
+	}
+	if !completed {
+		t.Error("transfer should still report completion of surviving chunks")
+	}
+}
+
+func TestProbeIdleVsLoaded(t *testing.T) {
+	// An idle probe sees ~2*prop; a probe during a bulk transfer sees the
+	// queue — the bufferbloat effect.
+	mkPath := func() Path {
+		return Path{NewLink("dl", 50e6, 15*time.Millisecond, 0)}
+	}
+	// Idle.
+	s1 := NewSimulator()
+	p1 := mkPath()
+	var idle time.Duration
+	Probe(s1, p1, 64, func(rtt time.Duration) { idle = rtt })
+	s1.Run()
+	if idle < 30*time.Millisecond || idle > 32*time.Millisecond {
+		t.Errorf("idle RTT = %v, want ~30ms", idle)
+	}
+	// Loaded: 25 MB in flight on a 50 Mbps link = 4 s of queue.
+	s2 := NewSimulator()
+	p2 := mkPath()
+	Transfer(s2, p2, 25<<20, 64<<10, nil, nil)
+	var loaded time.Duration
+	s2.Schedule(10*time.Millisecond, func() {
+		Probe(s2, p2, 64, func(rtt time.Duration) { loaded = rtt })
+	})
+	s2.Run()
+	if loaded < 200*time.Millisecond {
+		t.Errorf("loaded RTT = %v, want inflated (>200ms, paper's bufferbloat)", loaded)
+	}
+}
+
+func TestPathPropagationDelay(t *testing.T) {
+	p := Path{
+		NewLink("a", 1e6, 10*time.Millisecond, 0),
+		NewLink("b", 1e6, 5*time.Millisecond, 0),
+	}
+	if d := p.PropagationDelay(); d != 15*time.Millisecond {
+		t.Errorf("propagation = %v", d)
+	}
+}
+
+func TestMaxQueueObserved(t *testing.T) {
+	s := NewSimulator()
+	l := NewLink("dl", 8e6, 0, 0)
+	for i := 0; i < 10; i++ {
+		l.Send(s, 1000, nil, nil)
+	}
+	if l.MaxQueueObs != 10000 {
+		t.Errorf("max queue = %d, want 10000", l.MaxQueueObs)
+	}
+	s.Run()
+	if l.QueuedBytes() != 0 {
+		t.Errorf("queue not drained: %d", l.QueuedBytes())
+	}
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"time"
+)
+
+// This file adds loss injection and a simple reliable transfer on top of the
+// raw links: a stop-and-wait-per-chunk ARQ with a retransmission budget.
+// Experiments use it to verify that the latency conclusions survive packet
+// loss on the satellite access link.
+
+// LossyLink wraps a Link with independent random loss. Loss is decided by a
+// deterministic counter-based pattern (every Nth chunk), keeping simulations
+// reproducible without threading a random source through the event loop.
+type LossyLink struct {
+	*Link
+	// DropEvery drops every Nth send (0 disables injection).
+	DropEvery int
+	sends     int
+}
+
+// NewLossyLink wraps a link with periodic loss.
+func NewLossyLink(l *Link, dropEvery int) *LossyLink {
+	return &LossyLink{Link: l, DropEvery: dropEvery}
+}
+
+// Send injects loss before delegating to the underlying link.
+func (l *LossyLink) Send(s *Simulator, n int64, onDelivered func(), onDropped func()) {
+	l.sends++
+	if l.DropEvery > 0 && l.sends%l.DropEvery == 0 {
+		l.Dropped += n
+		if onDropped != nil {
+			s.Schedule(s.Now(), onDropped)
+		}
+		return
+	}
+	l.Link.Send(s, n, onDelivered, onDropped)
+}
+
+// Sender abstracts Link and LossyLink for reliable transfers.
+type Sender interface {
+	Send(s *Simulator, n int64, onDelivered func(), onDropped func())
+	TxTime(n int64) time.Duration
+}
+
+var (
+	_ Sender = (*Link)(nil)
+	_ Sender = (*LossyLink)(nil)
+)
+
+// ReliableResult summarizes a reliable transfer.
+type ReliableResult struct {
+	Completed   bool
+	FinishedAt  time.Duration
+	Retransmits int
+	GaveUp      bool
+}
+
+// ReliableTransfer moves total bytes over a single (possibly lossy) sender
+// using per-chunk retransmission: a dropped chunk is detected after the
+// retransmission timeout rto and retried up to maxRetries times before the
+// transfer aborts. onDone receives the outcome when the transfer finishes
+// or gives up.
+//
+// The model is deliberately simpler than TCP — the experiments need loss to
+// cost retransmission time, not a congestion-control study.
+func ReliableTransfer(s *Simulator, link Sender, total, chunkBytes int64, maxRetries int, rto time.Duration, onDone func(ReliableResult)) {
+	if total <= 0 {
+		s.Schedule(s.Now(), func() {
+			if onDone != nil {
+				onDone(ReliableResult{Completed: true, FinishedAt: s.Now()})
+			}
+		})
+		return
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = 64 << 10
+	}
+	if rto <= 0 {
+		rto = 3 * link.TxTime(chunkBytes)
+	}
+	res := &ReliableResult{}
+	remaining := total
+	var sendNext func()
+	sendNext = func() {
+		if remaining <= 0 {
+			res.Completed = true
+			res.FinishedAt = s.Now()
+			if onDone != nil {
+				onDone(*res)
+			}
+			return
+		}
+		n := chunkBytes
+		if n > remaining {
+			n = remaining
+		}
+		attempts := 0
+		var try func()
+		try = func() {
+			link.Send(s, n,
+				func() {
+					remaining -= n
+					sendNext()
+				},
+				func() {
+					attempts++
+					res.Retransmits++
+					if attempts > maxRetries {
+						res.GaveUp = true
+						res.FinishedAt = s.Now()
+						if onDone != nil {
+							onDone(*res)
+						}
+						return
+					}
+					// Loss is noticed only after the timeout fires.
+					s.After(rto, try)
+				})
+		}
+		try()
+	}
+	sendNext()
+}

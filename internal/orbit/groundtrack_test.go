@@ -1,0 +1,64 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacecdn/internal/geo"
+)
+
+func TestGroundTrack(t *testing.T) {
+	e := Elements{AltitudeKm: 550, InclinationDeg: 53}
+	track := e.GroundTrack(0, e.Period(), 30*time.Second)
+	if len(track) < 100 {
+		t.Fatalf("track samples = %d", len(track))
+	}
+	maxLat, minLat := -90.0, 90.0
+	for i, p := range track {
+		if !p.Valid() {
+			t.Fatalf("invalid track point %d: %v", i, p)
+		}
+		if p.LatDeg > maxLat {
+			maxLat = p.LatDeg
+		}
+		if p.LatDeg < minLat {
+			minLat = p.LatDeg
+		}
+		// Successive sub-points move ~200 km per 30 s along the ground.
+		if i > 0 {
+			d := geo.HaversineKm(track[i-1], p)
+			if d < 120 || d > 260 {
+				t.Fatalf("track step %d moved %v km, want ~200", i, d)
+			}
+		}
+	}
+	// The track sweeps the full latitude band of the inclination.
+	if maxLat < 50 || minLat > -50 {
+		t.Errorf("latitude sweep [%v, %v], want +/-53-ish", minLat, maxLat)
+	}
+	if maxLat > 53.1 || minLat < -53.1 {
+		t.Errorf("latitude exceeded inclination: [%v, %v]", minLat, maxLat)
+	}
+}
+
+func TestGroundTrackWestwardDrift(t *testing.T) {
+	// Equator crossings drift westward by ~24 degrees per orbit.
+	e := Elements{AltitudeKm: 550, InclinationDeg: 53}
+	first := e.SubPoint(0)
+	after := e.SubPoint(e.Period())
+	drift := geo.NormalizeLonDeg(after.LonDeg - first.LonDeg)
+	if math.Abs(drift+24) > 2 {
+		t.Errorf("per-orbit drift = %v deg, want ~-24", drift)
+	}
+}
+
+func TestGroundTrackDegenerate(t *testing.T) {
+	e := Elements{AltitudeKm: 550, InclinationDeg: 53}
+	if e.GroundTrack(0, time.Minute, 0) != nil {
+		t.Error("zero step should return nil")
+	}
+	if e.GroundTrack(time.Minute, 0, time.Second) != nil {
+		t.Error("empty range should return nil")
+	}
+}

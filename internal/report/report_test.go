@@ -1,0 +1,138 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Demo", "Country", "RTT (ms)", "Distance")
+	t.AddRow("MZ", 138.7, 8776)
+	t.AddRow("ES", 33.0, 13)
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	tb := sampleTable()
+	out := tb.String()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(lines[1], "Country") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "138.7") {
+		t.Error("float formatting broken")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	// Columns align: header and rows start the second column at the same
+	// byte offset.
+	hIdx := strings.Index(lines[1], "RTT")
+	rIdx := strings.Index(lines[3], "138.7")
+	if hIdx != rIdx {
+		t.Errorf("column misaligned: header at %d, row at %d", hIdx, rIdx)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow(1)
+	if strings.Contains(tb.String(), "==") {
+		t.Error("title rendered for empty title")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("csv rows = %d", len(recs))
+	}
+	if recs[0][0] != "Country" || recs[1][0] != "MZ" {
+		t.Errorf("csv content wrong: %v", recs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != 1 {
+		t.Errorf("round trip failed: %v", got)
+	}
+}
+
+func TestNewSeries(t *testing.T) {
+	s, err := NewSeries("s", []float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "s" || len(s.X) != 2 {
+		t.Errorf("series = %+v", s)
+	}
+	if _, err := NewSeries("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	s1, _ := NewSeries("starlink", []float64{1, 2, 3, 4, 5}, []float64{0.1, 0.3, 0.5, 0.8, 1})
+	s2, _ := NewSeries("empty", nil, nil)
+	f := Figure{Title: "Fig 7", XLabel: "ms", YLabel: "CDF", Series: []Series{s1, s2}}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig 7") || !strings.Contains(out, "starlink") {
+		t.Errorf("figure render missing content: %q", out)
+	}
+	if !strings.Contains(out, "(empty)") {
+		t.Error("empty series not flagged")
+	}
+	// Anchor points include first and last.
+	if !strings.Contains(out, "(1.0, 0.10)") || !strings.Contains(out, "(5.0, 1.00)") {
+		t.Errorf("anchors missing: %q", out)
+	}
+}
+
+func TestFigureJSONRoundTrip(t *testing.T) {
+	s1, _ := NewSeries("a", []float64{1}, []float64{2})
+	f := Figure{Title: "t", Series: []Series{s1}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	var got Figure
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "t" || len(got.Series) != 1 || got.Series[0].Name != "a" {
+		t.Errorf("round trip = %+v", got)
+	}
+}

@@ -1,0 +1,250 @@
+// Package routing provides the graph algorithms the simulator uses on
+// inter-satellite-link topologies: shortest weighted paths (Dijkstra),
+// bounded-hop breadth-first search for replica discovery, and path objects
+// carrying both hop counts and accumulated cost.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a vertex. Satellite graphs use dense indices, so the
+// graph is backed by slices.
+type NodeID int
+
+// Edge is a weighted, directed edge. Undirected graphs add both directions.
+type Edge struct {
+	To     NodeID
+	Weight float64
+}
+
+// Graph is an adjacency-list weighted graph over nodes 0..N-1.
+type Graph struct {
+	adj [][]Edge
+}
+
+// NewGraph creates a graph with n nodes and no edges.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge adds a directed edge. It panics on out-of-range nodes or negative
+// weights — both indicate construction bugs, not runtime conditions.
+func (g *Graph) AddEdge(from, to NodeID, w float64) {
+	if from < 0 || int(from) >= len(g.adj) || to < 0 || int(to) >= len(g.adj) {
+		panic(fmt.Sprintf("routing: edge %d->%d out of range [0,%d)", from, to, len(g.adj)))
+	}
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("routing: invalid edge weight %v", w))
+	}
+	g.adj[from] = append(g.adj[from], Edge{To: to, Weight: w})
+}
+
+// AddUndirected adds the edge in both directions with the same weight.
+func (g *Graph) AddUndirected(a, b NodeID, w float64) {
+	g.AddEdge(a, b, w)
+	g.AddEdge(b, a, w)
+}
+
+// Neighbors returns the outgoing edges of n. The returned slice is shared
+// with the graph; callers must not modify it.
+func (g *Graph) Neighbors(n NodeID) []Edge {
+	if n < 0 || int(n) >= len(g.adj) {
+		return nil
+	}
+	return g.adj[n]
+}
+
+// EdgeCount returns the number of directed edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total
+}
+
+// Path is a route through the graph with its accumulated weight.
+type Path struct {
+	Nodes []NodeID
+	Cost  float64
+}
+
+// Hops returns the number of edges on the path.
+func (p Path) Hops() int {
+	if len(p.Nodes) == 0 {
+		return 0
+	}
+	return len(p.Nodes) - 1
+}
+
+// item is a priority-queue entry for Dijkstra.
+type item struct {
+	node NodeID
+	dist float64
+}
+
+type pq []item
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra from src to dst and returns the minimum-weight
+// path. ok is false when dst is unreachable or either node is out of range.
+func (g *Graph) ShortestPath(src, dst NodeID) (Path, bool) {
+	dist, prev := g.dijkstra(src, dst)
+	if dist == nil {
+		return Path{}, false
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	return reconstruct(prev, src, dst, dist[dst]), true
+}
+
+// ShortestPathsFrom runs Dijkstra from src to every node and returns the
+// distance slice (math.Inf(1) for unreachable nodes). Returns nil when src is
+// out of range.
+func (g *Graph) ShortestPathsFrom(src NodeID) []float64 {
+	dist, _ := g.dijkstra(src, -1)
+	return dist
+}
+
+func (g *Graph) dijkstra(src, stopAt NodeID) (dist []float64, prev []NodeID) {
+	n := len(g.adj)
+	if src < 0 || int(src) >= n {
+		return nil, nil
+	}
+	dist = make([]float64, n)
+	prev = make([]NodeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		if it.node == stopAt {
+			return dist, prev
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = it.node
+				heap.Push(q, item{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+func reconstruct(prev []NodeID, src, dst NodeID, cost float64) Path {
+	var rev []NodeID
+	for at := dst; at != -1; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	nodes := make([]NodeID, len(rev))
+	for i, n := range rev {
+		nodes[len(rev)-1-i] = n
+	}
+	return Path{Nodes: nodes, Cost: cost}
+}
+
+// HopResult describes a node found by bounded-hop search.
+type HopResult struct {
+	Node NodeID
+	Hops int
+}
+
+// WithinHops returns all nodes reachable from src in at most maxHops edges
+// (including src itself at 0 hops), in breadth-first order.
+func (g *Graph) WithinHops(src NodeID, maxHops int) []HopResult {
+	if src < 0 || int(src) >= len(g.adj) || maxHops < 0 {
+		return nil
+	}
+	visited := make([]bool, len(g.adj))
+	visited[src] = true
+	out := []HopResult{{Node: src, Hops: 0}}
+	frontier := []NodeID{src}
+	for h := 1; h <= maxHops && len(frontier) > 0; h++ {
+		var next []NodeID
+		for _, n := range frontier {
+			for _, e := range g.adj[n] {
+				if !visited[e.To] {
+					visited[e.To] = true
+					out = append(out, HopResult{Node: e.To, Hops: h})
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// NearestMatch performs a breadth-first search from src and returns the first
+// node (by hop count) satisfying match, up to maxHops. The weighted cost of
+// the BFS path is not minimized; use ShortestPath for that. ok is false when
+// no node matches within the bound.
+func (g *Graph) NearestMatch(src NodeID, maxHops int, match func(NodeID) bool) (HopResult, bool) {
+	if src < 0 || int(src) >= len(g.adj) || maxHops < 0 || match == nil {
+		return HopResult{}, false
+	}
+	if match(src) {
+		return HopResult{Node: src, Hops: 0}, true
+	}
+	visited := make([]bool, len(g.adj))
+	visited[src] = true
+	frontier := []NodeID{src}
+	for h := 1; h <= maxHops && len(frontier) > 0; h++ {
+		var next []NodeID
+		for _, n := range frontier {
+			for _, e := range g.adj[n] {
+				if visited[e.To] {
+					continue
+				}
+				visited[e.To] = true
+				if match(e.To) {
+					return HopResult{Node: e.To, Hops: h}, true
+				}
+				next = append(next, e.To)
+			}
+		}
+		frontier = next
+	}
+	return HopResult{}, false
+}
+
+// HopDistance returns the minimum hop count between src and dst, ignoring
+// weights. ok is false when unreachable.
+func (g *Graph) HopDistance(src, dst NodeID) (int, bool) {
+	res, ok := g.NearestMatch(src, len(g.adj), func(n NodeID) bool { return n == dst })
+	if !ok {
+		return 0, false
+	}
+	return res.Hops, true
+}

@@ -1,0 +1,316 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ring builds an undirected ring of n nodes with unit weights.
+func ring(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddUndirected(NodeID(i), NodeID((i+1)%n), 1)
+	}
+	return g
+}
+
+// grid builds an undirected w x h torus grid, unit weights — the same shape
+// as a +grid ISL topology.
+func grid(w, h int) *Graph {
+	g := NewGraph(w * h)
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.AddUndirected(id(x, y), id((x+1)%w, y), 1)
+			g.AddUndirected(id(x, y), id(x, (y+1)%h), 1)
+		}
+	}
+	return g
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := NewGraph(4)
+	g.AddUndirected(0, 1, 1)
+	g.AddUndirected(1, 2, 2)
+	g.AddUndirected(2, 3, 3)
+	p, ok := g.ShortestPath(0, 3)
+	if !ok {
+		t.Fatal("path not found")
+	}
+	if p.Cost != 6 || p.Hops() != 3 {
+		t.Errorf("path = %+v, want cost 6 hops 3", p)
+	}
+	if p.Nodes[0] != 0 || p.Nodes[len(p.Nodes)-1] != 3 {
+		t.Errorf("endpoints wrong: %v", p.Nodes)
+	}
+}
+
+func TestShortestPathPrefersLowWeight(t *testing.T) {
+	// Two routes 0->3: direct edge weight 10, detour 0-1-2-3 weight 3.
+	g := NewGraph(4)
+	g.AddUndirected(0, 3, 10)
+	g.AddUndirected(0, 1, 1)
+	g.AddUndirected(1, 2, 1)
+	g.AddUndirected(2, 3, 1)
+	p, ok := g.ShortestPath(0, 3)
+	if !ok || p.Cost != 3 || p.Hops() != 3 {
+		t.Errorf("path = %+v ok=%v, want detour cost 3", p, ok)
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := ring(5)
+	p, ok := g.ShortestPath(2, 2)
+	if !ok || p.Cost != 0 || p.Hops() != 0 || len(p.Nodes) != 1 {
+		t.Errorf("self path = %+v ok=%v", p, ok)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	g.AddUndirected(0, 1, 1)
+	if _, ok := g.ShortestPath(0, 2); ok {
+		t.Error("disconnected node reported reachable")
+	}
+	if _, ok := g.HopDistance(0, 2); ok {
+		t.Error("hop distance to disconnected node reported")
+	}
+	d := g.ShortestPathsFrom(0)
+	if !math.IsInf(d[2], 1) {
+		t.Errorf("distance to disconnected = %v, want +Inf", d[2])
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	g := ring(4)
+	if _, ok := g.ShortestPath(-1, 2); ok {
+		t.Error("negative src accepted")
+	}
+	if g.ShortestPathsFrom(99) != nil {
+		t.Error("out-of-range src returned distances")
+	}
+	if g.Neighbors(-1) != nil {
+		t.Error("out-of-range Neighbors returned edges")
+	}
+	if g.WithinHops(99, 2) != nil {
+		t.Error("out-of-range WithinHops returned results")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []func(*Graph){
+		func(g *Graph) { g.AddEdge(0, 9, 1) },
+		func(g *Graph) { g.AddEdge(-1, 0, 1) },
+		func(g *Graph) { g.AddEdge(0, 1, -1) },
+		func(g *Graph) { g.AddEdge(0, 1, math.NaN()) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f(ring(3))
+		}()
+	}
+}
+
+func TestRingDistances(t *testing.T) {
+	n := 22 // one Starlink orbital plane
+	g := ring(n)
+	for dst := 0; dst < n; dst++ {
+		want := dst
+		if n-dst < want {
+			want = n - dst
+		}
+		p, ok := g.ShortestPath(0, NodeID(dst))
+		if !ok {
+			t.Fatalf("no path 0->%d", dst)
+		}
+		if p.Hops() != want {
+			t.Errorf("ring hops 0->%d = %d, want %d", dst, p.Hops(), want)
+		}
+	}
+}
+
+func TestWithinHopsRing(t *testing.T) {
+	g := ring(22)
+	res := g.WithinHops(0, 3)
+	// 0 hops: 1 node; each extra hop adds 2 nodes on a ring.
+	if len(res) != 1+2*3 {
+		t.Errorf("WithinHops(0,3) returned %d nodes, want 7", len(res))
+	}
+	for _, r := range res {
+		if r.Hops > 3 {
+			t.Errorf("node %d at %d hops exceeds bound", r.Node, r.Hops)
+		}
+	}
+	if res[0].Node != 0 || res[0].Hops != 0 {
+		t.Errorf("first result should be src at 0 hops: %+v", res[0])
+	}
+}
+
+func TestWithinHopsZero(t *testing.T) {
+	g := ring(5)
+	res := g.WithinHops(1, 0)
+	if len(res) != 1 || res[0].Node != 1 {
+		t.Errorf("WithinHops(,0) = %+v", res)
+	}
+}
+
+func TestNearestMatch(t *testing.T) {
+	g := ring(22)
+	target := map[NodeID]bool{5: true, 17: true} // 17 is 5 hops the other way
+	res, ok := g.NearestMatch(0, 10, func(n NodeID) bool { return target[n] })
+	if !ok {
+		t.Fatal("no match found")
+	}
+	if res.Hops != 5 {
+		t.Errorf("nearest match at %d hops, want 5", res.Hops)
+	}
+	if res.Node != 5 && res.Node != 17 {
+		t.Errorf("unexpected match %d", res.Node)
+	}
+	// Bounded search that cannot reach any target.
+	if _, ok := g.NearestMatch(0, 2, func(n NodeID) bool { return target[n] }); ok {
+		t.Error("match found beyond hop bound")
+	}
+	// src itself matching.
+	res, ok = g.NearestMatch(5, 3, func(n NodeID) bool { return target[n] })
+	if !ok || res.Hops != 0 || res.Node != 5 {
+		t.Errorf("self match = %+v ok=%v", res, ok)
+	}
+	if _, ok := g.NearestMatch(0, 3, nil); ok {
+		t.Error("nil matcher should not match")
+	}
+}
+
+func TestGridHopDistance(t *testing.T) {
+	// On a torus grid, hop distance is the sum of wrapped axis distances.
+	w, h := 12, 10
+	g := grid(w, h)
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	wrap := func(d, n int) int {
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			return n - d
+		}
+		return d
+	}
+	for _, c := range []struct{ x1, y1, x2, y2 int }{
+		{0, 0, 3, 4}, {0, 0, 11, 9}, {5, 5, 5, 5}, {2, 9, 10, 0},
+	} {
+		got, ok := g.HopDistance(id(c.x1, c.y1), id(c.x2, c.y2))
+		if !ok {
+			t.Fatalf("unreachable on torus: %+v", c)
+		}
+		want := wrap(c.x2-c.x1, w) + wrap(c.y2-c.y1, h)
+		if got != want {
+			t.Errorf("hop distance %+v = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	// Property: with unit weights, Dijkstra cost equals BFS hop count.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.Intn(30)
+		g := NewGraph(n)
+		// Random connected-ish graph: ring + random chords.
+		for i := 0; i < n; i++ {
+			g.AddUndirected(NodeID(i), NodeID((i+1)%n), 1)
+		}
+		for k := 0; k < n/2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddUndirected(NodeID(a), NodeID(b), 1)
+			}
+		}
+		src := NodeID(rng.Intn(n))
+		dst := NodeID(rng.Intn(n))
+		p, ok1 := g.ShortestPath(src, dst)
+		hd, ok2 := g.HopDistance(src, dst)
+		if ok1 != ok2 {
+			t.Fatalf("reachability disagreement src=%d dst=%d", src, dst)
+		}
+		if ok1 && int(p.Cost) != hd {
+			t.Errorf("dijkstra cost %v != bfs hops %d (src=%d dst=%d)", p.Cost, hd, src, dst)
+		}
+	}
+}
+
+func TestPathCostConsistency(t *testing.T) {
+	// Property: the reported cost equals the sum of edge weights on the path.
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	g := NewGraph(n)
+	type key struct{ a, b NodeID }
+	weights := map[key]float64{}
+	addEdge := func(a, b NodeID, w float64) {
+		g.AddUndirected(a, b, w)
+		weights[key{a, b}] = w
+		weights[key{b, a}] = w
+	}
+	for i := 0; i < n; i++ {
+		addEdge(NodeID(i), NodeID((i+1)%n), 1+rng.Float64()*10)
+	}
+	for k := 0; k < n; k++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a != b {
+			if _, dup := weights[key{a, b}]; !dup {
+				addEdge(a, b, 1+rng.Float64()*10)
+			}
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		src, dst := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		p, ok := g.ShortestPath(src, dst)
+		if !ok {
+			t.Fatalf("ring graph must be connected")
+		}
+		sum := 0.0
+		for i := 1; i < len(p.Nodes); i++ {
+			w, exists := weights[key{p.Nodes[i-1], p.Nodes[i]}]
+			if !exists {
+				t.Fatalf("path uses nonexistent edge %d->%d", p.Nodes[i-1], p.Nodes[i])
+			}
+			sum += w
+		}
+		if math.Abs(sum-p.Cost) > 1e-9 {
+			t.Errorf("cost mismatch: reported %v, recomputed %v", p.Cost, sum)
+		}
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	// dist(a,c) <= dist(a,b) + dist(b,c) for shortest-path distances.
+	g := grid(8, 8)
+	prop := func(a, b, c uint8) bool {
+		n := NodeID(int(a) % g.Len())
+		m := NodeID(int(b) % g.Len())
+		k := NodeID(int(c) % g.Len())
+		dn := g.ShortestPathsFrom(n)
+		dm := g.ShortestPathsFrom(m)
+		return dn[k] <= dn[m]+dm[k]+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("triangle inequality violated: %v", err)
+	}
+}
+
+func TestEdgeCount(t *testing.T) {
+	g := grid(4, 4)
+	// Each node has degree 4 on a torus; 16 nodes * 4 = 64 directed edges.
+	if g.EdgeCount() != 64 {
+		t.Errorf("EdgeCount = %d, want 64", g.EdgeCount())
+	}
+	if NewGraph(0).EdgeCount() != 0 {
+		t.Error("empty graph should have no edges")
+	}
+}

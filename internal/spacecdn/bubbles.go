@@ -1,0 +1,118 @@
+package spacecdn
+
+import (
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+)
+
+// Content bubbles (paper §5): satellite orbits and regional content
+// popularity are both predictable, so a satellite approaching a region's
+// field of view can prefetch that region's popular content and evict the
+// content of the region it is leaving — "the infrastructure moves but the
+// content remains accessible".
+
+// BubbleConfig parameterizes the bubble manager.
+type BubbleConfig struct {
+	// TopN popular objects per region are kept in the bubble.
+	TopN int
+	// LookaheadTime is how far ahead of the satellite's motion the region
+	// is predicted (prefetch before arrival).
+	Lookahead time.Duration
+}
+
+// DefaultBubbleConfig prefetches each region's top 50 objects two minutes
+// before a satellite enters the region.
+func DefaultBubbleConfig() BubbleConfig {
+	return BubbleConfig{TopN: 50, Lookahead: 2 * time.Minute}
+}
+
+// BubbleManager maintains localized content bubbles on the moving fleet.
+type BubbleManager struct {
+	sys *System
+	cat *content.Catalog
+	cfg BubbleConfig
+	// lastRegion remembers each satellite's current bubble region.
+	lastRegion []geo.Region
+}
+
+// NewBubbleManager creates a manager over a system and catalog.
+func NewBubbleManager(sys *System, cat *content.Catalog, cfg BubbleConfig) *BubbleManager {
+	return &BubbleManager{
+		sys:        sys,
+		cat:        cat,
+		cfg:        cfg,
+		lastRegion: make([]geo.Region, sys.Constellation().Total()),
+	}
+}
+
+// RegionUnder returns the content region a satellite serves at time t:
+// the region of the country whose reference city is nearest to the
+// satellite's (lookahead-predicted) sub-point. Ocean passes return the
+// nearest region as well — content for the coast ahead.
+func (m *BubbleManager) RegionUnder(id constellation.SatID, t time.Duration) geo.Region {
+	el := m.sys.Constellation().Elements(id)
+	sub := el.SubPoint(t + m.cfg.Lookahead)
+	best := geo.RegionUnknown
+	bestD := -1.0
+	for _, city := range geo.Cities() {
+		d := geo.HaversineKm(sub, city.Loc)
+		if bestD < 0 || d < bestD {
+			bestD = d
+			best = city.Region
+		}
+	}
+	return best
+}
+
+// Update refreshes the bubbles at time t: for every satellite whose
+// (predicted) region changed, it retargets the geo-aware cache and
+// prefetches the new region's top-N objects. It returns the number of
+// satellites whose bubbles were retargeted.
+func (m *BubbleManager) Update(t time.Duration) int {
+	changed := 0
+	for i := 0; i < m.sys.Constellation().Total(); i++ {
+		id := constellation.SatID(i)
+		r := m.RegionUnder(id, t)
+		if r == m.lastRegion[i] {
+			continue
+		}
+		m.lastRegion[i] = r
+		changed++
+		gc := m.sys.GeoCacheOf(id)
+		gc.SetRegion(r.String())
+		// Prefetch the new region's top objects; the geo-aware policy
+		// evicts the old region's content first as space is needed.
+		top := m.cat.TopN(r, m.cfg.TopN)
+		for _, o := range top {
+			m.sys.Store(id, o)
+		}
+	}
+	return changed
+}
+
+// LocalHitRate measures how well bubbles serve local interest: the fraction
+// of the region's top-N objects resolvable from satellites currently
+// overhead (within the client's view) at time t, for a client at loc.
+func (m *BubbleManager) LocalHitRate(loc geo.Point, region geo.Region, snap *constellation.Snapshot) float64 {
+	vis := snap.Visible(loc)
+	if len(vis) == 0 {
+		return 0
+	}
+	top := m.cat.TopN(region, m.cfg.TopN)
+	if len(top) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, o := range top {
+		for _, v := range vis {
+			if m.sys.HasObject(v.ID, o.ID, snap.Time()) {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(top))
+}

@@ -1,0 +1,81 @@
+package spacecdn
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/constellation"
+)
+
+// DutyCycleConfig configures fractional caching (paper §5, Figure 8): in
+// each time slot only Fraction of the fleet serves cache hits; the rest
+// relay requests over ISLs toward active caches.
+type DutyCycleConfig struct {
+	// Fraction of satellites active per slot, in (0, 1].
+	Fraction float64
+	// Slot is the duty-cycle period. Each slot draws a fresh active set.
+	Slot time.Duration
+	// Seed makes the slot permutations deterministic.
+	Seed int64
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (c DutyCycleConfig) Validate() error {
+	if c.Fraction <= 0 || c.Fraction > 1 {
+		return fmt.Errorf("spacecdn: duty-cycle fraction %v outside (0,1]", c.Fraction)
+	}
+	if c.Slot <= 0 {
+		return fmt.Errorf("spacecdn: duty-cycle slot must be positive")
+	}
+	return nil
+}
+
+// DutyCycler decides which satellites cache in which slot. Decisions are
+// deterministic in (satellite, slot, seed) and uniform: each satellite is
+// active in a Fraction of slots, and each slot has ~Fraction of the fleet
+// active.
+type DutyCycler struct {
+	cfg   DutyCycleConfig
+	total int
+}
+
+// NewDutyCycler builds a duty cycler for a fleet of total satellites.
+func NewDutyCycler(cfg DutyCycleConfig, total int) *DutyCycler {
+	return &DutyCycler{cfg: cfg, total: total}
+}
+
+// Slot returns the slot index containing time t.
+func (d *DutyCycler) Slot(t time.Duration) int64 {
+	if t < 0 {
+		t = 0
+	}
+	return int64(t / d.cfg.Slot)
+}
+
+// Active reports whether satellite id serves cache hits at time t.
+func (d *DutyCycler) Active(id constellation.SatID, t time.Duration) bool {
+	h := splitmix64(uint64(d.Slot(t))*0x9E3779B97F4A7C15 ^ uint64(id)*0xBF58476D1CE4E5B9 ^ uint64(d.cfg.Seed))
+	// Map to [0,1) and compare with the fraction.
+	u := float64(h>>11) / float64(1<<53)
+	return u < d.cfg.Fraction
+}
+
+// ActiveCount returns how many satellites are active at time t.
+func (d *DutyCycler) ActiveCount(t time.Duration) int {
+	n := 0
+	for i := 0; i < d.total; i++ {
+		if d.Active(constellation.SatID(i), t) {
+			n++
+		}
+	}
+	return n
+}
+
+// splitmix64 is the standard 64-bit finalizer; deterministic, stateless and
+// well distributed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

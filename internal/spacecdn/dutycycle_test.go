@@ -1,0 +1,139 @@
+package spacecdn
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+func TestDutyCycleValidation(t *testing.T) {
+	bad := []DutyCycleConfig{
+		{Fraction: 0, Slot: time.Minute},
+		{Fraction: -0.5, Slot: time.Minute},
+		{Fraction: 1.01, Slot: time.Minute},
+		{Fraction: 0.5, Slot: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: %+v accepted", i, cfg)
+		}
+	}
+	if err := (DutyCycleConfig{Fraction: 1, Slot: time.Minute}).Validate(); err != nil {
+		t.Errorf("full fraction rejected: %v", err)
+	}
+}
+
+func TestDutyCycleFractionHolds(t *testing.T) {
+	for _, f := range []float64{0.3, 0.5, 0.8} {
+		d := NewDutyCycler(DutyCycleConfig{Fraction: f, Slot: time.Minute, Seed: 1}, 1584)
+		for _, at := range []time.Duration{0, time.Minute, time.Hour} {
+			got := float64(d.ActiveCount(at)) / 1584
+			if got < f-0.05 || got > f+0.05 {
+				t.Errorf("fraction %v at %v: active share %v", f, at, got)
+			}
+		}
+	}
+}
+
+func TestDutyCycleDeterministic(t *testing.T) {
+	a := NewDutyCycler(DutyCycleConfig{Fraction: 0.5, Slot: time.Minute, Seed: 7}, 100)
+	b := NewDutyCycler(DutyCycleConfig{Fraction: 0.5, Slot: time.Minute, Seed: 7}, 100)
+	for i := 0; i < 100; i++ {
+		if a.Active(constellation.SatID(i), 90*time.Second) != b.Active(constellation.SatID(i), 90*time.Second) {
+			t.Fatal("duty cycle not deterministic")
+		}
+	}
+}
+
+func TestDutyCycleRotates(t *testing.T) {
+	d := NewDutyCycler(DutyCycleConfig{Fraction: 0.5, Slot: time.Minute, Seed: 3}, 500)
+	changed := 0
+	for i := 0; i < 500; i++ {
+		if d.Active(constellation.SatID(i), 0) != d.Active(constellation.SatID(i), time.Minute) {
+			changed++
+		}
+	}
+	// About half the satellites should flip between independent slots.
+	if changed < 150 || changed > 350 {
+		t.Errorf("slot rotation flipped %d/500 satellites, want ~250", changed)
+	}
+	// Within a slot the set is stable.
+	for i := 0; i < 500; i++ {
+		if d.Active(constellation.SatID(i), time.Second) != d.Active(constellation.SatID(i), 59*time.Second) {
+			t.Fatal("active set changed within a slot")
+		}
+	}
+	if d.Slot(-5*time.Second) != 0 {
+		t.Error("negative time should clamp to slot 0")
+	}
+}
+
+func TestDutyCycledResolution(t *testing.T) {
+	// With duty cycling, an inactive overhead satellite's cache is skipped
+	// and the request forwards to an active replica.
+	cfg := DefaultConfig()
+	cfg.DutyCycle = &DutyCycleConfig{Fraction: 0.5, Slot: time.Minute, Seed: 11}
+	s := newSystem(t, cfg)
+	snap := testConst.Snapshot(0)
+	loc := geo.NewPoint(40.42, -3.70) // Madrid
+	o := content.Object{ID: "dc", Bytes: 1 << 20, Region: geo.RegionEurope}
+
+	// Place on every satellite: resolution source now depends purely on the
+	// duty cycle.
+	for i := 0; i < testConst.Total(); i++ {
+		s.Store(constellation.SatID(i), o)
+	}
+	rng := stats.NewRand(1)
+	res, err := s.Resolve(loc, "ES", o, snap, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, _ := snap.BestVisible(loc)
+	if s.Active(up.ID, 0) {
+		if res.Source != SourceOverhead {
+			t.Errorf("active overhead sat should serve: %+v", res)
+		}
+	} else {
+		if res.Source != SourceISL {
+			t.Errorf("inactive overhead sat should forward over ISLs: %+v", res)
+		}
+		if res.Hops < 1 {
+			t.Error("forwarded resolution must have hops")
+		}
+	}
+}
+
+func TestDutyCycleLatencyOrdering(t *testing.T) {
+	// Lower duty fractions mean longer searches: median RTT(30%) >=
+	// median RTT(80%) over a client population (paper Fig. 8 shape).
+	medians := map[float64]float64{}
+	for _, f := range []float64{0.3, 0.8} {
+		cfg := DefaultConfig()
+		cfg.DutyCycle = &DutyCycleConfig{Fraction: f, Slot: time.Minute, Seed: 5}
+		s := newSystem(t, cfg)
+		o := content.Object{ID: "pop", Bytes: 1 << 20, Region: geo.RegionEurope}
+		// Dense placement, as for popular content.
+		if _, err := Apply(s, PerPlaneSpacing{ReplicasPerPlane: 4}, o); err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRand(2)
+		var rtts []float64
+		snap := testConst.Snapshot(0)
+		for _, city := range geo.Cities()[:40] {
+			if rtt, _, found := s.NearestReplicaRTT(city.Loc, o.ID, snap, rng); found {
+				rtts = append(rtts, ms(rtt))
+			}
+		}
+		if len(rtts) < 20 {
+			t.Fatalf("too few resolutions at fraction %v", f)
+		}
+		medians[f] = stats.Median(rtts)
+	}
+	if medians[0.3] < medians[0.8] {
+		t.Errorf("median RTT at 30%% (%v) should be >= at 80%% (%v)", medians[0.3], medians[0.8])
+	}
+}

@@ -1,0 +1,131 @@
+package spacecdn
+
+import (
+	"fmt"
+	"sort"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/constellation"
+)
+
+// Fleet-wide cache telemetry: the operator view of a SpaceCDN deployment.
+// The §5 economics discussion (MetaCDN-style multi-tenant satellite caches)
+// presumes an operator who can see utilization and hit rates per satellite
+// and per orbital plane; this file aggregates the per-satellite cache
+// counters into that view.
+
+// FleetMetrics aggregates cache counters across the constellation.
+type FleetMetrics struct {
+	Satellites int
+	UsedBytes  int64
+	CapBytes   int64
+	Items      int
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Inserts    int64
+}
+
+// HitRate returns fleet-wide hits/(hits+misses).
+func (m FleetMetrics) HitRate() float64 {
+	t := m.Hits + m.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(t)
+}
+
+// Utilization returns used/capacity bytes.
+func (m FleetMetrics) Utilization() float64 {
+	if m.CapBytes == 0 {
+		return 0
+	}
+	return float64(m.UsedBytes) / float64(m.CapBytes)
+}
+
+func (m FleetMetrics) String() string {
+	return fmt.Sprintf("fleet: %d sats, %d items, %.2f%% full, hit rate %.1f%% (%d hits / %d misses, %d evictions)",
+		m.Satellites, m.Items, 100*m.Utilization(), 100*m.HitRate(), m.Hits, m.Misses, m.Evictions)
+}
+
+// Metrics returns the fleet-wide aggregate.
+func (s *System) Metrics() FleetMetrics {
+	m := FleetMetrics{Satellites: len(s.caches)}
+	for _, c := range s.caches {
+		st := c.Stats()
+		m.UsedBytes += c.UsedBytes()
+		m.CapBytes += c.Capacity()
+		m.Items += c.Len()
+		m.Hits += st.Hits
+		m.Misses += st.Misses
+		m.Evictions += st.Evictions
+		m.Inserts += st.Inserts
+	}
+	return m
+}
+
+// PlaneMetrics is one orbital plane's aggregate.
+type PlaneMetrics struct {
+	Plane     int
+	UsedBytes int64
+	Items     int
+	Hits      int64
+	Misses    int64
+}
+
+// MetricsByPlane aggregates cache counters per orbital plane, ordered by
+// plane index. Uneven load across planes indicates placement skew.
+func (s *System) MetricsByPlane() []PlaneMetrics {
+	byPlane := map[int]*PlaneMetrics{}
+	for i, c := range s.caches {
+		p := s.consts.Plane(constellation.SatID(i))
+		pm := byPlane[p]
+		if pm == nil {
+			pm = &PlaneMetrics{Plane: p}
+			byPlane[p] = pm
+		}
+		st := c.Stats()
+		pm.UsedBytes += c.UsedBytes()
+		pm.Items += c.Len()
+		pm.Hits += st.Hits
+		pm.Misses += st.Misses
+	}
+	out := make([]PlaneMetrics, 0, len(byPlane))
+	for _, pm := range byPlane {
+		out = append(out, *pm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Plane < out[j].Plane })
+	return out
+}
+
+// HottestSatellites returns the n satellites with the most cache hits,
+// descending — the candidates for thermal attention (§5).
+func (s *System) HottestSatellites(n int) []constellation.SatID {
+	type satHits struct {
+		id   constellation.SatID
+		hits int64
+	}
+	all := make([]satHits, len(s.caches))
+	for i, c := range s.caches {
+		all[i] = satHits{id: constellation.SatID(i), hits: c.Stats().Hits}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].hits != all[j].hits {
+			return all[i].hits > all[j].hits
+		}
+		return all[i].id < all[j].id
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]constellation.SatID, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+// statsOf is a small helper for tests.
+func (s *System) statsOf(id constellation.SatID) cache.Stats {
+	return s.caches[int(id)].Stats()
+}

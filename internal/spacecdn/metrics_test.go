@@ -1,0 +1,100 @@
+package spacecdn
+
+import (
+	"strings"
+	"testing"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+func TestFleetMetrics(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	m0 := s.Metrics()
+	if m0.Satellites != 1584 || m0.Items != 0 || m0.UsedBytes != 0 {
+		t.Fatalf("fresh metrics: %+v", m0)
+	}
+	if m0.HitRate() != 0 || m0.Utilization() != 0 {
+		t.Error("fresh rates should be zero")
+	}
+
+	obj := testObject("metrics-obj")
+	if _, err := Apply(s, PerPlaneSpacing{ReplicasPerPlane: 2}, obj); err != nil {
+		t.Fatal(err)
+	}
+	// Drive some traffic.
+	snap := testConst.Snapshot(0)
+	rng := stats.NewRand(1)
+	for _, city := range geo.Cities()[:20] {
+		_, _ = s.Resolve(city.Loc, city.Country, obj, snap, rng)
+	}
+	m := s.Metrics()
+	if m.Items != 2*72 {
+		t.Errorf("items = %d, want 144", m.Items)
+	}
+	if m.Inserts != 2*72 {
+		t.Errorf("inserts = %d", m.Inserts)
+	}
+	if m.Hits == 0 {
+		t.Error("no hits recorded after resolutions")
+	}
+	if m.UsedBytes != int64(m.Items)*obj.Bytes {
+		t.Errorf("used bytes = %d", m.UsedBytes)
+	}
+	if m.Utilization() <= 0 || m.Utilization() >= 1 {
+		t.Errorf("utilization = %v", m.Utilization())
+	}
+	if !strings.Contains(m.String(), "fleet:") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestMetricsByPlane(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	obj := testObject("plane-obj")
+	// Single-plane placement: exactly one plane carries the items.
+	if _, err := Apply(s, SinglePlaneSpacing{Plane: 7, ReplicasPerPlane: 4}, obj); err != nil {
+		t.Fatal(err)
+	}
+	planes := s.MetricsByPlane()
+	if len(planes) != 72 {
+		t.Fatalf("planes = %d", len(planes))
+	}
+	for _, pm := range planes {
+		want := 0
+		if pm.Plane == 7 {
+			want = 4
+		}
+		if pm.Items != want {
+			t.Errorf("plane %d items = %d, want %d", pm.Plane, pm.Items, want)
+		}
+	}
+	// Ordered by plane index.
+	for i := 1; i < len(planes); i++ {
+		if planes[i].Plane <= planes[i-1].Plane {
+			t.Fatal("planes not ordered")
+		}
+	}
+}
+
+func TestHottestSatellites(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	obj := testObject("hot-obj")
+	s.Store(42, obj)
+	s.Store(99, obj)
+	// 42 gets more hits than 99.
+	for i := 0; i < 5; i++ {
+		s.cacheGet(42, obj.ID)
+	}
+	s.cacheGet(99, obj.ID)
+	top := s.HottestSatellites(2)
+	if len(top) != 2 || top[0] != 42 || top[1] != 99 {
+		t.Errorf("hottest = %v, want [42 99]", top)
+	}
+	if got := s.HottestSatellites(100000); len(got) != 1584 {
+		t.Errorf("oversized n should clamp: %d", len(got))
+	}
+	if s.statsOf(42).Hits != 5 {
+		t.Errorf("sat 42 hits = %d", s.statsOf(42).Hits)
+	}
+}

@@ -1,0 +1,191 @@
+package spacecdn
+
+import (
+	"fmt"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+// Placement decides which satellites hold replicas of an object.
+type Placement interface {
+	// Replicas returns the satellites that should cache the object.
+	Replicas(s *System, o content.Object) []constellation.SatID
+}
+
+// PerPlaneSpacing places k evenly spaced replicas in every orbital plane —
+// the paper's "with around 4 copies distributed within each plane, an object
+// can be reachable within 5 hops, even within a single orbital plane". The
+// object ID rotates the spacing offset so different objects land on
+// different satellites.
+type PerPlaneSpacing struct {
+	ReplicasPerPlane int
+}
+
+// Replicas implements Placement.
+func (p PerPlaneSpacing) Replicas(s *System, o content.Object) []constellation.SatID {
+	k := p.ReplicasPerPlane
+	if k <= 0 {
+		return nil
+	}
+	c := s.Constellation()
+	spp := c.SatsPerPlane()
+	if k > spp {
+		k = spp
+	}
+	offset := int(fnv32(string(o.ID))) % spp
+	var out []constellation.SatID
+	for plane := 0; plane < c.Planes(); plane++ {
+		for i := 0; i < k; i++ {
+			slot := (offset + i*spp/k) % spp
+			out = append(out, c.ID(plane, slot))
+		}
+	}
+	return out
+}
+
+// SinglePlaneSpacing places k evenly spaced replicas in one plane only —
+// used by ablations to study the paper's single-plane reachability claim.
+type SinglePlaneSpacing struct {
+	Plane            int
+	ReplicasPerPlane int
+}
+
+// Replicas implements Placement.
+func (p SinglePlaneSpacing) Replicas(s *System, o content.Object) []constellation.SatID {
+	k := p.ReplicasPerPlane
+	if k <= 0 {
+		return nil
+	}
+	c := s.Constellation()
+	spp := c.SatsPerPlane()
+	if k > spp {
+		k = spp
+	}
+	plane := p.Plane % c.Planes()
+	offset := int(fnv32(string(o.ID))) % spp
+	var out []constellation.SatID
+	for i := 0; i < k; i++ {
+		out = append(out, c.ID(plane, (offset+i*spp/k)%spp))
+	}
+	return out
+}
+
+// RandomFraction places the object on each satellite independently with
+// probability F — a chaotic baseline for comparisons.
+type RandomFraction struct {
+	F    float64
+	Seed int64
+}
+
+// Replicas implements Placement.
+func (p RandomFraction) Replicas(s *System, o content.Object) []constellation.SatID {
+	if p.F <= 0 {
+		return nil
+	}
+	rng := stats.NewRand(p.Seed ^ int64(fnv32(string(o.ID))))
+	var out []constellation.SatID
+	for i := 0; i < s.Constellation().Total(); i++ {
+		if rng.Bool(p.F) {
+			out = append(out, constellation.SatID(i))
+		}
+	}
+	return out
+}
+
+// PopularityTiered scales replica density with an object's popularity rank
+// in its home region: the hottest HotN objects get HotReplicas per plane,
+// the next WarmN get WarmReplicas, and everything colder stays on the
+// ground. This is the placement a real operator would run — cache space is
+// finite and the Zipf tail does not earn orbit space.
+type PopularityTiered struct {
+	Catalog      *content.Catalog
+	HotN         int
+	HotReplicas  int
+	WarmN        int
+	WarmReplicas int
+}
+
+// Replicas implements Placement.
+func (p PopularityTiered) Replicas(s *System, o content.Object) []constellation.SatID {
+	rank := p.rankOf(o)
+	switch {
+	case rank < 0:
+		return nil
+	case rank < p.HotN:
+		return PerPlaneSpacing{ReplicasPerPlane: p.HotReplicas}.Replicas(s, o)
+	case rank < p.HotN+p.WarmN:
+		return PerPlaneSpacing{ReplicasPerPlane: p.WarmReplicas}.Replicas(s, o)
+	default:
+		return nil
+	}
+}
+
+// rankOf returns the object's popularity rank in its home region, or -1
+// when the object is not in the catalog.
+func (p PopularityTiered) rankOf(o content.Object) int {
+	if p.Catalog == nil {
+		return -1
+	}
+	limit := p.HotN + p.WarmN
+	if limit > p.Catalog.Len() {
+		limit = p.Catalog.Len()
+	}
+	for i := 0; i < limit; i++ {
+		if p.Catalog.ByRank(o.Region, i).ID == o.ID {
+			return i
+		}
+	}
+	return limit // beyond the tiers: cold
+}
+
+// Apply stores an object on every satellite the placement selects, and
+// returns how many admissions succeeded.
+func Apply(s *System, pl Placement, o content.Object) (int, error) {
+	if pl == nil {
+		return 0, fmt.Errorf("spacecdn: nil placement")
+	}
+	n := 0
+	for _, id := range pl.Replicas(s, o) {
+		if s.Store(id, o) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ApplyCatalog places the region-wise top-N objects of a catalog with the
+// given placement. Returns total replicas stored.
+func ApplyCatalog(s *System, pl Placement, cat *content.Catalog, topN int) (int, error) {
+	if topN > cat.Len() {
+		topN = cat.Len()
+	}
+	seen := map[content.ID]bool{}
+	total := 0
+	for _, r := range geo.Regions() {
+		for i := 0; i < topN; i++ {
+			o := cat.ByRank(r, i)
+			if seen[o.ID] {
+				continue
+			}
+			seen[o.ID] = true
+			n, err := Apply(s, pl, o)
+			if err != nil {
+				return total, err
+			}
+			total += n
+		}
+	}
+	return total, nil
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,214 @@
+package spacecdn
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/orbit"
+	"spacecdn/internal/routing"
+	"spacecdn/internal/stats"
+)
+
+// Source is where a request was served from.
+type Source int
+
+// Resolution sources, in the order of the paper's Figure 6.
+const (
+	SourceOverhead Source = iota // red arrow: the satellite overhead
+	SourceISL                    // blue arrow: a nearby satellite over ISLs
+	SourceGround                 // black arrow: ground cache via PoP
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceOverhead:
+		return "overhead"
+	case SourceISL:
+		return "isl"
+	case SourceGround:
+		return "ground"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// Resolution describes how a request was served.
+type Resolution struct {
+	Source Source
+	// Sat is the serving satellite (overhead/ISL sources).
+	Sat constellation.SatID
+	// Hops is the ISL hop count to the serving satellite (0 for overhead).
+	Hops int
+	// RTT is the client-observed round trip to first byte of the object.
+	RTT time.Duration
+}
+
+// Resolve serves one object request from a client at time snap.Time(),
+// following the three-stage strategy. The rng supplies access-link
+// scheduling jitter; pass a deterministic source for reproducible runs.
+func (s *System) Resolve(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand) (Resolution, error) {
+	up, ok := snap.BestVisible(client)
+	if !ok {
+		return Resolution{}, fmt.Errorf("spacecdn: no satellite visible from %v", client)
+	}
+	t := snap.Time()
+	upDelay := orbit.PropagationDelay(up.SlantKm)
+	sched := s.schedDelay(rng)
+
+	// Stage 1: directly overhead.
+	if s.Active(up.ID, t) && s.cacheGet(up.ID, obj.ID) {
+		return Resolution{
+			Source: SourceOverhead,
+			Sat:    up.ID,
+			RTT:    2*upDelay + sched,
+		}, nil
+	}
+
+	// Stage 2: nearest caching satellite over ISLs within the hop bound.
+	g := snap.ISLGraph()
+	match := func(n routing.NodeID) bool {
+		id := constellation.SatID(n)
+		return s.Active(id, t) && s.caches[int(id)].Peek(cache.Key(obj.ID))
+	}
+	if hit, ok := g.NearestMatch(routing.NodeID(up.ID), s.cfg.MaxISLSearchHops, match); ok {
+		target := constellation.SatID(hit.Node)
+		islRTT, hops := s.islRoundTrip(g, up.ID, target)
+		// Count the hit on the serving satellite's cache.
+		s.caches[int(target)].Get(cache.Key(obj.ID))
+		return Resolution{
+			Source: SourceISL,
+			Sat:    target,
+			Hops:   hops,
+			RTT:    2*upDelay + islRTT + sched,
+		}, nil
+	}
+
+	// Stage 3: ground fallback through the operator's PoP.
+	if s.lsn == nil {
+		return Resolution{}, fmt.Errorf("spacecdn: no ground fallback configured and object %s not in space", obj.ID)
+	}
+	path, err := s.lsn.ResolvePath(client, iso2, snap)
+	if err != nil {
+		return Resolution{}, fmt.Errorf("spacecdn: ground fallback: %w", err)
+	}
+	return Resolution{
+		Source: SourceGround,
+		RTT:    s.lsn.SampleRTTToPoP(path, rng),
+	}, nil
+}
+
+// cacheGet performs a counted lookup.
+func (s *System) cacheGet(id constellation.SatID, obj content.ID) bool {
+	return s.caches[int(id)].Get(cache.Key(obj))
+}
+
+// islOneWay returns the one-way ISL latency (propagation plus per-hop
+// switching) and the hop count between two satellites on the cheapest path.
+func (s *System) islOneWay(g *routing.Graph, from, to constellation.SatID) (time.Duration, int) {
+	if from == to {
+		return 0, 0
+	}
+	p, ok := g.ShortestPath(routing.NodeID(from), routing.NodeID(to))
+	if !ok {
+		return 0, 0
+	}
+	d := time.Duration(p.Cost * float64(time.Millisecond))
+	d += time.Duration(float64(p.Hops()) * s.cfg.PerHopProcMs * float64(time.Millisecond))
+	return d, p.Hops()
+}
+
+// islRoundTrip returns the two-way ISL latency and hop count.
+func (s *System) islRoundTrip(g *routing.Graph, from, to constellation.SatID) (time.Duration, int) {
+	d, h := s.islOneWay(g, from, to)
+	return 2 * d, h
+}
+
+// schedDelay draws the access-link scheduling delay for one request.
+func (s *System) schedDelay(rng *stats.Rand) time.Duration {
+	d := s.cfg.SchedFloorRTTMs
+	if rng != nil {
+		d += rng.Uniform(0, s.cfg.SchedJitterMs)
+	}
+	return time.Duration(d * float64(time.Millisecond))
+}
+
+// accountFetch converts a fetch's one-way components into the configured
+// latency accounting: the full client round trip (LatencyRTT) or the
+// xeoverse-style one-way propagation figure (LatencyOneWayPropagation),
+// which carries only a small processing jitter instead of the MAC schedule.
+func (s *System) accountFetch(upDelay, islOneWay time.Duration, rng *stats.Rand) time.Duration {
+	if s.cfg.Latency == LatencyOneWayPropagation {
+		lat := upDelay + islOneWay
+		if rng != nil {
+			lat += time.Duration(rng.Uniform(0, 3) * float64(time.Millisecond))
+		}
+		return lat
+	}
+	return 2*(upDelay+islOneWay) + s.schedDelay(rng)
+}
+
+// FetchAtHops measures the client RTT to fetch an object cached exactly n
+// ISL hops from the overhead satellite, choosing the cheapest satellite at
+// that hop distance — the paper's Figure 7 methodology. n = 0 measures the
+// overhead satellite itself.
+func (s *System) FetchAtHops(client geo.Point, n int, snap *constellation.Snapshot, rng *stats.Rand) (time.Duration, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("spacecdn: negative hop count %d", n)
+	}
+	up, ok := snap.BestVisible(client)
+	if !ok {
+		return 0, fmt.Errorf("spacecdn: no satellite visible from %v", client)
+	}
+	upDelay := orbit.PropagationDelay(up.SlantKm)
+	if n == 0 {
+		return s.accountFetch(upDelay, 0, rng), nil
+	}
+	g := snap.ISLGraph()
+	ring := g.WithinHops(routing.NodeID(up.ID), n)
+	// One Dijkstra from the serving satellite prices every candidate; the
+	// per-hop switching uses the BFS hop count (the weighted path's hop
+	// count differs only when a longer-hop route is cheaper, where the
+	// sub-millisecond switching difference is negligible).
+	dist := g.ShortestPathsFrom(routing.NodeID(up.ID))
+	cheapestMs := -1.0
+	for _, hr := range ring {
+		if hr.Hops != n {
+			continue
+		}
+		if d := dist[hr.Node]; cheapestMs < 0 || d < cheapestMs {
+			cheapestMs = d
+		}
+	}
+	if cheapestMs < 0 {
+		return 0, fmt.Errorf("spacecdn: no satellite exactly %d hops away", n)
+	}
+	oneWay := time.Duration((cheapestMs + float64(n)*s.cfg.PerHopProcMs) * float64(time.Millisecond))
+	return s.accountFetch(upDelay, oneWay, rng), nil
+}
+
+// NearestReplicaRTT measures the client RTT to the nearest duty-cycled
+// caching satellite holding the object, searching up to the configured hop
+// bound. found is false when no space replica is reachable.
+func (s *System) NearestReplicaRTT(client geo.Point, obj content.ID, snap *constellation.Snapshot, rng *stats.Rand) (rtt time.Duration, hops int, found bool) {
+	up, ok := snap.BestVisible(client)
+	if !ok {
+		return 0, 0, false
+	}
+	t := snap.Time()
+	g := snap.ISLGraph()
+	match := func(nd routing.NodeID) bool {
+		id := constellation.SatID(nd)
+		return s.Active(id, t) && s.caches[int(id)].Peek(cache.Key(obj))
+	}
+	hit, ok := g.NearestMatch(routing.NodeID(up.ID), s.cfg.MaxISLSearchHops, match)
+	if !ok {
+		return 0, 0, false
+	}
+	upDelay := orbit.PropagationDelay(up.SlantKm)
+	oneWay, h := s.islOneWay(g, up.ID, constellation.SatID(hit.Node))
+	return s.accountFetch(upDelay, oneWay, rng), h, true
+}

@@ -1,0 +1,187 @@
+package spacecdn
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+// The paper (§4): "a video object can be striped ... such that the first
+// stripe of n minutes is cached on the first satellite if it will be visible
+// to the user for the first n minutes of playback; the next few stripes can
+// be located on the second satellite which will be overhead of the user
+// while its stripes are being served ... while Stripe 1 is being streamed by
+// satellite A, subsequent stripes can be uploaded onto the caches of the
+// satellites such as B and C that follow, thereby hiding the latency of the
+// bent-pipe."
+
+// StripeAssignment maps one video segment to the satellite that will be
+// overhead while the segment plays.
+type StripeAssignment struct {
+	Segment content.Segment
+	Sat     constellation.SatID
+	// Window is when the satellite serves the client.
+	Window constellation.OverheadWindow
+}
+
+// StripePlan is a striping schedule for one client and one video.
+type StripePlan struct {
+	Video       content.Video
+	Client      geo.Point
+	Assignments []StripeAssignment
+}
+
+// Satellites returns the distinct serving satellites in order of first use.
+func (p StripePlan) Satellites() []constellation.SatID {
+	seen := map[constellation.SatID]bool{}
+	var out []constellation.SatID
+	for _, a := range p.Assignments {
+		if !seen[a.Sat] {
+			seen[a.Sat] = true
+			out = append(out, a.Sat)
+		}
+	}
+	return out
+}
+
+// PlanStripes builds the striping schedule: it predicts the serving windows
+// for the client over the playback horizon and assigns each segment to the
+// satellite overhead at that segment's playback time.
+func (s *System) PlanStripes(client geo.Point, v content.Video, start time.Duration) (StripePlan, error) {
+	if len(v.Segments) == 0 {
+		return StripePlan{}, fmt.Errorf("spacecdn: video has no segments")
+	}
+	horizon := start + v.Duration() + 2*time.Minute
+	wins := s.consts.OverheadWindows(client, start, horizon, 15*time.Second)
+	if len(wins) == 0 {
+		return StripePlan{}, fmt.Errorf("spacecdn: no coverage for client at %v", client)
+	}
+	plan := StripePlan{Video: v, Client: client}
+	playback := start
+	wi := 0
+	for _, seg := range v.Segments {
+		// Advance to the window containing this segment's playback time.
+		for wi < len(wins)-1 && wins[wi].End <= playback {
+			wi++
+		}
+		plan.Assignments = append(plan.Assignments, StripeAssignment{
+			Segment: seg,
+			Sat:     wins[wi].Sat,
+			Window:  wins[wi],
+		})
+		playback += seg.Duration
+	}
+	return plan, nil
+}
+
+// Preload pushes every assigned segment onto its satellite's cache ahead of
+// its serving window — the uplink that "hides the latency of the bent-pipe".
+// It returns the number of segments stored.
+func (s *System) Preload(plan StripePlan) int {
+	n := 0
+	for _, a := range plan.Assignments {
+		if s.caches[int(a.Sat)].Put(segItem(plan.Video.Object, a.Segment)) {
+			n++
+		}
+	}
+	return n
+}
+
+func segItem(o content.Object, seg content.Segment) cache.Item {
+	return cache.Item{Key: cache.Key(seg.ID), Size: seg.Bytes, Tag: o.Region.String()}
+}
+
+// PlaybackConfig parameterizes playback simulation.
+type PlaybackConfig struct {
+	// StartupBufferSegments must be downloaded before playback starts.
+	StartupBufferSegments int
+	// DownlinkMbps is the client's access rate for segment downloads.
+	DownlinkMbps float64
+	// GroundRTT is the bent-pipe RTT paid per segment when the serving
+	// satellite does not have the segment cached.
+	GroundRTT time.Duration
+}
+
+// DefaultPlaybackConfig returns typical DASH player settings on a satellite
+// access link.
+func DefaultPlaybackConfig() PlaybackConfig {
+	return PlaybackConfig{
+		StartupBufferSegments: 2,
+		DownlinkMbps:          100,
+		GroundRTT:             120 * time.Millisecond,
+	}
+}
+
+// PlaybackResult summarizes a playback simulation.
+type PlaybackResult struct {
+	StartupDelay time.Duration
+	Stalls       int
+	StallTime    time.Duration
+	// FromSpace counts segments served from satellite caches.
+	FromSpace int
+	// FromGround counts segments fetched over the bent pipe.
+	FromGround int
+}
+
+// SimulatePlayback plays the striped video against the plan. When the
+// serving satellite holds the segment (it was preloaded), the fetch costs
+// one radio round trip plus the download; otherwise it pays the bent-pipe
+// ground RTT as well. Stalls accumulate whenever a segment is not ready by
+// its playback deadline.
+func (s *System) SimulatePlayback(plan StripePlan, cfg PlaybackConfig, rng *stats.Rand) (PlaybackResult, error) {
+	if cfg.DownlinkMbps <= 0 {
+		return PlaybackResult{}, fmt.Errorf("spacecdn: playback needs positive downlink")
+	}
+	if len(plan.Assignments) == 0 {
+		return PlaybackResult{}, fmt.Errorf("spacecdn: empty plan")
+	}
+	var res PlaybackResult
+	now := time.Duration(0) // wall clock relative to fetch start
+
+	fetch := func(a StripeAssignment) time.Duration {
+		dl := time.Duration(float64(a.Segment.Bytes) * 8 / (cfg.DownlinkMbps * 1e6) * float64(time.Second))
+		radio := 2*time.Duration(2.5*float64(time.Millisecond)) + s.schedDelay(rng)
+		if s.caches[int(a.Sat)].Get(cache.Key(a.Segment.ID)) {
+			res.FromSpace++
+			return radio + dl
+		}
+		res.FromGround++
+		return radio + cfg.GroundRTT + dl
+	}
+
+	// Startup: buffer the first segments.
+	buffered := 0
+	idx := 0
+	for idx < len(plan.Assignments) && buffered < cfg.StartupBufferSegments {
+		now += fetch(plan.Assignments[idx])
+		idx++
+		buffered++
+	}
+	res.StartupDelay = now
+
+	// Steady state: play while fetching ahead. Playback starts once the
+	// startup buffer is full; bufferUntil is the wall-clock time at which
+	// the player runs out of buffered media.
+	bufferUntil := now
+	for i := 0; i < idx; i++ {
+		bufferUntil += plan.Assignments[i].Segment.Duration
+	}
+	for ; idx < len(plan.Assignments); idx++ {
+		a := plan.Assignments[idx]
+		done := now + fetch(a)
+		now = done
+		// The segment must arrive before the buffer runs dry.
+		if done > bufferUntil {
+			res.Stalls++
+			res.StallTime += done - bufferUntil
+			bufferUntil = done
+		}
+		bufferUntil += a.Segment.Duration
+	}
+	return res, nil
+}

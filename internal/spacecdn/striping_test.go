@@ -1,0 +1,158 @@
+package spacecdn
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+func testVideo(t *testing.T, dur time.Duration) content.Video {
+	t.Helper()
+	o := content.Object{ID: "movie", Bytes: 4 << 30, Region: geo.RegionSouthAmerica, Video: true}
+	v, err := content.Segmentize(o, dur, 10*time.Second, 4_500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPlanStripesCoversAllSegments(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	client := geo.NewPoint(-34.60, -58.38) // Buenos Aires
+	v := testVideo(t, 30*time.Minute)
+	plan, err := s.PlanStripes(client, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != len(v.Segments) {
+		t.Fatalf("assignments = %d, want %d", len(plan.Assignments), len(v.Segments))
+	}
+	// Segments must be assigned in playback order to non-overlapping,
+	// time-ordered windows.
+	for i := 1; i < len(plan.Assignments); i++ {
+		prev, cur := plan.Assignments[i-1], plan.Assignments[i]
+		if cur.Segment.Index != prev.Segment.Index+1 {
+			t.Fatal("segments out of order")
+		}
+		if cur.Window.Start < prev.Window.Start {
+			t.Fatal("windows out of order")
+		}
+	}
+	// A 30-minute playback must hand over across several satellites (the
+	// paper: satellites leave view within 5-10 minutes).
+	if sats := plan.Satellites(); len(sats) < 3 {
+		t.Errorf("30 min of playback used only %d satellites, want >= 3", len(sats))
+	}
+}
+
+func TestPlanStripesErrors(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	if _, err := s.PlanStripes(geo.NewPoint(0, 0), content.Video{}, 0); err == nil {
+		t.Error("empty video accepted")
+	}
+	// No coverage at the pole.
+	v := testVideo(t, 5*time.Minute)
+	if _, err := s.PlanStripes(geo.NewPoint(89.9, 0), v, 0); err == nil {
+		t.Error("pole client accepted")
+	}
+}
+
+func TestPreloadAndPlayback(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	client := geo.NewPoint(-34.60, -58.38)
+	v := testVideo(t, 20*time.Minute)
+	plan, err := s.PlanStripes(client, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Preload(plan)
+	if n != len(plan.Assignments) {
+		t.Fatalf("preloaded %d/%d segments", n, len(plan.Assignments))
+	}
+	res, err := s.SimulatePlayback(plan, DefaultPlaybackConfig(), stats.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromSpace != len(v.Segments) {
+		t.Errorf("from space = %d, want all %d", res.FromSpace, len(v.Segments))
+	}
+	if res.FromGround != 0 {
+		t.Errorf("from ground = %d, want 0 after preload", res.FromGround)
+	}
+	if res.Stalls != 0 {
+		t.Errorf("stalls = %d with preloading, want 0", res.Stalls)
+	}
+	if res.StartupDelay <= 0 || res.StartupDelay > 3*time.Second {
+		t.Errorf("startup delay = %v", res.StartupDelay)
+	}
+}
+
+func TestPlaybackWithoutPreloadPaysBentPipe(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	client := geo.NewPoint(-34.60, -58.38)
+	v := testVideo(t, 20*time.Minute)
+	plan, err := s.PlanStripes(client, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No preload: every segment is a bent-pipe fetch.
+	cold, err := s.SimulatePlayback(plan, DefaultPlaybackConfig(), stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FromGround != len(v.Segments) {
+		t.Errorf("from ground = %d, want all %d", cold.FromGround, len(v.Segments))
+	}
+
+	// Preload and replay: startup must improve.
+	s.Preload(plan)
+	warm, err := s.SimulatePlayback(plan, DefaultPlaybackConfig(), stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.StartupDelay >= cold.StartupDelay {
+		t.Errorf("preloaded startup %v should beat cold startup %v", warm.StartupDelay, cold.StartupDelay)
+	}
+}
+
+func TestPlaybackValidation(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	v := testVideo(t, 5*time.Minute)
+	plan, err := s.PlanStripes(geo.NewPoint(-34.60, -58.38), v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultPlaybackConfig()
+	bad.DownlinkMbps = 0
+	if _, err := s.SimulatePlayback(plan, bad, stats.NewRand(1)); err == nil {
+		t.Error("zero downlink accepted")
+	}
+	if _, err := s.SimulatePlayback(StripePlan{}, DefaultPlaybackConfig(), stats.NewRand(1)); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestStripeWindowsMatchOrbitalDynamics(t *testing.T) {
+	// Segments playing at a given time must be assigned to the satellite
+	// whose serving window covers that time.
+	s := newSystem(t, DefaultConfig())
+	client := geo.NewPoint(-34.60, -58.38)
+	v := testVideo(t, 15*time.Minute)
+	plan, err := s.PlanStripes(client, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	playback := time.Duration(0)
+	for _, a := range plan.Assignments {
+		// The window must not end before the segment starts playing
+		// (except for the final clamped window).
+		if a.Window.End <= playback && a.Window != plan.Assignments[len(plan.Assignments)-1].Window {
+			t.Errorf("segment %d at playback %v assigned to expired window %+v",
+				a.Segment.Index, playback, a.Window)
+		}
+		playback += a.Segment.Duration
+	}
+}

@@ -1,0 +1,123 @@
+package spacecdn
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/constellation"
+)
+
+// Thermal model (paper §5, citing Xing et al.'s COTS-in-orbit measurements):
+// satellites are passively cooled and "must remain below 30°C to maintain
+// safe operations"; the heat generated during active content serving raises
+// thermal concerns, but "the overall temperature only exceeds the threshold
+// after hours of continuous computation, which can be mitigated by
+// intelligent request scheduling". This file models that trade and derives
+// the maximum sustainable duty-cycle fraction — the physical input to the
+// Figure 8 experiment.
+
+// ThermalConfig describes a satellite's thermal behaviour while serving.
+type ThermalConfig struct {
+	// AmbientC is the equilibrium temperature while relaying only.
+	AmbientC float64
+	// MaxC is the safety threshold (the paper: 30°C).
+	MaxC float64
+	// HeatRateCPerHour is the temperature slope while the cache server is
+	// active (calibrated so continuous operation crosses the threshold
+	// "after hours", per Xing et al.).
+	HeatRateCPerHour float64
+	// CoolRateCPerHour is the passive cooling slope while idle/relaying.
+	CoolRateCPerHour float64
+}
+
+// DefaultThermalConfig: ambient 15°C, threshold 30°C, heating +4°C/h while
+// serving (threshold crossed after ~3.75 h of continuous service), cooling
+// -6°C/h while relaying.
+func DefaultThermalConfig() ThermalConfig {
+	return ThermalConfig{
+		AmbientC:         15,
+		MaxC:             30,
+		HeatRateCPerHour: 4,
+		CoolRateCPerHour: 6,
+	}
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (c ThermalConfig) Validate() error {
+	if c.MaxC <= c.AmbientC {
+		return fmt.Errorf("spacecdn: thermal threshold %v must exceed ambient %v", c.MaxC, c.AmbientC)
+	}
+	if c.HeatRateCPerHour <= 0 || c.CoolRateCPerHour <= 0 {
+		return fmt.Errorf("spacecdn: thermal rates must be positive")
+	}
+	return nil
+}
+
+// TimeToThreshold returns how long continuous serving takes to cross the
+// safety threshold from ambient — the paper's "hours of continuous
+// computation".
+func (c ThermalConfig) TimeToThreshold() time.Duration {
+	hours := (c.MaxC - c.AmbientC) / c.HeatRateCPerHour
+	return time.Duration(hours * float64(time.Hour))
+}
+
+// MaxSustainableDuty returns the largest duty fraction f at which the
+// long-run temperature stays at or below the threshold: heating f*H must
+// not exceed cooling (1-f)*C, i.e. f <= C/(H+C).
+func (c ThermalConfig) MaxSustainableDuty() float64 {
+	return c.CoolRateCPerHour / (c.HeatRateCPerHour + c.CoolRateCPerHour)
+}
+
+// ThermalSim integrates one satellite's temperature across a duty-cycled
+// schedule.
+type ThermalSim struct {
+	cfg  ThermalConfig
+	temp float64
+	// PeakC is the maximum temperature observed.
+	PeakC float64
+	// OverThreshold accumulates time spent above MaxC.
+	OverThreshold time.Duration
+}
+
+// NewThermalSim starts a simulation at ambient temperature.
+func NewThermalSim(cfg ThermalConfig) (*ThermalSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &ThermalSim{cfg: cfg, temp: cfg.AmbientC, PeakC: cfg.AmbientC}, nil
+}
+
+// TempC returns the current temperature.
+func (ts *ThermalSim) TempC() float64 { return ts.temp }
+
+// Step advances the simulation by dt with the cache either serving or
+// relaying. Temperature never cools below ambient.
+func (ts *ThermalSim) Step(dt time.Duration, serving bool) {
+	hours := dt.Hours()
+	if serving {
+		ts.temp += ts.cfg.HeatRateCPerHour * hours
+	} else {
+		ts.temp -= ts.cfg.CoolRateCPerHour * hours
+		if ts.temp < ts.cfg.AmbientC {
+			ts.temp = ts.cfg.AmbientC
+		}
+	}
+	if ts.temp > ts.PeakC {
+		ts.PeakC = ts.temp
+	}
+	if ts.temp > ts.cfg.MaxC {
+		ts.OverThreshold += dt
+	}
+}
+
+// RunDutyCycle integrates a satellite following the given duty cycler over
+// [0, dur) with the given step, and reports the peak temperature and time
+// spent over the threshold.
+func (ts *ThermalSim) RunDutyCycle(d *DutyCycler, id constellation.SatID, dur, step time.Duration) {
+	if step <= 0 {
+		step = time.Minute
+	}
+	for t := time.Duration(0); t < dur; t += step {
+		ts.Step(step, d.Active(id, t))
+	}
+}

@@ -1,0 +1,116 @@
+package spacecdn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacecdn/internal/constellation"
+)
+
+func TestThermalValidation(t *testing.T) {
+	bad := []ThermalConfig{
+		{AmbientC: 30, MaxC: 30, HeatRateCPerHour: 1, CoolRateCPerHour: 1},
+		{AmbientC: 15, MaxC: 30, HeatRateCPerHour: 0, CoolRateCPerHour: 1},
+		{AmbientC: 15, MaxC: 30, HeatRateCPerHour: 1, CoolRateCPerHour: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+		if _, err := NewThermalSim(cfg); err == nil {
+			t.Errorf("case %d: sim constructed with bad config", i)
+		}
+	}
+	if err := DefaultThermalConfig().Validate(); err != nil {
+		t.Errorf("default rejected: %v", err)
+	}
+}
+
+func TestTimeToThreshold(t *testing.T) {
+	// The paper (citing Xing et al.): threshold crossed only "after hours
+	// of continuous computation".
+	d := DefaultThermalConfig().TimeToThreshold()
+	if d < 2*time.Hour || d > 8*time.Hour {
+		t.Errorf("time to threshold = %v, want hours", d)
+	}
+}
+
+func TestMaxSustainableDuty(t *testing.T) {
+	cfg := DefaultThermalConfig()
+	f := cfg.MaxSustainableDuty()
+	// 6/(4+6) = 0.6: the thermal envelope supports the paper's 50% duty
+	// cycle with margin, but not 80% continuously.
+	if math.Abs(f-0.6) > 1e-9 {
+		t.Errorf("max sustainable duty = %v, want 0.6", f)
+	}
+}
+
+func TestThermalSimContinuousServing(t *testing.T) {
+	ts, err := NewThermalSim(DefaultThermalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve continuously for 5 hours: must cross the threshold.
+	for i := 0; i < 300; i++ {
+		ts.Step(time.Minute, true)
+	}
+	if ts.PeakC <= 30 {
+		t.Errorf("peak = %v after 5h continuous serving, want > 30", ts.PeakC)
+	}
+	if ts.OverThreshold == 0 {
+		t.Error("no over-threshold time recorded")
+	}
+	// And cooling brings it back to ambient, never below.
+	for i := 0; i < 600; i++ {
+		ts.Step(time.Minute, false)
+	}
+	if ts.TempC() != DefaultThermalConfig().AmbientC {
+		t.Errorf("temp after long cooldown = %v, want ambient", ts.TempC())
+	}
+}
+
+func TestThermalDutyCycleKeepsSafe(t *testing.T) {
+	cfg := DefaultThermalConfig()
+	// A 50% duty cycle (the paper's feasible point) is under the 60%
+	// sustainable bound: an 8-hour run must stay below threshold.
+	d := NewDutyCycler(DutyCycleConfig{Fraction: 0.5, Slot: 5 * time.Minute, Seed: 1}, 1584)
+	ts, err := NewThermalSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.RunDutyCycle(d, constellation.SatID(7), 8*time.Hour, time.Minute)
+	if ts.OverThreshold > 0 {
+		t.Errorf("50%% duty cycle exceeded threshold for %v (peak %v)", ts.OverThreshold, ts.PeakC)
+	}
+
+	// A 90% duty cycle exceeds the sustainable bound: over a long run it
+	// must overheat.
+	d90 := NewDutyCycler(DutyCycleConfig{Fraction: 0.9, Slot: 5 * time.Minute, Seed: 1}, 1584)
+	ts90, _ := NewThermalSim(cfg)
+	ts90.RunDutyCycle(d90, constellation.SatID(7), 24*time.Hour, time.Minute)
+	if ts90.OverThreshold == 0 {
+		t.Errorf("90%% duty cycle never overheated (peak %v)", ts90.PeakC)
+	}
+}
+
+func TestThermalSustainableBoundIsTight(t *testing.T) {
+	// Property: for fractions safely below MaxSustainableDuty the long-run
+	// peak stays bounded; above it, temperature ratchets up.
+	cfg := DefaultThermalConfig()
+	safe := cfg.MaxSustainableDuty() - 0.15
+	hot := cfg.MaxSustainableDuty() + 0.2
+
+	run := func(f float64) float64 {
+		d := NewDutyCycler(DutyCycleConfig{Fraction: f, Slot: 5 * time.Minute, Seed: 3}, 100)
+		ts, _ := NewThermalSim(cfg)
+		ts.RunDutyCycle(d, constellation.SatID(42), 48*time.Hour, time.Minute)
+		return ts.PeakC
+	}
+	if p := run(safe); p > cfg.MaxC {
+		t.Errorf("duty %0.2f peaked at %v, should stay safe", safe, p)
+	}
+	if p := run(hot); p <= cfg.MaxC {
+		t.Errorf("duty %0.2f peaked at %v, should overheat", hot, p)
+	}
+}

@@ -1,0 +1,88 @@
+package spacecdn
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/constellation"
+)
+
+// Thermostat duty cycling — the "intelligent request scheduling" §5 calls
+// for. Instead of drawing random active sets per slot (DutyCycler), each
+// satellite follows a deterministic thermostat: serve until the thermal
+// model says the temperature would reach the threshold margin, then cool
+// back down. Per-satellite phase staggering keeps the fleet-wide active
+// fraction constant at every instant, and the schedule is thermally safe by
+// construction (the duty fraction never exceeds the sustainable bound).
+type ThermostatDutyCycler struct {
+	cfg ThermalConfig
+	// heat and cool are the serve/cool phase lengths of one thermostat
+	// cycle; duty = heat / (heat + cool).
+	heat  time.Duration
+	cool  time.Duration
+	total int
+	// marginC keeps the peak below MaxC by this much.
+	marginC float64
+}
+
+// NewThermostatDutyCycler builds a thermostat schedule targeting the given
+// duty fraction. Fractions above the thermal model's sustainable bound are
+// rejected — that is the point of the scheduler.
+func NewThermostatDutyCycler(cfg ThermalConfig, duty float64, total int) (*ThermostatDutyCycler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if duty <= 0 || duty > 1 {
+		return nil, fmt.Errorf("spacecdn: thermostat duty %v outside (0,1]", duty)
+	}
+	if max := cfg.MaxSustainableDuty(); duty > max+1e-9 {
+		return nil, fmt.Errorf("spacecdn: duty %.2f exceeds the thermally sustainable %.2f", duty, max)
+	}
+	// Size the serve phase so the temperature excursion stays within a
+	// margin below the threshold: serve until Ambient + (MaxC-Ambient-margin).
+	margin := (cfg.MaxC - cfg.AmbientC) * 0.2
+	rise := cfg.MaxC - cfg.AmbientC - margin
+	heat := time.Duration(rise / cfg.HeatRateCPerHour * float64(time.Hour))
+	cool := time.Duration(float64(heat) * (1 - duty) / duty)
+	return &ThermostatDutyCycler{
+		cfg: cfg, heat: heat, cool: cool, total: total, marginC: margin,
+	}, nil
+}
+
+// CyclePeriod returns one thermostat cycle (serve + cool).
+func (d *ThermostatDutyCycler) CyclePeriod() time.Duration { return d.heat + d.cool }
+
+// Duty returns the actual duty fraction.
+func (d *ThermostatDutyCycler) Duty() float64 {
+	return float64(d.heat) / float64(d.heat+d.cool)
+}
+
+// Active reports whether satellite id serves cache hits at time t. Phases
+// are staggered uniformly across the fleet, so at any instant a Duty()
+// fraction of satellites is active.
+func (d *ThermostatDutyCycler) Active(id constellation.SatID, t time.Duration) bool {
+	if t < 0 {
+		t = 0
+	}
+	period := d.CyclePeriod()
+	offset := time.Duration(int64(period) / int64(d.total) * int64(id))
+	phase := (t + offset) % period
+	return phase < d.heat
+}
+
+// ActiveCount returns how many satellites are active at time t.
+func (d *ThermostatDutyCycler) ActiveCount(t time.Duration) int {
+	n := 0
+	for i := 0; i < d.total; i++ {
+		if d.Active(constellation.SatID(i), t) {
+			n++
+		}
+	}
+	return n
+}
+
+// PeakTempC returns the steady-state peak temperature a satellite reaches
+// under this schedule — below MaxC by construction.
+func (d *ThermostatDutyCycler) PeakTempC() float64 {
+	return d.cfg.AmbientC + d.cfg.HeatRateCPerHour*d.heat.Hours()
+}

@@ -1,0 +1,104 @@
+package spacecdn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacecdn/internal/constellation"
+)
+
+func TestThermostatValidation(t *testing.T) {
+	cfg := DefaultThermalConfig()
+	if _, err := NewThermostatDutyCycler(cfg, 0, 100); err == nil {
+		t.Error("zero duty accepted")
+	}
+	if _, err := NewThermostatDutyCycler(cfg, 1.1, 100); err == nil {
+		t.Error("duty > 1 accepted")
+	}
+	// The whole point: an unsustainable duty is rejected up front.
+	if _, err := NewThermostatDutyCycler(cfg, 0.8, 100); err == nil {
+		t.Error("duty above the sustainable bound accepted")
+	}
+	if _, err := NewThermostatDutyCycler(ThermalConfig{}, 0.5, 100); err == nil {
+		t.Error("invalid thermal config accepted")
+	}
+	if _, err := NewThermostatDutyCycler(cfg, 0.5, 100); err != nil {
+		t.Errorf("sustainable duty rejected: %v", err)
+	}
+}
+
+func TestThermostatDutyFractionHolds(t *testing.T) {
+	cfg := DefaultThermalConfig()
+	for _, duty := range []float64{0.3, 0.5, 0.6} {
+		d, err := NewThermostatDutyCycler(cfg, duty, 1584)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.Duty()-duty) > 0.01 {
+			t.Errorf("configured duty %v, actual %v", duty, d.Duty())
+		}
+		// Staggering keeps the instantaneous active share at the duty
+		// fraction, at any sampled instant.
+		for _, at := range []time.Duration{0, 13 * time.Minute, 2 * time.Hour} {
+			share := float64(d.ActiveCount(at)) / 1584
+			if math.Abs(share-duty) > 0.02 {
+				t.Errorf("duty %v at %v: active share %v", duty, at, share)
+			}
+		}
+	}
+}
+
+func TestThermostatThermallySafe(t *testing.T) {
+	cfg := DefaultThermalConfig()
+	d, err := NewThermostatDutyCycler(cfg, cfg.MaxSustainableDuty(), 1584)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even at the maximum sustainable duty, the engineered peak stays below
+	// the threshold.
+	if peak := d.PeakTempC(); peak >= cfg.MaxC {
+		t.Errorf("engineered peak %v >= threshold %v", peak, cfg.MaxC)
+	}
+	// Integrate a satellite's temperature under the schedule for 24h.
+	ts, err := NewThermalSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := time.Duration(0); tt < 24*time.Hour; tt += time.Minute {
+		ts.Step(time.Minute, d.Active(constellation.SatID(321), tt))
+	}
+	if ts.OverThreshold > 0 {
+		t.Errorf("thermostat schedule exceeded the threshold for %v (peak %v)",
+			ts.OverThreshold, ts.PeakC)
+	}
+	// Contrast: a random duty cycler at the same fraction has no thermal
+	// guarantee per-slot, but the thermostat is deterministic and safe by
+	// construction — verify the periodicity.
+	period := d.CyclePeriod()
+	for _, tt := range []time.Duration{0, time.Hour, 3 * time.Hour} {
+		if d.Active(42, tt) != d.Active(42, tt+period) {
+			t.Fatal("thermostat schedule not periodic")
+		}
+	}
+}
+
+func TestThermostatWorksAsSystemDutyCycle(t *testing.T) {
+	// The thermostat exposes the same Active(id, t) shape; verify a
+	// SpaceCDN-style replica search respects it by checking availability
+	// matches the duty fraction over satellites.
+	cfg := DefaultThermalConfig()
+	d, err := NewThermostatDutyCycler(cfg, 0.5, 1584)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := 0
+	for i := 0; i < 1584; i++ {
+		if d.Active(constellation.SatID(i), 37*time.Minute) {
+			active++
+		}
+	}
+	if active < 700 || active > 880 {
+		t.Errorf("active = %d/1584 at 50%% duty", active)
+	}
+}

@@ -1,0 +1,149 @@
+package spacecdn
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/geo"
+)
+
+func TestVMConfigValidation(t *testing.T) {
+	bad := []VMConfig{
+		{StateDeltaBytes: 0, SyncInterval: time.Second, ISLBandwidthBps: 1e9},
+		{StateDeltaBytes: 1, SyncInterval: 0, ISLBandwidthBps: 1e9},
+		{StateDeltaBytes: 1, SyncInterval: time.Second, ISLBandwidthBps: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := DefaultVMConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestSimulateVMService(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	area := geo.NewPoint(-34.60, -58.38) // Buenos Aires
+	res, err := s.SimulateVMService(area, 0, 30*time.Minute, DefaultVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Satellites leave view within minutes: a 30-minute service hands over
+	// several times.
+	if len(res.Handovers) < 3 {
+		t.Fatalf("handovers = %d, want >= 3", len(res.Handovers))
+	}
+	for _, h := range res.Handovers {
+		if h.From == h.To {
+			t.Error("self-handover recorded")
+		}
+		if h.Downtime <= 0 {
+			t.Error("handover without downtime is implausible")
+		}
+		// 100 MB at 10 Gbps = 80 ms + a few ms of path: well under a second.
+		if h.Downtime > 500*time.Millisecond {
+			t.Errorf("proactive handover downtime %v too large", h.Downtime)
+		}
+		// Most handovers are between nearby satellites, but successive
+		// serving satellites can sit on different grid "sheets" (ascending
+		// vs descending), tens of planes apart.
+		if h.Hops < 1 || h.Hops > 45 {
+			t.Errorf("handover hop count %d implausible", h.Hops)
+		}
+	}
+	// The paper's goal: "seamless operations". Availability must be very
+	// high with proactive sync (sub-second outages every few minutes).
+	if res.Availability < 0.995 {
+		t.Errorf("availability = %v, want >= 99.5%%", res.Availability)
+	}
+	if res.SyncBytes == 0 {
+		t.Error("no replication traffic accounted")
+	}
+	if res.MaxDowntime < res.TotalDowntime/time.Duration(len(res.Handovers)) {
+		t.Error("max downtime below mean")
+	}
+}
+
+func TestVMProactiveVsCold(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	area := geo.NewPoint(50.11, 8.68)
+
+	warmCfg := DefaultVMConfig()
+	cold := DefaultVMConfig()
+	cold.Proactive = false
+
+	warmRes, err := s.SimulateVMService(area, 0, 20*time.Minute, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := s.SimulateVMService(area, 0, 20*time.Minute, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warmRes.Handovers) != len(coldRes.Handovers) {
+		t.Fatalf("handover counts differ: %d vs %d", len(warmRes.Handovers), len(coldRes.Handovers))
+	}
+	// Cold migration moves the whole accumulated state at cut-over: much
+	// longer downtime.
+	if coldRes.TotalDowntime < 3*warmRes.TotalDowntime {
+		t.Errorf("cold downtime %v should dwarf proactive %v",
+			coldRes.TotalDowntime, warmRes.TotalDowntime)
+	}
+	if coldRes.Availability >= warmRes.Availability {
+		t.Error("cold migration cannot beat proactive availability")
+	}
+}
+
+func TestVMServiceErrors(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	if _, err := s.SimulateVMService(geo.NewPoint(0, 0), 0, 0, DefaultVMConfig()); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := s.SimulateVMService(geo.NewPoint(89.9, 0), 0, 10*time.Minute, DefaultVMConfig()); err == nil {
+		t.Error("uncovered area accepted")
+	}
+	bad := DefaultVMConfig()
+	bad.ISLBandwidthBps = 0
+	if _, err := s.SimulateVMService(geo.NewPoint(0, 0), 0, 10*time.Minute, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestVMPlacementLeadTime(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	lead, err := s.VMPlacementLeadTime(geo.NewPoint(50.11, 8.68), 0, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next satellite is known at least tens of seconds ahead, bounded by
+	// one serving window.
+	if lead <= 0 || lead > 15*time.Minute {
+		t.Errorf("lead time = %v", lead)
+	}
+	if _, err := s.VMPlacementLeadTime(geo.NewPoint(89.9, 0), 0, 10*time.Minute); err == nil {
+		t.Error("uncovered area should fail")
+	}
+}
+
+func TestISLMigrationDelay(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	snap := testConst.Snapshot(0)
+	a, _ := snap.BestVisible(geo.NewPoint(50.11, 8.68))
+	nbs := snap.ISLNeighbors(a.ID)
+	d, err := s.ISLMigrationDelay(a.ID, nbs[0], 0, 100<<20, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 MB at 10 Gbps = 80 ms, plus a one-hop path (>= ~1 ms).
+	if d < 80*time.Millisecond || d > 120*time.Millisecond {
+		t.Errorf("one-hop 100MB migration = %v, want ~85 ms", d)
+	}
+	if d < 80*time.Millisecond+oneHopFloor() {
+		t.Errorf("migration delay %v below physical floor", d)
+	}
+	if _, err := s.ISLMigrationDelay(a.ID, nbs[0], 0, 1, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}

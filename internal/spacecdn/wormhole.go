@@ -1,0 +1,116 @@
+package spacecdn
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/terrestrial"
+)
+
+// Content wormholing (paper §5): "content providers can leverage the
+// natural trajectory of satellite caches to distribute geographically-
+// relevant content without traversing either WAN or ISL links". A satellite
+// loaded while over region A physically carries the bytes to region B —
+// an orbital sneakernet whose "bandwidth" is cache size over transit time.
+
+// WormholePlan is a scheduled orbital content transfer.
+type WormholePlan struct {
+	Sat constellation.SatID
+	// UploadAt is when the satellite is over the source and the content is
+	// uplinked.
+	UploadAt time.Duration
+	// ArriveAt is when the satellite first serves the destination.
+	ArriveAt time.Duration
+	// TransitTime = ArriveAt - UploadAt: the wormhole's latency.
+	TransitTime time.Duration
+}
+
+// PlanWormhole finds a satellite passing over src after time at whose orbit
+// then crosses dst's field of view soonest within the horizon, carrying obj
+// in its cache. Upload opportunities are considered every few minutes —
+// uplinking can wait for a satellite on a favourable track. TransitTime is
+// measured from at, so waiting for a better carrier counts against the plan.
+func (s *System) PlanWormhole(src, dst geo.Point, o content.Object, at, horizon time.Duration) (WormholePlan, error) {
+	if horizon <= 0 {
+		return WormholePlan{}, fmt.Errorf("spacecdn: wormhole needs a positive horizon")
+	}
+	const (
+		uploadStep = 5 * time.Minute
+		scanStep   = 30 * time.Second
+	)
+	mask := s.consts.Config().MinElevationDeg
+	dstECEF := dst.ToECEF()
+	anyVisible := false
+	best := WormholePlan{ArriveAt: -1}
+	seen := map[constellation.SatID]bool{}
+	for up := at; up <= at+horizon/2; up += uploadStep {
+		snap := s.consts.Snapshot(up)
+		for _, cand := range snap.Visible(src) {
+			anyVisible = true
+			if seen[cand.ID] {
+				continue
+			}
+			seen[cand.ID] = true
+			el := s.consts.Elements(cand.ID)
+			for t := up + scanStep; t <= at+horizon; t += scanStep {
+				pos := el.PositionECEF(t)
+				if geo.ElevationDeg(dstECEF, pos) >= mask {
+					if best.ArriveAt < 0 || t < best.ArriveAt {
+						best = WormholePlan{
+							Sat:         cand.ID,
+							UploadAt:    up,
+							ArriveAt:    t,
+							TransitTime: t - at,
+						}
+					}
+					break
+				}
+			}
+		}
+		if best.ArriveAt >= 0 && best.ArriveAt <= up+uploadStep {
+			break // no later upload can beat this arrival
+		}
+	}
+	if !anyVisible {
+		return WormholePlan{}, fmt.Errorf("spacecdn: no satellite over source %v", src)
+	}
+	if best.ArriveAt < 0 {
+		return WormholePlan{}, fmt.Errorf("spacecdn: no visible satellite reaches %v within %v", dst, horizon)
+	}
+	if !s.Store(best.Sat, o) {
+		return WormholePlan{}, fmt.Errorf("spacecdn: satellite %d rejected the object (%d bytes)", best.Sat, o.Bytes)
+	}
+	return best, nil
+}
+
+// WANTransferTime estimates the conventional alternative: pushing the same
+// bytes over the terrestrial WAN between the two locations at the given
+// provisioned rate.
+func WANTransferTime(src, dst geo.Point, bytes int64, rateBps float64) (time.Duration, error) {
+	if rateBps <= 0 {
+		return 0, fmt.Errorf("spacecdn: non-positive WAN rate")
+	}
+	prop := 2 * terrestrial.FiberDelay(geo.HaversineKm(src, dst)*1.35)
+	tx := time.Duration(float64(bytes) * 8 / rateBps * float64(time.Second))
+	return prop + tx, nil
+}
+
+// WormholeAdvantage compares the orbital transfer against a WAN push and
+// returns (wormhole transit, WAN time, wormhole wins). The wormhole wins for
+// bulk pre-positioning whenever the WAN is bandwidth-bound:
+// a satellite crossing a 7,000 km gap in ~17 minutes carrying 150 TB moves
+// ~1.2 Tbps of effective bandwidth.
+func (s *System) WormholeAdvantage(src, dst geo.Point, o content.Object, at, horizon time.Duration, wanRateBps float64) (time.Duration, time.Duration, bool, error) {
+	plan, err := s.PlanWormhole(src, dst, o, at, horizon)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	wan, err := WANTransferTime(src, dst, o.Bytes, wanRateBps)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return plan.TransitTime, wan, plan.TransitTime < wan, nil
+}

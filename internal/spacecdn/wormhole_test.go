@@ -1,0 +1,116 @@
+package spacecdn
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/geo"
+)
+
+func TestPlanWormhole(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	src := geo.NewPoint(40.71, -74.01) // New York
+	dst := geo.NewPoint(51.51, -0.13)  // London
+	o := testObject("bulk-catalog")
+	plan, err := s.PlanWormhole(src, dst, o, 0, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TransitTime <= 0 || plan.TransitTime > 2*time.Hour {
+		t.Errorf("transit = %v", plan.TransitTime)
+	}
+	// A LEO satellite covers NY->London (5,570 km along track at 7.6 km/s)
+	// in ~12-90 minutes depending on geometry and which pass connects.
+	if plan.TransitTime < 5*time.Minute {
+		t.Errorf("transit %v implausibly fast", plan.TransitTime)
+	}
+	// The object really is on the satellite now.
+	if !s.CacheOf(plan.Sat).Peek("bulk-catalog") {
+		t.Error("object not stored on the carrier satellite")
+	}
+	// The carrier is visible from the source at upload time.
+	snap := testConst.Snapshot(0)
+	found := false
+	for _, v := range snap.Visible(src) {
+		if v.ID == plan.Sat {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("carrier not visible from source at upload")
+	}
+}
+
+func TestPlanWormholeErrors(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	o := testObject("x")
+	if _, err := s.PlanWormhole(geo.NewPoint(0, 0), geo.NewPoint(10, 10), o, 0, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := s.PlanWormhole(geo.NewPoint(89.9, 0), geo.NewPoint(0, 0), o, 0, time.Hour); err == nil {
+		t.Error("uncovered source accepted")
+	}
+	if _, err := s.PlanWormhole(geo.NewPoint(0, 0), geo.NewPoint(89.9, 0), o, 0, time.Hour); err == nil {
+		t.Error("unreachable destination accepted")
+	}
+	// Object bigger than the cache is rejected at upload.
+	big := testObject("big")
+	big.Bytes = s.Config().CacheBytesPerSat + 1
+	if _, err := s.PlanWormhole(geo.NewPoint(0, 0), geo.NewPoint(10, 10), big, 0, time.Hour); err == nil {
+		t.Error("oversized object accepted")
+	}
+}
+
+func TestWANTransferTime(t *testing.T) {
+	src := geo.NewPoint(40.71, -74.01)
+	dst := geo.NewPoint(51.51, -0.13)
+	// 150 TB over a 10 Gbps WAN: ~33 hours.
+	d, err := WANTransferTime(src, dst, 150<<40, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 30*time.Hour || d > 40*time.Hour {
+		t.Errorf("150 TB over 10 Gbps = %v, want ~36h", d)
+	}
+	// A tiny object is propagation-bound (~70 ms).
+	d, err = WANTransferTime(src, dst, 1, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 50*time.Millisecond || d > 120*time.Millisecond {
+		t.Errorf("tiny transfer = %v, want ~RTT", d)
+	}
+	if _, err := WANTransferTime(src, dst, 1, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestWormholeAdvantage(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	src := geo.NewPoint(40.71, -74.01)
+	dst := geo.NewPoint(51.51, -0.13)
+
+	// Bulk pre-positioning: 100 TB against a 10 Gbps WAN — the satellite
+	// wins by an order of magnitude.
+	bulk := testObject("bulk")
+	bulk.Bytes = 100 << 40
+	transit, wan, wins, err := s.WormholeAdvantage(src, dst, bulk, 0, 3*time.Hour, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wins {
+		t.Errorf("wormhole should win for bulk: transit %v vs WAN %v", transit, wan)
+	}
+
+	// A small object: the WAN wins easily (milliseconds vs minutes).
+	s2 := newSystem(t, DefaultConfig())
+	small := testObject("small")
+	small.Bytes = 1 << 20
+	transit, wan, wins, err = s2.WormholeAdvantage(src, dst, small, 0, 3*time.Hour, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wins {
+		t.Errorf("WAN should win for small objects: transit %v vs WAN %v", transit, wan)
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand with the distributions the latency models need. All
+// experiment code derives its randomness from seeded Rand instances so that
+// every run is reproducible.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic source for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent deterministic stream from this one, keyed by
+// label. Use it to give sub-components their own streams so that adding
+// draws in one component does not shift another's sequence.
+func (r *Rand) Fork(label string) *Rand {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for _, b := range []byte(label) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return NewRand(h ^ r.Int63())
+}
+
+// Normal returns a normal sample with the given mean and standard deviation.
+func (r *Rand) Normal(mean, std float64) float64 {
+	return mean + std*r.NormFloat64()
+}
+
+// PositiveNormal returns a normal sample truncated below at floor.
+func (r *Rand) PositiveNormal(mean, std, floor float64) float64 {
+	v := r.Normal(mean, std)
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// LogNormal returns exp(N(mu, sigma)). Useful for heavy-tailed latency noise.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns an exponential sample with the given mean.
+func (r *Rand) Exponential(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Uniform returns a sample uniform in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}

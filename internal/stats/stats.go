@@ -1,0 +1,264 @@
+// Package stats provides the small statistical toolkit the experiments use:
+// quantiles, empirical CDFs, five-number boxplot summaries and histogram
+// binning. All functions are deterministic and allocation-conscious; inputs
+// are float64 samples (milliseconds in most call sites).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the same estimator as
+// numpy's default). It returns NaN for an empty input or out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted computes the type-7 quantile assuming s is sorted.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation, or NaN for empty input.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the smallest sample, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CDF is an empirical cumulative distribution function over a sample set.
+// The zero value is unusable; construct with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the samples. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of underlying samples.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// P returns the empirical probability P[X <= x].
+func (c *CDF) P(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of the first sample strictly greater than x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile of the sample.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	return quantileSorted(c.sorted, q)
+}
+
+// Median is the 50th percentile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// CDFPoint is a single (value, cumulative-probability) coordinate.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// Points returns n evenly spaced (by probability) points of the CDF,
+// suitable for plotting. n must be at least 2.
+func (c *CDF) Points(n int) []CDFPoint {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil
+	}
+	out := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		out[i] = CDFPoint{X: quantileSorted(c.sorted, p), P: p}
+	}
+	return out
+}
+
+// Boxplot is a five-number summary with Tukey whiskers (1.5 IQR).
+type Boxplot struct {
+	Min        float64 // lowest sample
+	WhiskerLow float64 // lowest sample >= Q1 - 1.5*IQR
+	Q1         float64
+	Median     float64
+	Q3         float64
+	WhiskerHi  float64 // highest sample <= Q3 + 1.5*IQR
+	Max        float64 // highest sample
+	N          int
+}
+
+// NewBoxplot summarizes xs. Returns a zero Boxplot with N=0 for empty input.
+func NewBoxplot(xs []float64) Boxplot {
+	if len(xs) == 0 {
+		return Boxplot{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	b := Boxplot{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.WhiskerLow = b.Max
+	for _, x := range s {
+		if x >= loFence {
+			b.WhiskerLow = x
+			break
+		}
+	}
+	b.WhiskerHi = b.Min
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] <= hiFence {
+			b.WhiskerHi = s[i]
+			break
+		}
+	}
+	return b
+}
+
+func (b Boxplot) String() string {
+	return fmt.Sprintf("n=%d min=%.1f [%.1f |%.1f| %.1f] max=%.1f",
+		b.N, b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}
+
+// Histogram bins samples into equal-width buckets over [lo, hi). Samples
+// outside the range are clamped into the first/last bucket.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram with n bins. Returns nil when n <= 0 or
+// hi <= lo.
+func NewHistogram(xs []float64, lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		return nil
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+	width := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		} else if i >= n {
+			i = n - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Total returns the number of binned samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// DeltaSeries pairs up two sample maps by key and returns a-b for every key
+// present in both, sorted by key. It is the aggregation behind the paper's
+// "Starlink minus terrestrial" figures.
+func DeltaSeries(a, b map[string]float64) ([]string, []float64) {
+	var keys []string
+	for k := range a {
+		if _, ok := b[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	deltas := make([]float64, len(keys))
+	for i, k := range keys {
+		deltas[i] = a[k] - b[k]
+	}
+	return keys, deltas
+}

@@ -1,0 +1,332 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single sample quantile = %v, want 7", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty input should be NaN")
+	}
+	if !math.IsNaN(Quantile([]float64{1}, -0.1)) || !math.IsNaN(Quantile([]float64{1}, 1.1)) {
+		t.Error("out-of-range q should be NaN")
+	}
+	if !math.IsNaN(Quantile([]float64{1}, math.NaN())) {
+		t.Error("NaN q should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("quantile not monotone: %v", err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty mean/std should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty min/max should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {3, 0.8}, {10, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.P(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if med := c.Median(); med != 2 {
+		t.Errorf("median = %v, want 2", med)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 3, 2, 4})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].X != 1 || pts[0].P != 0 {
+		t.Errorf("first point %+v", pts[0])
+	}
+	if pts[4].X != 5 || pts[4].P != 1 {
+		t.Errorf("last point %+v", pts[4])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].P < pts[i-1].P {
+			t.Errorf("points not monotone at %d: %+v %+v", i, pts[i-1], pts[i])
+		}
+	}
+	if NewCDF(nil).Points(5) != nil {
+		t.Error("empty CDF should yield nil points")
+	}
+	if c.Points(1) != nil {
+		t.Error("n<2 should yield nil points")
+	}
+}
+
+func TestCDFQuantileAgreesWithQuantile(t *testing.T) {
+	prop := func(raw []float64, qRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := math.Abs(math.Mod(qRaw, 1))
+		a := Quantile(xs, q)
+		b := NewCDF(xs).Quantile(q)
+		return a == b || math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("CDF quantile mismatch: %v", err)
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100} // 100 is an outlier
+	b := NewBoxplot(xs)
+	if b.N != 9 {
+		t.Fatalf("N = %d", b.N)
+	}
+	if b.Min != 1 || b.Max != 100 {
+		t.Errorf("min/max = %v/%v", b.Min, b.Max)
+	}
+	if b.Median != 5 {
+		t.Errorf("median = %v, want 5", b.Median)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("quartiles = %v/%v, want 3/7", b.Q1, b.Q3)
+	}
+	// Whisker must exclude the outlier: fence = 7 + 1.5*4 = 13.
+	if b.WhiskerHi != 8 {
+		t.Errorf("upper whisker = %v, want 8", b.WhiskerHi)
+	}
+	if b.WhiskerLow != 1 {
+		t.Errorf("lower whisker = %v, want 1", b.WhiskerLow)
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBoxplotEmpty(t *testing.T) {
+	b := NewBoxplot(nil)
+	if b.N != 0 {
+		t.Errorf("empty boxplot N = %d", b.N)
+	}
+}
+
+func TestBoxplotOrderingProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := NewBoxplot(xs)
+		return b.Min <= b.WhiskerLow && b.WhiskerLow <= b.Q1+1e-9 &&
+			b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.Q3-1e-9 <= b.WhiskerHi && b.WhiskerHi <= b.Max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("boxplot ordering violated: %v", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2.5, 9.9, -5, 50}, 0, 10, 4)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	// -5 clamps to bin 0, 50 clamps to bin 3.
+	if h.Counts[0] != 3 { // 0, 1, -5 (2.5 lands in bin 1)
+		t.Errorf("bin 0 = %d, want 3 (counts=%v)", h.Counts[0], h.Counts)
+	}
+	if h.Counts[3] != 2 { // 9.9, 50
+		t.Errorf("bin 3 = %d, want 2 (counts=%v)", h.Counts[3], h.Counts)
+	}
+	if NewHistogram(nil, 0, 10, 0) != nil {
+		t.Error("n<=0 should give nil")
+	}
+	if NewHistogram(nil, 10, 10, 4) != nil {
+		t.Error("hi<=lo should give nil")
+	}
+}
+
+func TestDeltaSeries(t *testing.T) {
+	a := map[string]float64{"DE": 40, "MZ": 160, "XX": 1}
+	b := map[string]float64{"DE": 20, "MZ": 15, "YY": 2}
+	keys, deltas := DeltaSeries(a, b)
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("keys not sorted: %v", keys)
+	}
+	if keys[0] != "DE" || deltas[0] != 20 {
+		t.Errorf("DE delta = %v", deltas[0])
+	}
+	if keys[1] != "MZ" || deltas[1] != 145 {
+		t.Errorf("MZ delta = %v", deltas[1])
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	if NewRand(1).Float64() == NewRand(2).Float64() {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	a := NewRand(42).Fork("aim")
+	b := NewRand(42).Fork("aim")
+	if a.Float64() != b.Float64() {
+		t.Error("same fork label must be deterministic")
+	}
+	c := NewRand(42).Fork("web")
+	d := NewRand(42).Fork("aim")
+	_ = d.Float64()
+	if c.Float64() == NewRand(42).Fork("web").Float64() {
+		// expected: same label, same value — sanity check that label matters
+	} else {
+		t.Error("fork must depend only on parent state and label")
+	}
+}
+
+func TestRandDistributions(t *testing.T) {
+	r := NewRand(7)
+	n := 20000
+	var normal, expo, uni []float64
+	for i := 0; i < n; i++ {
+		normal = append(normal, r.Normal(10, 2))
+		expo = append(expo, r.Exponential(5))
+		uni = append(uni, r.Uniform(2, 4))
+	}
+	if m := Mean(normal); math.Abs(m-10) > 0.1 {
+		t.Errorf("normal mean = %v", m)
+	}
+	if s := StdDev(normal); math.Abs(s-2) > 0.1 {
+		t.Errorf("normal std = %v", s)
+	}
+	if m := Mean(expo); math.Abs(m-5) > 0.2 {
+		t.Errorf("exponential mean = %v", m)
+	}
+	for _, u := range uni {
+		if u < 2 || u >= 4 {
+			t.Fatalf("uniform sample out of range: %v", u)
+		}
+	}
+	// PositiveNormal floors.
+	for i := 0; i < 1000; i++ {
+		if v := r.PositiveNormal(0, 10, 1); v < 1 {
+			t.Fatalf("PositiveNormal below floor: %v", v)
+		}
+	}
+	// Bool(p) frequency.
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / float64(n); math.Abs(f-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency = %v", f)
+	}
+	// LogNormal is always positive.
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}

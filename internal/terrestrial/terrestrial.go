@@ -1,0 +1,154 @@
+// Package terrestrial models latency over terrestrial ISP paths: fiber
+// propagation with realistic path stretch, regional last-mile access
+// characteristics, and queueing noise. It is the baseline network the paper
+// compares Starlink against.
+//
+// The model is intentionally simple and calibrated against public
+// measurements: light in fiber travels at ~204,000 km/s (refractive index
+// 1.468), real routes are 1.3-2.5x longer than the geodesic, and the access
+// network adds a region-dependent floor (sub-millisecond metro fiber in
+// well-provisioned markets, tens of milliseconds where interconnection is
+// sparse — the paper's Africa observations).
+package terrestrial
+
+import (
+	"time"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+// FiberLightSpeedKmPerSec is the propagation speed in single-mode fiber.
+const FiberLightSpeedKmPerSec = 204190.0
+
+// Profile describes one region's terrestrial network quality.
+type Profile struct {
+	// PathStretch multiplies the geodesic distance to approximate the real
+	// fiber route (cable paths, metro detours, IXP triangles).
+	PathStretch float64
+	// LastMileFloorMs is the minimum access RTT contribution (DSLAM/CMTS/
+	// OLT plus metro aggregation), observed as the minRTT floor.
+	LastMileFloorMs float64
+	// LastMileMedianMs is the typical access RTT contribution including
+	// serialization and light queueing.
+	LastMileMedianMs float64
+	// JitterMs scales the noise added per sample.
+	JitterMs float64
+}
+
+// profiles is calibrated so that Table 1's terrestrial column reproduces:
+// last-mile floors of ~1-7 ms in the Americas/Europe/Japan, ~10-16 ms in
+// African markets, and path stretch rising where fiber routes are indirect.
+var profiles = map[geo.Region]Profile{
+	geo.RegionNorthAmerica: {PathStretch: 1.45, LastMileFloorMs: 1.2, LastMileMedianMs: 7, JitterMs: 3},
+	geo.RegionEurope:       {PathStretch: 1.40, LastMileFloorMs: 1.5, LastMileMedianMs: 8, JitterMs: 3},
+	geo.RegionAsia:         {PathStretch: 1.55, LastMileFloorMs: 2.0, LastMileMedianMs: 9, JitterMs: 4},
+	geo.RegionOceania:      {PathStretch: 1.50, LastMileFloorMs: 2.0, LastMileMedianMs: 9, JitterMs: 4},
+	geo.RegionSouthAmerica: {PathStretch: 1.70, LastMileFloorMs: 3.0, LastMileMedianMs: 12, JitterMs: 5},
+	geo.RegionAfrica:       {PathStretch: 1.95, LastMileFloorMs: 5.0, LastMileMedianMs: 16, JitterMs: 7},
+}
+
+// ProfileFor returns the latency profile for a region. Unknown regions get
+// the most conservative (African) profile.
+func ProfileFor(r geo.Region) Profile {
+	if p, ok := profiles[r]; ok {
+		return p
+	}
+	return profiles[geo.RegionAfrica]
+}
+
+// Model computes terrestrial path latencies. The zero value is not usable;
+// construct with NewModel.
+type Model struct {
+	// InterRegionStretch is applied instead of the regional stretch when
+	// endpoints are on different continents (submarine cable routes).
+	InterRegionStretch float64
+}
+
+// NewModel returns the default terrestrial model.
+func NewModel() *Model {
+	return &Model{InterRegionStretch: 1.35}
+}
+
+// FiberDelay returns the one-way propagation delay for km kilometres of
+// fiber.
+func FiberDelay(km float64) time.Duration {
+	return time.Duration(km / FiberLightSpeedKmPerSec * float64(time.Second))
+}
+
+// routeKm estimates the routed fiber distance between two points.
+func (m *Model) routeKm(a, b geo.Point, ra, rb geo.Region) float64 {
+	d := geo.HaversineKm(a, b)
+	stretch := ProfileFor(ra).PathStretch
+	if rb != ra {
+		// Intercontinental routes follow relatively direct submarine
+		// cables; use the flatter stretch but never less than either
+		// region's metro component would imply for short hops.
+		stretch = m.InterRegionStretch
+	} else if s := ProfileFor(rb).PathStretch; s > stretch {
+		stretch = s
+	}
+	return d * stretch
+}
+
+// MinRTT returns the floor round-trip time between a client at a (region ra)
+// and a server at b (region rb): twice the routed propagation delay plus the
+// client's last-mile floor. This is what a long-running measurement's minimum
+// converges to.
+func (m *Model) MinRTT(a, b geo.Point, ra, rb geo.Region) time.Duration {
+	prop := 2 * FiberDelay(m.routeKm(a, b, ra, rb))
+	floor := time.Duration(ProfileFor(ra).LastMileFloorMs * float64(time.Millisecond))
+	return prop + floor
+}
+
+// TypicalRTT returns the median round-trip time: propagation plus the typical
+// last-mile contribution.
+func (m *Model) TypicalRTT(a, b geo.Point, ra, rb geo.Region) time.Duration {
+	prop := 2 * FiberDelay(m.routeKm(a, b, ra, rb))
+	med := time.Duration(ProfileFor(ra).LastMileMedianMs * float64(time.Millisecond))
+	return prop + med
+}
+
+// SampleRTT draws one measured RTT: the floor plus last-mile and queueing
+// noise. The distribution's minimum approaches MinRTT and its median
+// approaches TypicalRTT.
+func (m *Model) SampleRTT(a, b geo.Point, ra, rb geo.Region, rng *stats.Rand) time.Duration {
+	p := ProfileFor(ra)
+	prop := 2 * FiberDelay(m.routeKm(a, b, ra, rb))
+	// Last-mile: floor plus a right-skewed spread reaching the median.
+	spread := p.LastMileMedianMs - p.LastMileFloorMs
+	if spread < 0 {
+		spread = 0
+	}
+	lastMileMs := p.LastMileFloorMs + rng.Exponential(spread/0.6931) // median of Exp(mean) = mean*ln2
+	queueMs := rng.Exponential(p.JitterMs)
+	return prop + time.Duration((lastMileMs+queueMs)*float64(time.Millisecond))
+}
+
+// Bloat draws the extra queueing delay a terrestrial access link adds under
+// concurrent load. Terrestrial access queues are modest compared with the
+// satellite bufferbloat the paper reports.
+func (m *Model) Bloat(rng *stats.Rand) time.Duration {
+	return time.Duration(rng.Uniform(5, 40) * float64(time.Millisecond))
+}
+
+// LoadedRTT returns an RTT sample under concurrent load (active download):
+// an idle sample plus the access-queue bloat.
+func (m *Model) LoadedRTT(a, b geo.Point, ra, rb geo.Region, rng *stats.Rand) time.Duration {
+	return m.SampleRTT(a, b, ra, rb, rng) + m.Bloat(rng)
+}
+
+// DownlinkMbps samples access throughput for a region's typical fixed
+// broadband: used by the page-load model for download times.
+func (m *Model) DownlinkMbps(ra geo.Region, rng *stats.Rand) float64 {
+	switch ra {
+	case geo.RegionNorthAmerica, geo.RegionEurope:
+		return rng.PositiveNormal(220, 80, 40)
+	case geo.RegionAsia, geo.RegionOceania:
+		return rng.PositiveNormal(180, 70, 30)
+	case geo.RegionSouthAmerica:
+		return rng.PositiveNormal(120, 50, 20)
+	default: // Africa and unknown
+		return rng.PositiveNormal(45, 25, 5)
+	}
+}

@@ -1,0 +1,210 @@
+// Package sim is the public facade of the SpaceCDN simulator. The
+// implementation lives in internal packages (one per subsystem — see
+// DESIGN.md); this package re-exports the types and operations a downstream
+// user needs to build LEO-CDN studies without reaching into internal paths:
+//
+//	env, _ := sim.NewEnvironment()              // constellation + ground + CDN + models
+//	sys, _ := sim.DeploySpaceCDN(env, sim.DefaultSpaceCDNConfig())
+//	res, _ := sys.Resolve(client, "MZ", object, env.Snapshot(0), rng)
+//
+// and to regenerate the paper's evaluation:
+//
+//	suite, _ := sim.NewSuite(false, 42)
+//	rows, _ := suite.Table1()
+package sim
+
+import (
+	"spacecdn/internal/cdn"
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/experiments"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/measure"
+	"spacecdn/internal/orbit"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/terrestrial"
+)
+
+// Geography.
+type (
+	// Point is a geographic coordinate (degrees).
+	Point = geo.Point
+	// City is an embedded world-city record.
+	City = geo.City
+	// Country is an embedded country record.
+	Country = geo.Country
+	// Region is a coarse continental region.
+	Region = geo.Region
+)
+
+// NewPoint constructs a normalized geographic point.
+func NewPoint(latDeg, lonDeg float64) Point { return geo.NewPoint(latDeg, lonDeg) }
+
+// CityByName resolves a city ("Maputo" or "Maputo, MZ").
+func CityByName(name string) (City, bool) { return geo.CityByName(name) }
+
+// Cities returns the embedded world-city dataset.
+func Cities() []City { return geo.Cities() }
+
+// Countries returns the embedded country dataset.
+func Countries() []Country { return geo.Countries() }
+
+// Orbits and constellation.
+type (
+	// Walker describes a Walker-delta constellation.
+	Walker = orbit.Walker
+	// Constellation is the satellite fleet.
+	Constellation = constellation.Constellation
+	// Snapshot is the fleet's geometry frozen at one instant.
+	Snapshot = constellation.Snapshot
+	// SatID identifies a satellite.
+	SatID = constellation.SatID
+	// ConstellationConfig configures the fleet and link geometry.
+	ConstellationConfig = constellation.Config
+)
+
+// StarlinkShell1 returns the paper's simulated shell: 72 planes x 22
+// satellites at 550 km, 53 degrees.
+func StarlinkShell1() Walker { return orbit.StarlinkShell1() }
+
+// NewConstellation builds a constellation.
+func NewConstellation(cfg ConstellationConfig) (*Constellation, error) {
+	return constellation.New(cfg)
+}
+
+// DefaultConstellationConfig returns Shell 1 with a 25-degree mask and
+// full +grid ISLs.
+func DefaultConstellationConfig() ConstellationConfig { return constellation.DefaultConfig() }
+
+// Ground segment and access network.
+type (
+	// GroundCatalog holds PoPs, ground stations and country assignments.
+	GroundCatalog = groundseg.Catalog
+	// GroundOption customizes a GroundCatalog (expansion studies).
+	GroundOption = groundseg.Option
+	// PoP is a point of presence.
+	PoP = groundseg.PoP
+	// AccessModel is the LSN (Starlink-equivalent) access-path model.
+	AccessModel = lsn.Model
+	// AccessPath is a resolved subscriber path.
+	AccessPath = lsn.Path
+)
+
+// NewGroundCatalog builds the embedded 22-PoP ground segment, optionally
+// expanded.
+func NewGroundCatalog(opts ...GroundOption) *GroundCatalog { return groundseg.NewCatalog(opts...) }
+
+// WithPoP deploys an additional PoP in the named city.
+func WithPoP(name, cityName string) GroundOption { return groundseg.WithPoP(name, cityName) }
+
+// WithAssignment overrides a country's serving PoP.
+func WithAssignment(iso2, popName string) GroundOption {
+	return groundseg.WithAssignment(iso2, popName)
+}
+
+// NewAccessModel assembles the LSN access model over a constellation and
+// ground segment.
+func NewAccessModel(c *Constellation, g *GroundCatalog) *AccessModel {
+	return lsn.NewModel(c, g, lsn.DefaultConfig())
+}
+
+// Content.
+type (
+	// Object is a cacheable content object.
+	Object = content.Object
+	// ObjectID identifies an object.
+	ObjectID = content.ID
+	// Catalog is an object catalog with popularity structure.
+	Catalog = content.Catalog
+	// CatalogConfig controls synthetic catalog generation.
+	CatalogConfig = content.CatalogConfig
+	// Video is a DASH-segmented video.
+	Video = content.Video
+)
+
+// GenerateCatalog builds a deterministic synthetic catalog.
+func GenerateCatalog(cfg CatalogConfig) (*Catalog, error) { return content.GenerateCatalog(cfg) }
+
+// DefaultCatalogConfig returns a 10k-object web-plus-video mix.
+func DefaultCatalogConfig() CatalogConfig { return content.DefaultCatalogConfig() }
+
+// SpaceCDN — the paper's contribution.
+type (
+	// SpaceCDN is a deployed satellite CDN.
+	SpaceCDN = spacecdn.System
+	// SpaceCDNConfig parameterizes it.
+	SpaceCDNConfig = spacecdn.Config
+	// Resolution describes how a request was served.
+	Resolution = spacecdn.Resolution
+	// Placement decides replica locations.
+	Placement = spacecdn.Placement
+	// PerPlaneSpacing places k evenly spaced replicas per plane.
+	PerPlaneSpacing = spacecdn.PerPlaneSpacing
+	// DutyCycleConfig enables fractional caching.
+	DutyCycleConfig = spacecdn.DutyCycleConfig
+	// StripePlan schedules a video across successive overhead satellites.
+	StripePlan = spacecdn.StripePlan
+	// BubbleManager maintains geographic content bubbles.
+	BubbleManager = spacecdn.BubbleManager
+	// VMConfig parameterizes replicated space VMs.
+	VMConfig = spacecdn.VMConfig
+)
+
+// Resolution sources (paper Fig. 6).
+const (
+	SourceOverhead = spacecdn.SourceOverhead
+	SourceISL      = spacecdn.SourceISL
+	SourceGround   = spacecdn.SourceGround
+)
+
+// DefaultSpaceCDNConfig mirrors the paper's simulation setup.
+func DefaultSpaceCDNConfig() SpaceCDNConfig { return spacecdn.DefaultConfig() }
+
+// Environment bundles every model (constellation, ground segment, access,
+// terrestrial baseline, CDN) with memoized snapshots and paths.
+type Environment = measure.Environment
+
+// NewEnvironment assembles the default simulation environment.
+func NewEnvironment() (*Environment, error) { return measure.NewEnvironment() }
+
+// DeploySpaceCDN deploys a SpaceCDN over an environment's constellation,
+// with the environment's access model as the ground fallback.
+func DeploySpaceCDN(env *Environment, cfg SpaceCDNConfig) (*SpaceCDN, error) {
+	return spacecdn.NewSystem(cfg, env.Constellation, env.LSN)
+}
+
+// Apply stores an object on every satellite a placement selects.
+func Apply(s *SpaceCDN, pl Placement, o Object) (int, error) { return spacecdn.Apply(s, pl, o) }
+
+// Measurements and experiments.
+type (
+	// SpeedTest is one synthetic AIM record.
+	SpeedTest = measure.SpeedTest
+	// AIMConfig controls dataset generation.
+	AIMConfig = measure.AIMConfig
+	// Suite regenerates the paper's tables and figures.
+	Suite = experiments.Suite
+	// Rand is the deterministic random source used throughout.
+	Rand = stats.Rand
+)
+
+// DefaultAIMConfig returns the full-resolution AIM settings.
+func DefaultAIMConfig() AIMConfig { return measure.DefaultAIMConfig() }
+
+// NewSuite builds an experiment suite (fast trades samples for speed).
+func NewSuite(fast bool, seed int64) (*Suite, error) { return experiments.NewSuite(fast, seed) }
+
+// NewRand returns a deterministic random stream.
+func NewRand(seed int64) *Rand { return stats.NewRand(seed) }
+
+// CDN is the terrestrial content delivery network substrate.
+type CDN = cdn.CDN
+
+// NewCDN deploys the terrestrial CDN substrate (exposed for baseline
+// studies; Environment already contains one).
+func NewCDN() (*CDN, error) {
+	return cdn.New(cdn.DefaultConfig(), terrestrial.NewModel())
+}

@@ -1,0 +1,130 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/sim"
+)
+
+// The facade tests exercise the documented end-to-end flows exactly as a
+// downstream user would write them.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	env, err := sim.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.DeploySpaceCDN(env, sim.DefaultSpaceCDNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := sim.Object{ID: "facade-obj", Bytes: 1 << 20}
+	placed, err := sim.Apply(sys, sim.PerPlaneSpacing{ReplicasPerPlane: 4}, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != 4*72 {
+		t.Fatalf("placed = %d", placed)
+	}
+	city, ok := sim.CityByName("Maputo, MZ")
+	if !ok {
+		t.Fatal("city lookup failed")
+	}
+	res, err := sys.Resolve(city.Loc, "MZ", obj, env.Snapshot(0), sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != sim.SourceOverhead && res.Source != sim.SourceISL {
+		t.Errorf("densely placed object served from %v", res.Source)
+	}
+	if res.RTT <= 0 || res.RTT > 200*time.Millisecond {
+		t.Errorf("RTT = %v", res.RTT)
+	}
+}
+
+func TestFacadeConstellation(t *testing.T) {
+	w := sim.StarlinkShell1()
+	if w.Total() != 1584 {
+		t.Errorf("Shell 1 total = %d", w.Total())
+	}
+	c, err := sim.NewConstellation(sim.DefaultConstellationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot(0)
+	vis := snap.Visible(sim.NewPoint(50.11, 8.68))
+	if len(vis) == 0 {
+		t.Error("no visibility from Frankfurt")
+	}
+}
+
+func TestFacadeGroundExpansion(t *testing.T) {
+	g := sim.NewGroundCatalog(
+		sim.WithPoP("nbo", "Nairobi, KE"),
+		sim.WithAssignment("KE", "nbo"),
+	)
+	p, ok := g.AssignPoP("KE")
+	if !ok || p.Name != "nbo" {
+		t.Errorf("expansion assignment = %+v ok=%v", p, ok)
+	}
+	c, err := sim.NewConstellation(sim.DefaultConstellationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	access := sim.NewAccessModel(c, g)
+	city, _ := sim.CityByName("Nairobi, KE")
+	path, err := access.ResolvePath(city.Loc, "KE", c.Snapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.PoP.Name != "nbo" {
+		t.Errorf("path PoP = %s, want nbo", path.PoP.Name)
+	}
+	// Local PoP: cheap path.
+	if got := access.MinRTTToPoP(path); got > 60*time.Millisecond {
+		t.Errorf("local-PoP RTT = %v", got)
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	cat, err := sim.GenerateCatalog(sim.DefaultCatalogConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 10000 {
+		t.Errorf("catalog size = %d", cat.Len())
+	}
+}
+
+func TestFacadeDataset(t *testing.T) {
+	if len(sim.Cities()) < 120 || len(sim.Countries()) < 80 {
+		t.Errorf("dataset too small: %d cities, %d countries",
+			len(sim.Cities()), len(sim.Countries()))
+	}
+}
+
+func TestFacadeCDN(t *testing.T) {
+	c, err := sim.NewCDN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, _ := sim.CityByName("Maputo, MZ")
+	if e := c.NearestEdge(city.Loc); e.City.Name != "Maputo" {
+		t.Errorf("nearest edge = %s", e.City.Name)
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	suite, err := sim.NewSuite(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := suite.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Errorf("Table 1 rows = %d", len(rows))
+	}
+}
