@@ -26,6 +26,7 @@ import (
 	"spacecdn/internal/routing"
 	"spacecdn/internal/spacecdn"
 	"spacecdn/internal/stats"
+	"spacecdn/internal/telemetry"
 )
 
 // The shared suite uses the fast configuration so that the full benchmark
@@ -285,6 +286,32 @@ func BenchmarkSpaceResolve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	obj := content.Object{ID: "bench", Bytes: 1 << 20}
+	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 4}, obj); err != nil {
+		b.Fatal(err)
+	}
+	snap := c.Snapshot(0)
+	rng := stats.NewRand(1)
+	loc := geo.NewPoint(-1.29, 36.82)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Resolve(loc, "KE", obj, snap, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpaceResolveTelemetry is BenchmarkSpaceResolve with telemetry
+// attached at the CLI's default 1% trace sampling; comparing the two pins
+// the instrumentation overhead on the hot path (budget: <=5%).
+func BenchmarkSpaceResolveTelemetry(b *testing.B) {
+	c := benchConstellation(b)
+	m := lsn.NewModel(c, groundseg.NewCatalog(), lsn.DefaultConfig())
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), c, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.SetTelemetry(telemetry.New(0.01))
 	obj := content.Object{ID: "bench", Bytes: 1 << 20}
 	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 4}, obj); err != nil {
 		b.Fatal(err)

@@ -2,11 +2,19 @@
 //
 // Usage:
 //
-//	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|all
+//	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|workload|all
 //	         [-fast] [-seed N] [-json] [-city NAME]
+//	         [-metrics-out FILE] [-trace-sample RATE]
 //
 // Each experiment prints an aligned text table (or figure sketch) to stdout;
 // -json emits machine-readable output instead.
+//
+// -metrics-out attaches telemetry to the run and writes the accumulated
+// metrics (and sampled request traces) to FILE when every experiment has
+// finished: Prometheus text exposition for .prom/.txt files, a JSON snapshot
+// otherwise. The resolve-path "workload" experiment is forced into the run
+// so the request counters and RTT histogram are populated; -trace-sample
+// sets the fraction of requests retained as traces.
 package main
 
 import (
@@ -24,28 +32,36 @@ import (
 	"spacecdn/internal/measure"
 	"spacecdn/internal/report"
 	"spacecdn/internal/stats"
+	"spacecdn/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id: table1, fig2, fig3, fig4, fig5, fig7, fig8, ablation-replicas, capacity, geoblock, gs-expansion, duty-sweep, striping, wormhole, spacevms, bufferbloat, thermal, hitrate, rtt-series, all")
-		fast = flag.Bool("fast", false, "reduced sample counts (quick preview)")
-		seed = flag.Int64("seed", 42, "random seed")
-		asJS = flag.Bool("json", false, "emit JSON instead of text tables")
-		city = flag.String("city", "", "city for fig3 (default Maputo)")
+		exp    = flag.String("exp", "all", "experiment id: table1, fig2, fig3, fig4, fig5, fig7, fig8, ablation-replicas, capacity, geoblock, gs-expansion, duty-sweep, striping, wormhole, spacevms, bufferbloat, thermal, hitrate, rtt-series, workload, all")
+		fast   = flag.Bool("fast", false, "reduced sample counts (quick preview)")
+		seed   = flag.Int64("seed", 42, "random seed")
+		asJS   = flag.Bool("json", false, "emit JSON instead of text tables")
+		city   = flag.String("city", "", "city for fig3 (default Maputo)")
+		mOut   = flag.String("metrics-out", "", "write accumulated telemetry to this file (.prom/.txt: Prometheus text, else JSON snapshot)")
+		sample = flag.Float64("trace-sample", 0.01, "fraction of resolve requests retained as traces (with -metrics-out)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *fast, *seed, *asJS, *city); err != nil {
+	if err := run(os.Stdout, *exp, *fast, *seed, *asJS, *city, *mOut, *sample); err != nil {
 		fmt.Fprintln(os.Stderr, "spacecdn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, fast bool, seed int64, asJSON bool, city string) error {
+func run(w io.Writer, exp string, fast bool, seed int64, asJSON bool, city, metricsOut string, traceSample float64) error {
 	suite, err := experiments.NewSuite(fast, seed)
 	if err != nil {
 		return err
+	}
+	var tel *telemetry.Telemetry
+	if metricsOut != "" {
+		tel = telemetry.New(traceSample)
+		suite.SetTelemetry(tel)
 	}
 	ids := strings.Split(exp, ",")
 	if exp == "all" {
@@ -53,7 +69,13 @@ func run(w io.Writer, exp string, fast bool, seed int64, asJSON bool, city strin
 			"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8",
 			"ablation-replicas", "capacity",
 			"geoblock", "gs-expansion", "duty-sweep", "striping", "wormhole", "spacevms", "bufferbloat", "thermal", "hitrate", "rtt-series",
+			"workload",
 		}
+	}
+	if tel != nil && !containsID(ids, "workload") {
+		// The resolve-path workload populates the request counters and RTT
+		// histogram the metrics file is expected to carry.
+		ids = append(ids, "workload")
 	}
 	for _, id := range ids {
 		if err := runOne(w, suite, strings.TrimSpace(id), asJSON, city); err != nil {
@@ -61,7 +83,41 @@ func run(w io.Writer, exp string, fast bool, seed int64, asJSON bool, city strin
 		}
 		fmt.Fprintln(w)
 	}
+	if tel != nil {
+		if err := writeMetrics(tel, metricsOut); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		fmt.Fprintf(w, "telemetry written to %s\n", metricsOut)
+	}
 	return nil
+}
+
+func containsID(ids []string, want string) bool {
+	for _, id := range ids {
+		if strings.TrimSpace(id) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// writeMetrics exports the run's telemetry, choosing the format from the
+// file extension: Prometheus text for .prom/.txt, JSON snapshot otherwise.
+func writeMetrics(tel *telemetry.Telemetry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasSuffix(path, ".prom"), strings.HasSuffix(path, ".txt"):
+		err = tel.WritePrometheus(f)
+	default:
+		err = tel.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func runOne(w io.Writer, s *experiments.Suite, id string, asJSON bool, city string) error {
@@ -429,6 +485,25 @@ func runOne(w io.Writer, s *experiments.Suite, id string, asJSON bool, city stri
 				fmt.Sprintf("%.4f", r.Availability), fmt.Sprintf("%.4f", r.ColdAvailability))
 		}
 		return t.Render(w)
+
+	case "workload":
+		res, err := s.ResolveWorkload()
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return report.WriteJSON(w, res)
+		}
+		t := report.NewTable("Resolve workload: hot/warm/cold mix by serving source",
+			"Source", "Requests", "Median ms", "P90 ms", "Mean hops")
+		for _, r := range res.Rows {
+			t.AddRow(r.Source, r.Requests, r.MedianMs, r.P90Ms, r.MeanHops)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%d requests, %d errors\n", res.Requests, res.Errors)
+		return err
 
 	default:
 		return fmt.Errorf("unknown experiment %q", id)

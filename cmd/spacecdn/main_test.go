@@ -3,13 +3,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"spacecdn/internal/telemetry"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "capacity", true, 1, false, ""); err != nil {
+	if err := run(&buf, "capacity", true, 1, false, "", "", 0.01); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -20,14 +25,14 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", true, 1, false, ""); err == nil {
+	if err := run(&buf, "nope", true, 1, false, "", "", 0.01); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunCommaSeparated(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1, fig2", true, 1, false, ""); err != nil {
+	if err := run(&buf, "table1, fig2", true, 1, false, "", "", 0.01); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -47,7 +52,7 @@ func TestRunCommaSeparated(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1", true, 1, true, ""); err != nil {
+	if err := run(&buf, "table1", true, 1, true, "", "", 0.01); err != nil {
 		t.Fatal(err)
 	}
 	var rows []map[string]interface{}
@@ -64,7 +69,7 @@ func TestRunJSONOutput(t *testing.T) {
 
 func TestRunFig3CustomCity(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", true, 1, false, "Nairobi"); err != nil {
+	if err := run(&buf, "fig3", true, 1, false, "Nairobi", "", 0.01); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Nairobi") {
@@ -74,7 +79,7 @@ func TestRunFig3CustomCity(t *testing.T) {
 
 func TestRunExtensions(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "geoblock,wormhole,rtt-series", true, 1, false, ""); err != nil {
+	if err := run(&buf, "geoblock,wormhole,rtt-series", true, 1, false, "", "", 0.01); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -86,5 +91,87 @@ func TestRunExtensions(t *testing.T) {
 	}
 	if !strings.Contains(out, "RTT time series") || !strings.Contains(out, "handover rate") {
 		t.Error("missing rtt-series output")
+	}
+}
+
+// TestMetricsOutSmoke runs the workload experiment with -metrics-out and
+// asserts the JSON snapshot parses, carries non-zero per-source request
+// counters, an RTT histogram with quantiles, and at least one sampled trace
+// whose span durations sum to its RTT within a microsecond.
+func TestMetricsOutSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "workload", true, 1, false, "", out, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "telemetry written to") {
+		t.Error("missing telemetry confirmation line")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+
+	wantSources := map[string]bool{"overhead": false, "isl": false, "ground": false}
+	for _, c := range snap.Counters {
+		if c.Name != "spacecdn_resolve_requests_total" {
+			continue
+		}
+		src := c.Labels["source"]
+		if _, ok := wantSources[src]; ok && c.Value > 0 {
+			wantSources[src] = true
+		}
+	}
+	for src, seen := range wantSources {
+		if !seen {
+			t.Errorf("no requests counted for source %q", src)
+		}
+	}
+
+	rtt, ok := snap.Histogram("spacecdn_resolve_rtt_ms")
+	if !ok || rtt.Count == 0 {
+		t.Fatalf("rtt histogram missing or empty: %+v", rtt)
+	}
+	if !(rtt.P50 > 0 && rtt.P50 <= rtt.P95 && rtt.P95 <= rtt.P99) {
+		t.Errorf("rtt quantiles malformed: p50=%v p95=%v p99=%v", rtt.P50, rtt.P95, rtt.P99)
+	}
+
+	if len(snap.Traces) == 0 {
+		t.Fatal("no sampled traces at rate 0.01")
+	}
+	for _, tr := range snap.Traces {
+		diff := tr.SpanSum() - tr.RTT
+		if diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("trace %d (%s): span sum off by %v", tr.Seq, tr.Source, diff)
+		}
+	}
+}
+
+// TestMetricsOutPrometheus checks the .prom extension switches to text
+// exposition format.
+func TestMetricsOutPrometheus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.prom")
+	var buf bytes.Buffer
+	if err := run(&buf, "workload", true, 1, false, "", out, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE spacecdn_resolve_requests_total counter",
+		`spacecdn_resolve_requests_total{source="ground"}`,
+		"# TYPE spacecdn_resolve_rtt_ms histogram",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
 	}
 }

@@ -27,6 +27,54 @@ type Item struct {
 	Tag string
 }
 
+// EvictionReason classifies why an item left a cache.
+type EvictionReason int
+
+// Eviction reasons. numEvictionReasons must stay last — the name table is
+// sized by it, so an added reason without a name fails the round-trip test.
+const (
+	// EvictCapacity is byte-capacity pressure: the policy's usual victim.
+	EvictCapacity EvictionReason = iota
+	// EvictRegionChange is the geo-aware policy shedding content tagged for
+	// a region the satellite is leaving (the paper's content bubbles, §5).
+	EvictRegionChange
+
+	numEvictionReasons // keep last
+)
+
+// evictionReasonNames is the exhaustive name table; indexed by reason.
+var evictionReasonNames = [numEvictionReasons]string{
+	EvictCapacity:     "capacity",
+	EvictRegionChange: "region-change",
+}
+
+func (r EvictionReason) String() string {
+	if r < 0 || r >= numEvictionReasons || evictionReasonNames[r] == "" {
+		return fmt.Sprintf("evictionreason(%d)", int(r))
+	}
+	return evictionReasonNames[r]
+}
+
+// EvictionReasonFromString inverts String for the named reasons.
+func EvictionReasonFromString(s string) (EvictionReason, bool) {
+	for r, name := range evictionReasonNames {
+		if name == s {
+			return EvictionReason(r), true
+		}
+	}
+	return 0, false
+}
+
+// EvictionReasons lists every defined reason, for exhaustive iteration in
+// telemetry wiring and tests.
+func EvictionReasons() []EvictionReason {
+	out := make([]EvictionReason, numEvictionReasons)
+	for i := range out {
+		out[i] = EvictionReason(i)
+	}
+	return out
+}
+
 // Stats counts cache activity. Retrieved via the Stats method; the zero
 // value is a valid empty count.
 type Stats struct {
@@ -34,6 +82,16 @@ type Stats struct {
 	Misses    int64
 	Evictions int64
 	Inserts   int64
+	// ByReason breaks Evictions down by cause; entries sum to Evictions.
+	ByReason [numEvictionReasons]int64
+}
+
+// EvictionsFor returns the eviction count attributed to one reason.
+func (s Stats) EvictionsFor(r EvictionReason) int64 {
+	if r < 0 || r >= numEvictionReasons {
+		return 0
+	}
+	return s.ByReason[r]
 }
 
 // HitRate returns hits/(hits+misses), or 0 when no lookups happened.
@@ -145,6 +203,7 @@ func (c *LRU) evictLocked() {
 		delete(c.items, e.it.Key)
 		c.used -= e.it.Size
 		c.stats.Evictions++
+		c.stats.ByReason[EvictCapacity]++
 	}
 }
 

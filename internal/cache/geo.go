@@ -83,7 +83,11 @@ func (c *GeoAware) makeRoom(size int64, incoming Key, region string) {
 			}
 			outOfRegion := e.Tag != region
 			if (pass == 0 && outOfRegion) || pass == 1 {
-				if c.lru.evict(k) {
+				reason := EvictCapacity
+				if outOfRegion {
+					reason = EvictRegionChange
+				}
+				if c.lru.evict(k, reason) {
 					need -= e.Size
 				}
 			}
@@ -102,8 +106,9 @@ func (c *LRU) item(k Key) (Item, bool) {
 	return el.Value.(*lruEntry).it, true
 }
 
-// evict removes a key and counts it as an eviction (not a removal).
-func (c *LRU) evict(k Key) bool {
+// evict removes a key and counts it as an eviction (not a removal),
+// attributed to the given reason.
+func (c *LRU) evict(k Key, reason EvictionReason) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
@@ -115,6 +120,9 @@ func (c *LRU) evict(k Key) bool {
 	delete(c.items, k)
 	c.used -= e.it.Size
 	c.stats.Evictions++
+	if reason >= 0 && reason < numEvictionReasons {
+		c.stats.ByReason[reason]++
+	}
 	return true
 }
 

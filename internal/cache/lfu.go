@@ -131,6 +131,7 @@ func (c *LFU) evictLocked(protect Key) {
 		delete(c.items, e.it.Key)
 		c.used -= e.it.Size
 		c.stats.Evictions++
+		c.stats.ByReason[EvictCapacity]++
 	}
 }
 

@@ -191,7 +191,7 @@ func (s *Suite) DutyCycleSweep() ([]DutySweepRow, error) {
 		if f < 1 {
 			cfg.DutyCycle = &spacecdn.DutyCycleConfig{Fraction: f, Slot: 5 * time.Minute, Seed: s.Seed}
 		}
-		sys, err := spacecdn.NewSystem(cfg, s.Env.Constellation, s.Env.LSN)
+		sys, err := s.newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -261,7 +261,7 @@ func (s *Suite) StripingAblation() ([]StripingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), s.Env.Constellation, s.Env.LSN)
+		sys, err := s.newSystem(spacecdn.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -323,7 +323,7 @@ func (s *Suite) Wormholing() ([]WormholeRow, error) {
 			return nil, fmt.Errorf("experiments: unknown wormhole route %q", r.name)
 		}
 		for _, size := range sizes {
-			sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), s.Env.Constellation, s.Env.LSN)
+			sys, err := s.newSystem(spacecdn.DefaultConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -369,7 +369,7 @@ func (s *Suite) SpaceVMs() ([]VMRow, error) {
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown VM area %q", name)
 		}
-		sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), s.Env.Constellation, s.Env.LSN)
+		sys, err := s.newSystem(spacecdn.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}

@@ -58,7 +58,7 @@ func (s *Suite) Fig7() (Fig7Result, error) {
 	}
 	cfg := spacecdn.DefaultConfig()
 	cfg.Latency = spacecdn.LatencyOneWayPropagation
-	sys, err := spacecdn.NewSystem(cfg, s.Env.Constellation, s.Env.LSN)
+	sys, err := s.newSystem(cfg)
 	if err != nil {
 		return Fig7Result{}, err
 	}
@@ -123,7 +123,7 @@ func (s *Suite) Fig8() ([]Fig8Row, float64, error) {
 		cfg := spacecdn.DefaultConfig()
 		cfg.Latency = spacecdn.LatencyOneWayPropagation // see Fig7 accounting note
 		cfg.DutyCycle = &spacecdn.DutyCycleConfig{Fraction: f, Slot: 5 * time.Minute, Seed: s.Seed}
-		sys, err := spacecdn.NewSystem(cfg, s.Env.Constellation, s.Env.LSN)
+		sys, err := s.newSystem(cfg)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -169,7 +169,7 @@ func (s *Suite) AblationReplicas() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, k := range []int{1, 2, 4, 8} {
 		cfg := spacecdn.DefaultConfig()
-		sys, err := spacecdn.NewSystem(cfg, s.Env.Constellation, s.Env.LSN)
+		sys, err := s.newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"spacecdn/internal/measure"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/telemetry"
 )
 
 // Suite owns the environment and memoizes the expensive datasets so that
@@ -21,6 +23,7 @@ type Suite struct {
 
 	aim []measure.SpeedTest
 	web []measure.WebMeasurement
+	tel *telemetry.Telemetry
 }
 
 // NewSuite builds a suite with a fresh environment.
@@ -30,6 +33,28 @@ func NewSuite(fast bool, seed int64) (*Suite, error) {
 		return nil, err
 	}
 	return &Suite{Env: env, Fast: fast, Seed: seed}, nil
+}
+
+// SetTelemetry attaches telemetry to the suite: every SpaceCDN system the
+// experiments deploy from here on is instrumented with it, so one registry
+// accumulates the whole run. Pass nil to detach.
+func (s *Suite) SetTelemetry(t *telemetry.Telemetry) { s.tel = t }
+
+// Telemetry returns the suite's attached telemetry, or nil.
+func (s *Suite) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// newSystem deploys a SpaceCDN over the suite's environment and attaches the
+// suite's telemetry when one is set. Every experiment builds its systems
+// through this helper so instrumentation is uniform.
+func (s *Suite) newSystem(cfg spacecdn.Config) (*spacecdn.System, error) {
+	sys, err := spacecdn.NewSystem(cfg, s.Env.Constellation, s.Env.LSN)
+	if err != nil {
+		return nil, err
+	}
+	if s.tel != nil {
+		sys.SetTelemetry(s.tel)
+	}
+	return sys, nil
 }
 
 // aimConfig returns the AIM generation settings for the current mode.

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+)
+
+// This file drives the full three-stage Resolve path as a request workload
+// (experiment id "workload"). Unlike the figure experiments, which use the
+// measurement APIs (FetchAtHops, NearestReplicaRTT), this one exercises
+// Resolve itself — the path the telemetry layer instruments — with a content
+// mix constructed so every serving source appears: a hot object pinned on
+// each client's overhead satellite, a warm object sparsely replicated so it
+// is reached over ISLs, and a cold object served from the ground CDN.
+
+// WorkloadRow aggregates the requests one serving source answered.
+type WorkloadRow struct {
+	Source   string
+	Requests int
+	MedianMs float64
+	P90Ms    float64
+	MeanHops float64
+}
+
+// WorkloadResult is the outcome of a ResolveWorkload run.
+type WorkloadResult struct {
+	Rows     []WorkloadRow
+	Requests int
+	Errors   int
+}
+
+// ResolveWorkload resolves the hot/warm/cold mix from every Starlink-covered
+// client city at each snapshot time and aggregates latency per serving
+// source. With suite telemetry attached, this experiment populates the
+// per-source request counters, the RTT histogram, and the sampled traces.
+func (s *Suite) ResolveWorkload() (WorkloadResult, error) {
+	sys, err := s.newSystem(spacecdn.DefaultConfig())
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	hot := content.Object{ID: "wl-hot", Bytes: 64 << 20, Region: geo.RegionEurope}
+	warm := content.Object{ID: "wl-warm", Bytes: 256 << 20, Region: geo.RegionEurope}
+	cold := content.Object{ID: "wl-cold", Bytes: 1 << 30, Region: geo.RegionEurope}
+	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 4}, hot); err != nil {
+		return WorkloadResult{}, err
+	}
+	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 1}, warm); err != nil {
+		return WorkloadResult{}, err
+	}
+
+	rng := stats.NewRand(s.Seed).Fork("workload")
+	type agg struct {
+		ms   []float64
+		hops int
+	}
+	bySource := map[spacecdn.Source]*agg{}
+	res := WorkloadResult{}
+	for _, at := range s.snapshotTimes() {
+		snap := s.Env.Snapshot(at)
+		for _, city := range s.clientCities() {
+			// Pin the hot object on the satellite currently overhead, the
+			// steady state a popularity-driven admission policy converges to.
+			if up, ok := snap.BestVisible(city.Loc); ok {
+				sys.Store(up.ID, hot)
+			}
+			for _, o := range []content.Object{hot, warm, cold} {
+				r, err := sys.Resolve(city.Loc, city.Country, o, snap, rng)
+				res.Requests++
+				if err != nil {
+					res.Errors++
+					continue
+				}
+				a := bySource[r.Source]
+				if a == nil {
+					a = &agg{}
+					bySource[r.Source] = a
+				}
+				a.ms = append(a.ms, float64(r.RTT)/float64(time.Millisecond))
+				a.hops += r.Hops
+			}
+		}
+	}
+	for _, src := range spacecdn.Sources() {
+		a := bySource[src]
+		if a == nil {
+			continue
+		}
+		cdf := stats.NewCDF(a.ms)
+		res.Rows = append(res.Rows, WorkloadRow{
+			Source:   src.String(),
+			Requests: len(a.ms),
+			MedianMs: cdf.Median(),
+			P90Ms:    cdf.Quantile(0.9),
+			MeanHops: float64(a.hops) / float64(len(a.ms)),
+		})
+	}
+	// Rows follow Source declaration order (overhead, isl, ground).
+	if len(res.Rows) != 3 {
+		return res, fmt.Errorf("experiments: workload reached %d of 3 sources", len(res.Rows))
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+
+	"spacecdn/internal/telemetry"
+)
+
+func TestResolveWorkload(t *testing.T) {
+	s := testSuite(t)
+	tel := telemetry.New(0.05)
+	s.SetTelemetry(tel)
+	defer func() { s.SetTelemetry(nil); s.Env.LSN.SetTelemetry(nil) }()
+	if s.Telemetry() != tel {
+		t.Fatal("suite telemetry accessor broken")
+	}
+
+	res, err := s.ResolveWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per source", len(res.Rows))
+	}
+	order := []string{"overhead", "isl", "ground"}
+	for i, row := range res.Rows {
+		if row.Source != order[i] {
+			t.Errorf("row %d source = %s, want %s", i, row.Source, order[i])
+		}
+		if row.Requests == 0 || row.MedianMs <= 0 {
+			t.Errorf("source %s: %+v", row.Source, row)
+		}
+	}
+	// Overhead is the cheapest source by construction; ISL and ground trade
+	// places depending on how well a client's country is served, so no
+	// ordering is asserted between them.
+	if res.Rows[0].MedianMs >= res.Rows[1].MedianMs || res.Rows[0].MedianMs >= res.Rows[2].MedianMs {
+		t.Errorf("overhead not cheapest: %+v", res.Rows)
+	}
+	if res.Rows[1].MeanHops <= 0 {
+		t.Errorf("isl requests report no hops: %+v", res.Rows[1])
+	}
+	if res.Errors > res.Requests/10 {
+		t.Errorf("errors = %d of %d requests", res.Errors, res.Requests)
+	}
+
+	// The suite-attached telemetry observed the whole workload.
+	snapshot := tel.Snapshot()
+	var counted int64
+	for _, row := range res.Rows {
+		cv, ok := snapshot.Counter("spacecdn_resolve_requests_total",
+			map[string]string{"source": row.Source})
+		if !ok || cv.Value != int64(row.Requests) {
+			t.Errorf("counter{source=%s} = %+v, want %d", row.Source, cv, row.Requests)
+		}
+		counted += cv.Value
+	}
+	hv, ok := snapshot.Histogram("spacecdn_resolve_rtt_ms")
+	if !ok || hv.Count != counted {
+		t.Errorf("rtt histogram count = %+v, want %d", hv, counted)
+	}
+	if len(snapshot.Traces) == 0 {
+		t.Error("no traces sampled at rate 0.05")
+	}
+	for _, tr := range snapshot.Traces {
+		if d := tr.SpanSum() - tr.RTT; d != 0 {
+			t.Errorf("trace %d span sum off by %v", tr.Seq, d)
+		}
+	}
+}

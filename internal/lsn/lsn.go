@@ -30,6 +30,7 @@ import (
 	"spacecdn/internal/orbit"
 	"spacecdn/internal/routing"
 	"spacecdn/internal/stats"
+	"spacecdn/internal/telemetry"
 	"spacecdn/internal/terrestrial"
 )
 
@@ -74,11 +75,31 @@ func DefaultConfig() Config {
 }
 
 // Model computes subscriber paths over a constellation and ground segment.
-// It is safe for concurrent use.
+// It is safe for concurrent use once wired (SetTelemetry must happen before
+// concurrent callers start).
 type Model struct {
 	Constellation *constellation.Constellation
 	Ground        *groundseg.Catalog
 	cfg           Config
+
+	// Telemetry handles; nil (the default) keeps instrumentation off the
+	// hot path entirely.
+	pathDurUs *telemetry.Histogram
+	pathErrs  *telemetry.Counter
+}
+
+// SetTelemetry wires path-computation observability: a wall-time histogram
+// of ResolvePath (which is dominated by the per-uplink-candidate Dijkstra
+// sweeps) and an error counter. Pass nil to disable.
+func (m *Model) SetTelemetry(t *telemetry.Telemetry) {
+	if t == nil {
+		m.pathDurUs = nil
+		m.pathErrs = nil
+		return
+	}
+	reg := t.Registry()
+	m.pathDurUs = reg.Histogram("lsn_path_compute_us", telemetry.ComputeBucketsUs)
+	m.pathErrs = reg.Counter("lsn_path_errors_total")
 }
 
 // NewModel assembles the LSN access model.
@@ -130,6 +151,19 @@ const maxUplinkCandidates = 6
 // the pair minimizing total one-way propagation — modelling an operator that
 // schedules terminals and gateways onto the cheapest space path.
 func (m *Model) ResolvePath(client geo.Point, iso2 string, snap *constellation.Snapshot) (Path, error) {
+	if m.pathDurUs == nil {
+		return m.resolvePath(client, iso2, snap)
+	}
+	start := time.Now()
+	p, err := m.resolvePath(client, iso2, snap)
+	m.pathDurUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	if err != nil {
+		m.pathErrs.Inc()
+	}
+	return p, err
+}
+
+func (m *Model) resolvePath(client geo.Point, iso2 string, snap *constellation.Snapshot) (Path, error) {
 	pop, ok := m.Ground.AssignPoPForClient(iso2, client)
 	if !ok {
 		return Path{}, fmt.Errorf("lsn: no PoP assignment for country %q", iso2)

@@ -14,13 +14,34 @@ import (
 	"time"
 )
 
+// Tap observes link-level events as they happen in virtual time, turning
+// emergent behaviour (queue growth, drops, utilization) into a stream a
+// telemetry layer can aggregate instead of something inferred from probe
+// RTTs after the fact. All callbacks are optional; they run synchronously on
+// the simulation goroutine and must not re-enter the simulator.
+type Tap struct {
+	// OnQueue fires after a packet is accepted into a link's queue, with the
+	// post-enqueue depth in bytes.
+	OnQueue func(l *Link, queuedBytes int64, at time.Duration)
+	// OnDrop fires when a drop-tail queue rejects a packet.
+	OnDrop func(l *Link, droppedBytes int64, at time.Duration)
+	// OnDeliver fires when a packet finishes serializing (the instant its
+	// bytes count as delivered), before propagation completes.
+	OnDeliver func(l *Link, deliveredBytes int64, at time.Duration)
+}
+
 // Simulator owns virtual time and the pending event set. It is strictly
 // single-goroutine: callbacks run inside Run on the calling goroutine.
 type Simulator struct {
 	now    time.Duration
 	events eventHeap
 	seq    int64
+	tap    *Tap
 }
+
+// SetTap installs an event tap (nil removes it). Install before scheduling
+// traffic; events already in flight keep the tap they were sent under.
+func (s *Simulator) SetTap(t *Tap) { s.tap = t }
 
 type event struct {
 	at  time.Duration
@@ -142,6 +163,20 @@ func (l *Link) QueueDelay(now time.Duration) time.Duration {
 // QueuedBytes returns the bytes currently waiting or in transmission.
 func (l *Link) QueuedBytes() int64 { return l.queued }
 
+// Utilization returns the fraction of the given window the link spent
+// serializing its delivered bytes — the standard link-load figure a
+// telemetry tap exports per experiment window. Clamped to [0,1].
+func (l *Link) Utilization(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	u := float64(l.TxTime(l.Delivered)) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
 // Send enqueues n bytes. onDelivered runs when the last bit arrives at the
 // far end; onDropped (optional) runs immediately if the drop-tail queue is
 // full. Exactly one of the callbacks fires.
@@ -152,8 +187,12 @@ func (l *Link) Send(s *Simulator, n int64, onDelivered func(), onDropped func())
 		}
 		return
 	}
+	tap := s.tap
 	if l.QueueBytes > 0 && l.queued+n > l.QueueBytes {
 		l.Dropped += n
+		if tap != nil && tap.OnDrop != nil {
+			tap.OnDrop(l, n, s.Now())
+		}
 		if onDropped != nil {
 			s.Schedule(s.Now(), onDropped)
 		}
@@ -162,6 +201,9 @@ func (l *Link) Send(s *Simulator, n int64, onDelivered func(), onDropped func())
 	l.queued += n
 	if l.queued > l.MaxQueueObs {
 		l.MaxQueueObs = l.queued
+	}
+	if tap != nil && tap.OnQueue != nil {
+		tap.OnQueue(l, l.queued, s.Now())
 	}
 	start := s.Now()
 	if l.busyUntil > start {
@@ -173,6 +215,9 @@ func (l *Link) Send(s *Simulator, n int64, onDelivered func(), onDropped func())
 	s.Schedule(done, func() {
 		l.queued -= n
 		l.Delivered += n
+		if tap != nil && tap.OnDeliver != nil {
+			tap.OnDeliver(l, n, s.Now())
+		}
 	})
 	if onDelivered != nil {
 		s.Schedule(arrive, onDelivered)

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTapObservesQueueDropsDeliveries drives a slow bottleneck link past its
+// queue bound and checks the tap sees every enqueue, drop and delivery the
+// link's own counters record.
+func TestTapObservesQueueDropsDeliveries(t *testing.T) {
+	s := NewSimulator()
+	// 1 KB queue, slow rate: the second and third packets queue, the fourth
+	// drops.
+	l := NewLink("bottleneck", 8_000, time.Millisecond, 1024)
+
+	var queues, drops, delivers int
+	var maxDepth, dropped, delivered int64
+	s.SetTap(&Tap{
+		OnQueue: func(link *Link, depth int64, at time.Duration) {
+			if link != l {
+				t.Error("wrong link in OnQueue")
+			}
+			queues++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		},
+		OnDrop: func(link *Link, n int64, at time.Duration) {
+			drops++
+			dropped += n
+		},
+		OnDeliver: func(link *Link, n int64, at time.Duration) {
+			delivers++
+			delivered += n
+		},
+	})
+
+	for i := 0; i < 4; i++ {
+		l.Send(s, 512, nil, nil)
+	}
+	s.Run()
+
+	if queues != 2 || drops != 2 || delivers != 2 {
+		t.Fatalf("queues=%d drops=%d delivers=%d, want 2/2/2", queues, drops, delivers)
+	}
+	if maxDepth != 1024 {
+		t.Errorf("max observed depth = %d, want 1024", maxDepth)
+	}
+	if dropped != l.Dropped || delivered != l.Delivered {
+		t.Errorf("tap totals (drop %d, deliver %d) disagree with link counters (%d, %d)",
+			dropped, delivered, l.Dropped, l.Delivered)
+	}
+}
+
+// TestTapOptionalAndRemovable: a nil tap and nil callbacks must not change
+// behaviour.
+func TestTapOptionalAndRemovable(t *testing.T) {
+	s := NewSimulator()
+	l := NewLink("plain", 1e6, 0, 0)
+	s.SetTap(&Tap{}) // all callbacks nil
+	done := 0
+	l.Send(s, 100, func() { done++ }, nil)
+	s.SetTap(nil)
+	l.Send(s, 100, func() { done++ }, nil)
+	s.Run()
+	if done != 2 {
+		t.Fatalf("deliveries = %d, want 2", done)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	s := NewSimulator()
+	l := NewLink("u", 8_000, 0, 0) // 1000 bytes/s
+	l.Send(s, 500, nil, nil)       // 0.5 s of serialization
+	s.Run()
+	if got := l.Utilization(time.Second); got < 0.49 || got > 0.51 {
+		t.Errorf("utilization = %v, want ~0.5", got)
+	}
+	if l.Utilization(0) != 0 {
+		t.Error("zero window must read 0")
+	}
+	if l.Utilization(time.Nanosecond) != 1 {
+		t.Error("overfull window must clamp to 1")
+	}
+}

@@ -1,0 +1,47 @@
+package routing
+
+import "testing"
+
+func TestOpCounters(t *testing.T) {
+	ResetCounters()
+	g := NewGraph(4)
+	g.AddUndirected(0, 1, 1)
+	g.AddUndirected(1, 2, 1)
+	g.AddUndirected(2, 3, 1)
+
+	if _, ok := g.ShortestPath(0, 3); !ok {
+		t.Fatal("path expected")
+	}
+	_ = g.ShortestPathsFrom(0)
+	_ = g.WithinHops(0, 2)
+	if _, ok := g.NearestMatch(0, 3, func(n NodeID) bool { return n == 3 }); !ok {
+		t.Fatal("match expected")
+	}
+	if _, ok := g.HopDistance(0, 2); !ok {
+		t.Fatal("hop distance expected")
+	}
+
+	c := Counters()
+	if c.Dijkstras != 2 {
+		t.Errorf("Dijkstras = %d, want 2", c.Dijkstras)
+	}
+	// WithinHops + NearestMatch + HopDistance (via NearestMatch) = 3.
+	if c.BFSSearches != 3 {
+		t.Errorf("BFSSearches = %d, want 3", c.BFSSearches)
+	}
+	if c.DijkstraNanos < 0 || c.BFSNanos < 0 {
+		t.Errorf("negative wall time: %+v", c)
+	}
+
+	// Out-of-range calls short-circuit before counting.
+	_ = g.ShortestPathsFrom(99)
+	_ = g.WithinHops(99, 1)
+	if c2 := Counters(); c2.Dijkstras != c.Dijkstras || c2.BFSSearches != c.BFSSearches {
+		t.Errorf("invalid inputs must not count: %+v vs %+v", c2, c)
+	}
+
+	ResetCounters()
+	if c := Counters(); c != (OpStats{}) {
+		t.Errorf("reset left %+v", c)
+	}
+}

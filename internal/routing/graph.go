@@ -8,7 +8,51 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 )
+
+// Process-wide operation counters. Graphs are rebuilt per snapshot and
+// shared across systems, so per-graph instrumentation would either miss
+// rebuilds or double count; instead the package keeps cheap atomic tallies
+// that telemetry collectors export as gauges. The per-op overhead is two
+// clock reads against algorithms that traverse the whole constellation.
+var ops struct {
+	dijkstras     atomic.Int64
+	dijkstraNanos atomic.Int64
+	bfsSearches   atomic.Int64
+	bfsNanos      atomic.Int64
+}
+
+// OpStats is a snapshot of the package-wide path-computation counters.
+type OpStats struct {
+	// Dijkstras counts weighted shortest-path runs (single-target and
+	// all-targets alike); DijkstraNanos is their summed wall time.
+	Dijkstras     int64
+	DijkstraNanos int64
+	// BFSSearches counts bounded-hop searches (WithinHops, NearestMatch,
+	// HopDistance); BFSNanos is their summed wall time.
+	BFSSearches int64
+	BFSNanos    int64
+}
+
+// Counters returns the current process-wide op counters.
+func Counters() OpStats {
+	return OpStats{
+		Dijkstras:     ops.dijkstras.Load(),
+		DijkstraNanos: ops.dijkstraNanos.Load(),
+		BFSSearches:   ops.bfsSearches.Load(),
+		BFSNanos:      ops.bfsNanos.Load(),
+	}
+}
+
+// ResetCounters zeroes the op counters (test isolation).
+func ResetCounters() {
+	ops.dijkstras.Store(0)
+	ops.dijkstraNanos.Store(0)
+	ops.bfsSearches.Store(0)
+	ops.bfsNanos.Store(0)
+}
 
 // NodeID identifies a vertex. Satellite graphs use dense indices, so the
 // graph is backed by slices.
@@ -132,6 +176,11 @@ func (g *Graph) dijkstra(src, stopAt NodeID) (dist []float64, prev []NodeID) {
 	if src < 0 || int(src) >= n {
 		return nil, nil
 	}
+	start := time.Now()
+	defer func() {
+		ops.dijkstras.Add(1)
+		ops.dijkstraNanos.Add(int64(time.Since(start)))
+	}()
 	dist = make([]float64, n)
 	prev = make([]NodeID, n)
 	for i := range dist {
@@ -186,6 +235,11 @@ func (g *Graph) WithinHops(src NodeID, maxHops int) []HopResult {
 	if src < 0 || int(src) >= len(g.adj) || maxHops < 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() {
+		ops.bfsSearches.Add(1)
+		ops.bfsNanos.Add(int64(time.Since(start)))
+	}()
 	visited := make([]bool, len(g.adj))
 	visited[src] = true
 	out := []HopResult{{Node: src, Hops: 0}}
@@ -214,6 +268,11 @@ func (g *Graph) NearestMatch(src NodeID, maxHops int, match func(NodeID) bool) (
 	if src < 0 || int(src) >= len(g.adj) || maxHops < 0 || match == nil {
 		return HopResult{}, false
 	}
+	start := time.Now()
+	defer func() {
+		ops.bfsSearches.Add(1)
+		ops.bfsNanos.Add(int64(time.Since(start)))
+	}()
 	if match(src) {
 		return HopResult{Node: src, Hops: 0}, true
 	}

@@ -1,0 +1,219 @@
+package spacecdn
+
+import (
+	"sync/atomic"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/routing"
+	"spacecdn/internal/telemetry"
+)
+
+// Telemetry wiring for the resolve path. The handle pattern keeps the hot
+// path cheap: SetTelemetry resolves every named instrument once, and Resolve
+// only touches pre-resolved atomic handles — no map lookups or allocations
+// per request, and a single nil check when telemetry is detached.
+
+// instruments holds the pre-resolved metric handles the resolve path updates.
+type instruments struct {
+	tel *telemetry.Telemetry
+
+	// requests is indexed by Source; the numSources sentinel sizes it so a
+	// new source cannot be added without a label slot.
+	requests [numSources]*telemetry.Counter
+	errors   *telemetry.Counter
+	rttMs    *telemetry.Histogram
+	hops     *telemetry.Histogram
+
+	seq atomic.Uint64 // request sequence for trace identity
+}
+
+// resolveDetail carries the latency components of one resolution so record
+// can decompose the RTT into trace spans. It is filled by assignment only —
+// the instrumented path allocates nothing until a request is sampled.
+type resolveDetail struct {
+	uplinkRTT time.Duration // two-way terminal <-> overhead satellite
+	islRTT    time.Duration // two-way ISL leg incl. per-hop switching (ISL source)
+	ground    lsn.Path      // resolved ground path (ground source)
+	hasGround bool
+}
+
+// SetTelemetry attaches (or, with nil, detaches) telemetry. Attaching wires
+// the per-request instruments and registers a collector that exports the
+// point-in-time fleet view — cache hit/miss/eviction counters (with a
+// per-reason breakdown), bytes used, and the routing package's path
+// computation counters — at every exposition.
+func (s *System) SetTelemetry(t *telemetry.Telemetry) {
+	if t == nil {
+		s.inst = nil
+		if s.lsn != nil {
+			s.lsn.SetTelemetry(nil)
+		}
+		return
+	}
+	reg := t.Registry()
+	in := &instruments{
+		tel:    t,
+		errors: reg.Counter("spacecdn_resolve_errors_total"),
+		rttMs:  reg.Histogram("spacecdn_resolve_rtt_ms", telemetry.LatencyBucketsMs),
+		hops:   reg.Histogram("spacecdn_resolve_isl_hops", telemetry.HopBuckets),
+	}
+	for _, src := range Sources() {
+		in.requests[src] = reg.Counter("spacecdn_resolve_requests_total", "source", src.String())
+	}
+
+	// Fleet and routing state is cheap to read but pointless to push per
+	// request; a collector samples it at exposition time. The collector only
+	// Sets gauges, so re-attaching the same Telemetry is harmless.
+	fleetHits := reg.Gauge("spacecdn_cache_hits")
+	fleetMisses := reg.Gauge("spacecdn_cache_misses")
+	fleetEvictions := reg.Gauge("spacecdn_cache_evictions")
+	fleetInserts := reg.Gauge("spacecdn_cache_inserts")
+	fleetUsed := reg.Gauge("spacecdn_cache_bytes_used")
+	fleetItems := reg.Gauge("spacecdn_cache_items")
+	evictReasons := cache.EvictionReasons()
+	byReason := make([]*telemetry.Gauge, len(evictReasons))
+	for i, r := range evictReasons {
+		byReason[i] = reg.Gauge("spacecdn_cache_evictions_by_reason", "reason", r.String())
+	}
+	dijkstras := reg.Gauge("routing_dijkstras_total")
+	dijkstraMs := reg.Gauge("routing_dijkstra_ms_total")
+	bfs := reg.Gauge("routing_bfs_searches_total")
+	bfsMs := reg.Gauge("routing_bfs_ms_total")
+	reg.RegisterCollector(func() {
+		m := s.Metrics()
+		fleetHits.Set(float64(m.Hits))
+		fleetMisses.Set(float64(m.Misses))
+		fleetEvictions.Set(float64(m.Evictions))
+		fleetInserts.Set(float64(m.Inserts))
+		fleetUsed.Set(float64(m.UsedBytes))
+		fleetItems.Set(float64(m.Items))
+		totals := make([]int64, len(evictReasons))
+		for _, c := range s.caches {
+			st := c.Stats()
+			for r, n := range st.ByReason {
+				totals[r] += n
+			}
+		}
+		for i, g := range byReason {
+			g.Set(float64(totals[i]))
+		}
+		ops := routing.Counters()
+		dijkstras.Set(float64(ops.Dijkstras))
+		dijkstraMs.Set(float64(ops.DijkstraNanos) / float64(time.Millisecond))
+		bfs.Set(float64(ops.BFSSearches))
+		bfsMs.Set(float64(ops.BFSNanos) / float64(time.Millisecond))
+	})
+
+	if s.lsn != nil {
+		s.lsn.SetTelemetry(t)
+	}
+	s.inst = in
+}
+
+// Telemetry returns the attached telemetry, or nil.
+func (s *System) Telemetry() *telemetry.Telemetry {
+	if s.inst == nil {
+		return nil
+	}
+	return s.inst.tel
+}
+
+// record accounts one Resolve outcome: counters and histograms always, a
+// full trace only when the sink samples this request.
+func (in *instruments) record(res Resolution, err error, d *resolveDetail) {
+	seq := in.seq.Add(1)
+	if err != nil {
+		in.errors.Inc()
+		return
+	}
+	in.requests[res.Source].Inc()
+	in.rttMs.ObserveDuration(res.RTT)
+	hops := res.Hops
+	if res.Source == SourceGround && d.hasGround {
+		hops = d.ground.ISLHops
+	}
+	in.hops.Observe(float64(hops))
+
+	sink := in.tel.Traces()
+	if !sink.ShouldSample() {
+		return
+	}
+	sink.Add(buildTrace(seq, res, d))
+}
+
+// buildTrace decomposes a resolution's RTT into typed spans. The spans sum
+// to the RTT exactly: closed-form components are assigned directly and the
+// scheduling span absorbs the residual (MAC schedule, gateway processing and
+// sampled jitter), so the trace is a decomposition, not a re-measurement.
+func buildTrace(seq uint64, res Resolution, d *resolveDetail) telemetry.RequestTrace {
+	tr := telemetry.RequestTrace{
+		Seq:    seq,
+		Source: res.Source.String(),
+		Sat:    int(res.Sat),
+		Hops:   res.Hops,
+		RTT:    res.RTT,
+	}
+	switch res.Source {
+	case SourceOverhead:
+		tr.Spans = []telemetry.Span{
+			{Kind: telemetry.SpanUplink, Dur: d.uplinkRTT},
+			{Kind: telemetry.SpanCacheProbe},
+			{Kind: telemetry.SpanSched, Dur: res.RTT - d.uplinkRTT},
+		}
+	case SourceISL:
+		spans := make([]telemetry.Span, 0, res.Hops+3)
+		spans = append(spans,
+			telemetry.Span{Kind: telemetry.SpanUplink, Dur: d.uplinkRTT},
+			telemetry.Span{Kind: telemetry.SpanCacheProbe})
+		spans = appendHopSpans(spans, d.islRTT, res.Hops)
+		spans = append(spans, telemetry.Span{
+			Kind: telemetry.SpanSched,
+			Dur:  res.RTT - d.uplinkRTT - d.islRTT,
+		})
+		tr.Spans = spans
+	case SourceGround:
+		tr.Sat = -1
+		p := d.ground
+		tr.Hops = p.ISLHops
+		uplink := 2 * p.UplinkDelay
+		islRTT := 2 * p.ISLDelay
+		ground := 2 * (p.DownlinkDelay + p.GSFiberDelay)
+		spans := make([]telemetry.Span, 0, p.ISLHops+3)
+		spans = append(spans, telemetry.Span{Kind: telemetry.SpanUplink, Dur: uplink})
+		spans = appendHopSpans(spans, islRTT, p.ISLHops)
+		spans = append(spans,
+			telemetry.Span{Kind: telemetry.SpanGroundRTT, Dur: ground},
+			telemetry.Span{
+				Kind: telemetry.SpanSched,
+				Dur:  res.RTT - uplink - islRTT - ground,
+			})
+		tr.Spans = spans
+	}
+	return tr
+}
+
+// appendHopSpans splits a two-way ISL latency across hop spans 1..hops,
+// putting the integer-division remainder on the last hop so the spans sum to
+// total exactly. A positive total with zero hops (degenerate path) becomes a
+// single hop span.
+func appendHopSpans(spans []telemetry.Span, total time.Duration, hops int) []telemetry.Span {
+	if hops <= 0 {
+		if total > 0 {
+			spans = append(spans, telemetry.Span{Kind: telemetry.SpanISLHop, Hop: 1, Dur: total})
+		}
+		return spans
+	}
+	per := total / time.Duration(hops)
+	var acc time.Duration
+	for i := 1; i <= hops; i++ {
+		dur := per
+		if i == hops {
+			dur = total - acc
+		}
+		spans = append(spans, telemetry.Span{Kind: telemetry.SpanISLHop, Hop: i, Dur: dur})
+		acc += per
+	}
+	return spans
+}

@@ -77,6 +77,74 @@ func TestMetricsByPlane(t *testing.T) {
 	}
 }
 
+// TestFleetMetricsZeroDivision pins the degenerate-denominator behaviour:
+// rates on an empty or capacity-less fleet read 0, not NaN or a panic.
+func TestFleetMetricsZeroDivision(t *testing.T) {
+	var zero FleetMetrics
+	if got := zero.HitRate(); got != 0 {
+		t.Errorf("zero-value HitRate = %v, want 0", got)
+	}
+	if got := zero.Utilization(); got != 0 {
+		t.Errorf("zero-value Utilization = %v, want 0", got)
+	}
+	// All misses: defined, not division-hazardous.
+	m := FleetMetrics{Misses: 10}
+	if got := m.HitRate(); got != 0 {
+		t.Errorf("all-miss HitRate = %v, want 0", got)
+	}
+	// Usage with no declared capacity must not divide by zero.
+	m = FleetMetrics{UsedBytes: 100}
+	if got := m.Utilization(); got != 0 {
+		t.Errorf("zero-capacity Utilization = %v, want 0", got)
+	}
+	m = FleetMetrics{Hits: 3, Misses: 1, UsedBytes: 50, CapBytes: 200}
+	if got := m.HitRate(); got != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", got)
+	}
+	if got := m.Utilization(); got != 0.25 {
+		t.Errorf("Utilization = %v, want 0.25", got)
+	}
+}
+
+// TestMetricsByPlaneAggregationOrdering loads planes in descending index
+// order and checks the per-plane view aggregates correctly and still comes
+// back sorted ascending by plane index.
+func TestMetricsByPlaneAggregationOrdering(t *testing.T) {
+	s := newSystem(t, DefaultConfig())
+	obj := testObject("order-obj")
+	for _, plane := range []int{60, 30, 5} {
+		if _, err := Apply(s, SinglePlaneSpacing{Plane: plane, ReplicasPerPlane: 2}, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	planes := s.MetricsByPlane()
+	for i := 1; i < len(planes); i++ {
+		if planes[i].Plane <= planes[i-1].Plane {
+			t.Fatalf("planes out of order at %d: %d after %d", i, planes[i].Plane, planes[i-1].Plane)
+		}
+	}
+	var items int
+	for _, pm := range planes {
+		switch pm.Plane {
+		case 5, 30, 60:
+			if pm.Items != 2 {
+				t.Errorf("plane %d items = %d, want 2", pm.Plane, pm.Items)
+			}
+			if pm.UsedBytes != 2*obj.Bytes {
+				t.Errorf("plane %d used = %d, want %d", pm.Plane, pm.UsedBytes, 2*obj.Bytes)
+			}
+		default:
+			if pm.Items != 0 {
+				t.Errorf("plane %d items = %d, want 0", pm.Plane, pm.Items)
+			}
+		}
+		items += pm.Items
+	}
+	if fleet := s.Metrics(); items != fleet.Items {
+		t.Errorf("per-plane items sum %d != fleet items %d", items, fleet.Items)
+	}
+}
+
 func TestHottestSatellites(t *testing.T) {
 	s := newSystem(t, DefaultConfig())
 	obj := testObject("hot-obj")

@@ -21,19 +21,43 @@ const (
 	SourceOverhead Source = iota // red arrow: the satellite overhead
 	SourceISL                    // blue arrow: a nearby satellite over ISLs
 	SourceGround                 // black arrow: ground cache via PoP
+
+	numSources // keep last: sizes the name table and label arrays
 )
 
+// sourceNames is the exhaustive name table; the [numSources] bound makes a
+// constant added without a name a compile error, and the round-trip test
+// catches a name added without a constant.
+var sourceNames = [numSources]string{
+	SourceOverhead: "overhead",
+	SourceISL:      "isl",
+	SourceGround:   "ground",
+}
+
 func (s Source) String() string {
-	switch s {
-	case SourceOverhead:
-		return "overhead"
-	case SourceISL:
-		return "isl"
-	case SourceGround:
-		return "ground"
-	default:
-		return fmt.Sprintf("source(%d)", int(s))
+	if s >= 0 && int(s) < len(sourceNames) {
+		return sourceNames[s]
 	}
+	return fmt.Sprintf("source(%d)", int(s))
+}
+
+// SourceFromString maps a source name back to its constant.
+func SourceFromString(name string) (Source, bool) {
+	for i, n := range sourceNames {
+		if n == name {
+			return Source(i), true
+		}
+	}
+	return 0, false
+}
+
+// Sources returns every resolution source, in declaration order.
+func Sources() []Source {
+	out := make([]Source, numSources)
+	for i := range out {
+		out[i] = Source(i)
+	}
+	return out
 }
 
 // Resolution describes how a request was served.
@@ -50,7 +74,27 @@ type Resolution struct {
 // Resolve serves one object request from a client at time snap.Time(),
 // following the three-stage strategy. The rng supplies access-link
 // scheduling jitter; pass a deterministic source for reproducible runs.
+//
+// When telemetry is attached (SetTelemetry), each call increments the
+// per-source request counters, observes the RTT and hop-count histograms,
+// and — for sampled requests — emits a RequestTrace whose span durations
+// decompose the returned RTT exactly.
 func (s *System) Resolve(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand) (Resolution, error) {
+	in := s.inst
+	if in == nil {
+		return s.resolve(client, iso2, obj, snap, rng, nil)
+	}
+	var d resolveDetail
+	res, err := s.resolve(client, iso2, obj, snap, rng, &d)
+	in.record(res, err, &d)
+	return res, err
+}
+
+// resolve is the uninstrumented resolution path. When d is non-nil it is
+// filled with the latency components telemetry needs to decompose the RTT
+// into spans; the components are assigned, never allocated, so the disabled
+// path stays allocation-free.
+func (s *System) resolve(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand, d *resolveDetail) (Resolution, error) {
 	up, ok := snap.BestVisible(client)
 	if !ok {
 		return Resolution{}, fmt.Errorf("spacecdn: no satellite visible from %v", client)
@@ -58,6 +102,9 @@ func (s *System) Resolve(client geo.Point, iso2 string, obj content.Object, snap
 	t := snap.Time()
 	upDelay := orbit.PropagationDelay(up.SlantKm)
 	sched := s.schedDelay(rng)
+	if d != nil {
+		d.uplinkRTT = 2 * upDelay
+	}
 
 	// Stage 1: directly overhead.
 	if s.Active(up.ID, t) && s.cacheGet(up.ID, obj.ID) {
@@ -79,6 +126,9 @@ func (s *System) Resolve(client geo.Point, iso2 string, obj content.Object, snap
 		islRTT, hops := s.islRoundTrip(g, up.ID, target)
 		// Count the hit on the serving satellite's cache.
 		s.caches[int(target)].Get(cache.Key(obj.ID))
+		if d != nil {
+			d.islRTT = islRTT
+		}
 		return Resolution{
 			Source: SourceISL,
 			Sat:    target,
@@ -94,6 +144,10 @@ func (s *System) Resolve(client geo.Point, iso2 string, obj content.Object, snap
 	path, err := s.lsn.ResolvePath(client, iso2, snap)
 	if err != nil {
 		return Resolution{}, fmt.Errorf("spacecdn: ground fallback: %w", err)
+	}
+	if d != nil {
+		d.ground = path
+		d.hasGround = true
 	}
 	return Resolution{
 		Source: SourceGround,

@@ -102,6 +102,7 @@ type System struct {
 	lsn    *lsn.Model
 	caches []cache.Cache // indexed by SatID
 	duty   *DutyCycler   // nil when always-on
+	inst   *instruments  // nil when telemetry is detached (see SetTelemetry)
 }
 
 // NewSystem deploys SpaceCDN over the given constellation. The lsn model is

@@ -201,6 +201,11 @@ func NewBoxplot(xs []float64) Boxplot {
 			break
 		}
 	}
+	// With extreme outliers the nearest in-fence sample can land inside the
+	// box (the quartiles are interpolated, not samples); clamp the whiskers
+	// to the box edges so WhiskerLow <= Q1 and Q3 <= WhiskerHi always hold.
+	b.WhiskerLow = math.Min(b.WhiskerLow, b.Q1)
+	b.WhiskerHi = math.Max(b.WhiskerHi, b.Q3)
 	return b
 }
 

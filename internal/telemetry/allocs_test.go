@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled-telemetry fast path is a nil-receiver call chain; it must not
+// allocate, or "telemetry off" would still tax million-request runs.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var sink *TraceSink
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.5)
+		h.Observe(3)
+		h.ObserveDuration(time.Millisecond)
+		if sink.ShouldSample() {
+			t.Fatal("nil sink sampled")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled path allocates %v per op, want 0", n)
+	}
+}
+
+// Enabled instruments on the unsampled path (the common case at 1% tracing)
+// must also stay allocation-free: atomics only.
+func TestEnabledUnsampledPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat_ms", LatencyBucketsMs)
+	sink := NewTraceSink(0.0001, 8)
+	sink.ShouldSample() // consume the always-sampled first request
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(4)
+		h.Observe(12.5)
+		if sink.ShouldSample() {
+			t.Fatal("unexpected sample inside measured window")
+		}
+	}); n != 0 {
+		t.Fatalf("enabled unsampled path allocates %v per op, want 0", n)
+	}
+}

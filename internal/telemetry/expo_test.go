@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exampleTelemetry() *Telemetry {
+	tel := New(1)
+	r := tel.Registry()
+	r.Counter("resolve_requests_total", "source", "overhead").Add(3)
+	r.Counter("resolve_requests_total", "source", "ground").Add(1)
+	r.Gauge("cache_used_bytes").Set(1 << 20)
+	h := r.Histogram("resolve_rtt_ms", LatencyBucketsMs)
+	for _, v := range []float64{4, 9, 22, 31, 180} {
+		h.Observe(v)
+	}
+	tel.Traces().Add(RequestTrace{
+		Seq: 1, Source: "overhead", Sat: 7, RTT: 9 * time.Millisecond,
+		Spans: []Span{
+			{Kind: SpanUplink, Dur: 6 * time.Millisecond},
+			{Kind: SpanSched, Dur: 3 * time.Millisecond},
+		},
+	})
+	return tel
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exampleTelemetry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	cv, ok := snap.Counter("resolve_requests_total", map[string]string{"source": "overhead"})
+	if !ok || cv.Value != 3 {
+		t.Fatalf("overhead counter = %+v", cv)
+	}
+	hv, ok := snap.Histogram("resolve_rtt_ms")
+	if !ok {
+		t.Fatal("missing histogram")
+	}
+	if hv.Count != 5 || hv.P50 <= 0 || hv.P95 <= hv.P50 || hv.P99 < hv.P95 {
+		t.Fatalf("histogram quantiles malformed: %+v", hv)
+	}
+	if hv.Buckets[len(hv.Buckets)-1].LE != "+Inf" {
+		t.Errorf("last bucket le = %q", hv.Buckets[len(hv.Buckets)-1].LE)
+	}
+	if len(snap.Traces) != 1 || snap.Traces[0].SpanSum() != snap.Traces[0].RTT {
+		t.Fatalf("trace malformed: %+v", snap.Traces)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	tel := exampleTelemetry()
+	a := tel.Snapshot()
+	b := tel.Snapshot()
+	for i := range a.Counters {
+		if a.Counters[i].Name != b.Counters[i].Name {
+			t.Fatal("counter order must be stable across snapshots")
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exampleTelemetry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE resolve_requests_total counter",
+		`resolve_requests_total{source="overhead"} 3`,
+		"# TYPE cache_used_bytes gauge",
+		"# TYPE resolve_rtt_ms histogram",
+		`resolve_rtt_ms_bucket{le="+Inf"} 5`,
+		"resolve_rtt_ms_count 5",
+		"resolve_rtt_ms_sum 246",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per metric name even with several label sets.
+	if n := strings.Count(out, "# TYPE resolve_requests_total"); n != 1 {
+		t.Errorf("TYPE line repeated %d times", n)
+	}
+	// Buckets are cumulative and monotonically non-decreasing.
+	if !strings.Contains(out, `resolve_rtt_ms_bucket{le="5"} 1`) {
+		t.Errorf("cumulative bucket wrong:\n%s", out)
+	}
+}
+
+func TestCollectorRunsOnExposition(t *testing.T) {
+	tel := New(0)
+	r := tel.Registry()
+	calls := 0
+	r.RegisterCollector(func() {
+		calls++
+		r.Gauge("lazy").Set(float64(calls))
+	})
+	snap := tel.Snapshot()
+	if calls != 1 {
+		t.Fatalf("collector ran %d times", calls)
+	}
+	found := false
+	for _, g := range snap.Gauges {
+		if g.Name == "lazy" && g.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("collector-set gauge missing: %+v", snap.Gauges)
+	}
+	var buf bytes.Buffer
+	if err := tel.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("collector must run per exposition, got %d", calls)
+	}
+}

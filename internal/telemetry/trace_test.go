@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanKindTableExhaustive round-trips every kind through the name table,
+// catching silently-added constants without names.
+func TestSpanKindTableExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "spankind(") {
+			t.Fatalf("SpanKind %d has no name table entry", int(k))
+		}
+		if seen[name] {
+			t.Fatalf("duplicate span kind name %q", name)
+		}
+		seen[name] = true
+		back, ok := SpanKindFromString(name)
+		if !ok || back != k {
+			t.Fatalf("round trip %q -> %v, want %v", name, back, k)
+		}
+	}
+	if _, ok := SpanKindFromString("no-such-kind"); ok {
+		t.Error("unknown name must not parse")
+	}
+	if got := SpanKind(99).String(); got != "spankind(99)" {
+		t.Errorf("out-of-range stringer = %q", got)
+	}
+}
+
+func TestSpanKindJSONRoundTrip(t *testing.T) {
+	in := Span{Kind: SpanISLHop, Hop: 3, Dur: 7 * time.Millisecond}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"isl-hop"`) {
+		t.Fatalf("span JSON %s lacks kind name", b)
+	}
+	var out Span
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+	var bad Span
+	if err := json.Unmarshal([]byte(`{"kind":"bogus"}`), &bad); err == nil {
+		t.Error("unknown kind must fail to unmarshal")
+	}
+}
+
+func TestTraceSpanSum(t *testing.T) {
+	tr := RequestTrace{
+		RTT: 10 * time.Millisecond,
+		Spans: []Span{
+			{Kind: SpanUplink, Dur: 4 * time.Millisecond},
+			{Kind: SpanISLHop, Hop: 1, Dur: 3 * time.Millisecond},
+			{Kind: SpanSched, Dur: 3 * time.Millisecond},
+		},
+	}
+	if tr.SpanSum() != tr.RTT {
+		t.Fatalf("span sum %v != rtt %v", tr.SpanSum(), tr.RTT)
+	}
+}
+
+func TestTraceSinkSamplingStride(t *testing.T) {
+	s := NewTraceSink(0.25, 100) // stride 4
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if s.ShouldSample() {
+			sampled++
+			s.Add(RequestTrace{Seq: uint64(i)})
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 at rate 0.25", sampled)
+	}
+	if s.Seen() != 100 || s.Sampled() != 25 {
+		t.Fatalf("seen=%d sampled=%d", s.Seen(), s.Sampled())
+	}
+	if got := s.Traces(); len(got) != 25 || got[0].Seq != 0 {
+		t.Fatalf("traces len=%d first=%+v", len(got), got[0])
+	}
+}
+
+func TestTraceSinkFirstRequestSampled(t *testing.T) {
+	s := NewTraceSink(0.01, 10)
+	if !s.ShouldSample() {
+		t.Fatal("first request must be sampled so short runs still emit a trace")
+	}
+}
+
+func TestTraceSinkRingEviction(t *testing.T) {
+	s := NewTraceSink(1, 4)
+	for i := 0; i < 10; i++ {
+		if s.ShouldSample() {
+			s.Add(RequestTrace{Seq: uint64(i)})
+		}
+	}
+	got := s.Traces()
+	if len(got) != 4 {
+		t.Fatalf("ring len = %d, want 4", len(got))
+	}
+	for i, tr := range got {
+		if want := uint64(6 + i); tr.Seq != want {
+			t.Errorf("ring[%d].Seq = %d, want %d (oldest first)", i, tr.Seq, want)
+		}
+	}
+	if s.Sampled() != 10 {
+		t.Errorf("sampled = %d, want 10", s.Sampled())
+	}
+}
+
+func TestTraceSinkDisabled(t *testing.T) {
+	for _, s := range []*TraceSink{NewTraceSink(0, 10), NewTraceSink(-1, 10), NewTraceSink(0.5, 0)} {
+		if s.ShouldSample() {
+			t.Error("disabled sink must not sample")
+		}
+		s.Add(RequestTrace{})
+		if len(s.Traces()) != 0 {
+			t.Error("disabled sink must retain nothing")
+		}
+	}
+}

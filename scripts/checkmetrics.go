@@ -1,0 +1,82 @@
+//go:build ignore
+
+// Command checkmetrics asserts a telemetry JSON artifact (written by
+// `cmd/spacecdn -metrics-out FILE`) is well-formed: it parses as a
+// telemetry.Snapshot, the per-source request counters are all non-zero, the
+// RTT histogram has observations with ordered quantiles, and every sampled
+// trace's spans sum to its RTT within a microsecond. Used by
+// scripts/verify.sh as the CLI smoke test.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"spacecdn/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics METRICS.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("read: %v", err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fail("parse: %v", err)
+	}
+
+	for _, source := range []string{"overhead", "isl", "ground"} {
+		found := false
+		for _, c := range snap.Counters {
+			if c.Name == "spacecdn_resolve_requests_total" && c.Labels["source"] == source {
+				found = true
+				if c.Value <= 0 {
+					fail("requests{source=%s} = %d, want > 0", source, c.Value)
+				}
+			}
+		}
+		if !found {
+			fail("missing counter spacecdn_resolve_requests_total{source=%s}", source)
+		}
+	}
+
+	gotRTT := false
+	for _, h := range snap.Histograms {
+		if h.Name != "spacecdn_resolve_rtt_ms" {
+			continue
+		}
+		gotRTT = true
+		if h.Count <= 0 {
+			fail("rtt histogram has no observations")
+		}
+		if !(h.P50 > 0 && h.P50 <= h.P95 && h.P95 <= h.P99) {
+			fail("rtt quantiles malformed: p50=%v p95=%v p99=%v", h.P50, h.P95, h.P99)
+		}
+	}
+	if !gotRTT {
+		fail("missing histogram spacecdn_resolve_rtt_ms")
+	}
+
+	if len(snap.Traces) == 0 {
+		fail("no traces sampled")
+	}
+	for _, tr := range snap.Traces {
+		d := tr.SpanSum() - tr.RTT
+		if d < -time.Microsecond || d > time.Microsecond {
+			fail("trace %d: span sum off RTT by %v", tr.Seq, d)
+		}
+	}
+	fmt.Printf("checkmetrics: OK (%d counters, %d histograms, %d traces)\n",
+		len(snap.Counters), len(snap.Histograms), len(snap.Traces))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checkmetrics: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Tier-1 verify recipe: format, vet, build, test (plain + race), and a CLI
+# smoke test asserting the telemetry artifact parses with non-zero request
+# counters. Run from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== telemetry smoke test =="
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+go run ./cmd/spacecdn -exp workload -fast \
+	-metrics-out "$out/metrics.json" -trace-sample 0.01 >/dev/null
+go run ./scripts/checkmetrics.go "$out/metrics.json"
+
+echo "verify: OK"

@@ -25,6 +25,7 @@ import (
 	"spacecdn/internal/orbit"
 	"spacecdn/internal/spacecdn"
 	"spacecdn/internal/stats"
+	"spacecdn/internal/telemetry"
 	"spacecdn/internal/terrestrial"
 )
 
@@ -178,6 +179,34 @@ func DeploySpaceCDN(env *Environment, cfg SpaceCDNConfig) (*SpaceCDN, error) {
 
 // Apply stores an object on every satellite a placement selects.
 func Apply(s *SpaceCDN, pl Placement, o Object) (int, error) { return spacecdn.Apply(s, pl, o) }
+
+// Observability.
+type (
+	// Telemetry bundles a metrics registry with a trace sink; attach one to
+	// a SpaceCDN (or an experiment Suite) to observe the resolve path.
+	Telemetry = telemetry.Telemetry
+	// TelemetrySnapshot is a point-in-time JSON-ready export of metrics and
+	// sampled traces.
+	TelemetrySnapshot = telemetry.Snapshot
+	// RequestTrace decomposes one resolved request's RTT into typed spans.
+	RequestTrace = telemetry.RequestTrace
+)
+
+// NewTelemetry creates a telemetry unit sampling the given fraction of
+// requests into its trace ring (0 disables tracing, 1 traces everything).
+func NewTelemetry(sampleRate float64) *Telemetry { return telemetry.New(sampleRate) }
+
+// WithTelemetry attaches a fresh Telemetry to a deployed SpaceCDN and
+// returns it:
+//
+//	tel := sim.WithTelemetry(sys, 0.01)
+//	... drive traffic ...
+//	tel.WriteJSON(os.Stdout)
+func WithTelemetry(s *SpaceCDN, sampleRate float64) *Telemetry {
+	t := telemetry.New(sampleRate)
+	s.SetTelemetry(t)
+	return t
+}
 
 // Measurements and experiments.
 type (

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -126,5 +127,49 @@ func TestFacadeSuite(t *testing.T) {
 	}
 	if len(rows) != 11 {
 		t.Errorf("Table 1 rows = %d", len(rows))
+	}
+}
+
+func TestFacadeTelemetry(t *testing.T) {
+	env, err := sim.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.DeploySpaceCDN(env, sim.DefaultSpaceCDNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := sim.WithTelemetry(sys, 1)
+	obj := sim.Object{ID: "facade-tel-obj", Bytes: 1 << 20}
+	if _, err := sim.Apply(sys, sim.PerPlaneSpacing{ReplicasPerPlane: 4}, obj); err != nil {
+		t.Fatal(err)
+	}
+	city, _ := sim.CityByName("Maputo, MZ")
+	if _, err := sys.Resolve(city.Loc, "MZ", obj, env.Snapshot(0), sim.NewRand(1)); err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	var total int64
+	for _, c := range snap.Counters {
+		if c.Name == "spacecdn_resolve_requests_total" {
+			total += c.Value
+		}
+	}
+	if total != 1 {
+		t.Errorf("request counters sum to %d, want 1", total)
+	}
+	if len(snap.Traces) != 1 {
+		t.Fatalf("traces = %d, want 1 at sample rate 1", len(snap.Traces))
+	}
+	tr := snap.Traces[0]
+	if tr.SpanSum() != tr.RTT {
+		t.Errorf("trace span sum %v != RTT %v", tr.SpanSum(), tr.RTT)
+	}
+	var buf strings.Builder
+	if err := tel.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE spacecdn_resolve_rtt_ms histogram") {
+		t.Error("prometheus exposition missing rtt histogram")
 	}
 }
