@@ -384,3 +384,90 @@ func BenchmarkStripePlan(b *testing.B) {
 		}
 	}
 }
+
+// --- parallel engine: batch resolution at one worker vs the full pool ---
+
+// benchBatch builds a system and a mixed request batch (overhead hits, ISL
+// searches, ground fallbacks) once; the ResolveAll twins below time the same
+// batch at workers=1 and workers=GOMAXPROCS, so their ratio is the engine's
+// speedup on this machine.
+func benchBatch(b *testing.B) (*spacecdn.System, []spacecdn.Request, *constellation.Snapshot) {
+	b.Helper()
+	c := benchConstellation(b)
+	m := lsn.NewModel(c, groundseg.NewCatalog(), lsn.DefaultConfig())
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), c, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot := content.Object{ID: "bb-hot", Bytes: 1 << 20, Region: geo.RegionEurope}
+	sparse := content.Object{ID: "bb-sparse", Bytes: 1 << 20, Region: geo.RegionEurope}
+	cold := content.Object{ID: "bb-cold", Bytes: 1 << 20, Region: geo.RegionEurope}
+	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 1}, sparse); err != nil {
+		b.Fatal(err)
+	}
+	snap := c.Snapshot(0)
+	clients := []struct {
+		loc geo.Point
+		iso string
+	}{
+		{geo.NewPoint(-25.97, 32.57), "MZ"},
+		{geo.NewPoint(-1.29, 36.82), "KE"},
+		{geo.NewPoint(50.11, 8.68), "DE"},
+		{geo.NewPoint(40.42, -3.70), "ES"},
+		{geo.NewPoint(-34.60, -58.38), "AR"},
+	}
+	for _, cl := range clients {
+		if up, ok := snap.BestVisible(cl.loc); ok {
+			sys.Store(up.ID, hot)
+		}
+	}
+	objs := []content.Object{hot, sparse, cold}
+	reqs := make([]spacecdn.Request, 0, 512)
+	for i := 0; len(reqs) < cap(reqs); i++ {
+		cl := clients[i%len(clients)]
+		reqs = append(reqs, spacecdn.Request{Client: cl.loc, ISO2: cl.iso, Obj: objs[i%len(objs)]})
+	}
+	snap.ISLGraph() // keep the lazy build out of the timed region
+	return sys, reqs, snap
+}
+
+func BenchmarkResolveAllSequential(b *testing.B) {
+	sys, reqs, snap := benchBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.ResolveAll(reqs, snap, stats.NewRand(1), 1)
+	}
+}
+
+func BenchmarkResolveAllParallel(b *testing.B) {
+	sys, reqs, snap := benchBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.ResolveAll(reqs, snap, stats.NewRand(1), 0)
+	}
+}
+
+// The workload experiment end to end, sequential vs pooled: the same rows
+// come out of both (asserted by TestSuiteParallelDeterminism); this pair
+// times the difference.
+func BenchmarkWorkloadSequential(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SetWorkers(1)
+		if _, err := s.ResolveWorkload(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadParallel(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SetWorkers(0)
+		if _, err := s.ResolveWorkload(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|workload|all
-//	         [-fast] [-seed N] [-json] [-city NAME]
+//	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|workload|parallel-bench|all
+//	         [-fast] [-seed N] [-json] [-city NAME] [-workers N]
 //	         [-metrics-out FILE] [-trace-sample RATE]
 //
 // Each experiment prints an aligned text table (or figure sketch) to stdout;
 // -json emits machine-readable output instead.
+//
+// -workers bounds the goroutines each experiment fans work across (0, the
+// default, means one per CPU). Results are identical for every worker count.
 //
 // -metrics-out attaches telemetry to the run and writes the accumulated
 // metrics (and sampled request traces) to FILE when every experiment has
@@ -35,36 +38,65 @@ import (
 	"spacecdn/internal/telemetry"
 )
 
-func main() {
-	var (
-		exp    = flag.String("exp", "all", "experiment id: table1, fig2, fig3, fig4, fig5, fig7, fig8, ablation-replicas, capacity, geoblock, gs-expansion, duty-sweep, striping, wormhole, spacevms, bufferbloat, thermal, hitrate, rtt-series, workload, all")
-		fast   = flag.Bool("fast", false, "reduced sample counts (quick preview)")
-		seed   = flag.Int64("seed", 42, "random seed")
-		asJS   = flag.Bool("json", false, "emit JSON instead of text tables")
-		city   = flag.String("city", "", "city for fig3 (default Maputo)")
-		mOut   = flag.String("metrics-out", "", "write accumulated telemetry to this file (.prom/.txt: Prometheus text, else JSON snapshot)")
-		sample = flag.Float64("trace-sample", 0.01, "fraction of resolve requests retained as traces (with -metrics-out)")
-	)
-	flag.Parse()
+// options collects every flag the command accepts, so flag parsing can be
+// tested as a round trip and run() has one stable signature.
+type options struct {
+	Exp         string
+	Fast        bool
+	Seed        int64
+	JSON        bool
+	City        string
+	MetricsOut  string
+	TraceSample float64
+	Workers     int
+}
 
-	if err := run(os.Stdout, *exp, *fast, *seed, *asJS, *city, *mOut, *sample); err != nil {
+// defaultOptions mirrors the flag defaults.
+func defaultOptions() options {
+	return options{Exp: "all", Seed: 42, TraceSample: 0.01}
+}
+
+// parseFlags binds the command's flags onto an options value and parses args.
+func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
+	opts := defaultOptions()
+	fs.StringVar(&opts.Exp, "exp", opts.Exp, "experiment id: table1, fig2, fig3, fig4, fig5, fig7, fig8, ablation-replicas, capacity, geoblock, gs-expansion, duty-sweep, striping, wormhole, spacevms, bufferbloat, thermal, hitrate, rtt-series, workload, parallel-bench, all")
+	fs.BoolVar(&opts.Fast, "fast", opts.Fast, "reduced sample counts (quick preview)")
+	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
+	fs.BoolVar(&opts.JSON, "json", opts.JSON, "emit JSON instead of text tables")
+	fs.StringVar(&opts.City, "city", opts.City, "city for fig3 (default Maputo)")
+	fs.StringVar(&opts.MetricsOut, "metrics-out", opts.MetricsOut, "write accumulated telemetry to this file (.prom/.txt: Prometheus text, else JSON snapshot)")
+	fs.Float64Var(&opts.TraceSample, "trace-sample", opts.TraceSample, "fraction of resolve requests retained as traces (with -metrics-out)")
+	fs.IntVar(&opts.Workers, "workers", opts.Workers, "worker goroutines per experiment (0 = one per CPU; results are identical for any value)")
+	if err := fs.Parse(args); err != nil {
+		return opts, err
+	}
+	return opts, nil
+}
+
+func main() {
+	opts, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "spacecdn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, fast bool, seed int64, asJSON bool, city, metricsOut string, traceSample float64) error {
-	suite, err := experiments.NewSuite(fast, seed)
+func run(w io.Writer, opts options) error {
+	suite, err := experiments.NewSuite(opts.Fast, opts.Seed)
 	if err != nil {
 		return err
 	}
+	suite.SetWorkers(opts.Workers)
 	var tel *telemetry.Telemetry
-	if metricsOut != "" {
-		tel = telemetry.New(traceSample)
+	if opts.MetricsOut != "" {
+		tel = telemetry.New(opts.TraceSample)
 		suite.SetTelemetry(tel)
 	}
-	ids := strings.Split(exp, ",")
-	if exp == "all" {
+	ids := strings.Split(opts.Exp, ",")
+	if opts.Exp == "all" {
 		ids = []string{
 			"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8",
 			"ablation-replicas", "capacity",
@@ -78,16 +110,16 @@ func run(w io.Writer, exp string, fast bool, seed int64, asJSON bool, city, metr
 		ids = append(ids, "workload")
 	}
 	for _, id := range ids {
-		if err := runOne(w, suite, strings.TrimSpace(id), asJSON, city); err != nil {
+		if err := runOne(w, suite, strings.TrimSpace(id), opts.JSON, opts.City); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Fprintln(w)
 	}
 	if tel != nil {
-		if err := writeMetrics(tel, metricsOut); err != nil {
+		if err := writeMetrics(tel, opts.MetricsOut); err != nil {
 			return fmt.Errorf("metrics-out: %w", err)
 		}
-		fmt.Fprintf(w, "telemetry written to %s\n", metricsOut)
+		fmt.Fprintf(w, "telemetry written to %s\n", opts.MetricsOut)
 	}
 	return nil
 }
@@ -484,6 +516,20 @@ func runOne(w io.Writer, s *experiments.Suite, id string, asJSON bool, city stri
 			t.AddRow(r.City, r.Handovers, r.MeanDowntimeMs, r.MaxDowntimeMs, r.ColdDowntimeMs,
 				fmt.Sprintf("%.4f", r.Availability), fmt.Sprintf("%.4f", r.ColdAvailability))
 		}
+		return t.Render(w)
+
+	case "parallel-bench":
+		res, err := s.ParallelBench()
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return report.WriteJSON(w, res)
+		}
+		t := report.NewTable("Parallel engine: batch resolution throughput",
+			"Requests", "Workers", "Req/s", "Speedup", "Identical")
+		t.AddRow(res.Requests, res.SeqWorkers, res.SeqReqPerSec, 1.0, res.Identical)
+		t.AddRow(res.Requests, res.ParWorkers, res.ParReqPerSec, res.Speedup, res.Identical)
 		return t.Render(w)
 
 	case "workload":

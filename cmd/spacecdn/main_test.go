@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,7 +16,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "capacity", true, 1, false, "", "", 0.01); err != nil {
+	if err := run(&buf, options{Exp: "capacity", Fast: true, Seed: 1, TraceSample: 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -25,14 +27,14 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", true, 1, false, "", "", 0.01); err == nil {
+	if err := run(&buf, options{Exp: "nope", Fast: true, Seed: 1, TraceSample: 0.01}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunCommaSeparated(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1, fig2", true, 1, false, "", "", 0.01); err != nil {
+	if err := run(&buf, options{Exp: "table1, fig2", Fast: true, Seed: 1, TraceSample: 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -52,7 +54,7 @@ func TestRunCommaSeparated(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1", true, 1, true, "", "", 0.01); err != nil {
+	if err := run(&buf, options{Exp: "table1", Fast: true, Seed: 1, JSON: true, TraceSample: 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	var rows []map[string]interface{}
@@ -69,7 +71,7 @@ func TestRunJSONOutput(t *testing.T) {
 
 func TestRunFig3CustomCity(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", true, 1, false, "Nairobi", "", 0.01); err != nil {
+	if err := run(&buf, options{Exp: "fig3", Fast: true, Seed: 1, City: "Nairobi", TraceSample: 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Nairobi") {
@@ -79,7 +81,7 @@ func TestRunFig3CustomCity(t *testing.T) {
 
 func TestRunExtensions(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "geoblock,wormhole,rtt-series", true, 1, false, "", "", 0.01); err != nil {
+	if err := run(&buf, options{Exp: "geoblock,wormhole,rtt-series", Fast: true, Seed: 1, TraceSample: 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -101,7 +103,7 @@ func TestRunExtensions(t *testing.T) {
 func TestMetricsOutSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "metrics.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "workload", true, 1, false, "", out, 0.01); err != nil {
+	if err := run(&buf, options{Exp: "workload", Fast: true, Seed: 1, MetricsOut: out, TraceSample: 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "telemetry written to") {
@@ -156,7 +158,7 @@ func TestMetricsOutSmoke(t *testing.T) {
 func TestMetricsOutPrometheus(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "metrics.prom")
 	var buf bytes.Buffer
-	if err := run(&buf, "workload", true, 1, false, "", out, 0); err != nil {
+	if err := run(&buf, options{Exp: "workload", Fast: true, Seed: 1, MetricsOut: out}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -173,5 +175,91 @@ func TestMetricsOutPrometheus(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("prometheus exposition missing %q", want)
 		}
+	}
+}
+
+// TestParseFlagsDefaults: no arguments yields the documented defaults.
+func TestParseFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("spacecdn", flag.ContinueOnError)
+	opts, err := parseFlags(fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := options{Exp: "all", Seed: 42, TraceSample: 0.01}
+	if opts != want {
+		t.Errorf("defaults = %+v, want %+v", opts, want)
+	}
+}
+
+// TestParseFlagsRoundTrip: every flag lands in its options field.
+func TestParseFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("spacecdn", flag.ContinueOnError)
+	opts, err := parseFlags(fs, []string{
+		"-exp", "workload", "-fast", "-seed", "7", "-json",
+		"-city", "Nairobi", "-metrics-out", "m.prom",
+		"-trace-sample", "0.5", "-workers", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := options{
+		Exp: "workload", Fast: true, Seed: 7, JSON: true,
+		City: "Nairobi", MetricsOut: "m.prom", TraceSample: 0.5, Workers: 4,
+	}
+	if opts != want {
+		t.Errorf("parsed = %+v, want %+v", opts, want)
+	}
+}
+
+func TestParseFlagsRejectsUnknown(t *testing.T) {
+	fs := flag.NewFlagSet("spacecdn", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	if _, err := parseFlags(fs, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunWorkersFlag: the workload experiment honors -workers and produces
+// the same report text at 1 and 4 workers (determinism through the CLI).
+func TestRunWorkersFlag(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run(&seq, options{Exp: "workload", Fast: true, Seed: 3, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&par, options{Exp: "workload", Fast: true, Seed: 3, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("workload output differs between -workers 1 and 4:\n%s\n---\n%s", seq.String(), par.String())
+	}
+}
+
+// TestRunParallelBenchJSON: the CI artifact path — parallel-bench with -json
+// emits a parseable record with sane fields.
+func TestRunParallelBenchJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, options{Exp: "parallel-bench", Fast: true, Seed: 1, JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Requests     int
+		SeqWorkers   int
+		ParWorkers   int
+		SeqReqPerSec float64
+		ParReqPerSec float64
+		Speedup      float64
+		Identical    bool
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if res.Requests == 0 || res.SeqWorkers != 1 || res.ParWorkers < 1 {
+		t.Errorf("malformed result: %+v", res)
+	}
+	if !res.Identical {
+		t.Errorf("parallel run diverged from sequential: %+v", res)
+	}
+	if res.SeqReqPerSec <= 0 || res.ParReqPerSec <= 0 {
+		t.Errorf("non-positive throughput: %+v", res)
 	}
 }

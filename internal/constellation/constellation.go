@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"spacecdn/internal/geo"
@@ -107,13 +108,15 @@ func (c *Constellation) Snapshot(t time.Duration) *Snapshot {
 
 // Snapshot is the constellation geometry frozen at one instant. It is
 // immutable and safe for concurrent use. The ISL graph is built lazily on
-// first request and cached.
+// first request and cached; the lazy build is guarded by a sync.Once so
+// concurrent first callers (parallel request shards) share one build.
 type Snapshot struct {
 	c   *Constellation
 	t   time.Duration
 	pos []geo.Vec3
 
-	islGraph *routing.Graph // built lazily; nil until first ISLGraph call
+	islOnce  sync.Once
+	islGraph *routing.Graph // built once on first ISLGraph call
 }
 
 // Time returns the snapshot's offset from the constellation epoch.
@@ -183,31 +186,31 @@ func (s *Snapshot) ISLDelay(a, b SatID) time.Duration {
 }
 
 // ISLGraph returns the +grid ISL topology with edge weights equal to the
-// one-way propagation delay in milliseconds. The graph is cached; the
-// returned value is shared and must not be mutated.
+// one-way propagation delay in milliseconds. The graph is built once per
+// snapshot, safe under concurrent callers; the returned value is shared and
+// must not be mutated.
 func (s *Snapshot) ISLGraph() *routing.Graph {
-	if s.islGraph != nil {
-		return s.islGraph
-	}
-	g := routing.NewGraph(len(s.pos))
-	type link struct{ a, b SatID }
-	seen := make(map[link]bool, 2*len(s.pos))
-	for id := 0; id < len(s.pos); id++ {
-		for _, nb := range s.ISLNeighbors(SatID(id)) {
-			a, b := SatID(id), nb
-			if a > b {
-				a, b = b, a
+	s.islOnce.Do(func() {
+		g := routing.NewGraph(len(s.pos))
+		type link struct{ a, b SatID }
+		seen := make(map[link]bool, 2*len(s.pos))
+		for id := 0; id < len(s.pos); id++ {
+			for _, nb := range s.ISLNeighbors(SatID(id)) {
+				a, b := SatID(id), nb
+				if a > b {
+					a, b = b, a
+				}
+				if a == b || seen[link{a, b}] {
+					continue
+				}
+				seen[link{a, b}] = true
+				w := s.ISLDistanceKm(a, b) / orbit.LightSpeedKmPerSec * 1000
+				g.AddUndirected(routing.NodeID(a), routing.NodeID(b), w)
 			}
-			if a == b || seen[link{a, b}] {
-				continue
-			}
-			seen[link{a, b}] = true
-			w := s.ISLDistanceKm(a, b) / orbit.LightSpeedKmPerSec * 1000
-			g.AddUndirected(routing.NodeID(a), routing.NodeID(b), w)
 		}
-	}
-	s.islGraph = g
-	return g
+		s.islGraph = g
+	})
+	return s.islGraph
 }
 
 // VisibleSat is a satellite visible from a ground point.

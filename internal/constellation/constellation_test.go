@@ -2,6 +2,7 @@ package constellation
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -372,5 +373,31 @@ func TestISLGraphUsableWithRouting(t *testing.T) {
 	}
 	if bestHops < 5 || bestHops > 25 {
 		t.Errorf("hops = %d for an 8,800 km route, want ~10-20", bestHops)
+	}
+}
+
+// TestISLGraphConcurrentBuild races many first callers at the lazy graph
+// build; under -race this pins the sync.Once guard, and all callers must
+// observe the identical shared graph.
+func TestISLGraphConcurrentBuild(t *testing.T) {
+	snap := small().Snapshot(90 * time.Second)
+	const callers = 16
+	graphs := make([]*routing.Graph, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			graphs[i] = snap.ISLGraph()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("caller %d saw a different graph instance", i)
+		}
+	}
+	if graphs[0].EdgeCount() == 0 {
+		t.Fatal("concurrently built graph is empty")
 	}
 }

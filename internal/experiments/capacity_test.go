@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// The paper's §5 arithmetic: 6,000 satellites x 150 TB is ~879 PB (the
+// paper rounds up to "upwards of 900 PB"), which at ~3 GB per 2-hour 1080p
+// video is exactly 307,200,000 stored copies.
+func TestPaperCapacity(t *testing.T) {
+	r := PaperCapacity()
+	if r.Satellites != 6000 {
+		t.Errorf("satellites = %d, want 6000", r.Satellites)
+	}
+	if r.PerSatBytes != 150<<40 {
+		t.Errorf("per-sat bytes = %d, want 150 TB", r.PerSatBytes)
+	}
+	if r.TotalBytes != int64(6000)*(150<<40) {
+		t.Errorf("total bytes = %d, want 6000 x 150 TB", r.TotalBytes)
+	}
+	if r.TotalPB < 850 || r.TotalPB > 900 {
+		t.Errorf("total = %.0f PB, want ~879 (6000 x 150 TB)", r.TotalPB)
+	}
+	if r.VideosStored != 307_200_000 {
+		t.Errorf("videos = %d, want exactly 307,200,000", r.VideosStored)
+	}
+	if r.VideosStored < 300_000_000 {
+		t.Errorf("videos = %d, want > 300M (paper claim)", r.VideosStored)
+	}
+}
+
+func TestCapacityArithmetic(t *testing.T) {
+	r := Capacity(10, 1<<30, 1<<20)
+	if r.TotalBytes != 10<<30 {
+		t.Errorf("total = %d, want 10 GiB", r.TotalBytes)
+	}
+	if r.VideosStored != 10<<10 {
+		t.Errorf("videos = %d, want 10Ki", r.VideosStored)
+	}
+	// TotalPB is the byte total expressed in pebibytes.
+	if want := float64(r.TotalBytes) / (1 << 50); r.TotalPB != want {
+		t.Errorf("TotalPB = %v, want %v", r.TotalPB, want)
+	}
+}
+
+func TestCapacityDegenerate(t *testing.T) {
+	// Zero video size must not divide by zero — it stores zero videos.
+	if got := Capacity(10, 100, 0); got.VideosStored != 0 {
+		t.Error("zero video size should store zero videos")
+	}
+	if got := Capacity(0, 150<<40, 3<<30); got.TotalBytes != 0 || got.VideosStored != 0 {
+		t.Errorf("empty fleet stores nothing, got %+v", got)
+	}
+}

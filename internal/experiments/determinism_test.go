@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestSuiteDeterminism runs the headline experiment twice with identical
 // seeds on fresh suites (fresh environments, fresh caches) and demands
@@ -51,5 +54,62 @@ func TestSuiteDeterminism(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds produced identical results")
+	}
+}
+
+// TestSuiteParallelDeterminism is the engine's headline guarantee: a suite
+// running on one worker and a suite running on four produce byte-identical
+// datasets and workload results for the same seed. Fresh suites (fresh
+// environments, fresh caches) make this a property of the sharded-RNG
+// scheme, not of shared memoization.
+func TestSuiteParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two environments")
+	}
+	seq, err := NewSuite(true, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.SetWorkers(1)
+	par, err := NewSuite(true, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetWorkers(4)
+
+	aimSeq, err := seq.AIM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aimPar, err := par.AIM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(aimSeq, aimPar) {
+		t.Error("AIM dataset differs between workers=1 and workers=4")
+	}
+
+	webSeq, err := seq.Web()
+	if err != nil {
+		t.Fatal(err)
+	}
+	webPar, err := par.Web()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(webSeq, webPar) {
+		t.Error("NetMet campaign differs between workers=1 and workers=4")
+	}
+
+	wlSeq, err := seq.ResolveWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlPar, err := par.ResolveWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wlSeq, wlPar) {
+		t.Errorf("workload differs between workers=1 and workers=4:\n  seq %+v\n  par %+v", wlSeq, wlPar)
 	}
 }

@@ -269,18 +269,3 @@ func TestAblationReplicas(t *testing.T) {
 		}
 	}
 }
-
-func TestCapacity(t *testing.T) {
-	r := PaperCapacity()
-	// Paper: "upwards of 900 PB" and "> 300M 2-hour videos".
-	if r.TotalPB < 850 || r.TotalPB > 900 {
-		t.Errorf("total = %.0f PB, want ~879 (6000 x 150 TB)", r.TotalPB)
-	}
-	if r.VideosStored < 300_000_000 {
-		t.Errorf("videos = %d, want > 300M", r.VideosStored)
-	}
-	// Degenerate video size.
-	if got := Capacity(10, 100, 0); got.VideosStored != 0 {
-		t.Error("zero video size should store zero videos")
-	}
-}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/parallel"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+)
+
+// ParallelBenchResult reports batch-resolution throughput at one worker
+// versus the suite's worker pool, over the same requests and seed. CI runs
+// this (experiment id "parallel-bench") and uploads the JSON as a build
+// artifact, so every commit records the engine's scaling on the runner.
+type ParallelBenchResult struct {
+	Requests     int     // batch size timed per run
+	SeqWorkers   int     // always 1
+	ParWorkers   int     // resolved pool size (GOMAXPROCS when Workers <= 0)
+	SeqReqPerSec float64 // sequential throughput
+	ParReqPerSec float64 // parallel throughput
+	Speedup      float64 // ParReqPerSec / SeqReqPerSec
+	Identical    bool    // parallel results matched sequential byte-for-byte
+}
+
+// ParallelBench times ResolveAll over the workload's hot/warm/cold request
+// mix at workers=1 and workers=N, and verifies both runs returned identical
+// results — the benchmark doubles as a determinism check on real hardware.
+func (s *Suite) ParallelBench() (ParallelBenchResult, error) {
+	sys, err := s.newSystem(spacecdn.DefaultConfig())
+	if err != nil {
+		return ParallelBenchResult{}, err
+	}
+	hot := content.Object{ID: "pb-hot", Bytes: 64 << 20, Region: geo.RegionEurope}
+	warm := content.Object{ID: "pb-warm", Bytes: 256 << 20, Region: geo.RegionEurope}
+	cold := content.Object{ID: "pb-cold", Bytes: 1 << 30, Region: geo.RegionEurope}
+	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 4}, hot); err != nil {
+		return ParallelBenchResult{}, err
+	}
+	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 1}, warm); err != nil {
+		return ParallelBenchResult{}, err
+	}
+	snap := s.Env.Snapshot(0)
+	cities := s.clientCities()
+	base := make([]spacecdn.Request, 0, 3*len(cities))
+	for _, city := range cities {
+		if up, ok := snap.BestVisible(city.Loc); ok {
+			sys.Store(up.ID, hot)
+		}
+		for _, o := range []content.Object{hot, warm, cold} {
+			base = append(base, spacecdn.Request{Client: city.Loc, ISO2: city.Country, Obj: o})
+		}
+	}
+	target := 6000
+	if s.Fast {
+		target = 1500
+	}
+	reqs := make([]spacecdn.Request, 0, target)
+	for len(reqs) < target {
+		reqs = append(reqs, base...)
+	}
+	reqs = reqs[:target]
+
+	// Warm the lazy snapshot state so neither timed run pays the build.
+	snap.ISLGraph()
+
+	res := ParallelBenchResult{
+		Requests:   len(reqs),
+		SeqWorkers: 1,
+		ParWorkers: parallel.Workers(s.Workers),
+	}
+	seqStart := time.Now()
+	seq := sys.ResolveAll(reqs, snap, stats.NewRand(s.Seed), 1)
+	seqDur := time.Since(seqStart)
+	parStart := time.Now()
+	par := sys.ResolveAll(reqs, snap, stats.NewRand(s.Seed), res.ParWorkers)
+	parDur := time.Since(parStart)
+
+	res.Identical = len(seq) == len(par)
+	for i := 0; res.Identical && i < len(seq); i++ {
+		if seq[i].Resolution != par[i].Resolution || (seq[i].Err == nil) != (par[i].Err == nil) {
+			res.Identical = false
+		}
+	}
+	if !res.Identical {
+		return res, fmt.Errorf("experiments: parallel batch diverged from sequential")
+	}
+	res.SeqReqPerSec = float64(len(reqs)) / seqDur.Seconds()
+	res.ParReqPerSec = float64(len(reqs)) / parDur.Seconds()
+	res.Speedup = res.ParReqPerSec / res.SeqReqPerSec
+	return res, nil
+}

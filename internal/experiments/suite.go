@@ -20,6 +20,10 @@ type Suite struct {
 	// full configuration).
 	Fast bool
 	Seed int64
+	// Workers bounds the goroutines each experiment fans work across; <= 0
+	// means one per CPU. Results are identical for every worker count —
+	// sharding and randomness depend only on the work and the seed.
+	Workers int
 
 	aim []measure.SpeedTest
 	web []measure.WebMeasurement
@@ -34,6 +38,11 @@ func NewSuite(fast bool, seed int64) (*Suite, error) {
 	}
 	return &Suite{Env: env, Fast: fast, Seed: seed}, nil
 }
+
+// SetWorkers sets the worker-pool bound for subsequent experiment runs.
+// It does not invalidate memoized datasets — it never needs to, because the
+// worker count cannot change any result.
+func (s *Suite) SetWorkers(n int) { s.Workers = n }
 
 // SetTelemetry attaches telemetry to the suite: every SpaceCDN system the
 // experiments deploy from here on is instrumented with it, so one registry
@@ -61,6 +70,7 @@ func (s *Suite) newSystem(cfg spacecdn.Config) (*spacecdn.System, error) {
 func (s *Suite) aimConfig() measure.AIMConfig {
 	cfg := measure.DefaultAIMConfig()
 	cfg.Seed = s.Seed
+	cfg.Workers = s.Workers
 	if s.Fast {
 		cfg.TestsPerCity = 6
 		cfg.Snapshots = []time.Duration{0, 17 * time.Minute}
@@ -85,6 +95,7 @@ func (s *Suite) AIM() ([]measure.SpeedTest, error) {
 func (s *Suite) webConfig() measure.WebConfig {
 	cfg := measure.DefaultWebConfig()
 	cfg.Seed = s.Seed
+	cfg.Workers = s.Workers
 	if s.Fast {
 		cfg.LoadsPerSite = 6
 	}

@@ -38,6 +38,12 @@ type WorkloadResult struct {
 // client city at each snapshot time and aggregates latency per serving
 // source. With suite telemetry attached, this experiment populates the
 // per-source request counters, the RTT histogram, and the sampled traces.
+//
+// Each snapshot runs in two phases: a sequential placement pass that pins
+// the hot object on every client's overhead satellite, then a read-only
+// ResolveAll over the snapshot's whole request batch sharded across
+// s.Workers. Aggregation walks results in request order, so the outcome is
+// identical for every worker count.
 func (s *Suite) ResolveWorkload() (WorkloadResult, error) {
 	sys, err := s.newSystem(spacecdn.DefaultConfig())
 	if err != nil {
@@ -62,27 +68,33 @@ func (s *Suite) ResolveWorkload() (WorkloadResult, error) {
 	res := WorkloadResult{}
 	for _, at := range s.snapshotTimes() {
 		snap := s.Env.Snapshot(at)
+		// Placement pass: pin the hot object on the satellite currently
+		// overhead each city, the steady state a popularity-driven admission
+		// policy converges to. Placement mutates caches, so it stays
+		// sequential and completes before any request resolves.
+		reqs := make([]spacecdn.Request, 0, 3*len(s.clientCities()))
 		for _, city := range s.clientCities() {
-			// Pin the hot object on the satellite currently overhead, the
-			// steady state a popularity-driven admission policy converges to.
 			if up, ok := snap.BestVisible(city.Loc); ok {
 				sys.Store(up.ID, hot)
 			}
 			for _, o := range []content.Object{hot, warm, cold} {
-				r, err := sys.Resolve(city.Loc, city.Country, o, snap, rng)
-				res.Requests++
-				if err != nil {
-					res.Errors++
-					continue
-				}
-				a := bySource[r.Source]
-				if a == nil {
-					a = &agg{}
-					bySource[r.Source] = a
-				}
-				a.ms = append(a.ms, float64(r.RTT)/float64(time.Millisecond))
-				a.hops += r.Hops
+				reqs = append(reqs, spacecdn.Request{Client: city.Loc, ISO2: city.Country, Obj: o})
 			}
+		}
+		// Resolve pass: read-only over the placed state, sharded.
+		for _, r := range sys.ResolveAll(reqs, snap, rng, s.Workers) {
+			res.Requests++
+			if r.Err != nil {
+				res.Errors++
+				continue
+			}
+			a := bySource[r.Source]
+			if a == nil {
+				a = &agg{}
+				bySource[r.Source] = a
+			}
+			a.ms = append(a.ms, float64(r.RTT)/float64(time.Millisecond))
+			a.hops += r.Hops
 		}
 	}
 	for _, src := range spacecdn.Sources() {

@@ -8,6 +8,7 @@ package measure
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"spacecdn/internal/cdn"
@@ -15,6 +16,7 @@ import (
 	"spacecdn/internal/geo"
 	"spacecdn/internal/groundseg"
 	"spacecdn/internal/lsn"
+	"spacecdn/internal/parallel"
 	"spacecdn/internal/stats"
 	"spacecdn/internal/terrestrial"
 )
@@ -38,6 +40,9 @@ type Environment struct {
 	Terrestrial   *terrestrial.Model
 	CDN           *cdn.CDN
 
+	// mu guards the memoization caches below; campaign generation shards
+	// cities across workers, and all shards share one Environment.
+	mu sync.Mutex
 	// pathCache memoizes LSN path resolution per (city, snapshot).
 	pathCache map[pathKey]lsn.Path
 	snapCache map[time.Duration]*constellation.Snapshot
@@ -72,27 +77,45 @@ func NewEnvironment() (*Environment, error) {
 	}, nil
 }
 
-// Snapshot returns a memoized constellation snapshot.
+// Snapshot returns a memoized constellation snapshot. Concurrent callers
+// may compute a missing snapshot twice; the first store wins so every
+// caller converges on one shared (and one lazily-built ISL graph) instance.
 func (e *Environment) Snapshot(t time.Duration) *constellation.Snapshot {
-	if s, ok := e.snapCache[t]; ok {
+	e.mu.Lock()
+	s, ok := e.snapCache[t]
+	e.mu.Unlock()
+	if ok {
 		return s
 	}
-	s := e.Constellation.Snapshot(t)
-	e.snapCache[t] = s
+	s = e.Constellation.Snapshot(t)
+	e.mu.Lock()
+	if prev, ok := e.snapCache[t]; ok {
+		s = prev
+	} else {
+		e.snapCache[t] = s
+	}
+	e.mu.Unlock()
 	return s
 }
 
-// Path returns a memoized LSN path for a client.
+// Path returns a memoized LSN path for a client. Path resolution is
+// deterministic, so a concurrent duplicate computation stores an identical
+// value and the cache never affects results — only wall time.
 func (e *Environment) Path(loc geo.Point, iso string, t time.Duration) (lsn.Path, error) {
 	k := pathKey{lat: loc.LatDeg, lon: loc.LonDeg, iso: iso, t: t}
-	if p, ok := e.pathCache[k]; ok {
+	e.mu.Lock()
+	p, ok := e.pathCache[k]
+	e.mu.Unlock()
+	if ok {
 		return p, nil
 	}
 	p, err := e.LSN.ResolvePath(loc, iso, e.Snapshot(t))
 	if err != nil {
 		return lsn.Path{}, err
 	}
+	e.mu.Lock()
 	e.pathCache[k] = p
+	e.mu.Unlock()
 	return p, nil
 }
 
@@ -118,6 +141,9 @@ type AIMConfig struct {
 	// so satellite geometry varies like a weeks-long campaign).
 	Snapshots []time.Duration
 	Seed      int64
+	// Workers bounds the goroutines generating per-city records; <= 0 means
+	// one per CPU. The dataset is identical for every worker count.
+	Workers int
 }
 
 // DefaultAIMConfig spreads four snapshots over an orbital period.
@@ -133,30 +159,56 @@ func DefaultAIMConfig() AIMConfig {
 
 // GenerateAIM produces the synthetic AIM dataset: Starlink tests from every
 // covered country and terrestrial tests from every country in the dataset.
+// Cities generate in parallel (cfg.Workers); every city's streams are forked
+// from the seed up front in a fixed order and results merge in city order,
+// so the dataset is byte-identical for any worker count.
 func (e *Environment) GenerateAIM(cfg AIMConfig) ([]SpeedTest, error) {
 	if cfg.TestsPerCity <= 0 || len(cfg.Snapshots) == 0 {
 		return nil, fmt.Errorf("measure: need positive tests and snapshots")
 	}
 	rng := stats.NewRand(cfg.Seed)
-	var out []SpeedTest
+	type cityJob struct {
+		city geo.City
+		terr *stats.Rand
+		sl   *stats.Rand // nil where Starlink has no coverage
+	}
+	var jobs []cityJob
 	for _, country := range geo.Countries() {
-		cities := geo.CitiesInCountry(country.ISO2)
-		for _, city := range cities {
-			// Terrestrial tests: everyone has some terrestrial ISP.
-			tst, err := e.terrestrialTests(city, cfg, rng.Fork("terr/"+city.Name))
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, tst...)
-			// Starlink tests only where coverage exists.
+		for _, city := range geo.CitiesInCountry(country.ISO2) {
+			j := cityJob{city: city, terr: rng.Fork("terr/" + city.Name)}
 			if country.Starlink {
-				sts, err := e.starlinkTests(city, cfg, rng.Fork("sl/"+city.Name))
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, sts...)
+				j.sl = rng.Fork("sl/" + city.Name)
 			}
+			jobs = append(jobs, j)
 		}
+	}
+	// Warm the snapshot cache before the fan-out so jobs mostly read it.
+	for _, at := range cfg.Snapshots {
+		e.Snapshot(at)
+	}
+	results := make([][]SpeedTest, len(jobs))
+	err := parallel.Run(cfg.Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		tst, err := e.terrestrialTests(j.city, cfg, j.terr)
+		if err != nil {
+			return err
+		}
+		results[i] = tst
+		if j.sl != nil {
+			sts, err := e.starlinkTests(j.city, cfg, j.sl)
+			if err != nil {
+				return err
+			}
+			results[i] = append(results[i], sts...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []SpeedTest
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	return out, nil
 }

@@ -1,0 +1,100 @@
+package measure
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"spacecdn/internal/geo"
+)
+
+// TestGenerateAIMWorkerInvariance: the dataset is byte-identical for any
+// worker count — the per-city streams are forked before the fan-out and
+// results merge in city order.
+func TestGenerateAIMWorkerInvariance(t *testing.T) {
+	e := testEnv(t)
+	cfg := AIMConfig{
+		TestsPerCity: 3,
+		Snapshots:    []time.Duration{0, 29 * time.Minute},
+		Seed:         11,
+	}
+	cfg.Workers = 1
+	seq, err := e.GenerateAIM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := e.GenerateAIM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("empty dataset")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		for i := range seq {
+			if i < len(par) && seq[i] != par[i] {
+				t.Fatalf("record %d differs:\n  seq %+v\n  par %+v", i, seq[i], par[i])
+			}
+		}
+		t.Fatalf("datasets differ in length: %d vs %d", len(seq), len(par))
+	}
+}
+
+// TestRunNetMetWorkerInvariance: the paired campaign is identical for any
+// worker count — each country's stream is keyed on its ISO code alone.
+func TestRunNetMetWorkerInvariance(t *testing.T) {
+	e := testEnv(t)
+	cfg := WebConfig{
+		Countries:    []string{"DE", "NG", "ES", "BR"},
+		LoadsPerSite: 2,
+		Snapshot:     0,
+		Seed:         23,
+	}
+	cfg.Workers = 1
+	seq, err := e.RunNetMet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := e.RunNetMet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("empty campaign")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		for i := range seq {
+			if i < len(par) && seq[i] != par[i] {
+				t.Fatalf("record %d differs:\n  seq %+v\n  par %+v", i, seq[i], par[i])
+			}
+		}
+		t.Fatalf("campaigns differ in length: %d vs %d", len(seq), len(par))
+	}
+}
+
+// TestEnvironmentCachesUnderConcurrency hammers the memoized Snapshot and
+// Path accessors from parallel goroutines; it exists to fail under -race if
+// the cache maps lose their locking.
+func TestEnvironmentCachesUnderConcurrency(t *testing.T) {
+	e := testEnv(t)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			at := time.Duration(g%3) * 19 * time.Minute
+			if e.Snapshot(at) == nil {
+				done <- nil
+				return
+			}
+			loc := geo.NewPoint(50.11+float64(g%2), 8.68)
+			_, err := e.Path(loc, "DE", at)
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}

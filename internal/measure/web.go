@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spacecdn/internal/geo"
+	"spacecdn/internal/parallel"
 	"spacecdn/internal/stats"
 	"spacecdn/internal/webmodel"
 )
@@ -29,6 +30,9 @@ type WebConfig struct {
 	// Snapshot is the constellation time used for Starlink paths.
 	Snapshot time.Duration
 	Seed     int64
+	// Workers bounds the goroutines probing countries; <= 0 means one per
+	// CPU. Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultWebConfig probes the paper's NetMet deployment countries: LEOScope
@@ -45,6 +49,9 @@ func DefaultWebConfig() WebConfig {
 // RunNetMet performs the paired web-browsing campaign: for each country it
 // loads the top-20 page set over both Starlink and a terrestrial ISP from
 // the same location, exactly like the paper's dockerized probe setup.
+// Countries probe in parallel (cfg.Workers); every country's randomness is
+// an independent stream keyed on its ISO code and results merge in country
+// order, so the campaign is identical for any worker count.
 func (e *Environment) RunNetMet(cfg WebConfig) ([]WebMeasurement, error) {
 	if cfg.LoadsPerSite <= 0 {
 		return nil, fmt.Errorf("measure: need positive loads per site")
@@ -53,7 +60,12 @@ func (e *Environment) RunNetMet(cfg WebConfig) ([]WebMeasurement, error) {
 		return nil, fmt.Errorf("measure: no countries configured")
 	}
 	pages := webmodel.Top20Pages(cfg.Seed)
-	var out []WebMeasurement
+	type countryJob struct {
+		iso     string
+		country geo.Country
+		city    geo.City
+	}
+	jobs := make([]countryJob, 0, len(cfg.Countries))
 	for _, iso := range cfg.Countries {
 		country, ok := geo.CountryByISO(iso)
 		if !ok {
@@ -63,58 +75,81 @@ func (e *Environment) RunNetMet(cfg WebConfig) ([]WebMeasurement, error) {
 		if !ok {
 			return nil, fmt.Errorf("measure: no reference city for %s", iso)
 		}
-		rng := stats.NewRand(cfg.Seed).Fork("netmet/" + iso)
+		jobs = append(jobs, countryJob{iso: iso, country: country, city: city})
+	}
+	e.Snapshot(cfg.Snapshot)
+	results := make([][]WebMeasurement, len(jobs))
+	err := parallel.Run(cfg.Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		recs, err := e.netmetCountry(j.iso, j.country, j.city, pages, cfg)
+		results[i] = recs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []WebMeasurement
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
 
-		// Terrestrial side.
-		tEdge := e.CDN.NearestEdge(city.Loc)
-		tParams := webmodel.NetParams{
-			RTTSample: func(r *stats.Rand) time.Duration {
-				return e.Terrestrial.SampleRTT(city.Loc, tEdge.City.Loc, city.Region, tEdge.City.Region, r)
-			},
-			DownlinkMbps: e.Terrestrial.DownlinkMbps(city.Region, rng),
-			DNSCachedP:   0.3,
-			Connections:  6,
-		}
-		tms, err := e.runLoads(pages, tParams, cfg.LoadsPerSite, rng.Fork("terr"))
-		if err != nil {
-			return nil, err
-		}
-		for i, m := range tms {
-			out = append(out, WebMeasurement{
-				Country: iso, City: city.Name, Network: NetworkTerrestrial,
-				Site: pages[i%len(pages)].Name, Run: i / len(pages),
-				HRTMs: ms(m.HRT), FCPMs: ms(m.FCP),
-			})
-		}
+// netmetCountry runs one country's paired campaign. Its rng derives from the
+// seed and ISO code alone, never from another country's draws.
+func (e *Environment) netmetCountry(iso string, country geo.Country, city geo.City, pages []webmodel.Page, cfg WebConfig) ([]WebMeasurement, error) {
+	rng := stats.NewRand(cfg.Seed).Fork("netmet/" + iso)
+	var out []WebMeasurement
 
-		// Starlink side (skip countries without coverage).
-		if !country.Starlink {
-			continue
-		}
-		path, err := e.Path(city.Loc, iso, cfg.Snapshot)
-		if err != nil {
-			continue
-		}
-		sEdge := e.CDN.NearestEdge(path.PoP.Loc)
-		sParams := webmodel.NetParams{
-			RTTSample: func(r *stats.Rand) time.Duration {
-				return e.LSN.RTTToHost(path, sEdge.City.Loc, sEdge.City.Region, e.Terrestrial, r)
-			},
-			DownlinkMbps: e.LSN.DownlinkMbps(rng),
-			DNSCachedP:   0.3,
-			Connections:  6,
-		}
-		sms, err := e.runLoads(pages, sParams, cfg.LoadsPerSite, rng.Fork("sl"))
-		if err != nil {
-			return nil, err
-		}
-		for i, m := range sms {
-			out = append(out, WebMeasurement{
-				Country: iso, City: city.Name, Network: NetworkStarlink,
-				Site: pages[i%len(pages)].Name, Run: i / len(pages),
-				HRTMs: ms(m.HRT), FCPMs: ms(m.FCP),
-			})
-		}
+	// Terrestrial side.
+	tEdge := e.CDN.NearestEdge(city.Loc)
+	tParams := webmodel.NetParams{
+		RTTSample: func(r *stats.Rand) time.Duration {
+			return e.Terrestrial.SampleRTT(city.Loc, tEdge.City.Loc, city.Region, tEdge.City.Region, r)
+		},
+		DownlinkMbps: e.Terrestrial.DownlinkMbps(city.Region, rng),
+		DNSCachedP:   0.3,
+		Connections:  6,
+	}
+	tms, err := e.runLoads(pages, tParams, cfg.LoadsPerSite, rng.Fork("terr"))
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range tms {
+		out = append(out, WebMeasurement{
+			Country: iso, City: city.Name, Network: NetworkTerrestrial,
+			Site: pages[i%len(pages)].Name, Run: i / len(pages),
+			HRTMs: ms(m.HRT), FCPMs: ms(m.FCP),
+		})
+	}
+
+	// Starlink side (skip countries without coverage).
+	if !country.Starlink {
+		return out, nil
+	}
+	path, err := e.Path(city.Loc, iso, cfg.Snapshot)
+	if err != nil {
+		return out, nil
+	}
+	sEdge := e.CDN.NearestEdge(path.PoP.Loc)
+	sParams := webmodel.NetParams{
+		RTTSample: func(r *stats.Rand) time.Duration {
+			return e.LSN.RTTToHost(path, sEdge.City.Loc, sEdge.City.Region, e.Terrestrial, r)
+		},
+		DownlinkMbps: e.LSN.DownlinkMbps(rng),
+		DNSCachedP:   0.3,
+		Connections:  6,
+	}
+	sms, err := e.runLoads(pages, sParams, cfg.LoadsPerSite, rng.Fork("sl"))
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range sms {
+		out = append(out, WebMeasurement{
+			Country: iso, City: city.Name, Network: NetworkStarlink,
+			Site: pages[i%len(pages)].Name, Run: i / len(pages),
+			HRTMs: ms(m.HRT), FCPMs: ms(m.FCP),
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,136 @@
+// Package parallel is the simulator's execution engine for embarrassingly
+// parallel work: request batches, per-city dataset generation, and experiment
+// sweeps. It provides a bounded worker pool over a fixed shard list.
+//
+// The package is built around one invariant: *sharding is independent of the
+// worker count*. Callers partition their work into a deterministic number of
+// shards (Split), give every shard its own deterministic random stream
+// (stats.Rand.Split), and merge results in shard order. The worker count then
+// only decides how many shards run at once — a run with 1 worker and a run
+// with 16 produce byte-identical results, because no shard ever observes
+// another shard's scheduling.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one worker
+// per available CPU" (GOMAXPROCS). The result is always at least 1.
+func Workers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run invokes fn(shard) for every shard in [0, n) using at most workers
+// goroutines (resolved via Workers, so workers <= 0 means GOMAXPROCS).
+// Every shard runs even when earlier shards fail; the returned error joins
+// the per-shard errors in shard order, so the error value — like the
+// results — is independent of scheduling. A panicking shard propagates its
+// panic to the caller after the remaining workers drain.
+func Run(workers, n int, fn func(shard int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		// Inline fast path: the sequential reference execution.
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return joinInOrder(errs)
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return joinInOrder(errs)
+}
+
+// joinInOrder joins the non-nil errors, preserving shard order.
+func joinInOrder(errs []error) error {
+	var nonNil []error
+	for _, err := range errs {
+		if err != nil {
+			nonNil = append(nonNil, err)
+		}
+	}
+	return errors.Join(nonNil...)
+}
+
+// Span is a half-open index range [Lo, Hi) over a caller's item slice.
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of items in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Split partitions n items into at most k contiguous near-equal spans. The
+// partition depends only on (n, k) — never on the worker count — so it is
+// safe to key deterministic per-shard state (RNG streams, result slots) by
+// span index. Fewer than k spans are returned when n < k; n <= 0 returns
+// nil. It panics on k <= 0 (a construction bug, not a runtime condition).
+func Split(n, k int) []Span {
+	if k <= 0 {
+		panic(fmt.Sprintf("parallel: non-positive shard count %d", k))
+	}
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	spans := make([]Span, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := range spans {
+		size := base
+		if i < rem {
+			size++
+		}
+		spans[i] = Span{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return spans
+}

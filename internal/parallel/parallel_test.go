@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-3); got != Workers(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS default %d", got, Workers(0))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		n, k    int
+		wantLen int
+	}{
+		{n: 10, k: 3, wantLen: 3},
+		{n: 3, k: 10, wantLen: 3}, // never more shards than items
+		{n: 1, k: 1, wantLen: 1},
+		{n: 0, k: 4, wantLen: 0},
+		{n: -5, k: 4, wantLen: 0},
+		{n: 64, k: 64, wantLen: 64},
+	}
+	for _, c := range cases {
+		spans := Split(c.n, c.k)
+		if len(spans) != c.wantLen {
+			t.Errorf("Split(%d,%d) has %d spans, want %d", c.n, c.k, len(spans), c.wantLen)
+			continue
+		}
+		// Spans tile [0, n) exactly, in order, each non-empty.
+		lo := 0
+		for i, s := range spans {
+			if s.Lo != lo || s.Len() <= 0 {
+				t.Errorf("Split(%d,%d)[%d] = %+v, want Lo=%d and positive length", c.n, c.k, i, s, lo)
+			}
+			lo = s.Hi
+		}
+		if c.wantLen > 0 && lo != c.n {
+			t.Errorf("Split(%d,%d) covers [0,%d), want [0,%d)", c.n, c.k, lo, c.n)
+		}
+		// Near-equal: sizes differ by at most one.
+		if len(spans) > 1 {
+			min, max := spans[0].Len(), spans[0].Len()
+			for _, s := range spans[1:] {
+				if s.Len() < min {
+					min = s.Len()
+				}
+				if s.Len() > max {
+					max = s.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Errorf("Split(%d,%d) span sizes range [%d,%d], want near-equal", c.n, c.k, min, max)
+			}
+		}
+	}
+}
+
+func TestSplitPanicsOnBadShardCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Split(10, 0) did not panic")
+		}
+	}()
+	Split(10, 0)
+}
+
+func TestRunExecutesEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		const n = 100
+		var counts [n]atomic.Int32
+		if err := Run(workers, n, func(shard int) error {
+			counts[shard].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroShards(t *testing.T) {
+	if err := Run(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrorOrderIsDeterministic(t *testing.T) {
+	fn := func(shard int) error {
+		if shard%3 == 0 {
+			return fmt.Errorf("shard %d failed", shard)
+		}
+		return nil
+	}
+	want := Run(1, 10, fn).Error()
+	for _, workers := range []int{2, 4, 8} {
+		for trial := 0; trial < 5; trial++ {
+			err := Run(workers, 10, fn)
+			if err == nil || err.Error() != want {
+				t.Fatalf("workers=%d error = %v, want %q", workers, err, want)
+			}
+		}
+	}
+	// Failed shards do not stop later shards.
+	var ran atomic.Int32
+	_ = Run(2, 10, func(shard int) error {
+		ran.Add(1)
+		return errors.New("boom")
+	})
+	if ran.Load() != 10 {
+		t.Errorf("ran %d shards after failures, want all 10", ran.Load())
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "shard panic") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	_ = Run(4, 8, func(shard int) error {
+		if shard == 3 {
+			panic("shard panic")
+		}
+		return nil
+	})
+}
+
+// TestRunStress hammers the pool from many goroutines; meaningful under
+// -race, where it verifies the result slots and the work queue are
+// race-clean.
+func TestRunStress(t *testing.T) {
+	const n = 512
+	out := make([]int, n)
+	if err := Run(16, n, func(shard int) error {
+		out[shard] = shard * shard
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

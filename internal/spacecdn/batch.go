@@ -1,0 +1,78 @@
+package spacecdn
+
+import (
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/parallel"
+	"spacecdn/internal/stats"
+)
+
+// Batch resolution: the parallel counterpart of Resolve. A batch is sharded
+// into a fixed number of contiguous spans — fixed meaning derived from the
+// batch size only, never from the worker count — and every shard gets its
+// own random stream split off the caller's rng. Workers then execute shards
+// concurrently, writing each result into its request's slot. Because no
+// request's outcome depends on another shard's schedule, a workers=1 run and
+// a workers=N run produce byte-identical results for the same seed.
+//
+// Resolution is read-only over cache *membership*: Resolve never inserts or
+// evicts, and the per-cache hit accounting it performs is mutex-protected
+// and commutative (counter increments), so concurrent shards are race-clean
+// and the final counters are schedule-independent. Placement (Store/Apply)
+// must happen before the batch, not during it.
+
+// Request is one client object request in a batch.
+type Request struct {
+	Client geo.Point
+	ISO2   string
+	Obj    content.Object
+}
+
+// BatchResult is the outcome of one request: a Resolution or an error.
+type BatchResult struct {
+	Resolution
+	Err error
+}
+
+// batchShardTarget is the default shard count for ResolveAll. It is a
+// determinism constant, not a tuning knob: results are identical for any
+// value, but changing it reshuffles the per-shard random streams and thus
+// the sampled jitter, so it stays fixed. 64 shards keep 16 workers busy
+// with uneven per-request costs (ground fallbacks are ~10x an overhead hit).
+const batchShardTarget = 64
+
+// ResolveAll resolves every request against one constellation snapshot,
+// fanning the batch across at most workers goroutines (workers <= 0 means
+// GOMAXPROCS). Results are returned in request order. The rng is consumed
+// deterministically: ResolveAll splits it into one stream per shard, so two
+// calls with equal batches, snapshots and rng states return identical
+// results regardless of the worker count.
+//
+// Attached telemetry observes every request exactly as the sequential path
+// does; counter totals are schedule-independent, while the *identity* of
+// trace-sampled requests (1-in-stride over arrival order) depends on the
+// interleaving.
+func (s *System) ResolveAll(reqs []Request, snap *constellation.Snapshot, rng *stats.Rand, workers int) []BatchResult {
+	if len(reqs) == 0 {
+		return nil
+	}
+	out := make([]BatchResult, len(reqs))
+	spans := parallel.Split(len(reqs), batchShardTarget)
+	rngs := rng.Split(len(spans))
+	// Force the lazy ISL graph build before the fan-out so shards never
+	// contend on the sync.Once, and the build is never timed into a shard.
+	snap.ISLGraph()
+	// Shard functions only write their own spans' slots; Run's error joining
+	// is unused because per-request errors are data, not failures.
+	_ = parallel.Run(workers, len(spans), func(shard int) error {
+		r := rngs[shard]
+		for i := spans[shard].Lo; i < spans[shard].Hi; i++ {
+			req := reqs[i]
+			res, err := s.Resolve(req.Client, req.ISO2, req.Obj, snap, r)
+			out[i] = BatchResult{Resolution: res, Err: err}
+		}
+		return nil
+	})
+	return out
+}

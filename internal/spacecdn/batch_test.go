@@ -1,0 +1,205 @@
+package spacecdn
+
+import (
+	"sync"
+	"testing"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/telemetry"
+)
+
+// batchRequests builds a mixed batch: a pinned object on each client's
+// overhead satellite (overhead hits), a sparsely replicated one (ISL
+// searches) and an unreplicated one (ground fallback) from a spread of
+// client cities, repeated until the batch has n requests. Placement happens
+// here — before the batch — matching ResolveAll's read-only contract.
+func batchRequests(t *testing.T, s *System, snap *constellation.Snapshot, n int) []Request {
+	t.Helper()
+	hot := content.Object{ID: "batch-hot", Bytes: 1 << 20, Region: geo.RegionEurope}
+	sparse := content.Object{ID: "batch-sparse", Bytes: 1 << 20, Region: geo.RegionEurope}
+	cold := content.Object{ID: "batch-cold", Bytes: 1 << 20, Region: geo.RegionEurope}
+	if _, err := Apply(s, PerPlaneSpacing{ReplicasPerPlane: 1}, sparse); err != nil {
+		t.Fatal(err)
+	}
+	clients := []struct {
+		loc geo.Point
+		iso string
+	}{
+		{geo.NewPoint(-25.97, 32.57), "MZ"},
+		{geo.NewPoint(-1.29, 36.82), "KE"},
+		{geo.NewPoint(50.11, 8.68), "DE"},
+		{geo.NewPoint(40.42, -3.70), "ES"},
+		{geo.NewPoint(-34.60, -58.38), "AR"},
+	}
+	for _, c := range clients {
+		if up, ok := snap.BestVisible(c.loc); ok {
+			s.Store(up.ID, hot)
+		}
+	}
+	objs := []content.Object{hot, sparse, cold}
+	reqs := make([]Request, 0, n)
+	for i := 0; len(reqs) < n; i++ {
+		c := clients[i%len(clients)]
+		reqs = append(reqs, Request{Client: c.loc, ISO2: c.iso, Obj: objs[i%len(objs)]})
+	}
+	return reqs
+}
+
+// TestResolveAllMatchesSequential is the core determinism contract: for the
+// same seed, a parallel batch is byte-identical to the workers=1 batch, and
+// both match issuing the same per-shard streams through Resolve by hand.
+func TestResolveAllMatchesSequential(t *testing.T) {
+	sysA := newSystem(t, DefaultConfig())
+	sysB := newSystem(t, DefaultConfig())
+	snap := testConst.Snapshot(0)
+	reqsA := batchRequests(t, sysA, snap, 300)
+	reqsB := batchRequests(t, sysB, snap, 300)
+
+	seq := sysA.ResolveAll(reqsA, snap, stats.NewRand(99), 1)
+	par := sysB.ResolveAll(reqsB, snap, stats.NewRand(99), 8)
+	if len(seq) != len(par) {
+		t.Fatalf("result lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if (seq[i].Err == nil) != (par[i].Err == nil) {
+			t.Fatalf("request %d error mismatch: %v vs %v", i, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Resolution != par[i].Resolution {
+			t.Fatalf("request %d differs:\n  seq %+v\n  par %+v", i, seq[i].Resolution, par[i].Resolution)
+		}
+	}
+	// The batch exercised every source, or the test proves nothing.
+	seen := map[Source]int{}
+	for _, r := range seq {
+		if r.Err == nil {
+			seen[r.Source]++
+		}
+	}
+	for _, src := range Sources() {
+		if seen[src] == 0 {
+			t.Errorf("batch never hit source %s: %v", src, seen)
+		}
+	}
+}
+
+// TestResolveAllRepeatable: two parallel runs over identical fresh systems
+// agree with each other (no hidden scheduling dependence).
+func TestResolveAllRepeatable(t *testing.T) {
+	run := func() []BatchResult {
+		sys := newSystem(t, DefaultConfig())
+		snap := testConst.Snapshot(0)
+		reqs := batchRequests(t, sys, snap, 200)
+		return sys.ResolveAll(reqs, snap, stats.NewRand(5), 4)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Resolution != b[i].Resolution {
+			t.Fatalf("request %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestResolveAllSeedMatters: a different seed must actually change the
+// sampled jitter.
+func TestResolveAllSeedMatters(t *testing.T) {
+	sys := newSystem(t, DefaultConfig())
+	snap := testConst.Snapshot(0)
+	reqs := batchRequests(t, sys, snap, 60)
+	a := sys.ResolveAll(reqs, snap, stats.NewRand(1), 4)
+	b := sys.ResolveAll(reqs, snap, stats.NewRand(2), 4)
+	same := true
+	for i := range a {
+		if a[i].Resolution != b[i].Resolution {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical batches")
+	}
+}
+
+func TestResolveAllEmpty(t *testing.T) {
+	sys := newSystem(t, DefaultConfig())
+	if out := sys.ResolveAll(nil, testConst.Snapshot(0), stats.NewRand(1), 4); out != nil {
+		t.Errorf("empty batch returned %v", out)
+	}
+}
+
+// TestResolveAllTelemetryTotals: batch totals match the per-request results
+// and the histogram count, regardless of parallel interleaving.
+func TestResolveAllTelemetryTotals(t *testing.T) {
+	sys := newSystem(t, DefaultConfig())
+	tel := telemetry.New(0.1)
+	sys.SetTelemetry(tel)
+	defer sys.SetTelemetry(nil)
+	snap := testConst.Snapshot(0)
+	reqs := batchRequests(t, sys, snap, 240)
+	out := sys.ResolveAll(reqs, snap, stats.NewRand(7), 6)
+
+	want := map[string]int64{}
+	var wantOK int64
+	for _, r := range out {
+		if r.Err == nil {
+			want[r.Source.String()]++
+			wantOK++
+		}
+	}
+	ts := tel.Snapshot()
+	for src, n := range want {
+		cv, ok := ts.Counter("spacecdn_resolve_requests_total", map[string]string{"source": src})
+		if !ok || cv.Value != n {
+			t.Errorf("counter{source=%s} = %+v, want %d", src, cv, n)
+		}
+	}
+	hv, ok := ts.Histogram("spacecdn_resolve_rtt_ms")
+	if !ok || hv.Count != wantOK {
+		t.Errorf("rtt histogram count = %+v, want %d", hv, wantOK)
+	}
+	if len(ts.Traces) == 0 {
+		t.Error("no traces sampled from the batch")
+	}
+}
+
+// TestResolveAllRaceStress hammers one system — and one telemetry registry —
+// with concurrent ResolveAll batches and direct Resolve calls. Its job is to
+// fail under -race if any shared state on the resolve path (snapshot graph,
+// caches, counters, trace sink) is unsynchronized.
+func TestResolveAllRaceStress(t *testing.T) {
+	sys := newSystem(t, DefaultConfig())
+	sys.SetTelemetry(telemetry.New(0.05))
+	defer sys.SetTelemetry(nil)
+	// A fresh snapshot so the lazy ISL graph build itself is part of the race.
+	snap := testConst.Snapshot(123)
+	reqs := batchRequests(t, sys, snap, 120)
+
+	const batches = 4
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			out := sys.ResolveAll(reqs, snap, stats.NewRand(int64(b)), 4)
+			for i, r := range out {
+				if r.Err == nil && r.RTT <= 0 {
+					t.Errorf("batch %d request %d: non-positive RTT %v", b, i, r.RTT)
+				}
+			}
+		}(b)
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			rng := stats.NewRand(int64(100 + b))
+			for i := 0; i < 40; i++ {
+				req := reqs[i%len(reqs)]
+				if _, err := sys.Resolve(req.Client, req.ISO2, req.Obj, snap, rng); err != nil && req.Obj.ID != "batch-cold" {
+					t.Errorf("resolve %d: %v", i, err)
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+}

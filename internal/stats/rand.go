@@ -29,6 +29,28 @@ func (r *Rand) Fork(label string) *Rand {
 	return NewRand(h ^ r.Int63())
 }
 
+// Split derives n independent deterministic streams from this one, for
+// sharded execution: shard i draws only from stream i, so results are
+// independent of how shards are scheduled across workers. The streams depend
+// only on the receiver's current state and n — splitting consumes exactly n
+// draws from the parent — so a sequential run and a parallel run that split
+// identically see identical randomness. Keep n fixed per workload (derive it
+// from the item count, never from the worker count).
+func (r *Rand) Split(n int) []*Rand {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*Rand, n)
+	for i := range out {
+		// Mix the shard index through an FNV-1a step so adjacent shards do
+		// not share correlated low bits, then key off the parent stream.
+		h := int64(1469598103934665603) ^ int64(i)
+		h *= 1099511628211
+		out[i] = NewRand(h ^ r.Int63())
+	}
+	return out
+}
+
 // Normal returns a normal sample with the given mean and standard deviation.
 func (r *Rand) Normal(mean, std float64) float64 {
 	return mean + std*r.NormFloat64()

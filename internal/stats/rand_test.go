@@ -1,0 +1,78 @@
+package stats
+
+import "testing"
+
+func TestSplitDeterministic(t *testing.T) {
+	a := NewRand(7).Split(8)
+	b := NewRand(7).Split(8)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("split sizes: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := 0; j < 100; j++ {
+			if x, y := a[i].Float64(), b[i].Float64(); x != y {
+				t.Fatalf("stream %d draw %d: %v != %v", i, j, x, y)
+			}
+		}
+	}
+}
+
+func TestSplitStreamsAreIndependent(t *testing.T) {
+	streams := NewRand(7).Split(4)
+	// Distinct streams must not replay each other.
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			same := 0
+			for k := 0; k < 50; k++ {
+				if streams[i].Int63n(1<<30) == streams[j].Int63n(1<<30) {
+					same++
+				}
+			}
+			if same > 2 {
+				t.Errorf("streams %d and %d agree on %d/50 draws", i, j, same)
+			}
+		}
+	}
+}
+
+func TestSplitConsumesFixedParentDraws(t *testing.T) {
+	// Splitting must advance the parent by exactly n draws, so code before
+	// and after a split sees the same sequence regardless of shard contents.
+	a, b := NewRand(3), NewRand(3)
+	_ = a.Split(5)
+	for i := 0; i < 5; i++ {
+		b.Int63()
+	}
+	for i := 0; i < 20; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("draw %d after split: %v != %v", i, x, y)
+		}
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	if got := NewRand(1).Split(0); got != nil {
+		t.Errorf("Split(0) = %v, want nil", got)
+	}
+	if got := NewRand(1).Split(-2); got != nil {
+		t.Errorf("Split(-2) = %v, want nil", got)
+	}
+	if got := NewRand(1).Split(1); len(got) != 1 {
+		t.Errorf("Split(1) returned %d streams", len(got))
+	}
+}
+
+func TestForkLabelsDiffer(t *testing.T) {
+	r := NewRand(11)
+	a := r.Fork("alpha")
+	b := r.Fork("beta")
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Int63n(1<<30) == b.Int63n(1<<30) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams agree on %d/50 draws", same)
+	}
+}

@@ -1,35 +1,79 @@
 #!/bin/sh
-# Tier-1 verify recipe: format, vet, build, test (plain + race), and a CLI
-# smoke test asserting the telemetry artifact parses with non-zero request
-# counters. Run from the repository root.
+# Tier-1 verify recipe, split into named stages so local runs and CI jobs
+# share one source of truth (.github/workflows/ci.yml calls the same stages).
+#
+# Usage: scripts/verify.sh [stage...]
+#
+# Stages:
+#   fmt    gofmt check; fails listing the offending files
+#   vet    go vet
+#   build  go build
+#   test   go test
+#   race   go test -race
+#   smoke  CLI run asserting the telemetry artifact parses with non-zero
+#          request counters
+#   bench  single-iteration benchmark sweep plus the parallel-engine
+#          throughput artifact (BENCH_parallel.json)
+#
+# No arguments runs the full local gate: fmt vet build test race smoke.
+# The script is non-interactive and exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:" >&2
-	echo "$unformatted" >&2
-	exit 1
+stage_fmt() {
+	unformatted=$(gofmt -l .)
+	if [ -n "$unformatted" ]; then
+		echo "gofmt needed on:" >&2
+		echo "$unformatted" >&2
+		exit 1
+	fi
+}
+
+stage_vet() {
+	go vet ./...
+}
+
+stage_build() {
+	go build ./...
+}
+
+stage_test() {
+	go test ./...
+}
+
+stage_race() {
+	go test -race ./...
+}
+
+stage_smoke() {
+	out=$(mktemp -d)
+	trap 'rm -rf "$out"' EXIT
+	go run ./cmd/spacecdn -exp workload -fast \
+		-metrics-out "$out/metrics.json" -trace-sample 0.01 >/dev/null
+	go run ./scripts/checkmetrics.go "$out/metrics.json"
+}
+
+stage_bench() {
+	go test -bench=. -benchtime=1x -run '^$' .
+	go run ./cmd/spacecdn -exp parallel-bench -fast -json >BENCH_parallel.json
+	cat BENCH_parallel.json
+}
+
+stages="$*"
+if [ -z "$stages" ]; then
+	stages="fmt vet build test race smoke"
 fi
 
-echo "== go vet =="
-go vet ./...
-
-echo "== go build =="
-go build ./...
-
-echo "== go test =="
-go test ./...
-
-echo "== go test -race =="
-go test -race ./...
-
-echo "== telemetry smoke test =="
-out=$(mktemp -d)
-trap 'rm -rf "$out"' EXIT
-go run ./cmd/spacecdn -exp workload -fast \
-	-metrics-out "$out/metrics.json" -trace-sample 0.01 >/dev/null
-go run ./scripts/checkmetrics.go "$out/metrics.json"
+for stage in $stages; do
+	case "$stage" in
+	fmt | vet | build | test | race | smoke | bench) ;;
+	*)
+		echo "verify: unknown stage '$stage'" >&2
+		exit 2
+		;;
+	esac
+	echo "== $stage =="
+	"stage_$stage"
+done
 
 echo "verify: OK"
