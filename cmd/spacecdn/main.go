@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|workload|parallel-bench|all
+//	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|workload|parallel-bench|resolve-bench|all
 //	         [-fast] [-seed N] [-json] [-city NAME] [-workers N]
 //	         [-metrics-out FILE] [-trace-sample RATE]
 //
@@ -59,7 +59,7 @@ func defaultOptions() options {
 // parseFlags binds the command's flags onto an options value and parses args.
 func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	opts := defaultOptions()
-	fs.StringVar(&opts.Exp, "exp", opts.Exp, "experiment id: table1, fig2, fig3, fig4, fig5, fig7, fig8, ablation-replicas, capacity, geoblock, gs-expansion, duty-sweep, striping, wormhole, spacevms, bufferbloat, thermal, hitrate, rtt-series, workload, parallel-bench, all")
+	fs.StringVar(&opts.Exp, "exp", opts.Exp, "experiment id: table1, fig2, fig3, fig4, fig5, fig7, fig8, ablation-replicas, capacity, geoblock, gs-expansion, duty-sweep, striping, wormhole, spacevms, bufferbloat, thermal, hitrate, rtt-series, workload, parallel-bench, resolve-bench, all")
 	fs.BoolVar(&opts.Fast, "fast", opts.Fast, "reduced sample counts (quick preview)")
 	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
 	fs.BoolVar(&opts.JSON, "json", opts.JSON, "emit JSON instead of text tables")
@@ -530,6 +530,21 @@ func runOne(w io.Writer, s *experiments.Suite, id string, asJSON bool, city stri
 			"Requests", "Workers", "Req/s", "Speedup", "Identical")
 		t.AddRow(res.Requests, res.SeqWorkers, res.SeqReqPerSec, 1.0, res.Identical)
 		t.AddRow(res.Requests, res.ParWorkers, res.ParReqPerSec, res.Speedup, res.Identical)
+		return t.Render(w)
+
+	case "resolve-bench":
+		res, err := s.ResolveBench()
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return report.WriteJSON(w, res)
+		}
+		t := report.NewTable("Resolve acceleration: naive vs memoized single-worker pipeline",
+			"Pipeline", "Requests", "Req/s", "Allocs/op", "Speedup", "Identical")
+		t.AddRow("naive", res.Requests, res.NaiveReqPerSec, res.NaiveAllocsPerOp, 1.0, res.Identical)
+		t.AddRow("accelerated", res.Requests, res.AccelReqPerSec, res.AccelAllocsPerOp, res.Speedup, res.Identical)
+		t.AddRow("steady-state", res.SteadyRequests, "", res.SteadyAllocsPerOp, "", res.Identical)
 		return t.Render(w)
 
 	case "workload":

@@ -129,12 +129,32 @@ type Cache interface {
 
 // LRU is a least-recently-used byte-capacity cache.
 type LRU struct {
-	mu    sync.Mutex
-	cap   int64
-	used  int64
-	ll    *list.List // front = most recently used
-	items map[Key]*list.Element
-	stats Stats
+	mu       sync.Mutex
+	cap      int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+	stats    Stats
+	onChange func(Key, bool) // membership listener; nil when unset
+}
+
+// SetOnChange registers a membership listener, invoked with (key, true) when
+// a key enters the cache and (key, false) when it leaves for any reason
+// (capacity eviction, region eviction, removal). Overwrites (Put on an
+// existing key) are not transitions and do not fire. The listener runs with
+// the cache mutex held, so events are delivered in mutation order; it must be
+// fast and must not call back into the cache. Pass nil to detach.
+func (c *LRU) SetOnChange(fn func(Key, bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onChange = fn
+}
+
+// notify fires the membership listener; callers hold c.mu.
+func (c *LRU) notify(k Key, present bool) {
+	if c.onChange != nil {
+		c.onChange(k, present)
+	}
 }
 
 type lruEntry struct{ it Item }
@@ -188,6 +208,7 @@ func (c *LRU) Put(it Item) bool {
 	c.items[it.Key] = c.ll.PushFront(&lruEntry{it: it})
 	c.used += it.Size
 	c.stats.Inserts++
+	c.notify(it.Key, true)
 	c.evictLocked()
 	return true
 }
@@ -204,6 +225,7 @@ func (c *LRU) evictLocked() {
 		c.used -= e.it.Size
 		c.stats.Evictions++
 		c.stats.ByReason[EvictCapacity]++
+		c.notify(e.it.Key, false)
 	}
 }
 
@@ -219,6 +241,7 @@ func (c *LRU) Remove(k Key) bool {
 	c.ll.Remove(el)
 	delete(c.items, k)
 	c.used -= e.it.Size
+	c.notify(k, false)
 	return true
 }
 

@@ -26,6 +26,11 @@ func NewGeoAware(capacity int64, region string) *GeoAware {
 	return &GeoAware{lru: NewLRU(capacity), region: region}
 }
 
+// SetOnChange registers a membership listener on the underlying LRU; all
+// geo-aware evictions pass through it, so the listener observes every
+// membership transition. See LRU.SetOnChange for the contract.
+func (c *GeoAware) SetOnChange(fn func(Key, bool)) { c.lru.SetOnChange(fn) }
+
 // SetRegion updates the region the satellite currently serves.
 func (c *GeoAware) SetRegion(region string) {
 	c.mu.Lock()
@@ -123,6 +128,7 @@ func (c *LRU) evict(k Key, reason EvictionReason) bool {
 	if reason >= 0 && reason < numEvictionReasons {
 		c.stats.ByReason[reason]++
 	}
+	c.notify(k, false)
 	return true
 }
 

@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+type event struct {
+	key     Key
+	present bool
+}
+
+// TestLRUOnChangeEvents exercises every membership transition path of the
+// listener contract: insert fires (k, true); capacity eviction and Remove
+// fire (k, false); overwrites and misses fire nothing.
+func TestLRUOnChangeEvents(t *testing.T) {
+	c := NewLRU(30)
+	var got []event
+	c.SetOnChange(func(k Key, present bool) { got = append(got, event{k, present}) })
+
+	c.Put(Item{Key: "a", Size: 10})
+	c.Put(Item{Key: "b", Size: 10})
+	c.Put(Item{Key: "a", Size: 10}) // overwrite: no membership change, no event
+	c.Put(Item{Key: "c", Size: 20}) // over capacity: evicts LRU ("b") then fits
+	c.Remove("a")
+	c.Remove("missing") // no event
+
+	want := []event{
+		{"a", true},
+		{"b", true},
+		{"c", true},
+		{"b", false},
+		{"a", false},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("event stream mismatch:\n got  %v\n want %v", got, want)
+	}
+
+	// Detaching stops delivery.
+	c.SetOnChange(nil)
+	c.Put(Item{Key: "d", Size: 5})
+	if len(got) != len(want) {
+		t.Fatalf("events fired after detach: %v", got[len(want):])
+	}
+}
+
+// TestGeoAwareOnChangeEvents checks that region-change evictions (which
+// bypass the inner LRU's own capacity path) still reach the listener.
+func TestGeoAwareOnChangeEvents(t *testing.T) {
+	g := NewGeoAware(20, "EU")
+	var got []event
+	g.SetOnChange(func(k Key, present bool) { got = append(got, event{k, present}) })
+
+	g.Put(Item{Key: "na", Size: 10, Tag: "NA"})
+	g.Put(Item{Key: "eu", Size: 10, Tag: "EU"})
+	// Over capacity: geo policy evicts the out-of-region item first.
+	g.Put(Item{Key: "eu2", Size: 10, Tag: "EU"})
+
+	want := []event{
+		{"na", true},
+		{"eu", true},
+		{"na", false},
+		{"eu2", true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("event stream mismatch:\n got  %v\n want %v", got, want)
+	}
+	if g.Peek("na") {
+		t.Fatal("out-of-region item survived capacity pressure")
+	}
+}

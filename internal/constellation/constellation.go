@@ -117,6 +117,11 @@ type Snapshot struct {
 
 	islOnce  sync.Once
 	islGraph *routing.Graph // built once on first ISLGraph call
+
+	gridOnce sync.Once
+	grid     *visGrid // lat/lon cell index, built once on first visibility query
+
+	memo pathMemo // per-snapshot single-source shortest-path trees
 }
 
 // Time returns the snapshot's offset from the constellation epoch.
@@ -138,9 +143,15 @@ func (s *Snapshot) SubPoint(id SatID) geo.Point { return s.pos[id].ToPoint() }
 // last and first plane, where same-slot satellites can be a quarter orbit
 // apart.
 func (s *Snapshot) ISLNeighbors(id SatID) []SatID {
+	return s.appendISLNeighbors(id, make([]SatID, 0, 4))
+}
+
+// appendISLNeighbors appends the +grid neighbours of id to out and returns
+// the extended slice. The append count is fixed per configuration: two
+// intra-plane entries, plus two cross-plane entries when enabled.
+func (s *Snapshot) appendISLNeighbors(id SatID, out []SatID) []SatID {
 	w := s.c.cfg.Walker
 	p, k := s.c.Plane(id), s.c.Slot(id)
-	out := make([]SatID, 0, 4)
 	out = append(out,
 		s.c.ID(p, (k+1)%w.SatsPerPlane),
 		s.c.ID(p, (k-1+w.SatsPerPlane)%w.SatsPerPlane),
@@ -191,21 +202,54 @@ func (s *Snapshot) ISLDelay(a, b SatID) time.Duration {
 // must not be mutated.
 func (s *Snapshot) ISLGraph() *routing.Graph {
 	s.islOnce.Do(func() {
-		g := routing.NewGraph(len(s.pos))
-		type link struct{ a, b SatID }
-		seen := make(map[link]bool, 2*len(s.pos))
-		for id := 0; id < len(s.pos); id++ {
-			for _, nb := range s.ISLNeighbors(SatID(id)) {
-				a, b := SatID(id), nb
-				if a > b {
-					a, b = b, a
+		n := len(s.pos)
+		g := routing.NewGraph(n)
+		deg := 2
+		if s.c.cfg.CrossPlaneISLs {
+			deg = 4
+		}
+		// Flat neighbour table: node id's list is nbrs[id*deg:(id+1)*deg].
+		// Having every list at hand replaces the map-based dedupe with direct
+		// ordering checks while keeping the edge insertion order — and hence
+		// the adjacency lists downstream algorithms iterate — identical to
+		// the map version's first-encounter order.
+		nbrs := make([]SatID, 0, deg*n)
+		for id := 0; id < n; id++ {
+			nbrs = s.appendISLNeighbors(SatID(id), nbrs)
+		}
+		contains := func(list []SatID, x SatID) bool {
+			for _, v := range list {
+				if v == x {
+					return true
 				}
-				if a == b || seen[link{a, b}] {
+			}
+			return false
+		}
+		for id := 0; id < n; id++ {
+			a := SatID(id)
+			list := nbrs[id*deg : (id+1)*deg]
+			for j, b := range list {
+				if b == a {
 					continue
 				}
-				seen[link{a, b}] = true
-				w := s.ISLDistanceKm(a, b) / orbit.LightSpeedKmPerSec * 1000
-				g.AddUndirected(routing.NodeID(a), routing.NodeID(b), w)
+				// Add the undirected edge only at its first encounter in the
+				// scan: skip when the pair already appeared earlier in this
+				// node's own list (degenerate small rings), or — for b < a —
+				// in b's list, which the scan visited first. The b < a case
+				// with a absent from b's list happens under phase-nearest
+				// pairing, which is not always symmetric.
+				if contains(list[:j], b) {
+					continue
+				}
+				if b < a && contains(nbrs[int(b)*deg:(int(b)+1)*deg], a) {
+					continue
+				}
+				lo, hi := a, b
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				w := s.ISLDistanceKm(lo, hi) / orbit.LightSpeedKmPerSec * 1000
+				g.AddUndirected(routing.NodeID(lo), routing.NodeID(hi), w)
 			}
 		}
 		s.islGraph = g
@@ -221,8 +265,17 @@ type VisibleSat struct {
 }
 
 // Visible returns all satellites above the configured elevation mask as seen
-// from the ground point, sorted by descending elevation (best first).
+// from the ground point, sorted by descending elevation (best first). The
+// query runs over the snapshot's visibility grid, inspecting only cells whose
+// satellites could be within slant range; the result is identical to
+// VisibleScan's full scan.
 func (s *Snapshot) Visible(ground geo.Point) []VisibleSat {
+	return s.visGridLazy().visible(s, ground)
+}
+
+// VisibleScan is the reference implementation of Visible: a linear scan over
+// every satellite. Kept for equivalence tests and benchmark baselines.
+func (s *Snapshot) VisibleScan(ground geo.Point) []VisibleSat {
 	g := ground.ToECEF()
 	// Pre-filter with the coverage cone: a satellite can only be visible if
 	// its distance from the ground point is at most the max slant range.
@@ -244,9 +297,16 @@ func (s *Snapshot) Visible(ground geo.Point) []VisibleSat {
 
 // BestVisible returns the highest-elevation visible satellite. ok is false
 // when no satellite is above the mask (possible at extreme latitudes for an
-// inclined shell).
+// inclined shell). The grid-backed query allocates nothing, which keeps the
+// per-request resolve path allocation-free.
 func (s *Snapshot) BestVisible(ground geo.Point) (VisibleSat, bool) {
-	vis := s.Visible(ground)
+	return s.visGridLazy().bestVisible(s, ground)
+}
+
+// BestVisibleScan is the reference implementation of BestVisible (full scan
+// and sort). Kept for equivalence tests and benchmark baselines.
+func (s *Snapshot) BestVisibleScan(ground geo.Point) (VisibleSat, bool) {
+	vis := s.VisibleScan(ground)
 	if len(vis) == 0 {
 		return VisibleSat{}, false
 	}
@@ -255,8 +315,15 @@ func (s *Snapshot) BestVisible(ground geo.Point) (VisibleSat, bool) {
 
 // Nearest returns the satellite with the smallest straight-line distance to
 // the ground point, regardless of the elevation mask. It never fails for a
-// non-empty constellation.
+// non-empty constellation. The grid-backed search widens its angular window
+// until the best candidate provably beats everything outside the window.
 func (s *Snapshot) Nearest(ground geo.Point) VisibleSat {
+	return s.visGridLazy().nearest(s, ground)
+}
+
+// NearestScan is the reference implementation of Nearest: a linear scan over
+// every satellite. Kept for equivalence tests and benchmark baselines.
+func (s *Snapshot) NearestScan(ground geo.Point) VisibleSat {
 	g := ground.ToECEF()
 	best := VisibleSat{ID: -1, SlantKm: math.Inf(1)}
 	for id, p := range s.pos {

@@ -1,0 +1,157 @@
+package constellation
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spacecdn/internal/routing"
+)
+
+// pathMemoCap bounds the per-snapshot tree memo. The working set is every
+// uplink satellite visible from the client cities — the CDN resolve path
+// roots trees at each city's serving satellite (~100 sources) and the ground
+// fallback prices every visible uplink (~450 sources fleet-wide at the
+// default scale) — so 1024 covers it with headroom while bounding the
+// worst-case footprint to ~20 MB per snapshot (1024 trees x ~20 KB).
+const pathMemoCap = 1024
+
+// Process-wide memo effectiveness counters, exported to telemetry as gauges.
+// They aggregate across snapshots for the same reason the routing op counters
+// do: snapshots are created per instant and per system, so per-snapshot
+// counters would vanish with their snapshot.
+var memoStats struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// PathMemoCounters returns the process-wide path-tree memo hit and miss
+// counts.
+func PathMemoCounters() (hits, misses int64) {
+	return memoStats.hits.Load(), memoStats.misses.Load()
+}
+
+// ResetPathMemoCounters zeroes the memo counters (test isolation).
+func ResetPathMemoCounters() {
+	memoStats.hits.Store(0)
+	memoStats.misses.Store(0)
+}
+
+// memoNode is one LRU entry: a source satellite and its settled tree, linked
+// into a recency list (head = most recent).
+type memoNode struct {
+	src        SatID
+	tree       *routing.SPTree
+	prev, next *memoNode
+}
+
+// pathMemo is a bounded, mutex-guarded LRU from source SatID to shortest-path
+// tree. Trees are computed outside the lock — a duplicate computation during
+// a race is harmless because trees are deterministic, and it keeps Dijkstra
+// latency out of the critical section.
+type pathMemo struct {
+	mu         sync.Mutex
+	nodes      map[SatID]*memoNode
+	head, tail *memoNode
+}
+
+// lookup returns the memoized tree for src, refreshing its recency.
+func (m *pathMemo) lookup(src SatID) (*routing.SPTree, bool) {
+	m.mu.Lock()
+	nd := m.nodes[src]
+	if nd == nil {
+		m.mu.Unlock()
+		return nil, false
+	}
+	m.moveToFront(nd)
+	t := nd.tree
+	m.mu.Unlock()
+	return t, true
+}
+
+// insert memoizes a freshly computed tree, evicting the least recently used
+// entry beyond capacity. If a racing goroutine inserted src first, the
+// existing entry is kept (both trees are identical).
+func (m *pathMemo) insert(src SatID, t *routing.SPTree) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nodes == nil {
+		m.nodes = make(map[SatID]*memoNode, pathMemoCap)
+	}
+	if nd := m.nodes[src]; nd != nil {
+		m.moveToFront(nd)
+		return
+	}
+	nd := &memoNode{src: src, tree: t}
+	m.nodes[src] = nd
+	m.pushFront(nd)
+	if len(m.nodes) > pathMemoCap {
+		lru := m.tail
+		m.unlink(lru)
+		delete(m.nodes, lru.src)
+	}
+}
+
+func (m *pathMemo) pushFront(nd *memoNode) {
+	nd.prev = nil
+	nd.next = m.head
+	if m.head != nil {
+		m.head.prev = nd
+	}
+	m.head = nd
+	if m.tail == nil {
+		m.tail = nd
+	}
+}
+
+func (m *pathMemo) unlink(nd *memoNode) {
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		m.head = nd.next
+	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		m.tail = nd.prev
+	}
+	nd.prev, nd.next = nil, nil
+}
+
+func (m *pathMemo) moveToFront(nd *memoNode) {
+	if m.head == nd {
+		return
+	}
+	m.unlink(nd)
+	m.pushFront(nd)
+}
+
+// PathTree returns the single-source shortest-path tree over the snapshot's
+// ISL graph rooted at src, memoized per snapshot: every client resolving
+// through the same uplink satellite shares one Dijkstra run. Returns nil when
+// src is out of range.
+func (s *Snapshot) PathTree(src SatID) *routing.SPTree {
+	if t, ok := s.memo.lookup(src); ok {
+		memoStats.hits.Add(1)
+		return t
+	}
+	memoStats.misses.Add(1)
+	t := s.ISLGraph().SPTreeFrom(routing.NodeID(src))
+	if t != nil {
+		s.memo.insert(src, t)
+	}
+	return t
+}
+
+// PathTreeWithin returns a tree whose entries are exact for every node with
+// distance at most maxCost from src. A memoized full tree satisfies any
+// bound and is served directly; on a miss, a cost-bounded Dijkstra runs
+// without populating the memo (bounded trees must not masquerade as full
+// ones). Returns nil when src is out of range.
+func (s *Snapshot) PathTreeWithin(src SatID, maxCost float64) *routing.SPTree {
+	if t, ok := s.memo.lookup(src); ok {
+		memoStats.hits.Add(1)
+		return t
+	}
+	memoStats.misses.Add(1)
+	return s.ISLGraph().SPTreeFromWithin(routing.NodeID(src), maxCost)
+}

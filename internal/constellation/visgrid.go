@@ -1,0 +1,293 @@
+package constellation
+
+import (
+	"math"
+	"sort"
+
+	"spacecdn/internal/geo"
+)
+
+// visGrid is a lat/lon cell index over the snapshot's satellite sub-points.
+// Ground visibility queries against 1,584 satellites used to scan all of
+// them; the coverage cone of a 550 km satellite above a 25 degree mask spans
+// under ten degrees of central angle, so only a handful of grid cells can
+// hold visible satellites. The grid maps a ground point to those cells with
+// conservative spherical bounds and re-checks each candidate with the exact
+// slant/elevation predicate, so query results are identical to the full scan.
+//
+// Layout is a counting sort: cell (r, c) owns sats[start[r*cols+c] :
+// start[r*cols+c+1]], ids ascending within a cell. The grid is immutable
+// after build and shared by concurrent readers.
+type visGrid struct {
+	rows, cols       int
+	latStep, lonStep float64 // degrees per cell
+	start            []int32 // len rows*cols+1 prefix offsets into sats
+	sats             []int32
+	minR, maxR       float64 // satellite orbital radius bounds, km
+}
+
+// visGridRows/Cols give 10 degree cells: 648 cells for the sphere, a few
+// satellites per cell at Starlink Shell 1 density, and candidate windows of
+// roughly a dozen cells per query.
+const (
+	visGridRows = 18
+	visGridCols = 36
+)
+
+// visGridLazy builds the grid on first use; concurrent first callers share
+// one build.
+func (s *Snapshot) visGridLazy() *visGrid {
+	s.gridOnce.Do(func() { s.grid = buildVisGrid(s) })
+	return s.grid
+}
+
+func buildVisGrid(s *Snapshot) *visGrid {
+	g := &visGrid{
+		rows:    visGridRows,
+		cols:    visGridCols,
+		latStep: 180.0 / visGridRows,
+		lonStep: 360.0 / visGridCols,
+		minR:    math.Inf(1),
+	}
+	n := len(s.pos)
+	cell := make([]int32, n)
+	g.start = make([]int32, g.rows*g.cols+1)
+	for i, p := range s.pos {
+		r := p.Norm()
+		if r < g.minR {
+			g.minR = r
+		}
+		if r > g.maxR {
+			g.maxR = r
+		}
+		pt := p.ToPoint()
+		cell[i] = int32(g.cellIndex(pt.LatDeg, pt.LonDeg))
+		g.start[cell[i]+1]++
+	}
+	for i := 1; i < len(g.start); i++ {
+		g.start[i] += g.start[i-1]
+	}
+	g.sats = make([]int32, n)
+	fill := make([]int32, g.rows*g.cols)
+	for i := 0; i < n; i++ {
+		c := cell[i]
+		g.sats[g.start[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+	return g
+}
+
+// cellIndex maps a sub-point to its cell, clamping the boundary cases
+// (lat = 90, lon = 180) into the last row/column.
+func (g *visGrid) cellIndex(latDeg, lonDeg float64) int {
+	r := int((latDeg + 90) / g.latStep)
+	if r < 0 {
+		r = 0
+	} else if r >= g.rows {
+		r = g.rows - 1
+	}
+	c := int((lonDeg + 180) / g.lonStep)
+	if c < 0 {
+		c = 0
+	} else if c >= g.cols {
+		c = g.cols - 1
+	}
+	return r*g.cols + c
+}
+
+// maxCentralAngleRad returns the largest possible central angle between a
+// ground point at radius rg and the sub-point of any satellite within
+// maxSlant km. From the chord law d^2 = rg^2 + rs^2 - 2*rg*rs*cos(A), the
+// bound must hold for every satellite radius rs in [minR, maxR]; cos(A) is
+// minimized at the interval endpoints or at the interior critical point
+// rs = sqrt(rg^2 - d^2).
+func (g *visGrid) maxCentralAngleRad(rg, maxSlant float64) float64 {
+	if g.maxR == 0 {
+		return 0 // empty constellation
+	}
+	worst := 1.0
+	eval := func(rs float64) {
+		if c := (rg*rg + rs*rs - maxSlant*maxSlant) / (2 * rg * rs); c < worst {
+			worst = c
+		}
+	}
+	eval(g.minR)
+	eval(g.maxR)
+	if crit := math.Sqrt(math.Max(0, rg*rg-maxSlant*maxSlant)); crit > g.minR && crit < g.maxR {
+		eval(crit)
+	}
+	if worst < -1 {
+		worst = -1
+	} else if worst > 1 {
+		worst = 1
+	}
+	return math.Acos(worst)
+}
+
+// chordLowerBoundKm returns the smallest possible straight-line distance from
+// a ground point at radius rg to any satellite whose central angle exceeds
+// lamRad. Minimizing d^2(rs) = rg^2 + rs^2 - 2*rg*rs*cos(lam) over
+// rs in [minR, maxR]: the critical point is rs = rg*cos(lam).
+func (g *visGrid) chordLowerBoundKm(rg, lamRad float64) float64 {
+	cosLam := math.Cos(lamRad)
+	best := math.Inf(1)
+	eval := func(rs float64) {
+		if d2 := rg*rg + rs*rs - 2*rg*rs*cosLam; d2 < best {
+			best = d2
+		}
+	}
+	eval(g.minR)
+	eval(g.maxR)
+	if crit := rg * cosLam; crit > g.minR && crit < g.maxR {
+		eval(crit)
+	}
+	return math.Sqrt(math.Max(0, best))
+}
+
+// forEachCandidate yields every satellite whose sub-point could lie within
+// lamRad central angle of the ground point. The latitude band is exact; the
+// per-row longitude half-width follows from the haversine identity
+// hav(A) >= cos(lat1)*cos(lat2)*hav(dLon), taken conservatively over the
+// row's latitude range (rows touching a pole widen to the full circle).
+// Candidates are a superset — callers re-check each one exactly.
+func (g *visGrid) forEachCandidate(latDeg, lonDeg, lamRad float64, yield func(int32)) {
+	lamDeg := lamRad * 180 / math.Pi
+	r0 := int(math.Floor((latDeg - lamDeg + 90) / g.latStep))
+	if r0 < 0 {
+		r0 = 0
+	}
+	r1 := int(math.Floor((latDeg + lamDeg + 90) / g.latStep))
+	if r1 >= g.rows {
+		r1 = g.rows - 1
+	}
+	cosG := math.Cos(latDeg * math.Pi / 180)
+	sinHalf := math.Sin(lamRad / 2)
+	c0 := int((lonDeg + 180) / g.lonStep)
+	if c0 < 0 {
+		c0 = 0
+	} else if c0 >= g.cols {
+		c0 = g.cols - 1
+	}
+	for r := r0; r <= r1; r++ {
+		bandLo := -90 + float64(r)*g.latStep
+		bandHi := bandLo + g.latStep
+		minCos := math.Min(math.Cos(bandLo*math.Pi/180), math.Cos(bandHi*math.Pi/180))
+		span := g.cols // cells on each side of c0; cols means the full circle
+		if denom := cosG * minCos; denom > 1e-12 {
+			if q := sinHalf / math.Sqrt(denom); q < 1 {
+				dLonDeg := 2 * math.Asin(q) * 180 / math.Pi
+				span = int(dLonDeg/g.lonStep) + 1
+			}
+		}
+		if 2*span+1 >= g.cols {
+			for c := 0; c < g.cols; c++ {
+				g.yieldCell(r, c, yield)
+			}
+			continue
+		}
+		for dc := -span; dc <= span; dc++ {
+			c := c0 + dc
+			if c < 0 {
+				c += g.cols
+			} else if c >= g.cols {
+				c -= g.cols
+			}
+			g.yieldCell(r, c, yield)
+		}
+	}
+}
+
+func (g *visGrid) yieldCell(r, c int, yield func(int32)) {
+	idx := r*g.cols + c
+	for _, id := range g.sats[g.start[idx]:g.start[idx+1]] {
+		yield(id)
+	}
+}
+
+// visible implements Snapshot.Visible. Candidates are collected, restored to
+// ascending id order (the full scan's iteration order), filtered with the
+// exact predicate, and sorted with the same comparator — so the output slice
+// is element-for-element identical to VisibleScan's.
+func (g *visGrid) visible(s *Snapshot, ground geo.Point) []VisibleSat {
+	gv := ground.ToECEF()
+	maxSlant := geo.SlantRangeKm(s.c.cfg.Walker.AltitudeKm, s.c.cfg.MinElevationDeg)
+	lam := g.maxCentralAngleRad(gv.Norm(), maxSlant)
+	var cand []int32
+	g.forEachCandidate(ground.LatDeg, ground.LonDeg, lam, func(id int32) {
+		cand = append(cand, id)
+	})
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	var out []VisibleSat
+	for _, id := range cand {
+		p := s.pos[id]
+		d := p.Sub(gv).Norm()
+		if d > maxSlant {
+			continue
+		}
+		el := geo.ElevationDeg(gv, p)
+		if el >= s.c.cfg.MinElevationDeg {
+			out = append(out, VisibleSat{ID: SatID(id), ElevationDeg: el, SlantKm: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ElevationDeg > out[j].ElevationDeg })
+	return out
+}
+
+// bestVisible implements Snapshot.BestVisible without allocating: it tracks
+// the running best over the candidate cells instead of materializing and
+// sorting the visible set. Strictly higher elevation wins; exact elevation
+// ties (measure zero for real geometry) break toward the lower id.
+func (g *visGrid) bestVisible(s *Snapshot, ground geo.Point) (VisibleSat, bool) {
+	gv := ground.ToECEF()
+	maxSlant := geo.SlantRangeKm(s.c.cfg.Walker.AltitudeKm, s.c.cfg.MinElevationDeg)
+	lam := g.maxCentralAngleRad(gv.Norm(), maxSlant)
+	best := VisibleSat{ID: -1}
+	g.forEachCandidate(ground.LatDeg, ground.LonDeg, lam, func(id int32) {
+		p := s.pos[id]
+		d := p.Sub(gv).Norm()
+		if d > maxSlant {
+			return
+		}
+		el := geo.ElevationDeg(gv, p)
+		if el < s.c.cfg.MinElevationDeg {
+			return
+		}
+		if best.ID < 0 || el > best.ElevationDeg || (el == best.ElevationDeg && SatID(id) < best.ID) {
+			best = VisibleSat{ID: SatID(id), ElevationDeg: el, SlantKm: d}
+		}
+	})
+	if best.ID < 0 {
+		return VisibleSat{}, false
+	}
+	return best, true
+}
+
+// nearest implements Snapshot.Nearest: an expanding angular window around the
+// ground point. The search stops once the best candidate's chord distance is
+// provably smaller than anything outside the window; a strict-less comparison
+// with lower-id tie-break reproduces the full scan's first-minimum choice.
+func (g *visGrid) nearest(s *Snapshot, ground geo.Point) VisibleSat {
+	gv := ground.ToECEF()
+	rg := gv.Norm()
+	lam := 1.5 * g.latStep * math.Pi / 180
+	for {
+		bestID := int32(-1)
+		bestD := math.Inf(1)
+		g.forEachCandidate(ground.LatDeg, ground.LonDeg, lam, func(id int32) {
+			d := s.pos[id].Sub(gv).Norm()
+			if d < bestD || (d == bestD && id < bestID) {
+				bestID, bestD = id, d
+			}
+		})
+		if bestID >= 0 && bestD <= g.chordLowerBoundKm(rg, lam) {
+			return VisibleSat{ID: SatID(bestID), SlantKm: bestD, ElevationDeg: geo.ElevationDeg(gv, s.pos[bestID])}
+		}
+		if lam >= math.Pi { // whole sphere scanned
+			if bestID < 0 {
+				return VisibleSat{ID: -1, SlantKm: math.Inf(1)}
+			}
+			return VisibleSat{ID: SatID(bestID), SlantKm: bestD, ElevationDeg: geo.ElevationDeg(gv, s.pos[bestID])}
+		}
+		lam *= 2
+	}
+}

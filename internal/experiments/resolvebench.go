@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+)
+
+// ResolveBenchResult compares the accelerated single-worker resolve path
+// against the preserved naive pipeline over the same request stream and seed.
+// CI runs this (experiment id "resolve-bench") and uploads the JSON as a
+// build artifact next to BENCH_parallel.json, so every commit records both
+// the speedup and the steady-state allocation count on the runner.
+type ResolveBenchResult struct {
+	Requests       int     // batch size timed per run
+	NaiveReqPerSec float64 // ResolveReference throughput, one worker
+	AccelReqPerSec float64 // Resolve throughput, one worker
+	Speedup        float64 // AccelReqPerSec / NaiveReqPerSec
+
+	NaiveAllocsPerOp float64 // heap allocations per naive resolve (full mix)
+	AccelAllocsPerOp float64 // heap allocations per accelerated resolve (full mix)
+
+	// SteadyRequests / SteadyAllocsPerOp cover only the warm overhead and
+	// ISL resolutions (the ground stage legitimately allocates a path). The
+	// acceptance bar is SteadyAllocsPerOp == 0 with telemetry detached.
+	SteadyRequests    int
+	SteadyAllocsPerOp float64
+
+	Identical bool // accelerated results matched the naive pipeline exactly
+}
+
+// ResolveBench times the accelerated and naive resolve pipelines over the
+// workload's hot/warm/cold request mix. The system is built without
+// telemetry so the allocation counts measure the resolve path itself. The
+// benchmark doubles as an equivalence check: both pipelines must return
+// identical Resolution streams or it fails.
+func (s *Suite) ResolveBench() (ResolveBenchResult, error) {
+	// Deliberately not s.newSystem: telemetry must stay detached so the
+	// steady-state allocation measurement reflects the resolve path alone.
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), s.Env.Constellation, s.Env.LSN)
+	if err != nil {
+		return ResolveBenchResult{}, err
+	}
+	hot := content.Object{ID: "rb-hot", Bytes: 64 << 20, Region: geo.RegionEurope}
+	warm := content.Object{ID: "rb-warm", Bytes: 256 << 20, Region: geo.RegionEurope}
+	cold := content.Object{ID: "rb-cold", Bytes: 1 << 30, Region: geo.RegionEurope}
+	if _, err := spacecdn.Apply(sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 1}, warm); err != nil {
+		return ResolveBenchResult{}, err
+	}
+	snap := s.Env.Snapshot(0)
+	cities := s.clientCities()
+	base := make([]spacecdn.Request, 0, 3*len(cities))
+	for _, city := range cities {
+		up, ok := snap.BestVisible(city.Loc)
+		if !ok {
+			// High-latitude cities outside the shell's coverage cannot
+			// resolve at all; keep the benchmark stream error-free.
+			continue
+		}
+		sys.Store(up.ID, hot)
+		// 3:2:1 hot:warm:cold — five of six requests are cache-served
+		// (overhead or ISL), matching a healthy CDN hit ratio; the sixth
+		// exercises the ground fallback, which both pipelines share.
+		for _, o := range []content.Object{hot, hot, hot, warm, warm, cold} {
+			base = append(base, spacecdn.Request{Client: city.Loc, ISO2: city.Country, Obj: o})
+		}
+	}
+	target := 5000
+	if s.Fast {
+		target = 1200
+	}
+	reqs := make([]spacecdn.Request, 0, target)
+	for len(reqs) < target {
+		reqs = append(reqs, base...)
+	}
+	reqs = reqs[:target]
+
+	// Warm every lazy layer — ISL graph, visibility grid, path memo, scratch
+	// pools — so neither timed run pays first-touch costs, and collect the
+	// per-request sources for the steady-state subset.
+	naiveWarm := make([]spacecdn.Resolution, len(reqs))
+	rng := stats.NewRand(s.Seed)
+	for i, r := range reqs {
+		if naiveWarm[i], err = sys.ResolveReference(r.Client, r.ISO2, r.Obj, snap, rng); err != nil {
+			return ResolveBenchResult{}, err
+		}
+	}
+	accelWarm := make([]spacecdn.Resolution, len(reqs))
+	rng = stats.NewRand(s.Seed)
+	for i, r := range reqs {
+		if accelWarm[i], err = sys.Resolve(r.Client, r.ISO2, r.Obj, snap, rng); err != nil {
+			return ResolveBenchResult{}, err
+		}
+	}
+	res := ResolveBenchResult{Requests: len(reqs), Identical: true}
+	for i := range reqs {
+		if naiveWarm[i] != accelWarm[i] {
+			res.Identical = false
+			return res, fmt.Errorf("experiments: accelerated resolve diverged from naive at request %d: %+v != %+v",
+				i, accelWarm[i], naiveWarm[i])
+		}
+	}
+
+	timeRun := func(resolve func(spacecdn.Request, *stats.Rand) error) (float64, float64, error) {
+		rng := stats.NewRand(s.Seed)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for _, r := range reqs {
+			if err := resolve(r, rng); err != nil {
+				return 0, 0, err
+			}
+		}
+		dur := time.Since(start)
+		runtime.ReadMemStats(&after)
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(len(reqs))
+		return float64(len(reqs)) / dur.Seconds(), allocs, nil
+	}
+	res.NaiveReqPerSec, res.NaiveAllocsPerOp, err = timeRun(func(r spacecdn.Request, rng *stats.Rand) error {
+		_, err := sys.ResolveReference(r.Client, r.ISO2, r.Obj, snap, rng)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.AccelReqPerSec, res.AccelAllocsPerOp, err = timeRun(func(r spacecdn.Request, rng *stats.Rand) error {
+		_, err := sys.Resolve(r.Client, r.ISO2, r.Obj, snap, rng)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Speedup = res.AccelReqPerSec / res.NaiveReqPerSec
+
+	// Steady state: warm overhead and ISL requests only, telemetry detached.
+	var steady []spacecdn.Request
+	for i, r := range reqs {
+		if accelWarm[i].Source == spacecdn.SourceOverhead || accelWarm[i].Source == spacecdn.SourceISL {
+			steady = append(steady, r)
+		}
+	}
+	res.SteadyRequests = len(steady)
+	if len(steady) > 0 {
+		rng := stats.NewRand(s.Seed)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for _, r := range steady {
+			if _, err := sys.Resolve(r.Client, r.ISO2, r.Obj, snap, rng); err != nil {
+				return res, err
+			}
+		}
+		runtime.ReadMemStats(&after)
+		res.SteadyAllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(len(steady))
+	}
+	return res, nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestResolveBench(t *testing.T) {
+	s := testSuite(t)
+	res, err := s.ResolveBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("accelerated pipeline diverged from naive reference")
+	}
+	if res.Requests == 0 || res.NaiveReqPerSec <= 0 || res.AccelReqPerSec <= 0 {
+		t.Fatalf("degenerate throughput result: %+v", res)
+	}
+	if res.SteadyRequests == 0 {
+		t.Fatal("no warm overhead/ISL requests in the steady-state subset")
+	}
+	// The acceptance bar: zero allocations per steady-state resolve with
+	// telemetry detached. Exact, not approximate — any regression that
+	// reintroduces a per-request allocation fails here. (Race
+	// instrumentation allocates on the hot path, so only the plain build
+	// enforces it.)
+	if !raceEnabled && res.SteadyAllocsPerOp != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", res.SteadyAllocsPerOp)
+	}
+	// Speedup is hardware-dependent; require only that acceleration does not
+	// make the single-worker path slower. The >=3x bar is checked on the CI
+	// artifact where run conditions are controlled.
+	if res.Speedup < 1 {
+		t.Errorf("accelerated pipeline slower than naive: speedup %.2f", res.Speedup)
+	}
+}

@@ -201,15 +201,17 @@ func (m *Model) resolvePath(client geo.Point, iso2 string, snap *constellation.S
 		return Path{}, fmt.Errorf("%w: no station of PoP %s has coverage", ErrNoVisibility, pop.Name)
 	}
 
-	g := snap.ISLGraph()
 	best := Path{}
 	bestCost := time.Duration(1<<63 - 1)
 	found := false
 	for _, up := range ups {
-		dist := g.ShortestPathsFrom(routing.NodeID(up.ID)) // ms
+		// The snapshot memoizes one shortest-path tree per uplink satellite,
+		// so repeated resolves through the same serving satellite — every
+		// client in a city — price their candidates off a single Dijkstra.
+		tree := snap.PathTree(up.ID)
 		for _, gi := range gss {
 			for _, down := range gi.vis {
-				islMs := dist[down.ID]
+				islMs := tree.Dist(routing.NodeID(down.ID))
 				if math.IsInf(islMs, 1) {
 					continue
 				}
@@ -236,9 +238,8 @@ func (m *Model) resolvePath(client geo.Point, iso2 string, snap *constellation.S
 		return Path{}, fmt.Errorf("%w: no ISL route to PoP %s", ErrNoVisibility, pop.Name)
 	}
 	if best.UpSat != best.DownSat {
-		sp, ok := g.ShortestPath(routing.NodeID(best.UpSat), routing.NodeID(best.DownSat))
-		if ok {
-			best.ISLHops = sp.Hops()
+		if hops, ok := snap.PathTree(best.UpSat).HopsTo(routing.NodeID(best.DownSat)); ok {
+			best.ISLHops = hops
 		}
 	}
 	return best, nil

@@ -5,7 +5,6 @@
 package routing
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -66,7 +65,8 @@ type Edge struct {
 
 // Graph is an adjacency-list weighted graph over nodes 0..N-1.
 type Graph struct {
-	adj [][]Edge
+	adj  [][]Edge
+	maxW float64 // largest edge weight added; bounds any h-hop path at h*maxW
 }
 
 // NewGraph creates a graph with n nodes and no edges.
@@ -89,8 +89,16 @@ func (g *Graph) AddEdge(from, to NodeID, w float64) {
 	if w < 0 || math.IsNaN(w) {
 		panic(fmt.Sprintf("routing: invalid edge weight %v", w))
 	}
+	if w > g.maxW {
+		g.maxW = w
+	}
 	g.adj[from] = append(g.adj[from], Edge{To: to, Weight: w})
 }
+
+// MaxEdgeWeight returns the largest edge weight in the graph (0 for an
+// edgeless graph). Any path of h hops costs at most h*MaxEdgeWeight, which
+// makes it the natural cost bound for hop-limited bounded searches.
+func (g *Graph) MaxEdgeWeight() float64 { return g.maxW }
 
 // AddUndirected adds the edge in both directions with the same weight.
 func (g *Graph) AddUndirected(a, b NodeID, w float64) {
@@ -130,97 +138,94 @@ func (p Path) Hops() int {
 	return len(p.Nodes) - 1
 }
 
-// item is a priority-queue entry for Dijkstra.
-type item struct {
-	node NodeID
-	dist float64
-}
-
-type pq []item
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // ShortestPath runs Dijkstra from src to dst and returns the minimum-weight
 // path. ok is false when dst is unreachable or either node is out of range.
 func (g *Graph) ShortestPath(src, dst NodeID) (Path, bool) {
-	dist, prev := g.dijkstra(src, dst)
-	if dist == nil {
+	n := len(g.adj)
+	if src < 0 || int(src) >= n {
 		return Path{}, false
 	}
-	if math.IsInf(dist[dst], 1) {
+	sc := getScratch(n)
+	defer putScratch(sc)
+	g.runDijkstra(sc, src, dst, math.Inf(1))
+	if math.IsInf(sc.distAt(int32(dst)), 1) {
 		return Path{}, false
 	}
-	return reconstruct(prev, src, dst, dist[dst]), true
+	return sc.pathTo(src, dst), true
 }
 
 // ShortestPathsFrom runs Dijkstra from src to every node and returns the
 // distance slice (math.Inf(1) for unreachable nodes). Returns nil when src is
 // out of range.
 func (g *Graph) ShortestPathsFrom(src NodeID) []float64 {
-	dist, _ := g.dijkstra(src, -1)
+	n := len(g.adj)
+	if src < 0 || int(src) >= n {
+		return nil
+	}
+	sc := getScratch(n)
+	defer putScratch(sc)
+	g.runDijkstra(sc, src, -1, math.Inf(1))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sc.distAt(int32(i))
+	}
 	return dist
 }
 
-func (g *Graph) dijkstra(src, stopAt NodeID) (dist []float64, prev []NodeID) {
-	n := len(g.adj)
-	if src < 0 || int(src) >= n {
-		return nil, nil
-	}
+// runDijkstra executes Dijkstra from src into the scratch arena. It stops
+// early when stopAt is settled (pass -1 to settle everything) or when the
+// frontier's distance exceeds maxCost (pass +Inf for no bound); because pops
+// are non-decreasing, every node whose true distance is within the bound is
+// settled — with the exact distance and predecessor the unbounded run would
+// produce — before the cutoff triggers. The caller must own sc and read
+// results through the same epoch.
+func (g *Graph) runDijkstra(sc *scratch, src, stopAt NodeID, maxCost float64) {
 	start := time.Now()
 	defer func() {
 		ops.dijkstras.Add(1)
 		ops.dijkstraNanos.Add(int64(time.Since(start)))
 	}()
-	dist = make([]float64, n)
-	prev = make([]NodeID, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	dist[src] = 0
-	q := &pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(item)
-		if it.dist > dist[it.node] {
+	sc.mark(int32(src), 0, -1)
+	sc.hpush(int32(src), 0)
+	for len(sc.heap) > 0 {
+		it := sc.hpop()
+		if it.dist > maxCost {
+			return
+		}
+		if it.dist > sc.dist[it.node] {
 			continue // stale entry
 		}
-		if it.node == stopAt {
-			return dist, prev
+		if NodeID(it.node) == stopAt {
+			return
 		}
 		for _, e := range g.adj[it.node] {
-			if nd := it.dist + e.Weight; nd < dist[e.To] {
-				dist[e.To] = nd
-				prev[e.To] = it.node
-				heap.Push(q, item{node: e.To, dist: nd})
+			to := int32(e.To)
+			if nd := it.dist + e.Weight; !sc.seen(to) || nd < sc.dist[to] {
+				sc.mark(to, nd, it.node)
+				sc.hpush(to, nd)
 			}
 		}
 	}
-	return dist, prev
 }
 
-func reconstruct(prev []NodeID, src, dst NodeID, cost float64) Path {
-	var rev []NodeID
-	for at := dst; at != -1; at = prev[at] {
-		rev = append(rev, at)
-		if at == src {
+// pathTo materializes the predecessor chain ending at dst as a Path. It
+// walks the chain twice — once to count, once to fill — so the result is a
+// single exact-size allocation.
+func (sc *scratch) pathTo(src, dst NodeID) Path {
+	steps := 1
+	for at := int32(dst); NodeID(at) != src && sc.prev[at] != -1; at = sc.prev[at] {
+		steps++
+	}
+	nodes := make([]NodeID, steps)
+	at := int32(dst)
+	for i := steps - 1; ; i-- {
+		nodes[i] = NodeID(at)
+		if NodeID(at) == src || sc.prev[at] == -1 {
 			break
 		}
+		at = sc.prev[at]
 	}
-	nodes := make([]NodeID, len(rev))
-	for i, n := range rev {
-		nodes[len(rev)-1-i] = n
-	}
-	return Path{Nodes: nodes, Cost: cost}
+	return Path{Nodes: nodes, Cost: sc.dist[dst]}
 }
 
 // HopResult describes a node found by bounded-hop search.
@@ -240,22 +245,24 @@ func (g *Graph) WithinHops(src NodeID, maxHops int) []HopResult {
 		ops.bfsSearches.Add(1)
 		ops.bfsNanos.Add(int64(time.Since(start)))
 	}()
-	visited := make([]bool, len(g.adj))
-	visited[src] = true
+	sc := getScratch(len(g.adj))
+	defer putScratch(sc)
+	sc.mark(int32(src), 0, -1)
+	sc.queue = append(sc.queue, int32(src))
 	out := []HopResult{{Node: src, Hops: 0}}
-	frontier := []NodeID{src}
-	for h := 1; h <= maxHops && len(frontier) > 0; h++ {
-		var next []NodeID
-		for _, n := range frontier {
-			for _, e := range g.adj[n] {
-				if !visited[e.To] {
-					visited[e.To] = true
+	head := 0
+	for h := 1; h <= maxHops && head < len(sc.queue); h++ {
+		levelEnd := len(sc.queue)
+		for ; head < levelEnd; head++ {
+			for _, e := range g.adj[sc.queue[head]] {
+				to := int32(e.To)
+				if !sc.seen(to) {
+					sc.mark(to, float64(h), -1)
 					out = append(out, HopResult{Node: e.To, Hops: h})
-					next = append(next, e.To)
+					sc.queue = append(sc.queue, to)
 				}
 			}
 		}
-		frontier = next
 	}
 	return out
 }
@@ -276,24 +283,26 @@ func (g *Graph) NearestMatch(src NodeID, maxHops int, match func(NodeID) bool) (
 	if match(src) {
 		return HopResult{Node: src, Hops: 0}, true
 	}
-	visited := make([]bool, len(g.adj))
-	visited[src] = true
-	frontier := []NodeID{src}
-	for h := 1; h <= maxHops && len(frontier) > 0; h++ {
-		var next []NodeID
-		for _, n := range frontier {
-			for _, e := range g.adj[n] {
-				if visited[e.To] {
+	sc := getScratch(len(g.adj))
+	defer putScratch(sc)
+	sc.mark(int32(src), 0, -1)
+	sc.queue = append(sc.queue, int32(src))
+	head := 0
+	for h := 1; h <= maxHops && head < len(sc.queue); h++ {
+		levelEnd := len(sc.queue)
+		for ; head < levelEnd; head++ {
+			for _, e := range g.adj[sc.queue[head]] {
+				to := int32(e.To)
+				if sc.seen(to) {
 					continue
 				}
-				visited[e.To] = true
+				sc.mark(to, float64(h), -1)
 				if match(e.To) {
 					return HopResult{Node: e.To, Hops: h}, true
 				}
-				next = append(next, e.To)
+				sc.queue = append(sc.queue, to)
 			}
 		}
-		frontier = next
 	}
 	return HopResult{}, false
 }

@@ -1,0 +1,99 @@
+package routing
+
+import "math"
+
+// SPTree is a materialized single-source shortest-path tree: the distances
+// and predecessors Dijkstra settles from one source. It is immutable once
+// built and safe for concurrent readers, which makes it the unit of sharing
+// for per-snapshot memoization — every request resolving through the same
+// uplink satellite prices its candidate paths off one shared tree instead of
+// re-running Dijkstra.
+type SPTree struct {
+	src  NodeID
+	dist []float64 // +Inf where unreachable (or beyond a build bound)
+	prev []int32   // -1 where no predecessor
+}
+
+// SPTreeFrom runs Dijkstra from src over the whole graph and returns the
+// settled tree. Returns nil when src is out of range.
+func (g *Graph) SPTreeFrom(src NodeID) *SPTree {
+	return g.SPTreeFromWithin(src, math.Inf(1))
+}
+
+// SPTreeFromWithin is the cost-bounded variant of SPTreeFrom: the search
+// stops expanding once the frontier exceeds maxCost. Every node whose true
+// distance is at most maxCost carries the exact distance and predecessor the
+// unbounded run would produce; nodes beyond the bound read as unreachable.
+// Use it when the caller can bound the interesting radius — e.g. pricing an
+// n-hop neighbourhood costs at most n*MaxEdgeWeight.
+func (g *Graph) SPTreeFromWithin(src NodeID, maxCost float64) *SPTree {
+	n := len(g.adj)
+	if src < 0 || int(src) >= n {
+		return nil
+	}
+	sc := getScratch(n)
+	defer putScratch(sc)
+	g.runDijkstra(sc, src, -1, maxCost)
+	t := &SPTree{src: src, dist: make([]float64, n), prev: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		if sc.seen(int32(i)) {
+			t.dist[i] = sc.dist[i]
+			t.prev[i] = sc.prev[i]
+		} else {
+			t.dist[i] = math.Inf(1)
+			t.prev[i] = -1
+		}
+	}
+	return t
+}
+
+// Src returns the tree's source node.
+func (t *SPTree) Src() NodeID { return t.src }
+
+// Len returns the number of nodes the tree covers.
+func (t *SPTree) Len() int { return len(t.dist) }
+
+// Dist returns the settled distance from the source to n, or +Inf when n is
+// unreachable, beyond the build bound, or out of range.
+func (t *SPTree) Dist(n NodeID) float64 {
+	if n < 0 || int(n) >= len(t.dist) {
+		return math.Inf(1)
+	}
+	return t.dist[n]
+}
+
+// Reachable reports whether n was settled within the tree's bound.
+func (t *SPTree) Reachable(n NodeID) bool { return !math.IsInf(t.Dist(n), 1) }
+
+// HopsTo returns the edge count of the settled shortest path from the source
+// to n by walking the predecessor chain — no allocation. ok is false when n
+// is unreachable or out of range.
+func (t *SPTree) HopsTo(n NodeID) (int, bool) {
+	if !t.Reachable(n) {
+		return 0, false
+	}
+	hops := 0
+	for at := int32(n); NodeID(at) != t.src && t.prev[at] != -1; at = t.prev[at] {
+		hops++
+	}
+	return hops, true
+}
+
+// PathTo materializes the settled path from the source to n. ok is false
+// when n is unreachable or out of range.
+func (t *SPTree) PathTo(n NodeID) (Path, bool) {
+	hops, ok := t.HopsTo(n)
+	if !ok {
+		return Path{}, false
+	}
+	nodes := make([]NodeID, hops+1)
+	at := int32(n)
+	for i := hops; ; i-- {
+		nodes[i] = NodeID(at)
+		if NodeID(at) == t.src || t.prev[at] == -1 {
+			break
+		}
+		at = t.prev[at]
+	}
+	return Path{Nodes: nodes, Cost: t.dist[n]}, true
+}

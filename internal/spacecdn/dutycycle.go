@@ -2,9 +2,11 @@ package spacecdn
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"spacecdn/internal/constellation"
+	"spacecdn/internal/routing"
 )
 
 // DutyCycleConfig configures fractional caching (paper §5, Figure 8): in
@@ -37,6 +39,13 @@ func (c DutyCycleConfig) Validate() error {
 type DutyCycler struct {
 	cfg   DutyCycleConfig
 	total int
+
+	// Cached active set for one slot. A slot change allocates a fresh bitset
+	// rather than mutating in place, so readers holding the previous slot's
+	// set are never racing a writer.
+	mu   sync.Mutex
+	slot int64
+	set  routing.Bitset
 }
 
 // NewDutyCycler builds a duty cycler for a fleet of total satellites.
@@ -58,6 +67,27 @@ func (d *DutyCycler) Active(id constellation.SatID, t time.Duration) bool {
 	// Map to [0,1) and compare with the fraction.
 	u := float64(h>>11) / float64(1<<53)
 	return u < d.cfg.Fraction
+}
+
+// ActiveSet returns the bitset of satellites active at time t. Bit i equals
+// Active(i, t). The set is computed once per slot and cached; callers get an
+// immutable snapshot and must not mutate it. Repeated calls within one slot
+// allocate nothing.
+func (d *DutyCycler) ActiveSet(t time.Duration) routing.Bitset {
+	s := d.Slot(t)
+	d.mu.Lock()
+	if d.set == nil || d.slot != s {
+		set := routing.NewBitset(d.total)
+		for i := 0; i < d.total; i++ {
+			if d.Active(constellation.SatID(i), t) {
+				set.Set(i)
+			}
+		}
+		d.slot, d.set = s, set
+	}
+	out := d.set
+	d.mu.Unlock()
+	return out
 }
 
 // ActiveCount returns how many satellites are active at time t.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spacecdn/internal/cache"
+	"spacecdn/internal/constellation"
 	"spacecdn/internal/lsn"
 	"spacecdn/internal/routing"
 	"spacecdn/internal/telemetry"
@@ -81,6 +82,8 @@ func (s *System) SetTelemetry(t *telemetry.Telemetry) {
 	dijkstraMs := reg.Gauge("routing_dijkstra_ms_total")
 	bfs := reg.Gauge("routing_bfs_searches_total")
 	bfsMs := reg.Gauge("routing_bfs_ms_total")
+	memoHits := reg.Gauge("constellation_path_memo_hits_total")
+	memoMisses := reg.Gauge("constellation_path_memo_misses_total")
 	reg.RegisterCollector(func() {
 		m := s.Metrics()
 		fleetHits.Set(float64(m.Hits))
@@ -104,6 +107,9 @@ func (s *System) SetTelemetry(t *telemetry.Telemetry) {
 		dijkstraMs.Set(float64(ops.DijkstraNanos) / float64(time.Millisecond))
 		bfs.Set(float64(ops.BFSSearches))
 		bfsMs.Set(float64(ops.BFSNanos) / float64(time.Millisecond))
+		hits, misses := constellation.PathMemoCounters()
+		memoHits.Set(float64(hits))
+		memoMisses.Set(float64(misses))
 	})
 
 	if s.lsn != nil {

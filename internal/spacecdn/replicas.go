@@ -1,0 +1,85 @@
+package spacecdn
+
+import (
+	"sync"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/routing"
+)
+
+// replicaIndex maintains, per object, the bitset of satellites whose cache
+// currently holds it. The resolve hot path hands the bitset straight to
+// routing.NearestInSet, turning the replica search's per-node membership
+// probe from a virtual Peek call into a word test — and letting cold objects
+// (no replicas anywhere) skip the BFS entirely.
+//
+// The index is fed by cache membership listeners (cache.LRU.SetOnChange), so
+// it stays consistent with any mutation path: Store, Evict, capacity and
+// region evictions, and direct writes through System.CacheOf.
+//
+// Updates are copy-on-write: a membership flip clones the object's bitset,
+// mutates the clone, and publishes it under the write lock. Readers therefore
+// get an immutable snapshot they can scan without holding any lock while
+// other goroutines keep inserting and evicting. Membership changes are
+// placement traffic, orders of magnitude rarer than resolves, so the ~200 B
+// clone per flip is noise.
+type replicaIndex struct {
+	mu   sync.RWMutex
+	n    int // satellites in the fleet
+	sets map[cache.Key]routing.Bitset
+}
+
+func newReplicaIndex(n int) *replicaIndex {
+	return &replicaIndex{n: n, sets: make(map[cache.Key]routing.Bitset)}
+}
+
+// listener returns the membership callback for one satellite's cache. It runs
+// under that cache's mutex (see cache.LRU.SetOnChange), so it only flips the
+// index bit and returns.
+func (ri *replicaIndex) listener(sat int) func(cache.Key, bool) {
+	return func(k cache.Key, present bool) { ri.flip(k, sat, present) }
+}
+
+func (ri *replicaIndex) flip(k cache.Key, sat int, present bool) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	cur := ri.sets[k]
+	if present == cur.Test(sat) {
+		return // no transition (defensive; listeners only fire on transitions)
+	}
+	next := routing.NewBitset(ri.n)
+	copy(next, cur)
+	if present {
+		next.Set(sat)
+	} else {
+		next.Clear(sat)
+		if !next.Any() {
+			// Last replica gone: drop the entry so lookups of cold objects
+			// return nil and short-circuit the BFS.
+			delete(ri.sets, k)
+			return
+		}
+	}
+	ri.sets[k] = next
+}
+
+// bitset returns the object's replica set, or nil when no satellite holds it.
+// The returned bitset is immutable — concurrent flips publish fresh copies.
+func (ri *replicaIndex) bitset(k cache.Key) routing.Bitset {
+	ri.mu.RLock()
+	b := ri.sets[k]
+	ri.mu.RUnlock()
+	return b
+}
+
+// count returns the number of satellites holding the object.
+func (ri *replicaIndex) count(k cache.Key) int {
+	return ri.bitset(k).Count()
+}
+
+// reset drops every entry (cache wipe).
+func (ri *replicaIndex) reset() {
+	ri.mu.Lock()
+	ri.sets = make(map[cache.Key]routing.Bitset)
+	ri.mu.Unlock()
+}

@@ -115,26 +115,29 @@ func (s *System) resolve(client geo.Point, iso2 string, obj content.Object, snap
 		}, nil
 	}
 
-	// Stage 2: nearest caching satellite over ISLs within the hop bound.
+	// Stage 2: nearest caching satellite over ISLs within the hop bound. The
+	// replica index supplies the membership bitset (nil for cold objects,
+	// skipping the BFS entirely) and the duty cycler the active bitset, so
+	// the search probes words instead of calling Peek per visited node.
 	g := snap.ISLGraph()
-	match := func(n routing.NodeID) bool {
-		id := constellation.SatID(n)
-		return s.Active(id, t) && s.caches[int(id)].Peek(cache.Key(obj.ID))
-	}
-	if hit, ok := g.NearestMatch(routing.NodeID(up.ID), s.cfg.MaxISLSearchHops, match); ok {
+	members := s.replicas.bitset(cache.Key(obj.ID))
+	if hit, ok := g.NearestInSet(routing.NodeID(up.ID), s.cfg.MaxISLSearchHops, members, s.activeSet(t)); ok {
 		target := constellation.SatID(hit.Node)
-		islRTT, hops := s.islRoundTrip(g, up.ID, target)
-		// Count the hit on the serving satellite's cache.
-		s.caches[int(target)].Get(cache.Key(obj.ID))
-		if d != nil {
-			d.islRTT = islRTT
+		if islRTT, hops, reachable := s.islRoundTrip(snap, up.ID, target); reachable {
+			// Count the hit on the serving satellite's cache.
+			s.caches[int(target)].Get(cache.Key(obj.ID))
+			if d != nil {
+				d.islRTT = islRTT
+			}
+			return Resolution{
+				Source: SourceISL,
+				Sat:    target,
+				Hops:   hops,
+				RTT:    2*upDelay + islRTT + sched,
+			}, nil
 		}
-		return Resolution{
-			Source: SourceISL,
-			Sat:    target,
-			Hops:   hops,
-			RTT:    2*upDelay + islRTT + sched,
-		}, nil
+		// The replica is unreachable over ISLs (partitioned topology): fall
+		// through to the ground stage instead of pricing the fetch as free.
 	}
 
 	// Stage 3: ground fallback through the operator's PoP.
@@ -155,30 +158,96 @@ func (s *System) resolve(client geo.Point, iso2 string, obj content.Object, snap
 	}, nil
 }
 
+// ResolveReference is the pre-acceleration resolve pipeline, kept verbatim:
+// full-scan satellite visibility, a Peek-per-node BFS for the replica search,
+// and an unmemoized Dijkstra per pricing. It must produce the same Resolution
+// stream as Resolve for any input (the equivalence tests enforce this) and
+// serves as the baseline the resolve benchmark contrasts against. Telemetry
+// is not recorded; cache stats side effects match Resolve's exactly.
+func (s *System) ResolveReference(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand) (Resolution, error) {
+	up, ok := snap.BestVisibleScan(client)
+	if !ok {
+		return Resolution{}, fmt.Errorf("spacecdn: no satellite visible from %v", client)
+	}
+	t := snap.Time()
+	upDelay := orbit.PropagationDelay(up.SlantKm)
+	sched := s.schedDelay(rng)
+
+	if s.Active(up.ID, t) && s.cacheGet(up.ID, obj.ID) {
+		return Resolution{Source: SourceOverhead, Sat: up.ID, RTT: 2*upDelay + sched}, nil
+	}
+
+	g := snap.ISLGraph()
+	match := func(n routing.NodeID) bool {
+		id := constellation.SatID(n)
+		return s.Active(id, t) && s.caches[int(id)].Peek(cache.Key(obj.ID))
+	}
+	if hit, ok := g.NearestMatch(routing.NodeID(up.ID), s.cfg.MaxISLSearchHops, match); ok {
+		target := constellation.SatID(hit.Node)
+		if islRTT, hops, reachable := s.islRoundTripReference(g, up.ID, target); reachable {
+			s.caches[int(target)].Get(cache.Key(obj.ID))
+			return Resolution{
+				Source: SourceISL,
+				Sat:    target,
+				Hops:   hops,
+				RTT:    2*upDelay + islRTT + sched,
+			}, nil
+		}
+	}
+
+	if s.lsn == nil {
+		return Resolution{}, fmt.Errorf("spacecdn: no ground fallback configured and object %s not in space", obj.ID)
+	}
+	path, err := s.lsn.ResolvePath(client, iso2, snap)
+	if err != nil {
+		return Resolution{}, fmt.Errorf("spacecdn: ground fallback: %w", err)
+	}
+	return Resolution{Source: SourceGround, RTT: s.lsn.SampleRTTToPoP(path, rng)}, nil
+}
+
+// islRoundTripReference prices an ISL round trip with a direct ShortestPath
+// call — the unmemoized baseline for ResolveReference.
+func (s *System) islRoundTripReference(g *routing.Graph, from, to constellation.SatID) (time.Duration, int, bool) {
+	if from == to {
+		return 0, 0, true
+	}
+	p, ok := g.ShortestPath(routing.NodeID(from), routing.NodeID(to))
+	if !ok {
+		return 0, 0, false
+	}
+	d := time.Duration(p.Cost * float64(time.Millisecond))
+	d += time.Duration(float64(p.Hops()) * s.cfg.PerHopProcMs * float64(time.Millisecond))
+	return 2 * d, p.Hops(), true
+}
+
 // cacheGet performs a counted lookup.
 func (s *System) cacheGet(id constellation.SatID, obj content.ID) bool {
 	return s.caches[int(id)].Get(cache.Key(obj))
 }
 
 // islOneWay returns the one-way ISL latency (propagation plus per-hop
-// switching) and the hop count between two satellites on the cheapest path.
-func (s *System) islOneWay(g *routing.Graph, from, to constellation.SatID) (time.Duration, int) {
+// switching) and the hop count between two satellites on the cheapest path,
+// priced off the snapshot's memoized path tree. ok is false when to is
+// unreachable from from — callers must treat the replica as unusable and
+// fall through to the ground stage, never price it as free.
+func (s *System) islOneWay(snap *constellation.Snapshot, from, to constellation.SatID) (time.Duration, int, bool) {
 	if from == to {
-		return 0, 0
+		return 0, 0, true
 	}
-	p, ok := g.ShortestPath(routing.NodeID(from), routing.NodeID(to))
-	if !ok {
-		return 0, 0
+	tree := snap.PathTree(from)
+	if tree == nil || !tree.Reachable(routing.NodeID(to)) {
+		return 0, 0, false
 	}
-	d := time.Duration(p.Cost * float64(time.Millisecond))
-	d += time.Duration(float64(p.Hops()) * s.cfg.PerHopProcMs * float64(time.Millisecond))
-	return d, p.Hops()
+	hops, _ := tree.HopsTo(routing.NodeID(to))
+	d := time.Duration(tree.Dist(routing.NodeID(to)) * float64(time.Millisecond))
+	d += time.Duration(float64(hops) * s.cfg.PerHopProcMs * float64(time.Millisecond))
+	return d, hops, true
 }
 
 // islRoundTrip returns the two-way ISL latency and hop count.
-func (s *System) islRoundTrip(g *routing.Graph, from, to constellation.SatID) (time.Duration, int) {
-	d, h := s.islOneWay(g, from, to)
-	return 2 * d, h
+func (s *System) islRoundTrip(snap *constellation.Snapshot, from, to constellation.SatID) (time.Duration, int, bool) {
+	d, h, ok := s.islOneWay(snap, from, to)
+	return 2 * d, h, ok
 }
 
 // schedDelay draws the access-link scheduling delay for one request.
@@ -223,17 +292,20 @@ func (s *System) FetchAtHops(client geo.Point, n int, snap *constellation.Snapsh
 	}
 	g := snap.ISLGraph()
 	ring := g.WithinHops(routing.NodeID(up.ID), n)
-	// One Dijkstra from the serving satellite prices every candidate; the
-	// per-hop switching uses the BFS hop count (the weighted path's hop
-	// count differs only when a longer-hop route is cheaper, where the
-	// sub-millisecond switching difference is negligible).
-	dist := g.ShortestPathsFrom(routing.NodeID(up.ID))
+	// One bounded Dijkstra from the serving satellite prices every candidate
+	// (any node n BFS hops out costs at most n*MaxEdgeWeight, so the bounded
+	// run settles the whole ring exactly); the memoized full tree is served
+	// instead when this uplink was already priced. The per-hop switching
+	// uses the BFS hop count (the weighted path's hop count differs only
+	// when a longer-hop route is cheaper, where the sub-millisecond
+	// switching difference is negligible).
+	tree := snap.PathTreeWithin(up.ID, float64(n)*g.MaxEdgeWeight())
 	cheapestMs := -1.0
 	for _, hr := range ring {
 		if hr.Hops != n {
 			continue
 		}
-		if d := dist[hr.Node]; cheapestMs < 0 || d < cheapestMs {
+		if d := tree.Dist(hr.Node); cheapestMs < 0 || d < cheapestMs {
 			cheapestMs = d
 		}
 	}
@@ -254,15 +326,15 @@ func (s *System) NearestReplicaRTT(client geo.Point, obj content.ID, snap *const
 	}
 	t := snap.Time()
 	g := snap.ISLGraph()
-	match := func(nd routing.NodeID) bool {
-		id := constellation.SatID(nd)
-		return s.Active(id, t) && s.caches[int(id)].Peek(cache.Key(obj))
-	}
-	hit, ok := g.NearestMatch(routing.NodeID(up.ID), s.cfg.MaxISLSearchHops, match)
+	members := s.replicas.bitset(cache.Key(obj))
+	hit, ok := g.NearestInSet(routing.NodeID(up.ID), s.cfg.MaxISLSearchHops, members, s.activeSet(t))
 	if !ok {
 		return 0, 0, false
 	}
+	oneWay, h, reachable := s.islOneWay(snap, up.ID, constellation.SatID(hit.Node))
+	if !reachable {
+		return 0, 0, false
+	}
 	upDelay := orbit.PropagationDelay(up.SlantKm)
-	oneWay, h := s.islOneWay(g, up.ID, constellation.SatID(hit.Node))
 	return s.accountFetch(upDelay, oneWay, rng), h, true
 }

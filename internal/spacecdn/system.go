@@ -25,6 +25,7 @@ import (
 	"spacecdn/internal/constellation"
 	"spacecdn/internal/content"
 	"spacecdn/internal/lsn"
+	"spacecdn/internal/routing"
 )
 
 // LatencyModel selects how the measurement APIs (FetchAtHops,
@@ -97,12 +98,13 @@ func (c Config) Validate() error {
 // System is a deployed SpaceCDN: per-satellite caches over a constellation,
 // with an LSN model for the ground fallback path.
 type System struct {
-	cfg    Config
-	consts *constellation.Constellation
-	lsn    *lsn.Model
-	caches []cache.Cache // indexed by SatID
-	duty   *DutyCycler   // nil when always-on
-	inst   *instruments  // nil when telemetry is detached (see SetTelemetry)
+	cfg      Config
+	consts   *constellation.Constellation
+	lsn      *lsn.Model
+	caches   []cache.Cache // indexed by SatID
+	replicas *replicaIndex // object -> replica bitset, fed by cache listeners
+	duty     *DutyCycler   // nil when always-on
+	inst     *instruments  // nil when telemetry is detached (see SetTelemetry)
 }
 
 // NewSystem deploys SpaceCDN over the given constellation. The lsn model is
@@ -115,9 +117,12 @@ func NewSystem(cfg Config, c *constellation.Constellation, l *lsn.Model) (*Syste
 		return nil, fmt.Errorf("spacecdn: constellation is required")
 	}
 	s := &System{cfg: cfg, consts: c, lsn: l}
+	s.replicas = newReplicaIndex(c.Total())
 	s.caches = make([]cache.Cache, c.Total())
 	for i := range s.caches {
-		s.caches[i] = cache.NewGeoAware(cfg.CacheBytesPerSat, "")
+		gc := cache.NewGeoAware(cfg.CacheBytesPerSat, "")
+		gc.SetOnChange(s.replicas.listener(i))
+		s.caches[i] = gc
 	}
 	if cfg.DutyCycle != nil {
 		s.duty = NewDutyCycler(*cfg.DutyCycle, c.Total())
@@ -172,15 +177,25 @@ func (s *System) Evict(id constellation.SatID, obj content.ID) bool {
 }
 
 // ReplicaCount returns how many satellites currently hold the object
-// (ignoring duty cycling).
+// (ignoring duty cycling). The replica index answers in one popcount instead
+// of a fleet-wide Peek scan.
 func (s *System) ReplicaCount(obj content.ID) int {
-	n := 0
-	for _, c := range s.caches {
-		if c.Peek(cache.Key(obj)) {
-			n++
-		}
+	return s.replicas.count(cache.Key(obj))
+}
+
+// ReplicaSet returns the bitset of satellites currently holding the object
+// (nil when none do). The returned bitset is an immutable snapshot.
+func (s *System) ReplicaSet(obj content.ID) routing.Bitset {
+	return s.replicas.bitset(cache.Key(obj))
+}
+
+// activeSet returns the duty-cycle active bitset for time t, or nil when the
+// system is always-on (nil means "all active" to routing.NearestInSet).
+func (s *System) activeSet(t time.Duration) routing.Bitset {
+	if s.duty == nil {
+		return nil
 	}
-	return n
+	return s.duty.ActiveSet(t)
 }
 
 // TotalCacheBytes returns the fleet-wide cache capacity — the paper's §5
@@ -189,9 +204,12 @@ func (s *System) TotalCacheBytes() int64 {
 	return int64(s.consts.Total()) * s.cfg.CacheBytesPerSat
 }
 
-// ClearAll empties every satellite cache.
+// ClearAll empties every satellite cache and resets the replica index.
 func (s *System) ClearAll() {
 	for i := range s.caches {
-		s.caches[i] = cache.NewGeoAware(s.cfg.CacheBytesPerSat, "")
+		gc := cache.NewGeoAware(s.cfg.CacheBytesPerSat, "")
+		gc.SetOnChange(s.replicas.listener(i))
+		s.caches[i] = gc
 	}
+	s.replicas.reset()
 }

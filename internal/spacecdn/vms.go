@@ -112,8 +112,10 @@ func (s *System) SimulateVMService(area geo.Point, start, dur time.Duration, cfg
 			continue
 		}
 		snap := s.consts.Snapshot(next.Start)
-		g := snap.ISLGraph()
-		pathDelay, hops := s.islOneWay(g, prev.Sat, next.Sat)
+		pathDelay, hops, reachable := s.islOneWay(snap, prev.Sat, next.Sat)
+		if !reachable {
+			return VMServiceResult{}, fmt.Errorf("spacecdn: no ISL route for handover %d->%d", prev.Sat, next.Sat)
+		}
 
 		// State accumulated during the previous window.
 		served := prev.End - prev.Start
@@ -172,7 +174,10 @@ func (s *System) ISLMigrationDelay(a, b constellation.SatID, at time.Duration, d
 		return 0, fmt.Errorf("spacecdn: non-positive bandwidth")
 	}
 	snap := s.consts.Snapshot(at)
-	pathDelay, _ := s.islOneWay(snap.ISLGraph(), a, b)
+	pathDelay, _, ok := s.islOneWay(snap, a, b)
+	if !ok {
+		return 0, fmt.Errorf("spacecdn: no ISL route between %d and %d at %v", a, b, at)
+	}
 	tx := time.Duration(float64(deltaBytes) * 8 / bwBps * float64(time.Second))
 	return tx + pathDelay, nil
 }

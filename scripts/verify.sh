@@ -13,7 +13,9 @@
 #   smoke  CLI run asserting the telemetry artifact parses with non-zero
 #          request counters
 #   bench  single-iteration benchmark sweep plus the parallel-engine
-#          throughput artifact (BENCH_parallel.json)
+#          throughput artifact (BENCH_parallel.json) and the resolve
+#          acceleration artifact (BENCH_resolve.json: naive vs accelerated
+#          req/s and allocs/op)
 #
 # No arguments runs the full local gate: fmt vet build test race smoke.
 # The script is non-interactive and exits non-zero on the first failure.
@@ -57,6 +59,8 @@ stage_bench() {
 	go test -bench=. -benchtime=1x -run '^$' .
 	go run ./cmd/spacecdn -exp parallel-bench -fast -json >BENCH_parallel.json
 	cat BENCH_parallel.json
+	go run ./cmd/spacecdn -exp resolve-bench -fast -json >BENCH_resolve.json
+	cat BENCH_resolve.json
 }
 
 stages="$*"
