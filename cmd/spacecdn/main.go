@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|workload|parallel-bench|resolve-bench|all
+//	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|workload|resilience|parallel-bench|resolve-bench|all
 //	         [-fast] [-seed N] [-json] [-city NAME] [-workers N]
 //	         [-metrics-out FILE] [-trace-sample RATE]
+//	         [-fault-isls F] [-fault-pops F] [-fault-seed N]
+//	spacecdn -list
 //
 // Each experiment prints an aligned text table (or figure sketch) to stdout;
-// -json emits machine-readable output instead.
+// -json emits machine-readable output instead. -list prints every registered
+// experiment id with a one-line description and exits.
 //
 // -workers bounds the goroutines each experiment fans work across (0, the
 // default, means one per CPU). Results are identical for every worker count.
@@ -18,6 +21,11 @@
 // otherwise. The resolve-path "workload" experiment is forced into the run
 // so the request counters and RTT histogram are populated; -trace-sample
 // sets the fraction of requests retained as traces.
+//
+// The -fault-* flags tune the resilience experiment: -fault-isls / -fault-pops
+// pin the ISL and PoP failure fractions (negative, the default, derives them
+// from the swept satellite fraction), and -fault-seed seeds fault-plan
+// generation (0 reuses -seed).
 package main
 
 import (
@@ -27,12 +35,9 @@ import (
 	"os"
 	"strings"
 
-	"time"
-
 	"spacecdn/internal/experiments"
 	"spacecdn/internal/geo"
 	"spacecdn/internal/lsn"
-	"spacecdn/internal/measure"
 	"spacecdn/internal/report"
 	"spacecdn/internal/stats"
 	"spacecdn/internal/telemetry"
@@ -49,17 +54,25 @@ type options struct {
 	MetricsOut  string
 	TraceSample float64
 	Workers     int
+	List        bool
+
+	// Fault-injection knobs for the resilience experiment; negative
+	// fractions mean "derive from the swept satellite fraction", fault seed
+	// 0 means "reuse Seed".
+	FaultISLs float64
+	FaultPoPs float64
+	FaultSeed int64
 }
 
 // defaultOptions mirrors the flag defaults.
 func defaultOptions() options {
-	return options{Exp: "all", Seed: 42, TraceSample: 0.01}
+	return options{Exp: "all", Seed: 42, TraceSample: 0.01, FaultISLs: -1, FaultPoPs: -1}
 }
 
 // parseFlags binds the command's flags onto an options value and parses args.
 func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	opts := defaultOptions()
-	fs.StringVar(&opts.Exp, "exp", opts.Exp, "experiment id: table1, fig2, fig3, fig4, fig5, fig7, fig8, ablation-replicas, capacity, geoblock, gs-expansion, duty-sweep, striping, wormhole, spacevms, bufferbloat, thermal, hitrate, rtt-series, workload, parallel-bench, resolve-bench, all")
+	fs.StringVar(&opts.Exp, "exp", opts.Exp, "experiment id (comma-separable; see -list), or all")
 	fs.BoolVar(&opts.Fast, "fast", opts.Fast, "reduced sample counts (quick preview)")
 	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
 	fs.BoolVar(&opts.JSON, "json", opts.JSON, "emit JSON instead of text tables")
@@ -67,6 +80,10 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.StringVar(&opts.MetricsOut, "metrics-out", opts.MetricsOut, "write accumulated telemetry to this file (.prom/.txt: Prometheus text, else JSON snapshot)")
 	fs.Float64Var(&opts.TraceSample, "trace-sample", opts.TraceSample, "fraction of resolve requests retained as traces (with -metrics-out)")
 	fs.IntVar(&opts.Workers, "workers", opts.Workers, "worker goroutines per experiment (0 = one per CPU; results are identical for any value)")
+	fs.BoolVar(&opts.List, "list", opts.List, "list registered experiments and exit")
+	fs.Float64Var(&opts.FaultISLs, "fault-isls", opts.FaultISLs, "resilience: ISL failure fraction (negative = half the satellite fraction)")
+	fs.Float64Var(&opts.FaultPoPs, "fault-pops", opts.FaultPoPs, "resilience: PoP failure fraction (negative = a quarter of the satellite fraction)")
+	fs.Int64Var(&opts.FaultSeed, "fault-seed", opts.FaultSeed, "resilience: fault-plan seed (0 = reuse -seed)")
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -85,11 +102,17 @@ func main() {
 }
 
 func run(w io.Writer, opts options) error {
+	if opts.List {
+		return listExperiments(w)
+	}
 	suite, err := experiments.NewSuite(opts.Fast, opts.Seed)
 	if err != nil {
 		return err
 	}
 	suite.SetWorkers(opts.Workers)
+	suite.FaultISLFraction = opts.FaultISLs
+	suite.FaultPoPFraction = opts.FaultPoPs
+	suite.FaultSeed = opts.FaultSeed
 	var tel *telemetry.Telemetry
 	if opts.MetricsOut != "" {
 		tel = telemetry.New(opts.TraceSample)
@@ -97,11 +120,11 @@ func run(w io.Writer, opts options) error {
 	}
 	ids := strings.Split(opts.Exp, ",")
 	if opts.Exp == "all" {
-		ids = []string{
-			"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8",
-			"ablation-replicas", "capacity",
-			"geoblock", "gs-expansion", "duty-sweep", "striping", "wormhole", "spacevms", "bufferbloat", "thermal", "hitrate", "rtt-series",
-			"workload",
+		ids = ids[:0]
+		for _, e := range registry() {
+			if e.inAll {
+				ids = append(ids, e.id)
+			}
 		}
 	}
 	if tel != nil && !containsID(ids, "workload") {
@@ -110,7 +133,7 @@ func run(w io.Writer, opts options) error {
 		ids = append(ids, "workload")
 	}
 	for _, id := range ids {
-		if err := runOne(w, suite, strings.TrimSpace(id), opts.JSON, opts.City); err != nil {
+		if err := runOne(w, suite, strings.TrimSpace(id), opts); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Fprintln(w)
@@ -122,6 +145,31 @@ func run(w io.Writer, opts options) error {
 		fmt.Fprintf(w, "telemetry written to %s\n", opts.MetricsOut)
 	}
 	return nil
+}
+
+// listExperiments prints every registry entry as "id - description", marking
+// the ones "all" skips.
+func listExperiments(w io.Writer) error {
+	for _, e := range registry() {
+		suffix := ""
+		if !e.inAll {
+			suffix = " (not in \"all\")"
+		}
+		if _, err := fmt.Fprintf(w, "%-18s %s%s\n", e.id, e.desc, suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOne dispatches a single experiment id through the registry.
+func runOne(w io.Writer, s *experiments.Suite, id string, opts options) error {
+	for _, e := range registry() {
+		if e.id == id {
+			return e.run(w, s, opts)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", id)
 }
 
 func containsID(ids []string, want string) bool {
@@ -150,425 +198,6 @@ func writeMetrics(tel *telemetry.Telemetry, path string) error {
 		err = cerr
 	}
 	return err
-}
-
-func runOne(w io.Writer, s *experiments.Suite, id string, asJSON bool, city string) error {
-	switch id {
-	case "table1":
-		rows, err := s.Table1()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Table 1: distance to best CDN and median minRTT",
-			"Country", "Terr km", "Terr minRTT ms", "Starlink km", "Starlink minRTT ms")
-		for _, r := range rows {
-			t.AddRow(r.Name, r.TerrDistKm, r.TerrMinRTT, r.StarDistKm, r.StarMinRTT)
-		}
-		return t.Render(w)
-
-	case "fig2":
-		rows, pops, err := s.Fig2()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, map[string]interface{}{"deltas": rows, "pops": pops})
-		}
-		t := report.NewTable("Figure 2: median RTT delta (Starlink - terrestrial) per country",
-			"Country", "Delta ms")
-		for _, r := range rows {
-			t.AddRow(r.Country, r.DeltaMs)
-		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		p := report.NewTable(fmt.Sprintf("Operational PoPs (%d)", len(pops)), "PoP", "City")
-		for _, pp := range pops {
-			p.AddRow(pp.Name, pp.City)
-		}
-		return p.Render(w)
-
-	case "fig3":
-		res, err := s.Fig3(city)
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, res)
-		}
-		for _, side := range []struct {
-			name   string
-			series []measure.CityCDNLatency
-		}{
-			{"(a) Starlink", res.Starlink},
-			{"(b) Terrestrial", res.Terrestrial},
-		} {
-			t := report.NewTable(
-				fmt.Sprintf("Figure 3 %s: median latency from %s per CDN site", side.name, res.City),
-				"CDN", "Median ms", "Samples")
-			for _, c := range side.series {
-				t.AddRow(c.CDNCity, c.MedianMs, c.N)
-			}
-			if err := t.Render(w); err != nil {
-				return err
-			}
-		}
-		return nil
-
-	case "fig4":
-		series, err := s.Fig4()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			out := map[string][]float64{}
-			for _, sr := range series {
-				pts := sr.CDF.Points(21)
-				xs := make([]float64, len(pts))
-				for i, p := range pts {
-					xs[i] = p.X
-				}
-				out[sr.Country] = xs
-			}
-			return report.WriteJSON(w, out)
-		}
-		fig := report.Figure{
-			Title:  "Figure 4: HTTP response time difference (Starlink - terrestrial)",
-			XLabel: "difference ms", YLabel: "CDF",
-		}
-		for _, sr := range series {
-			pts := sr.CDF.Points(41)
-			xs := make([]float64, len(pts))
-			ys := make([]float64, len(pts))
-			for i, p := range pts {
-				xs[i], ys[i] = p.X, p.P
-			}
-			srs, err := report.NewSeries(sr.Country, xs, ys)
-			if err != nil {
-				return err
-			}
-			fig.Series = append(fig.Series, srs)
-		}
-		return fig.Render(w)
-
-	case "fig5":
-		rows, err := s.Fig5()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Figure 5: First Contentful Paint (ms)",
-			"Country", "Network", "Min", "Q1", "Median", "Q3", "Max", "N")
-		for _, r := range rows {
-			t.AddRow(r.Country, string(r.Network), r.Box.Min, r.Box.Q1, r.Box.Median, r.Box.Q3, r.Box.Max, r.Box.N)
-		}
-		return t.Render(w)
-
-	case "fig7":
-		res, err := s.Fig7()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			out := map[string][]float64{}
-			for n, cdf := range res.Hop {
-				out[fmt.Sprintf("%d-isl", n)] = quantiles(cdf)
-			}
-			out["starlink"] = quantiles(res.Starlink)
-			out["terrestrial"] = quantiles(res.Terrestrial)
-			return report.WriteJSON(w, out)
-		}
-		fig := report.Figure{
-			Title:  "Figure 7: SpaceCDN latency by ISL hop distance vs AIM references",
-			XLabel: "latency ms", YLabel: "CDF",
-		}
-		for _, n := range experiments.Fig7HopCounts {
-			fig.Series = append(fig.Series, cdfSeries(fmt.Sprintf("%d ISL", n), res.Hop[n]))
-		}
-		fig.Series = append(fig.Series,
-			cdfSeries("starlink (AIM)", res.Starlink),
-			cdfSeries("terrestrial (AIM)", res.Terrestrial),
-		)
-		return fig.Render(w)
-
-	case "fig8":
-		rows, terr, err := s.Fig8()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, map[string]interface{}{"rows": rows, "terrestrialMedianMs": terr})
-		}
-		t := report.NewTable("Figure 8: SpaceCDN latency under duty-cycled caching (ms)",
-			"Cache-enabled", "Min", "Q1", "Median", "Q3", "Max", "N")
-		for _, r := range rows {
-			t.AddRow(fmt.Sprintf("%d%%", r.FractionPct), r.Box.Min, r.Box.Q1, r.Box.Median, r.Box.Q3, r.Box.Max, r.Box.N)
-		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		_, err = fmt.Fprintf(w, "terrestrial median reference: %.1f ms\n", terr)
-		return err
-
-	case "ablation-replicas":
-		rows, err := s.AblationReplicas()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Ablation: replicas per plane vs reachability",
-			"Replicas/plane", "Median ms", "P90 ms", "Median hops", "Max hops", "Reachable")
-		for _, r := range rows {
-			t.AddRow(r.ReplicasPerPlane, r.MedianRTTMs, r.P90RTTMs, r.MedianHops, r.MaxHops,
-				fmt.Sprintf("%.0f%%", r.Reachable*100))
-		}
-		return t.Render(w)
-
-	case "capacity":
-		res := experiments.PaperCapacity()
-		if asJSON {
-			return report.WriteJSON(w, res)
-		}
-		t := report.NewTable("§5 storage arithmetic", "Satellites", "Per-sat TB", "Total PB", "2h videos")
-		t.AddRow(res.Satellites, res.PerSatBytes>>40, res.TotalPB, res.VideosStored)
-		return t.Render(w)
-
-	case "geoblock":
-		rows, err := s.GeoBlocking()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Extension E10: spurious geo-blocking (content licensed at home, blocked at the PoP)",
-			"Country", "PoP country", "Starlink spurious", "Terrestrial spurious", "Requests")
-		for _, r := range rows {
-			t.AddRow(r.Country, r.PoPISO,
-				fmt.Sprintf("%.1f%%", 100*r.StarlinkSpuriousRate),
-				fmt.Sprintf("%.1f%%", 100*r.TerrestrialSpuriousRate), r.Requests)
-		}
-		return t.Render(w)
-
-	case "gs-expansion":
-		rows, err := s.GroundExpansion()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Extension E11: ground-segment expansion (local PoPs deployed)",
-			"Country", "Baseline ms", "Expanded ms", "Baseline km", "Expanded km")
-		for _, r := range rows {
-			t.AddRow(r.Country, r.BaselineMs, r.ExpandedMs, r.BaselineDist, r.ExpandedDist)
-		}
-		return t.Render(w)
-
-	case "duty-sweep":
-		rows, err := s.DutyCycleSweep()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Extension E12: duty-cycle sweep (one-way accounting, 4 replicas/plane)",
-			"Cache-enabled", "Median ms", "P90 ms", "Median hops", "Found")
-		for _, r := range rows {
-			t.AddRow(fmt.Sprintf("%d%%", r.FractionPct), r.MedianMs, r.P90Ms, r.MedianHops,
-				fmt.Sprintf("%.0f%%", 100*r.FoundRate))
-		}
-		return t.Render(w)
-
-	case "striping":
-		rows, err := s.StripingAblation()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Extension E13: video striping prefetch ablation",
-			"Viewer", "Segments", "Sats", "Cold startup ms", "Warm startup ms", "Warm from space")
-		for _, r := range rows {
-			t.AddRow(r.City, r.Segments, r.Satellites, r.ColdStartupMs, r.WarmStartupMs,
-				fmt.Sprintf("%d/%d", r.WarmFromSpace, r.Segments))
-		}
-		return t.Render(w)
-
-	case "wormhole":
-		rows, err := s.Wormholing()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Extension E14: content wormholing vs 10 Gbps WAN push",
-			"Route", "Object TB", "Orbit transit min", "WAN hours", "Wormhole wins")
-		for _, r := range rows {
-			t.AddRow(r.Route, r.ObjectTB, r.TransitMin, r.WANHours, r.WormholeWin)
-		}
-		return t.Render(w)
-
-	case "rtt-series":
-		// A subscriber's latency sawtooth across satellite handovers
-		// (paper §2: connectivity changes every few minutes, paths
-		// reconfigure every 15 s).
-		cityName := city
-		if cityName == "" {
-			cityName = "Maputo"
-		}
-		cc, ok := geoCity(cityName)
-		if !ok {
-			return fmt.Errorf("unknown city %q", cityName)
-		}
-		rng := stats.NewRand(42)
-		series, err := s.Env.LSN.RTTTimeSeries(cc.Loc, cc.Country, 0, 10*time.Minute, rng)
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, series)
-		}
-		t := report.NewTable(fmt.Sprintf("RTT time series from %s (15s reconfig intervals)", cc.Name),
-			"t", "RTT ms", "Serving sat", "Handover")
-		for _, sm := range series {
-			t.AddRow(sm.At, float64(sm.RTT)/float64(time.Millisecond), sm.UpSat, sm.Handover)
-		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		_, err = fmt.Fprintf(w, "handover rate: %.2f per minute\n", lsnHandoverRate(series))
-		return err
-
-	case "thermal":
-		rows, maxDuty, err := s.ThermalFeasibility()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, map[string]interface{}{"rows": rows, "sustainableDuty": maxDuty})
-		}
-		t := report.NewTable("Extension E17: thermal feasibility of duty-cycled caching",
-			"Cache-enabled", "Peak C", "Time over 30C", "Sustainable")
-		for _, r := range rows {
-			t.AddRow(fmt.Sprintf("%d%%", r.FractionPct), r.PeakC,
-				fmt.Sprintf("%.1f%%", 100*r.OverShare), r.Sustainable)
-		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		_, err = fmt.Fprintf(w, "passive-cooling envelope sustains up to %.0f%% duty\n", 100*maxDuty)
-		return err
-
-	case "hitrate":
-		rows, err := s.CacheMissRates()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Extension E18: edge-cache hit rates for home-region content",
-			"Country", "Terr edge", "Terr hit", "Starlink edge", "Starlink hit")
-		for _, r := range rows {
-			t.AddRow(r.Country, r.TerrestrialEdge, fmt.Sprintf("%.0f%%", 100*r.TerrestrialHit),
-				r.StarlinkEdge, fmt.Sprintf("%.0f%%", 100*r.StarlinkHit))
-		}
-		return t.Render(w)
-
-	case "bufferbloat":
-		rows, err := s.Bufferbloat()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Extension E16: access-link bufferbloat (idle vs loaded RTT)",
-			"Network", "Median idle ms", "Median loaded ms", "Median inflation", "P90 inflation", ">200ms share", "N")
-		for _, r := range rows {
-			t.AddRow(string(r.Network), r.MedianIdleMs, r.MedianLoadedMs,
-				r.MedianInflation, r.P90Inflation, fmt.Sprintf("%.0f%%", 100*r.Share200), r.N)
-		}
-		return t.Render(w)
-
-	case "spacevms":
-		rows, err := s.SpaceVMs()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, rows)
-		}
-		t := report.NewTable("Extension E15: Space VM handovers (proactive delta sync vs cold migration)",
-			"Area", "Handovers", "Mean downtime ms", "Max ms", "Cold total ms", "Availability", "Cold avail")
-		for _, r := range rows {
-			t.AddRow(r.City, r.Handovers, r.MeanDowntimeMs, r.MaxDowntimeMs, r.ColdDowntimeMs,
-				fmt.Sprintf("%.4f", r.Availability), fmt.Sprintf("%.4f", r.ColdAvailability))
-		}
-		return t.Render(w)
-
-	case "parallel-bench":
-		res, err := s.ParallelBench()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, res)
-		}
-		t := report.NewTable("Parallel engine: batch resolution throughput",
-			"Requests", "Workers", "Req/s", "Speedup", "Identical")
-		t.AddRow(res.Requests, res.SeqWorkers, res.SeqReqPerSec, 1.0, res.Identical)
-		t.AddRow(res.Requests, res.ParWorkers, res.ParReqPerSec, res.Speedup, res.Identical)
-		return t.Render(w)
-
-	case "resolve-bench":
-		res, err := s.ResolveBench()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, res)
-		}
-		t := report.NewTable("Resolve acceleration: naive vs memoized single-worker pipeline",
-			"Pipeline", "Requests", "Req/s", "Allocs/op", "Speedup", "Identical")
-		t.AddRow("naive", res.Requests, res.NaiveReqPerSec, res.NaiveAllocsPerOp, 1.0, res.Identical)
-		t.AddRow("accelerated", res.Requests, res.AccelReqPerSec, res.AccelAllocsPerOp, res.Speedup, res.Identical)
-		t.AddRow("steady-state", res.SteadyRequests, "", res.SteadyAllocsPerOp, "", res.Identical)
-		return t.Render(w)
-
-	case "workload":
-		res, err := s.ResolveWorkload()
-		if err != nil {
-			return err
-		}
-		if asJSON {
-			return report.WriteJSON(w, res)
-		}
-		t := report.NewTable("Resolve workload: hot/warm/cold mix by serving source",
-			"Source", "Requests", "Median ms", "P90 ms", "Mean hops")
-		for _, r := range res.Rows {
-			t.AddRow(r.Source, r.Requests, r.MedianMs, r.P90Ms, r.MeanHops)
-		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		_, err = fmt.Fprintf(w, "%d requests, %d errors\n", res.Requests, res.Errors)
-		return err
-
-	default:
-		return fmt.Errorf("unknown experiment %q", id)
-	}
 }
 
 func geoCity(name string) (geo.City, bool) { return geo.CityByName(name) }

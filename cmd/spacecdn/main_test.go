@@ -185,7 +185,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := options{Exp: "all", Seed: 42, TraceSample: 0.01}
+	want := options{Exp: "all", Seed: 42, TraceSample: 0.01, FaultISLs: -1, FaultPoPs: -1}
 	if opts != want {
 		t.Errorf("defaults = %+v, want %+v", opts, want)
 	}
@@ -197,7 +197,8 @@ func TestParseFlagsRoundTrip(t *testing.T) {
 	opts, err := parseFlags(fs, []string{
 		"-exp", "workload", "-fast", "-seed", "7", "-json",
 		"-city", "Nairobi", "-metrics-out", "m.prom",
-		"-trace-sample", "0.5", "-workers", "4",
+		"-trace-sample", "0.5", "-workers", "4", "-list",
+		"-fault-isls", "0.25", "-fault-pops", "0.125", "-fault-seed", "9",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -205,6 +206,7 @@ func TestParseFlagsRoundTrip(t *testing.T) {
 	want := options{
 		Exp: "workload", Fast: true, Seed: 7, JSON: true,
 		City: "Nairobi", MetricsOut: "m.prom", TraceSample: 0.5, Workers: 4,
+		List: true, FaultISLs: 0.25, FaultPoPs: 0.125, FaultSeed: 9,
 	}
 	if opts != want {
 		t.Errorf("parsed = %+v, want %+v", opts, want)
@@ -216,6 +218,80 @@ func TestParseFlagsRejectsUnknown(t *testing.T) {
 	fs.SetOutput(io.Discard)
 	if _, err := parseFlags(fs, []string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRegistryWellFormed: ids are unique and non-empty, every entry has a
+// description and a runner, and "all" expands to the registry's inAll subset
+// in declaration order.
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry() {
+		if e.id == "" || e.desc == "" || e.run == nil {
+			t.Errorf("malformed registry entry: %+v", e)
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	for _, id := range []string{"table1", "workload", "resilience", "resolve-bench"} {
+		if !seen[id] {
+			t.Errorf("registry missing %q", id)
+		}
+	}
+}
+
+// TestRunList: -list prints every registered id with its description and runs
+// no experiment (it completes instantly, without building a suite).
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, options{List: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range registry() {
+		if !strings.Contains(out, e.id) || !strings.Contains(out, e.desc) {
+			t.Errorf("list output missing %q", e.id)
+		}
+	}
+	if !strings.Contains(out, `not in "all"`) {
+		t.Error("list output does not mark benchmark-only experiments")
+	}
+}
+
+// TestRunResilienceJSON: the CI artifact path — resilience with -json emits a
+// parseable sweep whose zero-fault row proves the fault-free identity.
+func TestRunResilienceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, options{Exp: "resilience", Fast: true, Seed: 1, JSON: true, FaultISLs: -1, FaultPoPs: -1}); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Rows []struct {
+			SatFraction  float64
+			Requests     int
+			Availability float64
+			P99Ms        float64
+		}
+		ZeroFaultIdentical bool
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("sweep rows = %d", len(res.Rows))
+	}
+	if !res.ZeroFaultIdentical {
+		t.Error("zero-fault row not identical to the plan-free pipeline")
+	}
+	if res.Rows[0].SatFraction != 0 || res.Rows[0].Availability != 1 {
+		t.Errorf("baseline row malformed: %+v", res.Rows[0])
+	}
+	for i, r := range res.Rows {
+		if r.Requests == 0 || r.P99Ms <= 0 {
+			t.Errorf("row %d malformed: %+v", i, r)
+		}
 	}
 }
 

@@ -75,6 +75,9 @@ func TestNearestGridMatchesScan(t *testing.T) {
 }
 
 func TestBestVisibleZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
 	c := MustNew(DefaultConfig())
 	snap := c.Snapshot(0)
 	pt := geo.NewPoint(40.7, -74)
@@ -241,6 +244,9 @@ func TestPathTreeMemoEviction(t *testing.T) {
 }
 
 func TestPathTreeZeroAllocOnHit(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
 	c := MustNew(DefaultConfig())
 	snap := c.Snapshot(0)
 	snap.PathTree(3) // warm

@@ -121,7 +121,10 @@ type Snapshot struct {
 	gridOnce sync.Once
 	grid     *visGrid // lat/lon cell index, built once on first visibility query
 
-	memo pathMemo // per-snapshot single-source shortest-path trees
+	memo pathMemo // per-snapshot shortest-path trees, keyed (source, fault epoch)
+
+	maskMu sync.Mutex
+	masked map[uint64]*MaskedView // fault epoch -> cached fault-aware view
 }
 
 // Time returns the snapshot's offset from the constellation epoch.
@@ -202,59 +205,71 @@ func (s *Snapshot) ISLDelay(a, b SatID) time.Duration {
 // must not be mutated.
 func (s *Snapshot) ISLGraph() *routing.Graph {
 	s.islOnce.Do(func() {
-		n := len(s.pos)
-		g := routing.NewGraph(n)
-		deg := 2
-		if s.c.cfg.CrossPlaneISLs {
-			deg = 4
-		}
-		// Flat neighbour table: node id's list is nbrs[id*deg:(id+1)*deg].
-		// Having every list at hand replaces the map-based dedupe with direct
-		// ordering checks while keeping the edge insertion order — and hence
-		// the adjacency lists downstream algorithms iterate — identical to
-		// the map version's first-encounter order.
-		nbrs := make([]SatID, 0, deg*n)
-		for id := 0; id < n; id++ {
-			nbrs = s.appendISLNeighbors(SatID(id), nbrs)
-		}
-		contains := func(list []SatID, x SatID) bool {
-			for _, v := range list {
-				if v == x {
-					return true
-				}
-			}
-			return false
-		}
-		for id := 0; id < n; id++ {
-			a := SatID(id)
-			list := nbrs[id*deg : (id+1)*deg]
-			for j, b := range list {
-				if b == a {
-					continue
-				}
-				// Add the undirected edge only at its first encounter in the
-				// scan: skip when the pair already appeared earlier in this
-				// node's own list (degenerate small rings), or — for b < a —
-				// in b's list, which the scan visited first. The b < a case
-				// with a absent from b's list happens under phase-nearest
-				// pairing, which is not always symmetric.
-				if contains(list[:j], b) {
-					continue
-				}
-				if b < a && contains(nbrs[int(b)*deg:(int(b)+1)*deg], a) {
-					continue
-				}
-				lo, hi := a, b
-				if lo > hi {
-					lo, hi = hi, lo
-				}
-				w := s.ISLDistanceKm(lo, hi) / orbit.LightSpeedKmPerSec * 1000
-				g.AddUndirected(routing.NodeID(lo), routing.NodeID(hi), w)
-			}
-		}
-		s.islGraph = g
+		s.islGraph = s.buildISLGraph(nil)
 	})
 	return s.islGraph
+}
+
+// buildISLGraph constructs the +grid topology, omitting edges for which skip
+// returns true (nil skips nothing — the full graph). Filtering happens at
+// edge insertion, after the first-encounter dedupe, so the surviving edges
+// keep exactly the adjacency order the unfiltered build gives them; a masked
+// build is the full build minus edges, never a reordering.
+func (s *Snapshot) buildISLGraph(skip func(lo, hi SatID) bool) *routing.Graph {
+	n := len(s.pos)
+	g := routing.NewGraph(n)
+	deg := 2
+	if s.c.cfg.CrossPlaneISLs {
+		deg = 4
+	}
+	// Flat neighbour table: node id's list is nbrs[id*deg:(id+1)*deg].
+	// Having every list at hand replaces the map-based dedupe with direct
+	// ordering checks while keeping the edge insertion order — and hence
+	// the adjacency lists downstream algorithms iterate — identical to
+	// the map version's first-encounter order.
+	nbrs := make([]SatID, 0, deg*n)
+	for id := 0; id < n; id++ {
+		nbrs = s.appendISLNeighbors(SatID(id), nbrs)
+	}
+	contains := func(list []SatID, x SatID) bool {
+		for _, v := range list {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	for id := 0; id < n; id++ {
+		a := SatID(id)
+		list := nbrs[id*deg : (id+1)*deg]
+		for j, b := range list {
+			if b == a {
+				continue
+			}
+			// Add the undirected edge only at its first encounter in the
+			// scan: skip when the pair already appeared earlier in this
+			// node's own list (degenerate small rings), or — for b < a —
+			// in b's list, which the scan visited first. The b < a case
+			// with a absent from b's list happens under phase-nearest
+			// pairing, which is not always symmetric.
+			if contains(list[:j], b) {
+				continue
+			}
+			if b < a && contains(nbrs[int(b)*deg:(int(b)+1)*deg], a) {
+				continue
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if skip != nil && skip(lo, hi) {
+				continue
+			}
+			w := s.ISLDistanceKm(lo, hi) / orbit.LightSpeedKmPerSec * 1000
+			g.AddUndirected(routing.NodeID(lo), routing.NodeID(hi), w)
+		}
+	}
+	return g
 }
 
 // VisibleSat is a satellite visible from a ground point.

@@ -36,28 +36,37 @@ func ResetPathMemoCounters() {
 	memoStats.misses.Store(0)
 }
 
-// memoNode is one LRU entry: a source satellite and its settled tree, linked
-// into a recency list (head = most recent).
+// memoKey identifies one memoized tree: the source satellite and the fault
+// epoch of the topology it was settled over. Epoch 0 is the healthy graph;
+// fault-masked views (Snapshot.Masked) memoize under their own epochs, so a
+// degraded tree can never be served for a healthy query or vice versa.
+type memoKey struct {
+	src   SatID
+	epoch uint64
+}
+
+// memoNode is one LRU entry: a keyed settled tree, linked into a recency
+// list (head = most recent).
 type memoNode struct {
-	src        SatID
+	key        memoKey
 	tree       *routing.SPTree
 	prev, next *memoNode
 }
 
-// pathMemo is a bounded, mutex-guarded LRU from source SatID to shortest-path
-// tree. Trees are computed outside the lock — a duplicate computation during
-// a race is harmless because trees are deterministic, and it keeps Dijkstra
-// latency out of the critical section.
+// pathMemo is a bounded, mutex-guarded LRU from (source, fault epoch) to
+// shortest-path tree. Trees are computed outside the lock — a duplicate
+// computation during a race is harmless because trees are deterministic, and
+// it keeps Dijkstra latency out of the critical section.
 type pathMemo struct {
 	mu         sync.Mutex
-	nodes      map[SatID]*memoNode
+	nodes      map[memoKey]*memoNode
 	head, tail *memoNode
 }
 
-// lookup returns the memoized tree for src, refreshing its recency.
-func (m *pathMemo) lookup(src SatID) (*routing.SPTree, bool) {
+// lookup returns the memoized tree for (src, epoch), refreshing its recency.
+func (m *pathMemo) lookup(src SatID, epoch uint64) (*routing.SPTree, bool) {
 	m.mu.Lock()
-	nd := m.nodes[src]
+	nd := m.nodes[memoKey{src: src, epoch: epoch}]
 	if nd == nil {
 		m.mu.Unlock()
 		return nil, false
@@ -69,25 +78,26 @@ func (m *pathMemo) lookup(src SatID) (*routing.SPTree, bool) {
 }
 
 // insert memoizes a freshly computed tree, evicting the least recently used
-// entry beyond capacity. If a racing goroutine inserted src first, the
+// entry beyond capacity. If a racing goroutine inserted the key first, the
 // existing entry is kept (both trees are identical).
-func (m *pathMemo) insert(src SatID, t *routing.SPTree) {
+func (m *pathMemo) insert(src SatID, epoch uint64, t *routing.SPTree) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.nodes == nil {
-		m.nodes = make(map[SatID]*memoNode, pathMemoCap)
+		m.nodes = make(map[memoKey]*memoNode, pathMemoCap)
 	}
-	if nd := m.nodes[src]; nd != nil {
+	key := memoKey{src: src, epoch: epoch}
+	if nd := m.nodes[key]; nd != nil {
 		m.moveToFront(nd)
 		return
 	}
-	nd := &memoNode{src: src, tree: t}
-	m.nodes[src] = nd
+	nd := &memoNode{key: key, tree: t}
+	m.nodes[key] = nd
 	m.pushFront(nd)
 	if len(m.nodes) > pathMemoCap {
 		lru := m.tail
 		m.unlink(lru)
-		delete(m.nodes, lru.src)
+		delete(m.nodes, lru.key)
 	}
 }
 
@@ -126,18 +136,18 @@ func (m *pathMemo) moveToFront(nd *memoNode) {
 }
 
 // PathTree returns the single-source shortest-path tree over the snapshot's
-// ISL graph rooted at src, memoized per snapshot: every client resolving
-// through the same uplink satellite shares one Dijkstra run. Returns nil when
-// src is out of range.
+// ISL graph rooted at src, memoized per snapshot under fault epoch 0 (the
+// healthy topology): every client resolving through the same uplink
+// satellite shares one Dijkstra run. Returns nil when src is out of range.
 func (s *Snapshot) PathTree(src SatID) *routing.SPTree {
-	if t, ok := s.memo.lookup(src); ok {
+	if t, ok := s.memo.lookup(src, 0); ok {
 		memoStats.hits.Add(1)
 		return t
 	}
 	memoStats.misses.Add(1)
 	t := s.ISLGraph().SPTreeFrom(routing.NodeID(src))
 	if t != nil {
-		s.memo.insert(src, t)
+		s.memo.insert(src, 0, t)
 	}
 	return t
 }
@@ -148,7 +158,7 @@ func (s *Snapshot) PathTree(src SatID) *routing.SPTree {
 // without populating the memo (bounded trees must not masquerade as full
 // ones). Returns nil when src is out of range.
 func (s *Snapshot) PathTreeWithin(src SatID, maxCost float64) *routing.SPTree {
-	if t, ok := s.memo.lookup(src); ok {
+	if t, ok := s.memo.lookup(src, 0); ok {
 		memoStats.hits.Add(1)
 		return t
 	}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestResilience(t *testing.T) {
+	s := testSuite(t)
+	res, err := s.Resilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Rows), len(s.resilienceFractions()); got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	if !res.ZeroFaultIdentical {
+		t.Error("zero-fault row not identical to the plan-free pipeline")
+	}
+
+	base := res.Rows[0]
+	if base.SatFraction != 0 || base.ISLFraction != 0 || base.PoPFraction != 0 {
+		t.Errorf("baseline row has nonzero fractions: %+v", base)
+	}
+	if base.Degraded != 0 || base.Outages != 0 {
+		t.Errorf("baseline row saw faults: %+v", base)
+	}
+	if base.Errors != 0 || base.Availability != 1 {
+		t.Errorf("baseline row not fully available: %+v", base)
+	}
+	if base.P99InflationPct != 0 {
+		t.Errorf("baseline inflation = %v, want 0", base.P99InflationPct)
+	}
+
+	for i, row := range res.Rows {
+		if row.Requests != base.Requests {
+			t.Errorf("row %d requests = %d, want %d (same workload per row)", i, row.Requests, base.Requests)
+		}
+		if i == 0 {
+			continue
+		}
+		if row.SatFraction <= res.Rows[i-1].SatFraction {
+			t.Errorf("fractions not increasing at row %d", i)
+		}
+		if row.Outages == 0 || row.Degraded == 0 {
+			t.Errorf("row %d injected no observable faults: %+v", i, row)
+		}
+		// Failures must not cascade into request errors: every client with a
+		// surviving path keeps being served. Moderate fractions stay near
+		// fully available; the partitioned-constellation regression test in
+		// the spacecdn package covers the no-path-at-all edge.
+		if row.SatFraction <= 0.3 && row.Availability < 0.95 {
+			t.Errorf("row %d availability = %v at fraction %v", i, row.Availability, row.SatFraction)
+		}
+		sum := row.OverheadShare + row.ISLShare + row.GroundShare
+		if row.Availability > 0 && (sum < 0.999 || sum > 1.001) {
+			t.Errorf("row %d source shares sum to %v", i, sum)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.UplinkFailovers+last.ReplicaFailovers+last.PoPFailovers == 0 {
+		t.Errorf("heaviest row recorded no failovers: %+v", last)
+	}
+}
+
+func TestResilienceWorkerInvariance(t *testing.T) {
+	s := testSuite(t)
+	defer s.SetWorkers(s.Workers)
+	var runs []ResilienceResult
+	for _, w := range []int{1, 7} {
+		s.SetWorkers(w)
+		res, err := s.Resilience()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, res)
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Errorf("resilience sweep differs across worker counts:\n1 worker: %+v\n7 workers: %+v", runs[0], runs[1])
+	}
+}
+
+func TestResilienceFaultConfigOverrides(t *testing.T) {
+	s := testSuite(t)
+	cfg := s.resilienceFaultConfig(0.2)
+	if cfg.ISLFraction != 0.1 || cfg.PoPFraction != 0.05 {
+		t.Errorf("derived fractions = %v/%v, want 0.1/0.05", cfg.ISLFraction, cfg.PoPFraction)
+	}
+	if cfg.Seed != s.Seed {
+		t.Errorf("seed = %d, want suite seed %d", cfg.Seed, s.Seed)
+	}
+
+	s2 := *s
+	s2.FaultISLFraction, s2.FaultPoPFraction, s2.FaultSeed = 0.4, 0, 99
+	cfg = s2.resilienceFaultConfig(0.2)
+	if cfg.ISLFraction != 0.4 || cfg.PoPFraction != 0 || cfg.Seed != 99 {
+		t.Errorf("pinned config not honored: %+v", cfg)
+	}
+}

@@ -25,6 +25,15 @@ type Suite struct {
 	// sharding and randomness depend only on the work and the seed.
 	Workers int
 
+	// Fault-injection knobs for the resilience experiment (E-resilience).
+	// The sweep varies the satellite failure fraction; the ISL and PoP
+	// fractions follow it at half and a quarter of its value unless pinned
+	// here with a non-negative override. FaultSeed seeds plan generation;
+	// 0 means reuse the suite seed.
+	FaultISLFraction float64
+	FaultPoPFraction float64
+	FaultSeed        int64
+
 	aim []measure.SpeedTest
 	web []measure.WebMeasurement
 	tel *telemetry.Telemetry
@@ -36,7 +45,12 @@ func NewSuite(fast bool, seed int64) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Suite{Env: env, Fast: fast, Seed: seed}, nil
+	return &Suite{
+		Env: env, Fast: fast, Seed: seed,
+		// -1 selects the derived sweep fractions; see Resilience.
+		FaultISLFraction: -1,
+		FaultPoPFraction: -1,
+	}, nil
 }
 
 // SetWorkers sets the worker-pool bound for subsequent experiment runs.

@@ -1,0 +1,419 @@
+// Package faults generates deterministic fault-injection plans for the LEO
+// CDN: satellite outages with repair times, ISL link flaps, and ground-PoP
+// blackouts. A plan is seeded and reproducible — the same configuration over
+// the same constellation always yields the same outage schedule — and is
+// queryable at any simulation time as a View whose dead-satellite mask is a
+// routing.Bitset, composing directly with the resolve path's ActiveSet and
+// replica-bitset machinery.
+//
+// Views carry a fault epoch: all times between the same two outage
+// boundaries share one immutable View (and one epoch), so downstream caches
+// — notably the constellation's epoch-keyed path-tree memo — can key on the
+// epoch instead of the raw time. Epoch 0 is reserved for "no active faults";
+// any view with active outages has a non-zero epoch.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/routing"
+	"spacecdn/internal/stats"
+)
+
+// Kind classifies what an outage takes down.
+type Kind int
+
+const (
+	KindSatellite Kind = iota // whole satellite: cache, relay, and visibility
+	KindISL                   // one inter-satellite link
+	KindPoP                   // a ground PoP and its fiber tail
+
+	numKinds // keep last: sizes the name table
+)
+
+// kindNames is the exhaustive name table; the [numKinds] bound makes a
+// constant added without a name a compile error.
+var kindNames = [numKinds]string{
+	KindSatellite: "satellite",
+	KindISL:       "isl",
+	KindPoP:       "pop",
+}
+
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindFromString maps a kind name back to its constant.
+func KindFromString(name string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Kinds returns every fault kind, in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Outage is one scheduled failure: the named entity is down during
+// [Start, End) and healthy outside it.
+type Outage struct {
+	Kind Kind
+	// Sat is the failed satellite (KindSatellite).
+	Sat constellation.SatID
+	// Link is the failed inter-satellite link (KindISL), endpoints normalized
+	// A < B.
+	Link constellation.LinkID
+	// PoP is the blacked-out PoP name, lower-case (KindPoP).
+	PoP string
+
+	Start time.Duration
+	End   time.Duration
+}
+
+// ActiveAt reports whether the outage is in effect at time t.
+func (o Outage) ActiveAt(t time.Duration) bool {
+	return t >= o.Start && t < o.End
+}
+
+// Config parameterizes plan generation. Fractions are the expected share of
+// each entity class that fails at least once within the horizon; repair times
+// are exponentially distributed around the per-kind mean.
+type Config struct {
+	// Seed drives all random draws. Same seed, same constellation, same
+	// config — same plan.
+	Seed int64
+	// Horizon is the window outage start times are drawn from. Outages may
+	// end after the horizon (a failure near the edge still takes its full
+	// repair time).
+	Horizon time.Duration
+
+	SatFraction   float64
+	SatMeanOutage time.Duration
+
+	ISLFraction   float64
+	ISLMeanOutage time.Duration
+
+	PoPFraction   float64
+	PoPMeanOutage time.Duration
+}
+
+// DefaultConfig returns zero failure fractions (an empty plan) with repair
+// times in the order real operators report: satellites stay down longest
+// (deorbit/respawn), ISLs flap briefly, PoPs recover within an ops shift.
+func DefaultConfig() Config {
+	return Config{
+		Horizon:       time.Hour,
+		SatMeanOutage: 20 * time.Minute,
+		ISLMeanOutage: 5 * time.Minute,
+		PoPMeanOutage: 15 * time.Minute,
+	}
+}
+
+// Validate reports a descriptive error for unusable configuration.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"satellite", c.SatFraction},
+		{"isl", c.ISLFraction},
+		{"pop", c.PoPFraction},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("faults: %s failure fraction %v out of range [0,1]", f.name, f.v)
+		}
+	}
+	if c.SatFraction > 0 || c.ISLFraction > 0 || c.PoPFraction > 0 {
+		if c.Horizon <= 0 {
+			return fmt.Errorf("faults: horizon must be positive when any failure fraction is")
+		}
+		if c.SatFraction > 0 && c.SatMeanOutage <= 0 {
+			return fmt.Errorf("faults: satellite mean outage must be positive")
+		}
+		if c.ISLFraction > 0 && c.ISLMeanOutage <= 0 {
+			return fmt.Errorf("faults: isl mean outage must be positive")
+		}
+		if c.PoPFraction > 0 && c.PoPMeanOutage <= 0 {
+			return fmt.Errorf("faults: pop mean outage must be positive")
+		}
+	}
+	return nil
+}
+
+// View is the fault state over one inter-boundary interval: immutable,
+// shared by every query whose time falls inside the interval, and safe for
+// concurrent use. The zero view (Epoch 0, nil masks) means "everything up".
+type View struct {
+	// Epoch identifies the fault state. 0 is reserved for "no active
+	// outages"; distinct non-empty states have distinct non-zero epochs.
+	Epoch uint64
+	// DeadSats has a bit set per failed satellite (nil when none are down).
+	DeadSats routing.Bitset
+	// DeadLinks lists failed ISLs, endpoints normalized, sorted.
+	DeadLinks []constellation.LinkID
+	// DeadPoPs maps lower-case PoP names to blackout (nil when none).
+	DeadPoPs map[string]bool
+}
+
+// Empty reports whether no outage is active in this view.
+func (v *View) Empty() bool {
+	return v.DeadSats == nil && len(v.DeadLinks) == 0 && len(v.DeadPoPs) == 0
+}
+
+// SatDead reports whether the satellite is down.
+func (v *View) SatDead(id constellation.SatID) bool {
+	return v.DeadSats.Test(int(id))
+}
+
+// LinkDead reports whether the ISL between a and b is down (in either
+// endpoint order). A link whose endpoint satellite is down is already gone
+// from the masked topology; LinkDead covers only explicit link outages.
+func (v *View) LinkDead(a, b constellation.SatID) bool {
+	want := constellation.NormalizedLink(a, b)
+	for _, l := range v.DeadLinks {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+// PoPDead reports whether the named PoP is blacked out (case-insensitive).
+func (v *View) PoPDead(name string) bool {
+	return v.DeadPoPs[strings.ToLower(name)]
+}
+
+// emptyView is the canonical "everything up" view, shared by every plan and
+// every fault-free interval.
+var emptyView = &View{}
+
+// Plan is an immutable outage schedule plus a cache of per-interval views.
+// Safe for concurrent use.
+type Plan struct {
+	total   int // satellites in the constellation, sizes DeadSats masks
+	outages []Outage
+	bounds  []time.Duration // sorted unique outage start/end times
+
+	mu    sync.Mutex
+	views map[int]*View // interval index -> view, built on first query
+}
+
+// NewPlan draws an outage schedule for the constellation and PoP set.
+// Each entity class consumes an independent forked stream, so changing one
+// class's fraction never shifts another's draws. ISL candidates are the
+// +grid links of the constellation (time-invariant pairing); PoP candidates
+// are the given names, iterated in sorted order for determinism.
+func NewPlan(cfg Config, c *constellation.Constellation, pops []string) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("faults: constellation is required")
+	}
+	rng := stats.NewRand(cfg.Seed)
+	satRng, islRng, popRng := rng.Fork("sats"), rng.Fork("isls"), rng.Fork("pops")
+
+	var outages []Outage
+	total := c.Total()
+	if cfg.SatFraction > 0 {
+		for id := 0; id < total; id++ {
+			if !satRng.Bool(cfg.SatFraction) {
+				continue
+			}
+			start, end := drawWindow(satRng, cfg.Horizon, cfg.SatMeanOutage)
+			outages = append(outages, Outage{
+				Kind: KindSatellite, Sat: constellation.SatID(id),
+				Start: start, End: end,
+			})
+		}
+	}
+	if cfg.ISLFraction > 0 {
+		for _, link := range constellationLinks(c) {
+			if !islRng.Bool(cfg.ISLFraction) {
+				continue
+			}
+			start, end := drawWindow(islRng, cfg.Horizon, cfg.ISLMeanOutage)
+			outages = append(outages, Outage{
+				Kind: KindISL, Link: link,
+				Start: start, End: end,
+			})
+		}
+	}
+	if cfg.PoPFraction > 0 {
+		names := make([]string, 0, len(pops))
+		for _, n := range pops {
+			names = append(names, strings.ToLower(n))
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if !popRng.Bool(cfg.PoPFraction) {
+				continue
+			}
+			start, end := drawWindow(popRng, cfg.Horizon, cfg.PoPMeanOutage)
+			outages = append(outages, Outage{
+				Kind: KindPoP, PoP: name,
+				Start: start, End: end,
+			})
+		}
+	}
+	return newPlan(total, outages), nil
+}
+
+// NewPlanFromOutages builds a plan from a handcrafted outage list — the
+// entry point for scripted scenarios and regression tests. total sizes the
+// dead-satellite masks; link endpoints are normalized and PoP names
+// lower-cased; outages with empty windows are dropped.
+func NewPlanFromOutages(total int, outages []Outage) *Plan {
+	kept := make([]Outage, 0, len(outages))
+	for _, o := range outages {
+		if o.End <= o.Start {
+			continue
+		}
+		if o.Kind == KindISL {
+			o.Link = constellation.NormalizedLink(o.Link.A, o.Link.B)
+		}
+		if o.Kind == KindPoP {
+			o.PoP = strings.ToLower(o.PoP)
+		}
+		kept = append(kept, o)
+	}
+	return newPlan(total, kept)
+}
+
+func newPlan(total int, outages []Outage) *Plan {
+	p := &Plan{total: total, outages: outages, views: make(map[int]*View)}
+	seen := make(map[time.Duration]bool, 2*len(outages))
+	for _, o := range outages {
+		for _, t := range [2]time.Duration{o.Start, o.End} {
+			if !seen[t] {
+				seen[t] = true
+				p.bounds = append(p.bounds, t)
+			}
+		}
+	}
+	sort.Slice(p.bounds, func(i, j int) bool { return p.bounds[i] < p.bounds[j] })
+	return p
+}
+
+// drawWindow draws one outage window: a uniform start within the horizon and
+// an exponential duration around the mean, floored at one second so every
+// outage is observable.
+func drawWindow(rng *stats.Rand, horizon, mean time.Duration) (start, end time.Duration) {
+	start = time.Duration(rng.Uniform(0, float64(horizon)))
+	dur := time.Duration(rng.Exponential(float64(mean)))
+	if dur < time.Second {
+		dur = time.Second
+	}
+	return start, start + dur
+}
+
+// constellationLinks enumerates the +grid ISLs once, endpoints normalized,
+// in the deterministic first-encounter order of the snapshot graph build.
+// The pairing is time-invariant, so the t=0 snapshot defines the link set.
+func constellationLinks(c *constellation.Constellation) []constellation.LinkID {
+	g := c.Snapshot(0).ISLGraph()
+	var links []constellation.LinkID
+	for n := 0; n < g.Len(); n++ {
+		for _, e := range g.Neighbors(routing.NodeID(n)) {
+			if int(e.To) < n {
+				continue // undirected: count each link at its lower endpoint
+			}
+			links = append(links, constellation.LinkID{A: constellation.SatID(n), B: constellation.SatID(e.To)})
+		}
+	}
+	return links
+}
+
+// Outages returns a copy of the schedule.
+func (p *Plan) Outages() []Outage {
+	return append([]Outage(nil), p.outages...)
+}
+
+// Empty reports whether the plan schedules no outages at all.
+func (p *Plan) Empty() bool { return len(p.outages) == 0 }
+
+// ViewAt returns the fault state at time t. Times between the same two
+// outage boundaries share one cached View; times with no active outage
+// share the canonical empty view with Epoch 0.
+func (p *Plan) ViewAt(t time.Duration) *View {
+	if len(p.outages) == 0 {
+		return emptyView
+	}
+	// Interval index: the number of boundaries at or before t. Index 0 is
+	// the interval before the first outage starts.
+	idx := sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > t })
+	p.mu.Lock()
+	if v, ok := p.views[idx]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	v := p.buildView(t, idx)
+	p.mu.Lock()
+	if prev, ok := p.views[idx]; ok {
+		v = prev // racing builder won; identical content
+	} else {
+		p.views[idx] = v
+	}
+	p.mu.Unlock()
+	return v
+}
+
+// buildView materializes the view for the interval containing t. Any
+// interval with at least one active outage has a boundary at or before t,
+// so idx >= 1 there and the non-zero epoch invariant holds.
+func (p *Plan) buildView(t time.Duration, idx int) *View {
+	var deadSats routing.Bitset
+	var deadLinks []constellation.LinkID
+	var deadPoPs map[string]bool
+	for _, o := range p.outages {
+		if !o.ActiveAt(t) {
+			continue
+		}
+		switch o.Kind {
+		case KindSatellite:
+			if deadSats == nil {
+				deadSats = routing.NewBitset(p.total)
+			}
+			deadSats.Set(int(o.Sat))
+		case KindISL:
+			deadLinks = append(deadLinks, o.Link)
+		case KindPoP:
+			if deadPoPs == nil {
+				deadPoPs = make(map[string]bool)
+			}
+			deadPoPs[o.PoP] = true
+		}
+	}
+	if deadSats == nil && len(deadLinks) == 0 && len(deadPoPs) == 0 {
+		return emptyView
+	}
+	sort.Slice(deadLinks, func(i, j int) bool {
+		if deadLinks[i].A != deadLinks[j].A {
+			return deadLinks[i].A < deadLinks[j].A
+		}
+		return deadLinks[i].B < deadLinks[j].B
+	})
+	return &View{
+		Epoch:     uint64(idx),
+		DeadSats:  deadSats,
+		DeadLinks: deadLinks,
+		DeadPoPs:  deadPoPs,
+	}
+}

@@ -1,0 +1,246 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/orbit"
+)
+
+func smallConst(t *testing.T) *constellation.Constellation {
+	t.Helper()
+	cfg := constellation.Config{
+		Walker: orbit.Walker{
+			Planes: 6, SatsPerPlane: 8, InclinationDeg: 53,
+			AltitudeKm: 550, PhasingF: 1,
+		},
+		MinElevationDeg: 25,
+		CrossPlaneISLs:  true,
+	}
+	return constellation.MustNew(cfg)
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+		back, ok := KindFromString(name)
+		if !ok || back != k {
+			t.Fatalf("round trip %v -> %q -> %v, ok=%v", k, name, back, ok)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatalf("out-of-range stringer = %q", Kind(99).String())
+	}
+	if _, ok := KindFromString("nope"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.SatFraction = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("fraction > 1 must fail")
+	}
+	bad = cfg
+	bad.SatFraction = 0.1
+	bad.Horizon = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero horizon with non-zero fraction must fail")
+	}
+	bad = cfg
+	bad.ISLFraction = 0.1
+	bad.ISLMeanOutage = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero mean outage with non-zero fraction must fail")
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	c := smallConst(t)
+	cfg := DefaultConfig()
+	p, err := NewPlan(cfg, c, []string{"frankfurt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatal("zero fractions must yield an empty plan")
+	}
+	for _, at := range []time.Duration{0, time.Minute, time.Hour} {
+		v := p.ViewAt(at)
+		if !v.Empty() || v.Epoch != 0 {
+			t.Fatalf("empty plan view at %v: %+v", at, v)
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	c := smallConst(t)
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.SatFraction = 0.5
+	cfg.ISLFraction = 0.3
+	cfg.PoPFraction = 0.5
+	pops := []string{"Frankfurt", "Seattle", "Sydney"}
+	a, err := NewPlan(cfg, c, pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(cfg, c, pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, ob := a.Outages(), b.Outages()
+	if len(oa) == 0 {
+		t.Fatal("expected outages at these fractions")
+	}
+	if len(oa) != len(ob) {
+		t.Fatalf("outage counts differ: %d vs %d", len(oa), len(ob))
+	}
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("outage %d differs: %+v vs %+v", i, oa[i], ob[i])
+		}
+	}
+	// A different seed must produce a different schedule.
+	cfg.Seed = 8
+	d, err := NewPlan(cfg, c, pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := d.Outages()
+	same := len(od) == len(oa)
+	if same {
+		for i := range oa {
+			if oa[i] != od[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestForkedStreamsIndependent(t *testing.T) {
+	c := smallConst(t)
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	cfg.SatFraction = 0.4
+	base, err := NewPlan(cfg, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enabling PoP faults must not shift the satellite outage draws.
+	cfg.PoPFraction = 1
+	both, err := NewPlan(cfg, c, []string{"frankfurt", "tokyo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var satsBase, satsBoth []Outage
+	for _, o := range base.Outages() {
+		if o.Kind == KindSatellite {
+			satsBase = append(satsBase, o)
+		}
+	}
+	for _, o := range both.Outages() {
+		if o.Kind == KindSatellite {
+			satsBoth = append(satsBoth, o)
+		}
+	}
+	if len(satsBase) != len(satsBoth) {
+		t.Fatalf("satellite outage count changed with pop faults: %d vs %d", len(satsBase), len(satsBoth))
+	}
+	for i := range satsBase {
+		if satsBase[i] != satsBoth[i] {
+			t.Fatalf("satellite outage %d shifted: %+v vs %+v", i, satsBase[i], satsBoth[i])
+		}
+	}
+}
+
+func TestViewAtIntervals(t *testing.T) {
+	p := NewPlanFromOutages(48, []Outage{
+		{Kind: KindSatellite, Sat: 3, Start: 10 * time.Minute, End: 20 * time.Minute},
+		{Kind: KindISL, Link: constellation.LinkID{A: 9, B: 2}, Start: 15 * time.Minute, End: 25 * time.Minute},
+		{Kind: KindPoP, PoP: "Frankfurt", Start: 5 * time.Minute, End: 12 * time.Minute},
+	})
+	// Before anything starts: the canonical empty view.
+	if v := p.ViewAt(0); !v.Empty() || v.Epoch != 0 {
+		t.Fatalf("t=0 view should be empty, got %+v", v)
+	}
+	// t=6m: only the PoP blackout.
+	v := p.ViewAt(6 * time.Minute)
+	if v.Empty() || v.Epoch == 0 {
+		t.Fatal("t=6m must have active faults with a non-zero epoch")
+	}
+	if !v.PoPDead("frankfurt") || !v.PoPDead("FRANKFURT") {
+		t.Fatal("PoP blackout missed (lookup must be case-insensitive)")
+	}
+	if v.SatDead(3) || v.LinkDead(2, 9) {
+		t.Fatal("sat/link outages must not be active yet")
+	}
+	// t=16m: all three active; link lookup normalizes endpoint order.
+	v16 := p.ViewAt(16 * time.Minute)
+	if !v16.SatDead(3) || !v16.LinkDead(2, 9) || !v16.LinkDead(9, 2) {
+		t.Fatalf("t=16m faults wrong: %+v", v16)
+	}
+	if v16.PoPDead("frankfurt") {
+		t.Fatal("PoP must have recovered by 16m")
+	}
+	// Same interval shares the identical cached view; different intervals
+	// have different epochs.
+	if p.ViewAt(17*time.Minute) != v16 {
+		t.Fatal("same interval must return the same cached view")
+	}
+	if v.Epoch == v16.Epoch {
+		t.Fatal("distinct fault states must have distinct epochs")
+	}
+	// After everything repairs: empty again.
+	if after := p.ViewAt(time.Hour); !after.Empty() || after.Epoch != 0 {
+		t.Fatalf("post-repair view should be empty, got %+v", after)
+	}
+}
+
+func TestNewPlanFromOutagesNormalizes(t *testing.T) {
+	p := NewPlanFromOutages(10, []Outage{
+		{Kind: KindSatellite, Sat: 1, Start: time.Minute, End: time.Minute}, // empty window: dropped
+		{Kind: KindISL, Link: constellation.LinkID{A: 7, B: 4}, Start: 0, End: time.Minute},
+	})
+	got := p.Outages()
+	if len(got) != 1 {
+		t.Fatalf("want 1 outage after normalization, got %d", len(got))
+	}
+	if got[0].Link != (constellation.LinkID{A: 4, B: 7}) {
+		t.Fatalf("link endpoints not normalized: %+v", got[0].Link)
+	}
+}
+
+func TestPlanLinkCandidatesCoverGrid(t *testing.T) {
+	c := smallConst(t)
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	cfg.ISLFraction = 1 // every link fails once
+	p, err := NewPlan(cfg, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EdgeCount counts directed edges; each undirected link stores two.
+	want := c.Snapshot(0).ISLGraph().EdgeCount() / 2
+	if got := len(p.Outages()); got != want {
+		t.Fatalf("fraction 1 must fail every link: got %d, grid has %d", got, want)
+	}
+	for _, o := range p.Outages() {
+		if o.Kind != KindISL || o.Link.A >= o.Link.B {
+			t.Fatalf("bad link outage %+v", o)
+		}
+	}
+}

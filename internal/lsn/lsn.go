@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"spacecdn/internal/constellation"
@@ -163,11 +164,26 @@ func (m *Model) ResolvePath(client geo.Point, iso2 string, snap *constellation.S
 	return p, err
 }
 
+// topology is what path resolution prices against: the healthy snapshot, or
+// a fault-masked view of one. Both expose elevation-sorted visibility and
+// memoized shortest-path trees; a masked topology simply lacks the dead
+// satellites and their edges.
+type topology interface {
+	Visible(geo.Point) []constellation.VisibleSat
+	PathTree(constellation.SatID) *routing.SPTree
+}
+
 func (m *Model) resolvePath(client geo.Point, iso2 string, snap *constellation.Snapshot) (Path, error) {
 	pop, ok := m.Ground.AssignPoPForClient(iso2, client)
 	if !ok {
 		return Path{}, fmt.Errorf("lsn: no PoP assignment for country %q", iso2)
 	}
+	return m.resolvePathVia(snap, client, pop)
+}
+
+// resolvePathVia prices the client's path to one fixed PoP over the given
+// topology — the PoP-assignment-free core of resolvePath.
+func (m *Model) resolvePathVia(snap topology, client geo.Point, pop groundseg.PoP) (Path, error) {
 	ups := snap.Visible(client)
 	if len(ups) == 0 {
 		return Path{}, fmt.Errorf("%w: client at %v", ErrNoVisibility, client)
@@ -209,6 +225,9 @@ func (m *Model) resolvePath(client geo.Point, iso2 string, snap *constellation.S
 		// so repeated resolves through the same serving satellite — every
 		// client in a city — price their candidates off a single Dijkstra.
 		tree := snap.PathTree(up.ID)
+		if tree == nil {
+			continue
+		}
 		for _, gi := range gss {
 			for _, down := range gi.vis {
 				islMs := tree.Dist(routing.NodeID(down.ID))
@@ -243,6 +262,69 @@ func (m *Model) resolvePath(client geo.Point, iso2 string, snap *constellation.S
 		}
 	}
 	return best, nil
+}
+
+// ResolvePathDegraded computes the subscriber path over a fault-masked
+// constellation view, failing over blacked-out PoPs: the healthy country
+// assignment is tried first; when it is dark or unreachable over the
+// surviving topology, the remaining live PoPs are tried nearest-first from
+// the client until one resolves. failover reports whether the served PoP
+// differs from the healthy assignment. deadPoP marks blacked-out PoPs by
+// name (nil means all alive). An error means no PoP is reachable at all —
+// no ground path exists in this fault state. Telemetry observes it like
+// ResolvePath.
+func (m *Model) ResolvePathDegraded(client geo.Point, iso2 string, view *constellation.MaskedView, deadPoP func(string) bool) (Path, bool, error) {
+	if m.pathDurUs == nil {
+		return m.resolvePathDegraded(client, iso2, view, deadPoP)
+	}
+	start := time.Now()
+	p, failover, err := m.resolvePathDegraded(client, iso2, view, deadPoP)
+	m.pathDurUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	if err != nil {
+		m.pathErrs.Inc()
+	}
+	return p, failover, err
+}
+
+func (m *Model) resolvePathDegraded(client geo.Point, iso2 string, view *constellation.MaskedView, deadPoP func(string) bool) (Path, bool, error) {
+	assigned, ok := m.Ground.AssignPoPForClient(iso2, client)
+	if !ok {
+		return Path{}, false, fmt.Errorf("lsn: no PoP assignment for country %q", iso2)
+	}
+	dead := func(name string) bool { return deadPoP != nil && deadPoP(name) }
+	var lastErr error
+	if !dead(assigned.Name) {
+		p, err := m.resolvePathVia(view, client, assigned)
+		if err == nil {
+			return p, false, nil
+		}
+		lastErr = err
+	}
+	// Failover sweep: every other live PoP, nearest to the client first
+	// (ties broken by name for determinism).
+	pops := m.Ground.PoPs()
+	sort.Slice(pops, func(i, j int) bool {
+		di := geo.HaversineKm(client, pops[i].Loc)
+		dj := geo.HaversineKm(client, pops[j].Loc)
+		if di != dj {
+			return di < dj
+		}
+		return pops[i].Name < pops[j].Name
+	})
+	for _, pop := range pops {
+		if pop.Name == assigned.Name || dead(pop.Name) {
+			continue
+		}
+		p, err := m.resolvePathVia(view, client, pop)
+		if err == nil {
+			return p, true, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("lsn: every PoP is blacked out")
+	}
+	return Path{}, true, fmt.Errorf("lsn: degraded: no reachable PoP for country %q: %w", iso2, lastErr)
 }
 
 // MinRTTToPoP returns the floor round-trip time from the client to its PoP:

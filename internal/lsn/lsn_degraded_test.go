@@ -1,0 +1,97 @@
+package lsn
+
+import (
+	"strings"
+	"testing"
+
+	"spacecdn/internal/routing"
+)
+
+func TestResolvePathDegradedHealthyMatchesResolvePath(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	madrid := mustCity(t, "Madrid, ES")
+	want, err := m.ResolvePath(madrid.Loc, "ES", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := snap.Masked(0, nil, nil)
+	got, failover, err := m.ResolvePathDegraded(madrid.Loc, "ES", view, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failover {
+		t.Fatal("healthy view must not fail over")
+	}
+	if got != want {
+		t.Fatalf("degraded path over healthy view differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestResolvePathDegradedDeadPoPFailsOver(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	madrid := mustCity(t, "Madrid, ES")
+	view := snap.Masked(0, nil, nil)
+	dead := func(name string) bool { return name == "mad" }
+	p, failover, err := m.ResolvePathDegraded(madrid.Loc, "ES", view, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failover {
+		t.Fatal("dead assigned PoP must report a failover")
+	}
+	if p.PoP.Name == "mad" {
+		t.Fatal("served from the blacked-out PoP")
+	}
+	// Nearest-first sweep: the replacement should be European, not another
+	// continent.
+	if p.PoP.Country != "ES" && !strings.Contains("DE GB FR IT", p.PoP.Country) {
+		t.Logf("failover PoP = %s (%s)", p.PoP.Name, p.PoP.Country)
+	}
+	healthy, err := m.ResolvePath(madrid.Loc, "ES", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OneWayPropagation() < healthy.OneWayPropagation() {
+		t.Fatal("failover path cannot beat the healthy assignment")
+	}
+}
+
+func TestResolvePathDegradedAllPoPsDeadErrors(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	madrid := mustCity(t, "Madrid, ES")
+	view := snap.Masked(0, nil, nil)
+	dead := func(string) bool { return true }
+	_, failover, err := m.ResolvePathDegraded(madrid.Loc, "ES", view, dead)
+	if err == nil {
+		t.Fatal("all PoPs dead must error")
+	}
+	if !failover {
+		t.Fatal("a failed sweep is still a failover")
+	}
+}
+
+func TestResolvePathDegradedRoutesAroundDeadUplink(t *testing.T) {
+	m := testModel()
+	snap := testConst.Snapshot(0)
+	madrid := mustCity(t, "Madrid, ES")
+	healthy, err := m.ResolvePath(madrid.Loc, "ES", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadSats := routing.NewBitset(testConst.Total())
+	deadSats.Set(int(healthy.UpSat))
+	view := snap.Masked(1, deadSats, nil)
+	p, failover, err := m.ResolvePathDegraded(madrid.Loc, "ES", view, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failover {
+		t.Fatal("a dead satellite is not a PoP failover")
+	}
+	if p.UpSat == healthy.UpSat || p.DownSat == healthy.UpSat {
+		t.Fatal("path still uses the dead satellite")
+	}
+}

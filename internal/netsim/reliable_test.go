@@ -34,6 +34,60 @@ func TestLossyLinkZeroDisables(t *testing.T) {
 	}
 }
 
+func TestLossyLinkDropEveryOneDropsAll(t *testing.T) {
+	s := NewSimulator()
+	l := NewLossyLink(NewLink("dl", 8e6, 0, 0), 1)
+	delivered, dropped := 0, 0
+	for i := 0; i < 5; i++ {
+		l.Send(s, 200, func() { delivered++ }, func() { dropped++ })
+	}
+	s.Run()
+	if delivered != 0 || dropped != 5 {
+		t.Errorf("delivered=%d dropped=%d, want 0/5", delivered, dropped)
+	}
+	if l.Dropped != 1000 {
+		t.Errorf("dropped bytes = %d, want 1000", l.Dropped)
+	}
+}
+
+func TestLossyLinkNilOnDropped(t *testing.T) {
+	// A dropped send with no drop callback must neither panic nor deliver;
+	// the byte counter still advances.
+	s := NewSimulator()
+	l := NewLossyLink(NewLink("dl", 8e6, 0, 0), 1)
+	delivered := 0
+	l.Send(s, 300, func() { delivered++ }, nil)
+	s.Run()
+	if delivered != 0 {
+		t.Errorf("delivered = %d from an all-drop link", delivered)
+	}
+	if l.Dropped != 300 {
+		t.Errorf("dropped bytes = %d, want 300", l.Dropped)
+	}
+}
+
+// TestReliableTransferRetryAccounting pins the exact retry arithmetic: with
+// every second send dropped, a 4-chunk transfer loses chunks 2, 3 and 4 on
+// their first attempt (sends 2, 4 and 6) and delivers each on the retry, so
+// exactly 3 retransmissions and 3 chunks of dropped bytes.
+func TestReliableTransferRetryAccounting(t *testing.T) {
+	s := NewSimulator()
+	l := NewLossyLink(NewLink("dl", 8e6, 0, 0), 2)
+	var res ReliableResult
+	const chunk = 64 << 10
+	ReliableTransfer(s, l, 4*chunk, chunk, 5, 10*time.Millisecond, func(r ReliableResult) { res = r })
+	s.Run()
+	if !res.Completed || res.GaveUp {
+		t.Fatalf("transfer failed: %+v", res)
+	}
+	if res.Retransmits != 3 {
+		t.Errorf("retransmits = %d, want 3", res.Retransmits)
+	}
+	if l.Dropped != 3*chunk {
+		t.Errorf("dropped bytes = %d, want %d", l.Dropped, 3*chunk)
+	}
+}
+
 func TestReliableTransferLossless(t *testing.T) {
 	s := NewSimulator()
 	l := NewLink("dl", 8e6, 5*time.Millisecond, 0) // 1 MB/s

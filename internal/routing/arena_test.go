@@ -169,6 +169,34 @@ func TestBitsetBasics(t *testing.T) {
 	}
 }
 
+func TestBitsetIntersectsAny(t *testing.T) {
+	a := NewBitset(130)
+	b := NewBitset(130)
+	if a.IntersectsAny(b) {
+		t.Fatal("two empty sets must not intersect")
+	}
+	a.Set(5)
+	a.Set(129)
+	b.Set(64)
+	if a.IntersectsAny(b) || b.IntersectsAny(a) {
+		t.Fatal("disjoint sets must not intersect")
+	}
+	b.Set(129)
+	if !a.IntersectsAny(b) || !b.IntersectsAny(a) {
+		t.Fatal("sets sharing bit 129 must intersect")
+	}
+	// Mismatched lengths compare over the shared prefix; nil is empty.
+	short := NewBitset(64)
+	short.Set(5)
+	if !a.IntersectsAny(short) || !short.IntersectsAny(a) {
+		t.Fatal("shared prefix intersection missed")
+	}
+	var nilSet Bitset
+	if a.IntersectsAny(nilSet) || nilSet.IntersectsAny(a) || nilSet.IntersectsAny(nilSet) {
+		t.Fatal("nil operand must behave as the empty set")
+	}
+}
+
 func TestNearestInSetMatchesNearestMatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	g := randomGraph(rng, 80, 60)

@@ -59,6 +59,21 @@ func (b Bitset) Any() bool {
 	return false
 }
 
+// IntersectsAny reports whether the two sets share at least one member.
+// Either side may be nil (the empty set); lengths need not match.
+func (b Bitset) IntersectsAny(other Bitset) bool {
+	n := len(b)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&other[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // NearestInSet is NearestMatch with the predicate "member of members, and of
 // active when active is non-nil" evaluated as bitset word tests — the
 // allocation-free form of the replica search, where members holds the

@@ -27,6 +27,13 @@ type instruments struct {
 	rttMs    *telemetry.Histogram
 	hops     *telemetry.Histogram
 
+	// Degraded-mode instruments: one labelled counter per failover kind, a
+	// histogram over the source index of degraded requests (the paper-style
+	// source-mix shift under faults), and the degraded RTT distribution.
+	failovers   [numFailoverKinds]*telemetry.Counter
+	degradedSrc *telemetry.Histogram
+	degradedRTT *telemetry.Histogram
+
 	seq atomic.Uint64 // request sequence for trace identity
 }
 
@@ -38,6 +45,12 @@ type resolveDetail struct {
 	islRTT    time.Duration // two-way ISL leg incl. per-hop switching (ISL source)
 	ground    lsn.Path      // resolved ground path (ground source)
 	hasGround bool
+
+	// Degraded-mode flags (set only by resolveDegraded).
+	degraded        bool // the request ran the fault-aware pipeline
+	uplinkFailover  bool // overhead satellite was dead, re-homed
+	replicaFailover bool // replica set intersected the dead mask
+	popFailover     bool // served by a non-assigned PoP
 }
 
 // SetTelemetry attaches (or, with nil, detaches) telemetry. Attaching wires
@@ -63,6 +76,15 @@ func (s *System) SetTelemetry(t *telemetry.Telemetry) {
 	for _, src := range Sources() {
 		in.requests[src] = reg.Counter("spacecdn_resolve_requests_total", "source", src.String())
 	}
+	for _, k := range FailoverKinds() {
+		in.failovers[k] = reg.Counter("spacecdn_failover_total", "kind", k.String())
+	}
+	srcBuckets := make([]float64, numSources)
+	for i := range srcBuckets {
+		srcBuckets[i] = float64(i)
+	}
+	in.degradedSrc = reg.Histogram("spacecdn_degraded_source", srcBuckets)
+	in.degradedRTT = reg.Histogram("spacecdn_degraded_rtt_ms", telemetry.LatencyBucketsMs)
 
 	// Fleet and routing state is cheap to read but pointless to push per
 	// request; a collector samples it at exposition time. The collector only
@@ -130,9 +152,26 @@ func (s *System) Telemetry() *telemetry.Telemetry {
 // full trace only when the sink samples this request.
 func (in *instruments) record(res Resolution, err error, d *resolveDetail) {
 	seq := in.seq.Add(1)
+	if d.degraded {
+		// Failovers count even when the request ultimately errors: the
+		// reroute attempt happened.
+		if d.uplinkFailover {
+			in.failovers[FailoverUplink].Inc()
+		}
+		if d.replicaFailover {
+			in.failovers[FailoverReplica].Inc()
+		}
+		if d.popFailover {
+			in.failovers[FailoverPoP].Inc()
+		}
+	}
 	if err != nil {
 		in.errors.Inc()
 		return
+	}
+	if d.degraded {
+		in.degradedSrc.Observe(float64(res.Source))
+		in.degradedRTT.ObserveDuration(res.RTT)
 	}
 	in.requests[res.Source].Inc()
 	in.rttMs.ObserveDuration(res.RTT)

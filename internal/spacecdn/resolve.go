@@ -82,12 +82,26 @@ type Resolution struct {
 func (s *System) Resolve(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand) (Resolution, error) {
 	in := s.inst
 	if in == nil {
-		return s.resolve(client, iso2, obj, snap, rng, nil)
+		return s.resolveAny(client, iso2, obj, snap, rng, nil)
 	}
 	var d resolveDetail
-	res, err := s.resolve(client, iso2, obj, snap, rng, &d)
+	res, err := s.resolveAny(client, iso2, obj, snap, rng, &d)
 	in.record(res, err, &d)
 	return res, err
+}
+
+// resolveAny routes a request down the healthy pipeline or, when the
+// attached fault plan has active outages at the snapshot time, the degraded
+// one. The fault check happens before any rng draw, so with no plan — or a
+// plan with nothing active — the healthy path runs untouched and its output
+// stays byte-identical to a system without fault injection.
+func (s *System) resolveAny(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand, d *resolveDetail) (Resolution, error) {
+	if s.faults != nil {
+		if fv := s.faults.ViewAt(snap.Time()); !fv.Empty() {
+			return s.resolveDegraded(client, iso2, obj, snap, fv, rng, d)
+		}
+	}
+	return s.resolve(client, iso2, obj, snap, rng, d)
 }
 
 // resolve is the uninstrumented resolution path. When d is non-nil it is
@@ -225,16 +239,24 @@ func (s *System) cacheGet(id constellation.SatID, obj content.ID) bool {
 	return s.caches[int(id)].Get(cache.Key(obj))
 }
 
+// pathTreer prices ISL legs off memoized shortest-path trees. Satisfied by
+// *constellation.Snapshot (healthy topology, fault epoch 0) and
+// *constellation.MaskedView (degraded topology, its own epoch); both are
+// pointer receivers, so the interface costs no allocation per call.
+type pathTreer interface {
+	PathTree(constellation.SatID) *routing.SPTree
+}
+
 // islOneWay returns the one-way ISL latency (propagation plus per-hop
 // switching) and the hop count between two satellites on the cheapest path,
-// priced off the snapshot's memoized path tree. ok is false when to is
+// priced off the topology's memoized path tree. ok is false when to is
 // unreachable from from — callers must treat the replica as unusable and
 // fall through to the ground stage, never price it as free.
-func (s *System) islOneWay(snap *constellation.Snapshot, from, to constellation.SatID) (time.Duration, int, bool) {
+func (s *System) islOneWay(topo pathTreer, from, to constellation.SatID) (time.Duration, int, bool) {
 	if from == to {
 		return 0, 0, true
 	}
-	tree := snap.PathTree(from)
+	tree := topo.PathTree(from)
 	if tree == nil || !tree.Reachable(routing.NodeID(to)) {
 		return 0, 0, false
 	}
@@ -245,8 +267,8 @@ func (s *System) islOneWay(snap *constellation.Snapshot, from, to constellation.
 }
 
 // islRoundTrip returns the two-way ISL latency and hop count.
-func (s *System) islRoundTrip(snap *constellation.Snapshot, from, to constellation.SatID) (time.Duration, int, bool) {
-	d, h, ok := s.islOneWay(snap, from, to)
+func (s *System) islRoundTrip(topo pathTreer, from, to constellation.SatID) (time.Duration, int, bool) {
+	d, h, ok := s.islOneWay(topo, from, to)
 	return 2 * d, h, ok
 }
 

@@ -19,11 +19,13 @@ package spacecdn
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"spacecdn/internal/cache"
 	"spacecdn/internal/constellation"
 	"spacecdn/internal/content"
+	"spacecdn/internal/faults"
 	"spacecdn/internal/lsn"
 	"spacecdn/internal/routing"
 )
@@ -105,6 +107,16 @@ type System struct {
 	replicas *replicaIndex // object -> replica bitset, fed by cache listeners
 	duty     *DutyCycler   // nil when always-on
 	inst     *instruments  // nil when telemetry is detached (see SetTelemetry)
+	faults   *faults.Plan  // nil when no fault injection (see SetFaultPlan)
+
+	// fstats are the always-on degraded-mode counters; atomics because
+	// resolve shards update them concurrently.
+	fstats struct {
+		degraded  atomic.Int64
+		uplinkFO  atomic.Int64
+		replicaFO atomic.Int64
+		popFO     atomic.Int64
+	}
 }
 
 // NewSystem deploys SpaceCDN over the given constellation. The lsn model is
@@ -196,6 +208,44 @@ func (s *System) activeSet(t time.Duration) routing.Bitset {
 		return nil
 	}
 	return s.duty.ActiveSet(t)
+}
+
+// SetFaultPlan attaches (or, with nil, detaches) a fault-injection plan.
+// With a plan attached, Resolve consults it at each request's snapshot time:
+// at times with active outages the degraded pipeline reroutes around dead
+// satellites, ISLs, and PoPs; at fault-free times — and always with a nil or
+// empty plan — the healthy pipeline runs byte-identically, consuming the
+// same rng draws. Attach before concurrent resolves begin.
+func (s *System) SetFaultPlan(p *faults.Plan) { s.faults = p }
+
+// FaultPlan returns the attached fault plan, or nil.
+func (s *System) FaultPlan() *faults.Plan { return s.faults }
+
+// FaultStats is a snapshot of the always-on degraded-mode counters.
+type FaultStats struct {
+	// DegradedRequests counts resolves that ran the degraded pipeline
+	// (at least one outage active at the request's snapshot time).
+	DegradedRequests int64
+	// UplinkFailovers counts requests whose healthy overhead satellite was
+	// dead and that were re-homed to the next surviving visible one.
+	UplinkFailovers int64
+	// ReplicaFailovers counts requests whose replica set intersected the
+	// dead-satellite mask, forcing the ISL search past dead holders.
+	ReplicaFailovers int64
+	// PoPFailovers counts ground fallbacks served by a PoP other than the
+	// client's healthy assignment.
+	PoPFailovers int64
+}
+
+// FaultStats returns the degraded-mode counters accumulated since the
+// system was created. They advance regardless of telemetry attachment.
+func (s *System) FaultStats() FaultStats {
+	return FaultStats{
+		DegradedRequests: s.fstats.degraded.Load(),
+		UplinkFailovers:  s.fstats.uplinkFO.Load(),
+		ReplicaFailovers: s.fstats.replicaFO.Load(),
+		PoPFailovers:     s.fstats.popFO.Load(),
+	}
 }
 
 // TotalCacheBytes returns the fleet-wide cache capacity — the paper's §5

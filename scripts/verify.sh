@@ -13,9 +13,11 @@
 #   smoke  CLI run asserting the telemetry artifact parses with non-zero
 #          request counters
 #   bench  single-iteration benchmark sweep plus the parallel-engine
-#          throughput artifact (BENCH_parallel.json) and the resolve
+#          throughput artifact (BENCH_parallel.json), the resolve
 #          acceleration artifact (BENCH_resolve.json: naive vs accelerated
-#          req/s and allocs/op)
+#          req/s and allocs/op), and the fault-injection sweep artifact
+#          (BENCH_resilience.json: availability, p99 inflation and source
+#          mix vs failure fraction)
 #
 # No arguments runs the full local gate: fmt vet build test race smoke.
 # The script is non-interactive and exits non-zero on the first failure.
@@ -61,6 +63,8 @@ stage_bench() {
 	cat BENCH_parallel.json
 	go run ./cmd/spacecdn -exp resolve-bench -fast -json >BENCH_resolve.json
 	cat BENCH_resolve.json
+	go run ./cmd/spacecdn -exp resilience -fast -json >BENCH_resilience.json
+	cat BENCH_resilience.json
 }
 
 stages="$*"

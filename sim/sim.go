@@ -18,6 +18,7 @@ import (
 	"spacecdn/internal/constellation"
 	"spacecdn/internal/content"
 	"spacecdn/internal/experiments"
+	"spacecdn/internal/faults"
 	"spacecdn/internal/geo"
 	"spacecdn/internal/groundseg"
 	"spacecdn/internal/lsn"
@@ -179,6 +180,44 @@ func DeploySpaceCDN(env *Environment, cfg SpaceCDNConfig) (*SpaceCDN, error) {
 
 // Apply stores an object on every satellite a placement selects.
 func Apply(s *SpaceCDN, pl Placement, o Object) (int, error) { return spacecdn.Apply(s, pl, o) }
+
+// Fault injection and resilience (DESIGN.md §10).
+type (
+	// FaultConfig parameterizes seeded fault-plan generation.
+	FaultConfig = faults.Config
+	// FaultPlan is an immutable set of outage windows, queryable at any
+	// sim time; attach one with SpaceCDN.SetFaultPlan.
+	FaultPlan = faults.Plan
+	// FaultOutage is one outage window (satellite, ISL or PoP).
+	FaultOutage = faults.Outage
+	// FaultKind classifies what an outage takes down.
+	FaultKind = faults.Kind
+	// FaultStats snapshots a system's always-on degraded-mode counters.
+	FaultStats = spacecdn.FaultStats
+)
+
+// Outage kinds.
+const (
+	FaultSatellite = faults.KindSatellite
+	FaultISL       = faults.KindISL
+	FaultPoP       = faults.KindPoP
+)
+
+// DefaultFaultConfig returns zero failure fractions with realistic repair
+// times; set the fractions to inject faults.
+func DefaultFaultConfig() FaultConfig { return faults.DefaultConfig() }
+
+// NewFaultPlan draws a seeded fault plan over an environment's constellation
+// and ground segment. Attach it with SpaceCDN.SetFaultPlan; Resolve then
+// reroutes around dead hardware at times with active outages.
+func NewFaultPlan(env *Environment, cfg FaultConfig) (*FaultPlan, error) {
+	pops := env.Ground.PoPs()
+	names := make([]string, len(pops))
+	for i, p := range pops {
+		names[i] = p.Name
+	}
+	return faults.NewPlan(cfg, env.Constellation, names)
+}
 
 // Observability.
 type (
