@@ -51,6 +51,7 @@ func registry() []experiment {
 		{"resilience", "Resilience sweep: availability, tail latency and source mix vs failure fraction", false, runResilience},
 		{"parallel-bench", "Benchmark: batch resolution throughput vs workers", false, runParallelBench},
 		{"resolve-bench", "Benchmark: naive vs accelerated resolve pipeline", false, runResolveBench},
+		{"sweep-bench", "Benchmark: incremental sweep vs fresh per-step snapshots", false, runSweepBench},
 	}
 }
 
@@ -517,5 +518,20 @@ func runResolveBench(w io.Writer, s *experiments.Suite, opts options) error {
 	t.AddRow("naive", res.Requests, res.NaiveReqPerSec, res.NaiveAllocsPerOp, 1.0, res.Identical)
 	t.AddRow("accelerated", res.Requests, res.AccelReqPerSec, res.AccelAllocsPerOp, res.Speedup, res.Identical)
 	t.AddRow("steady-state", res.SteadyRequests, "", res.SteadyAllocsPerOp, "", res.Identical)
+	return t.Render(w)
+}
+
+func runSweepBench(w io.Writer, s *experiments.Suite, opts options) error {
+	res, err := s.SweepBench()
+	if err != nil {
+		return err
+	}
+	if opts.JSON {
+		return report.WriteJSON(w, res)
+	}
+	t := report.NewTable("Sweep engine: incremental advance vs per-step world rebuild",
+		"Pipeline", "Steps", "Steps/s", "Allocs/step", "Speedup", "Identical")
+	t.AddRow("fresh", res.Steps, res.FreshStepsPerSec, "", 1.0, res.Identical)
+	t.AddRow("sweep", res.Steps, res.SweepStepsPerSec, res.SweepAllocsPerStep, res.Speedup, res.Identical)
 	return t.Render(w)
 }

@@ -45,10 +45,17 @@ func DefaultConfig() Config {
 }
 
 // Constellation owns the satellite set. It is immutable after construction
-// and safe for concurrent use.
+// and safe for concurrent use; the lazily built ISL topology and the sweep
+// cursor pool are internal caches of immutable derived state.
 type Constellation struct {
 	cfg      Config
 	elements []orbit.Elements
+	eng      *posEngine
+
+	topoOnce sync.Once
+	topo     *islTopology // time-invariant +grid CSR structure, built once
+
+	sweepPool sync.Pool // recycled *Sweep cursors with their pooled buffers
 }
 
 // New builds a constellation from the configuration.
@@ -59,7 +66,8 @@ func New(cfg Config) (*Constellation, error) {
 	if cfg.MinElevationDeg < 0 || cfg.MinElevationDeg >= 90 {
 		return nil, fmt.Errorf("constellation: elevation mask %v out of range [0,90)", cfg.MinElevationDeg)
 	}
-	return &Constellation{cfg: cfg, elements: cfg.Walker.All()}, nil
+	els := cfg.Walker.All()
+	return &Constellation{cfg: cfg, elements: els, eng: newPosEngine(els)}, nil
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -100,9 +108,7 @@ func (c *Constellation) Elements(id SatID) orbit.Elements { return c.elements[id
 // Snapshot captures every satellite position at time t after epoch.
 func (c *Constellation) Snapshot(t time.Duration) *Snapshot {
 	pos := make([]geo.Vec3, len(c.elements))
-	for i, e := range c.elements {
-		pos[i] = e.PositionECEF(t)
-	}
+	c.eng.positionsInto(t, pos)
 	return &Snapshot{c: c, t: t, pos: pos}
 }
 
@@ -117,14 +123,42 @@ type Snapshot struct {
 
 	islOnce  sync.Once
 	islGraph *routing.Graph // built once on first ISLGraph call
+	islW     []float64      // per-link weight buffer backing islGraph, topology edge order
 
 	gridOnce sync.Once
 	grid     *visGrid // lat/lon cell index, built once on first visibility query
 
-	memo pathMemo // per-snapshot shortest-path trees, keyed (source, fault epoch)
+	// memoGen distinguishes sweep steps in the path memo: a sweep cursor
+	// mutates its snapshot in place and bumps the generation each advance,
+	// so memo keys become (source, step, fault epoch) without any per-step
+	// clearing. Always 0 for a fresh immutable snapshot.
+	memoGen uint32
+	memo    pathMemo // per-snapshot shortest-path trees, keyed (source, generation, fault epoch)
 
 	maskMu sync.Mutex
 	masked map[uint64]*MaskedView // fault epoch -> cached fault-aware view
+}
+
+// memoEpoch composes the snapshot's sweep generation with a fault epoch into
+// one memo key component. Fault epochs are outage-interval indices and stay
+// far below 2^32 for any realistic plan; the top bits carry the generation so
+// trees settled over a previous sweep step can never be served after the
+// positions moved. For a fresh snapshot (generation 0) the key equals the
+// fault epoch, preserving the epoch-0-is-healthy convention.
+func (s *Snapshot) memoEpoch(faultEpoch uint64) uint64 {
+	return uint64(s.memoGen)<<32 | (faultEpoch & (1<<32 - 1))
+}
+
+// clearMasked drops every cached fault-aware view; the sweep cursor calls it
+// on advance because masked views cache ISL graphs whose weights would
+// otherwise go stale. Deleting in place keeps the map's storage, so the
+// steady-state sweep step stays allocation-free.
+func (s *Snapshot) clearMasked() {
+	s.maskMu.Lock()
+	for k := range s.masked {
+		delete(s.masked, k)
+	}
+	s.maskMu.Unlock()
 }
 
 // Time returns the snapshot's offset from the constellation epoch.
@@ -146,25 +180,27 @@ func (s *Snapshot) SubPoint(id SatID) geo.Point { return s.pos[id].ToPoint() }
 // last and first plane, where same-slot satellites can be a quarter orbit
 // apart.
 func (s *Snapshot) ISLNeighbors(id SatID) []SatID {
-	return s.appendISLNeighbors(id, make([]SatID, 0, 4))
+	return s.c.appendISLNeighbors(id, make([]SatID, 0, 4))
 }
 
 // appendISLNeighbors appends the +grid neighbours of id to out and returns
 // the extended slice. The append count is fixed per configuration: two
-// intra-plane entries, plus two cross-plane entries when enabled.
-func (s *Snapshot) appendISLNeighbors(id SatID, out []SatID) []SatID {
-	w := s.c.cfg.Walker
-	p, k := s.c.Plane(id), s.c.Slot(id)
+// intra-plane entries, plus two cross-plane entries when enabled. The
+// neighbour set depends only on plane/slot indices, never on time — which is
+// what lets the topology be hoisted out of the per-snapshot build.
+func (c *Constellation) appendISLNeighbors(id SatID, out []SatID) []SatID {
+	w := c.cfg.Walker
+	p, k := c.Plane(id), c.Slot(id)
 	out = append(out,
-		s.c.ID(p, (k+1)%w.SatsPerPlane),
-		s.c.ID(p, (k-1+w.SatsPerPlane)%w.SatsPerPlane),
+		c.ID(p, (k+1)%w.SatsPerPlane),
+		c.ID(p, (k-1+w.SatsPerPlane)%w.SatsPerPlane),
 	)
-	if s.c.cfg.CrossPlaneISLs {
+	if c.cfg.CrossPlaneISLs {
 		east := (p + 1) % w.Planes
 		west := (p - 1 + w.Planes) % w.Planes
 		out = append(out,
-			s.c.ID(east, s.c.crossPlaneSlot(p, k, east)),
-			s.c.ID(west, s.c.crossPlaneSlot(p, k, west)),
+			c.ID(east, c.crossPlaneSlot(p, k, east)),
+			c.ID(west, c.crossPlaneSlot(p, k, west)),
 		)
 	}
 	return out
@@ -210,12 +246,34 @@ func (s *Snapshot) ISLGraph() *routing.Graph {
 	return s.islGraph
 }
 
-// buildISLGraph constructs the +grid topology, omitting edges for which skip
-// returns true (nil skips nothing — the full graph). Filtering happens at
-// edge insertion, after the first-encounter dedupe, so the surviving edges
-// keep exactly the adjacency order the unfiltered build gives them; a masked
-// build is the full build minus edges, never a reordering.
+// buildISLGraph constructs the +grid graph at this snapshot's positions,
+// omitting edges for which skip returns true (nil skips nothing — the full
+// graph). The time-invariant adjacency comes from the constellation's shared
+// CSR topology; the full build fills it with this instant's weights in one
+// pass, and a masked build replays the recorded edge list through the skip
+// predicate, so surviving edges keep exactly the adjacency order of the full
+// build — a masked build is the full build minus edges, never a reordering.
 func (s *Snapshot) buildISLGraph(skip func(lo, hi SatID) bool) *routing.Graph {
+	if skip == nil {
+		return s.buildISLGraphCSR()
+	}
+	topo := s.c.topology()
+	g := routing.NewGraph(len(s.pos))
+	for _, e := range topo.edges {
+		if skip(e.A, e.B) {
+			continue
+		}
+		w := s.ISLDistanceKm(e.A, e.B) / orbit.LightSpeedKmPerSec * 1000
+		g.AddUndirected(routing.NodeID(e.A), routing.NodeID(e.B), w)
+	}
+	return g
+}
+
+// buildISLGraphScan is the reference implementation of buildISLGraph: the
+// incremental dedupe scan that discovers the adjacency from scratch at every
+// call. Kept for equivalence tests proving the hoisted topology reproduces
+// its edge set, adjacency order and weights exactly.
+func (s *Snapshot) buildISLGraphScan(skip func(lo, hi SatID) bool) *routing.Graph {
 	n := len(s.pos)
 	g := routing.NewGraph(n)
 	deg := 2
@@ -229,7 +287,7 @@ func (s *Snapshot) buildISLGraph(skip func(lo, hi SatID) bool) *routing.Graph {
 	// the map version's first-encounter order.
 	nbrs := make([]SatID, 0, deg*n)
 	for id := 0; id < n; id++ {
-		nbrs = s.appendISLNeighbors(SatID(id), nbrs)
+		nbrs = s.c.appendISLNeighbors(SatID(id), nbrs)
 	}
 	contains := func(list []SatID, x SatID) bool {
 		for _, v := range list {
@@ -367,26 +425,54 @@ type OverheadWindow struct {
 }
 
 // OverheadWindows computes serving windows for a ground point by sampling.
-// Step must be positive; typical values are 5-30 seconds.
+// Step must be positive; typical values are 5-30 seconds. The sampling runs
+// over a pooled sweep cursor, so the per-step cost is the incremental world
+// update rather than a fresh snapshot build.
 func (c *Constellation) OverheadWindows(ground geo.Point, from, to, step time.Duration) []OverheadWindow {
 	if step <= 0 || to <= from {
 		return nil
 	}
+	cur := c.Sweep(from, step)
+	defer cur.Close()
+	return OverheadWindowsOver(cur, ground, to)
+}
+
+// OverheadWindowsScan is the reference implementation of OverheadWindows: a
+// fresh snapshot per sample. Kept for equivalence tests and benchmark
+// baselines.
+func (c *Constellation) OverheadWindowsScan(ground geo.Point, from, to, step time.Duration) []OverheadWindow {
+	if step <= 0 || to <= from {
+		return nil
+	}
+	cur := c.SweepScan(from, step)
+	defer cur.Close()
+	return OverheadWindowsOver(cur, ground, to)
+}
+
+// OverheadWindowsOver computes serving windows by sampling an existing
+// cursor from its current time up to (but excluding) to, advancing it by its
+// step. The cursor is left positioned at the last sample; the caller retains
+// ownership and must Close it.
+func OverheadWindowsOver(cur Cursor, ground geo.Point, to time.Duration) []OverheadWindow {
+	step := cur.Step()
+	if step <= 0 {
+		return nil
+	}
 	var out []OverheadWindow
-	var cur *OverheadWindow
-	for t := from; t < to; t += step {
-		snap := c.Snapshot(t)
+	var open *OverheadWindow
+	for t := cur.Time(); t < to; t += step {
+		snap := cur.AdvanceTo(t)
 		best, ok := snap.BestVisible(ground)
 		if !ok {
-			cur = nil
+			open = nil
 			continue
 		}
-		if cur != nil && cur.Sat == best.ID {
-			cur.End = t + step
+		if open != nil && open.Sat == best.ID {
+			open.End = t + step
 			continue
 		}
 		out = append(out, OverheadWindow{Sat: best.ID, Start: t, End: t + step})
-		cur = &out[len(out)-1]
+		open = &out[len(out)-1]
 	}
 	return out
 }

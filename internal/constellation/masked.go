@@ -157,14 +157,15 @@ func (v *MaskedView) PathTree(src SatID) *routing.SPTree {
 	if src < 0 || int(src) >= len(v.snap.pos) || !v.Alive(src) {
 		return nil
 	}
-	if t, ok := v.snap.memo.lookup(src, v.epoch); ok {
+	epoch := v.snap.memoEpoch(v.epoch)
+	if t, ok := v.snap.memo.lookup(src, epoch); ok {
 		memoStats.hits.Add(1)
 		return t
 	}
 	memoStats.misses.Add(1)
 	t := v.ISLGraph().SPTreeFrom(routing.NodeID(src))
 	if t != nil {
-		v.snap.memo.insert(src, v.epoch, t)
+		v.snap.memo.insert(src, epoch, t)
 	}
 	return t
 }

@@ -36,10 +36,14 @@ func ResetPathMemoCounters() {
 	memoStats.misses.Store(0)
 }
 
-// memoKey identifies one memoized tree: the source satellite and the fault
-// epoch of the topology it was settled over. Epoch 0 is the healthy graph;
-// fault-masked views (Snapshot.Masked) memoize under their own epochs, so a
-// degraded tree can never be served for a healthy query or vice versa.
+// memoKey identifies one memoized tree: the source satellite and the
+// composite epoch (Snapshot.memoEpoch) of the topology it was settled over —
+// sweep generation in the high bits, fault epoch in the low. Epoch 0 is the
+// healthy graph of a fresh snapshot; fault-masked views (Snapshot.Masked)
+// memoize under their own fault epochs and sweep steps under their own
+// generations, so a degraded or stale tree can never be served for a healthy
+// current-step query or vice versa. Entries from past sweep steps simply age
+// out of the LRU.
 type memoKey struct {
 	src   SatID
 	epoch uint64
@@ -140,14 +144,15 @@ func (m *pathMemo) moveToFront(nd *memoNode) {
 // healthy topology): every client resolving through the same uplink
 // satellite shares one Dijkstra run. Returns nil when src is out of range.
 func (s *Snapshot) PathTree(src SatID) *routing.SPTree {
-	if t, ok := s.memo.lookup(src, 0); ok {
+	epoch := s.memoEpoch(0)
+	if t, ok := s.memo.lookup(src, epoch); ok {
 		memoStats.hits.Add(1)
 		return t
 	}
 	memoStats.misses.Add(1)
 	t := s.ISLGraph().SPTreeFrom(routing.NodeID(src))
 	if t != nil {
-		s.memo.insert(src, 0, t)
+		s.memo.insert(src, epoch, t)
 	}
 	return t
 }
@@ -158,7 +163,7 @@ func (s *Snapshot) PathTree(src SatID) *routing.SPTree {
 // without populating the memo (bounded trees must not masquerade as full
 // ones). Returns nil when src is out of range.
 func (s *Snapshot) PathTreeWithin(src SatID, maxCost float64) *routing.SPTree {
-	if t, ok := s.memo.lookup(src, 0); ok {
+	if t, ok := s.memo.lookup(src, s.memoEpoch(0)); ok {
 		memoStats.hits.Add(1)
 		return t
 	}

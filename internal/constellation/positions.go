@@ -1,0 +1,93 @@
+package constellation
+
+import (
+	"math"
+	"time"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/orbit"
+)
+
+// posEngine propagates every satellite of the constellation into a caller
+// buffer in one pass. It is the single source of positions for both fresh
+// snapshots and the sweep cursor, so the two are bit-identical by
+// construction — an equivalence the sweep engine's byte-identical-output
+// guarantee rests on.
+//
+// For a circular orbit the argument of latitude is u(t) = phase + n*t, and
+// the ECEF position is a fixed per-satellite basis pair combined by
+// (cos u, sin u) and rotated by the Earth angle. When every satellite shares
+// one altitude (any Walker shell), n is common, so cos(n*t)/sin(n*t) and the
+// Earth rotation terms are computed once per call and each satellite costs a
+// handful of multiply-adds — no per-satellite trigonometry. The basis arrays
+// are the pooled SoA layout the sweep advances into.
+type posEngine struct {
+	// uniform is true when all satellites share one mean motion; the SoA
+	// fast path requires it. Otherwise positionsInto falls back to per-
+	// element propagation (still consistent between snapshot and sweep).
+	uniform bool
+	n       float64 // shared mean motion, rad/s
+
+	// Per-satellite, time-invariant: cos/sin of the epoch phase and the
+	// radius-scaled ECI basis vectors. ECI(t) = cosU*basisA + sinU*basisB.
+	cosP, sinP     []float64
+	basisA, basisB []geo.Vec3
+
+	els []orbit.Elements // fallback path
+}
+
+func newPosEngine(els []orbit.Elements) *posEngine {
+	pe := &posEngine{uniform: true, els: els}
+	if len(els) == 0 {
+		return pe
+	}
+	pe.n = els[0].MeanMotionRadPerSec()
+	for _, e := range els {
+		if e.AltitudeKm != els[0].AltitudeKm {
+			pe.uniform = false
+			return pe
+		}
+	}
+	pe.cosP = make([]float64, len(els))
+	pe.sinP = make([]float64, len(els))
+	pe.basisA = make([]geo.Vec3, len(els))
+	pe.basisB = make([]geo.Vec3, len(els))
+	for i, e := range els {
+		phase := e.PhaseDeg * math.Pi / 180
+		pe.cosP[i], pe.sinP[i] = math.Cos(phase), math.Sin(phase)
+		inc := e.InclinationDeg * math.Pi / 180
+		raan := e.RAANDeg * math.Pi / 180
+		r := e.RadiusKm()
+		cr, sr := math.Cos(raan), math.Sin(raan)
+		ci, si := math.Cos(inc), math.Sin(inc)
+		// From PositionECI: ECI = cosU*(r*cr, r*sr, 0) + sinU*(-r*sr*ci, r*cr*ci, r*si).
+		pe.basisA[i] = geo.Vec3{X: r * cr, Y: r * sr}
+		pe.basisB[i] = geo.Vec3{X: -r * sr * ci, Y: r * cr * ci, Z: r * si}
+	}
+	return pe
+}
+
+// positionsInto writes the ECEF position of every satellite at time t into
+// dst (len must equal the satellite count). It never allocates.
+func (pe *posEngine) positionsInto(t time.Duration, dst []geo.Vec3) {
+	if !pe.uniform {
+		for i, e := range pe.els {
+			dst[i] = e.PositionECEF(t)
+		}
+		return
+	}
+	sec := t.Seconds()
+	cnt, snt := math.Cos(pe.n*sec), math.Sin(pe.n*sec)
+	theta := orbit.EarthRotationRadPerSec * sec
+	ct, st := math.Cos(theta), math.Sin(theta)
+	for i := range dst {
+		cu := pe.cosP[i]*cnt - pe.sinP[i]*snt
+		su := pe.sinP[i]*cnt + pe.cosP[i]*snt
+		a, b := pe.basisA[i], pe.basisB[i]
+		x := cu*a.X + su*b.X
+		y := cu*a.Y + su*b.Y
+		z := cu*a.Z + su*b.Z
+		// ECEF = Rz(-theta) * ECI.
+		dst[i] = geo.Vec3{X: x*ct + y*st, Y: y*ct - x*st, Z: z}
+	}
+}

@@ -1,0 +1,185 @@
+package constellation
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/geo"
+)
+
+// Cursor is a monotonic time cursor over the constellation: the common
+// interface of the incremental Sweep engine and its naive SweepScan
+// reference. Time-stepped consumers (RTT time series, overhead windows,
+// striping schedules, resilience sweeps) are written against the interface,
+// so the equivalence of the two forms can be proven at the consumer's own
+// output stream.
+type Cursor interface {
+	// At returns the snapshot at the cursor's current time without moving.
+	At() *Snapshot
+	// Time returns the cursor's current offset from the constellation epoch.
+	Time() time.Duration
+	// Step returns the cursor's nominal step (0 for AdvanceTo-only cursors).
+	Step() time.Duration
+	// Advance moves one step forward and returns the snapshot there.
+	Advance() *Snapshot
+	// AdvanceTo moves to an arbitrary time at or after the current time and
+	// returns the snapshot there. Moving backwards panics.
+	AdvanceTo(t time.Duration) *Snapshot
+	// Close releases the cursor's pooled buffers. Snapshots obtained from
+	// the cursor must not be used after Close.
+	Close()
+}
+
+// Sweep is the temporal-coherence engine: a cursor that advances one
+// reusable snapshot in place instead of rebuilding the world each step.
+// Positions are recomputed into the pooled SoA buffer, the visibility grid
+// migrates only the satellites that crossed a cell boundary, the ISL graph
+// (once materialized) has its edge weights refreshed in place over the
+// constellation's shared CSR topology, and the path memo survives across
+// steps keyed by (step generation, fault epoch). At steady state an advance
+// performs zero allocations, and every query against the advanced snapshot
+// returns results byte-identical to a fresh Snapshot(t).
+//
+// The snapshot returned by At/Advance/AdvanceTo is only valid until the next
+// advance or Close: a sweep trades the immutability of fresh snapshots for
+// O(what moved) steps. Concurrent readers of the current snapshot are safe
+// (experiments fan batch resolution out over it); advancing while any reader
+// is still active is a data race, exactly like mutating any shared value.
+type Sweep struct {
+	c      *Constellation
+	step   time.Duration
+	snap   *Snapshot
+	closed bool
+}
+
+// Sweep returns a cursor positioned at start. Advance moves by step; pass
+// step 0 for a cursor driven only through AdvanceTo. Cursors are pooled per
+// constellation — Close returns the buffers for reuse, making steady-state
+// sweep construction cheap as well.
+func (c *Constellation) Sweep(start, step time.Duration) *Sweep {
+	w, _ := c.sweepPool.Get().(*Sweep)
+	if w == nil {
+		n := len(c.elements)
+		w = &Sweep{c: c}
+		w.snap = &Snapshot{c: c, pos: make([]geo.Vec3, n)}
+		w.snap.grid = newSweepGrid(n)
+		w.snap.gridOnce.Do(func() {}) // the grid is owned, never lazily built
+	}
+	w.closed = false
+	w.step = step
+	s := w.snap
+	c.eng.positionsInto(start, s.pos)
+	s.t = start
+	s.grid.rebuildLists(s)
+	if s.islGraph != nil {
+		// A pooled cursor keeps its CSR graph across sweeps (the topology
+		// is per-constellation); only the weights need refreshing.
+		s.refreshISLWeights()
+	}
+	// The generation strictly increases across the cursor's whole pooled
+	// lifetime (never reset), so memo entries from an earlier sweep can
+	// never collide with the new one. Fresh snapshots are generation 0;
+	// sweep snapshots always advance past it.
+	s.memoGen++
+	s.clearMasked()
+	return w
+}
+
+// At returns the snapshot at the cursor's current time.
+func (w *Sweep) At() *Snapshot { return w.snap }
+
+// Time returns the cursor's current offset from the constellation epoch.
+func (w *Sweep) Time() time.Duration { return w.snap.t }
+
+// Step returns the cursor's nominal step.
+func (w *Sweep) Step() time.Duration { return w.step }
+
+// Advance moves the cursor one step forward and returns the snapshot there.
+func (w *Sweep) Advance() *Snapshot {
+	if w.step <= 0 {
+		panic("constellation: Advance on a Sweep with no step; use AdvanceTo")
+	}
+	return w.AdvanceTo(w.snap.t + w.step)
+}
+
+// AdvanceTo moves the cursor to time t (at or after the current time) and
+// returns the snapshot there. The update is O(what moved): full position
+// recompute into the pooled buffer (pure arithmetic on the SoA basis), grid
+// migration for boundary crossers only, in-place ISL weight refresh, and a
+// generation bump that retires stale memo entries without touching them.
+func (w *Sweep) AdvanceTo(t time.Duration) *Snapshot {
+	if w.closed {
+		panic("constellation: use of a closed Sweep")
+	}
+	s := w.snap
+	if t < s.t {
+		panic(fmt.Sprintf("constellation: sweep cannot move backwards (%v -> %v)", s.t, t))
+	}
+	if t == s.t {
+		return s
+	}
+	w.c.eng.positionsInto(t, s.pos)
+	s.t = t
+	s.grid.advance(s)
+	if s.islGraph != nil {
+		s.refreshISLWeights()
+	}
+	s.memoGen++
+	s.clearMasked()
+	return s
+}
+
+// Close returns the cursor to the constellation's pool. Idempotent.
+func (w *Sweep) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.c.sweepPool.Put(w)
+}
+
+// SweepScan is the reference cursor: a fresh immutable Snapshot per
+// position. It is the naive form every Sweep-backed consumer is proven
+// against — same interface, same outputs, none of the reuse.
+type SweepScan struct {
+	c    *Constellation
+	step time.Duration
+	snap *Snapshot
+}
+
+// SweepScan returns a naive cursor positioned at start.
+func (c *Constellation) SweepScan(start, step time.Duration) *SweepScan {
+	return &SweepScan{c: c, step: step, snap: c.Snapshot(start)}
+}
+
+// At returns the snapshot at the cursor's current time.
+func (w *SweepScan) At() *Snapshot { return w.snap }
+
+// Time returns the cursor's current offset from the constellation epoch.
+func (w *SweepScan) Time() time.Duration { return w.snap.t }
+
+// Step returns the cursor's nominal step.
+func (w *SweepScan) Step() time.Duration { return w.step }
+
+// Advance moves the cursor one step forward and returns a fresh snapshot.
+func (w *SweepScan) Advance() *Snapshot {
+	if w.step <= 0 {
+		panic("constellation: Advance on a SweepScan with no step; use AdvanceTo")
+	}
+	return w.AdvanceTo(w.snap.t + w.step)
+}
+
+// AdvanceTo moves the cursor to time t and returns a fresh snapshot there.
+func (w *SweepScan) AdvanceTo(t time.Duration) *Snapshot {
+	if t < w.snap.t {
+		panic(fmt.Sprintf("constellation: sweep cannot move backwards (%v -> %v)", w.snap.t, t))
+	}
+	if t == w.snap.t {
+		return w.snap
+	}
+	w.snap = w.c.Snapshot(t)
+	return w.snap
+}
+
+// Close is a no-op; fresh snapshots are garbage collected as usual.
+func (w *SweepScan) Close() {}

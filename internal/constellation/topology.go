@@ -1,0 +1,145 @@
+package constellation
+
+import (
+	"spacecdn/internal/orbit"
+	"spacecdn/internal/routing"
+)
+
+// islTopology is the time-invariant structure of the +grid ISL graph in
+// compressed-sparse-row form. The +grid adjacency depends only on plane and
+// slot indices (phase-nearest cross-plane pairing is time-invariant), so it
+// is computed once per constellation; every snapshot materializes its ISL
+// graph by filling the shared structure with that instant's edge weights,
+// and a sweep cursor refreshes the weights of an existing graph in place.
+//
+// The layouts reproduce the incremental build exactly: edges holds the
+// undirected links in the first-encounter order of the dedupe scan, and the
+// directed CSR arrays replay AddUndirected over that edge list, so each
+// node's adjacency order — which downstream algorithms' tie-breaking depends
+// on — is bit-identical to the graph buildISLGraphScan constructs.
+type islTopology struct {
+	edges []LinkID // undirected links, first-encounter order, A < B
+
+	offsets []int32 // n+1 prefix offsets into targets
+	targets []int32 // directed neighbour per CSR slot
+	widx    []int32 // CSR slot -> index into edges (shared by both directions)
+
+	// slotA/slotB invert widx: the two directed CSR slots of undirected edge
+	// k. The sweep engine's per-step weight refresh walks the undirected
+	// edges once and writes both slots directly, instead of re-deriving the
+	// mapping through widx for every directed edge.
+	slotA, slotB []int32
+}
+
+// topology returns the constellation's ISL structure, built once on first
+// use; concurrent first callers share one build.
+func (c *Constellation) topology() *islTopology {
+	c.topoOnce.Do(func() { c.topo = buildTopology(c) })
+	return c.topo
+}
+
+// buildTopology runs the +grid dedupe scan once and records its outcome as
+// an edge list plus CSR adjacency.
+func buildTopology(c *Constellation) *islTopology {
+	n := len(c.elements)
+	deg := 2
+	if c.cfg.CrossPlaneISLs {
+		deg = 4
+	}
+	// Flat neighbour table and first-encounter dedupe, exactly as the scan
+	// build performs it (see buildISLGraphScan for the rationale).
+	nbrs := make([]SatID, 0, deg*n)
+	for id := 0; id < n; id++ {
+		nbrs = c.appendISLNeighbors(SatID(id), nbrs)
+	}
+	contains := func(list []SatID, x SatID) bool {
+		for _, v := range list {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	t := &islTopology{edges: make([]LinkID, 0, deg*n/2)}
+	for id := 0; id < n; id++ {
+		a := SatID(id)
+		list := nbrs[id*deg : (id+1)*deg]
+		for j, b := range list {
+			if b == a {
+				continue
+			}
+			if contains(list[:j], b) {
+				continue
+			}
+			if b < a && contains(nbrs[int(b)*deg:(int(b)+1)*deg], a) {
+				continue
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			t.edges = append(t.edges, LinkID{A: lo, B: hi})
+		}
+	}
+	// Replay AddUndirected(lo, hi) over the edge list to lay out the
+	// directed CSR arrays: each node's adjacency receives its incident
+	// edges in edge order, matching the insertion order of the scan build.
+	t.offsets = make([]int32, n+1)
+	for _, e := range t.edges {
+		t.offsets[e.A+1]++
+		t.offsets[e.B+1]++
+	}
+	for i := 1; i <= n; i++ {
+		t.offsets[i] += t.offsets[i-1]
+	}
+	t.targets = make([]int32, 2*len(t.edges))
+	t.widx = make([]int32, 2*len(t.edges))
+	t.slotA = make([]int32, len(t.edges))
+	t.slotB = make([]int32, len(t.edges))
+	fill := make([]int32, n)
+	put := func(from, to SatID, k int) int32 {
+		at := t.offsets[from] + fill[from]
+		t.targets[at] = int32(to)
+		t.widx[at] = int32(k)
+		fill[from]++
+		return at
+	}
+	for k, e := range t.edges {
+		t.slotA[k] = put(e.A, e.B, k)
+		t.slotB[k] = put(e.B, e.A, k)
+	}
+	return t
+}
+
+// islWeights fills w (one slot per undirected link, in topology edge order)
+// with the one-way propagation delay of each link in milliseconds at this
+// snapshot's positions. It never allocates.
+func (s *Snapshot) islWeights(topo *islTopology, w []float64) {
+	for k, e := range topo.edges {
+		w[k] = s.ISLDistanceKm(e.A, e.B) / orbit.LightSpeedKmPerSec * 1000
+	}
+}
+
+// refreshISLWeights recomputes the materialized ISL graph's edge weights in
+// place at this snapshot's positions: one fused pass over the undirected
+// links writing both directed slots of each. Produces exactly the weights
+// and max-weight bound a fresh CSR build computes. Sweep advance hot path;
+// never allocates.
+func (s *Snapshot) refreshISLWeights() {
+	topo := s.c.topology()
+	s.islWeights(topo, s.islW)
+	s.islGraph.SetCSRWeightsUndirected(topo.slotA, topo.slotB, s.islW)
+}
+
+// buildISLGraphCSR materializes the snapshot's full ISL graph over the shared
+// topology: one weight computation per physical link, one contiguous edge
+// array, no adjacency reconstruction. The weight buffer lives on the snapshot
+// so a sweep cursor can refresh the graph in place on later steps.
+func (s *Snapshot) buildISLGraphCSR() *routing.Graph {
+	topo := s.c.topology()
+	if s.islW == nil {
+		s.islW = make([]float64, len(topo.edges))
+	}
+	s.islWeights(topo, s.islW)
+	return routing.NewGraphCSR(topo.offsets, topo.targets, topo.widx, s.islW)
+}

@@ -15,15 +15,30 @@ import (
 // conservative spherical bounds and re-checks each candidate with the exact
 // slant/elevation predicate, so query results are identical to the full scan.
 //
-// Layout is a counting sort: cell (r, c) owns sats[start[r*cols+c] :
-// start[r*cols+c+1]], ids ascending within a cell. The grid is immutable
-// after build and shared by concurrent readers.
+// The grid has two layouts sharing one query path:
+//
+//   - Counting sort (fresh snapshots): cell (r, c) owns
+//     sats[start[r*cols+c] : start[r*cols+c+1]], ids ascending within a
+//     cell. Immutable after build and shared by concurrent readers.
+//   - Intrusive lists (sweep cursors): head[cell] chains satellites through
+//     next/prev, so migrating a satellite between cells on a sweep step is
+//     O(1) and allocation-free.
+//
+// Query results are identical under either layout: every query re-checks
+// candidates with the exact predicate and resolves order via sorts or
+// explicit id tie-breaks, so within-cell order is immaterial.
 type visGrid struct {
 	rows, cols       int
 	latStep, lonStep float64 // degrees per cell
 	start            []int32 // len rows*cols+1 prefix offsets into sats
 	sats             []int32
 	minR, maxR       float64 // satellite orbital radius bounds, km
+
+	// List layout (non-nil head selects it): per-cell doubly-linked lists
+	// over a fixed satellite arena, plus each satellite's current cell.
+	head       []int32
+	next, prev []int32
+	cellOf     []int32
 }
 
 // visGridRows/Cols give 10 degree cells: 648 cells for the sphere, a few
@@ -199,9 +214,211 @@ func (g *visGrid) forEachCandidate(latDeg, lonDeg, lamRad float64, yield func(in
 
 func (g *visGrid) yieldCell(r, c int, yield func(int32)) {
 	idx := r*g.cols + c
+	if g.head != nil {
+		for id := g.head[idx]; id >= 0; id = g.next[id] {
+			yield(id)
+		}
+		return
+	}
 	for _, id := range g.sats[g.start[idx]:g.start[idx+1]] {
 		yield(id)
 	}
+}
+
+// newSweepGrid allocates an empty list-layout grid over n satellites; the
+// sweep cursor owns it and (re)fills it with rebuildLists.
+func newSweepGrid(n int) *visGrid {
+	return &visGrid{
+		rows:    visGridRows,
+		cols:    visGridCols,
+		latStep: 180.0 / visGridRows,
+		lonStep: 360.0 / visGridCols,
+		head:    make([]int32, visGridRows*visGridCols),
+		next:    make([]int32, n),
+		prev:    make([]int32, n),
+		cellOf:  make([]int32, n),
+	}
+}
+
+// rebuildLists recomputes every satellite's cell from scratch — the sweep's
+// reset path. The per-cell order is insertion order, which queries are
+// insensitive to; the radius bounds are computed with exactly the fresh
+// build's operation sequence so they match it bit for bit.
+func (g *visGrid) rebuildLists(s *Snapshot) {
+	for i := range g.head {
+		g.head[i] = -1
+	}
+	g.minR, g.maxR = math.Inf(1), 0
+	for i, p := range s.pos {
+		r := p.Norm()
+		if r < g.minR {
+			g.minR = r
+		}
+		if r > g.maxR {
+			g.maxR = r
+		}
+		pt := p.ToPoint()
+		c := int32(g.cellIndex(pt.LatDeg, pt.LonDeg))
+		g.cellOf[i] = c
+		g.linkFront(int32(i), c)
+	}
+}
+
+// advance refreshes the grid after the sweep moved the positions: satellites
+// provably still inside their cell (the common case — one 15 s step moves a
+// satellite about a tenth of a 10 degree cell) are untouched; boundary
+// crossers are relocated by probing the eight neighbouring cells with the
+// same multiplication-only test, and only the rare satellite that lands
+// within the margin of a boundary (or jumped several cells in one AdvanceTo)
+// pays the exact asin/atan2 recompute. The relink is O(1); the radius bounds
+// are recomputed with the fresh build's operation sequence. Allocation-free.
+func (g *visGrid) advance(s *Snapshot) {
+	minR, maxR := math.Inf(1), 0.0
+	for i, p := range s.pos {
+		r := p.Norm()
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+		old := g.cellOf[i]
+		// The stayer test is inCell inlined by hand: the compiler refuses the
+		// full function, and one opaque call per satellite per step is the
+		// single largest cost of an advance. Keep in lockstep with inCell.
+		row := int(old) / visGridCols
+		col := int(old) % visGridCols
+		if p.Z >= r*cellBoundsTab.sinLo[row] && p.Z <= r*cellBoundsTab.sinHi[row] {
+			m := cellBoundMargin * r
+			if cellBoundsTab.cosB[col]*p.Y-cellBoundsTab.sinB[col]*p.X >= m &&
+				cellBoundsTab.cosB[col+1]*p.Y-cellBoundsTab.sinB[col+1]*p.X <= -m {
+				continue
+			}
+		}
+		nc := g.neighborCell(old, p, r)
+		if nc < 0 {
+			pt := p.ToPoint()
+			nc = int32(g.cellIndex(pt.LatDeg, pt.LonDeg))
+		}
+		if nc != old {
+			g.unlink(int32(i), old)
+			g.linkFront(int32(i), nc)
+			g.cellOf[i] = nc
+		}
+	}
+	g.minR, g.maxR = minR, maxR
+}
+
+// neighborCellOffsets orders the probe around an abandoned cell: latitude
+// neighbours first (orbital motion is mostly meridional away from the
+// inclination turnaround), then longitude, then diagonals.
+var neighborCellOffsets = [8][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+
+// neighborCell locates a boundary-crossing satellite's new cell without
+// trigonometry: one sweep step moves a satellite a fraction of a cell, so the
+// destination is almost always one of the eight neighbours, and the same
+// margin-shrunk inCell test that cleared the stayers proves membership — a
+// true result implies the exact cellIndex recompute would agree (cells are
+// disjoint, so at most one can test true). Returns -1 when no neighbour
+// strictly contains the point (large AdvanceTo jumps, or a sub-point within
+// the margin of a boundary); the caller then falls back to the exact
+// asin/atan2 recompute.
+func (g *visGrid) neighborCell(old int32, p geo.Vec3, r float64) int32 {
+	row := int(old) / visGridCols
+	col := int(old) % visGridCols
+	for _, d := range neighborCellOffsets {
+		nr := row + d[0]
+		if nr < 0 || nr >= visGridRows {
+			continue // latitude rows do not wrap
+		}
+		nc := col + d[1]
+		if nc < 0 {
+			nc += visGridCols
+		} else if nc >= visGridCols {
+			nc -= visGridCols
+		}
+		if idx := int32(nr*visGridCols + nc); g.inCell(idx, p, r) {
+			return idx
+		}
+	}
+	return -1
+}
+
+func (g *visGrid) linkFront(i, cell int32) {
+	g.next[i] = g.head[cell]
+	g.prev[i] = -1
+	if g.head[cell] >= 0 {
+		g.prev[g.head[cell]] = i
+	}
+	g.head[cell] = i
+}
+
+func (g *visGrid) unlink(i, cell int32) {
+	if g.prev[i] >= 0 {
+		g.next[g.prev[i]] = g.next[i]
+	} else {
+		g.head[cell] = g.next[i]
+	}
+	if g.next[i] >= 0 {
+		g.prev[g.next[i]] = g.prev[i]
+	}
+}
+
+// cellBoundMargin is the safety margin (radians-scale) of the in-cell fast
+// test. A satellite within the margin of any cell boundary falls back to the
+// exact asin/atan2 recompute, so the fast test can never disagree with
+// cellIndex: sin is 1-Lipschitz in latitude and the longitude test measures
+// the sine of the angle to the boundary meridian, so passing the shrunk
+// bounds proves the sub-point lies strictly inside the cell by at least the
+// margin — about six orders of magnitude beyond double rounding error.
+const cellBoundMargin = 1e-9
+
+// cellBoundsTab precomputes the boundary geometry of the fixed grid: per-row
+// sin(latitude) band bounds (margin-shrunk) and the unit direction of each
+// column boundary meridian.
+var cellBoundsTab = func() (t struct {
+	sinLo, sinHi [visGridRows]float64
+	cosB, sinB   [visGridCols + 1]float64
+}) {
+	latStep := 180.0 / visGridRows
+	for r := 0; r < visGridRows; r++ {
+		lo := (-90 + float64(r)*latStep) * math.Pi / 180
+		hi := (-90 + float64(r+1)*latStep) * math.Pi / 180
+		t.sinLo[r] = math.Sin(lo) + cellBoundMargin
+		t.sinHi[r] = math.Sin(hi) - cellBoundMargin
+	}
+	lonStep := 360.0 / visGridCols
+	for c := 0; c <= visGridCols; c++ {
+		a := (-180 + float64(c)*lonStep) * math.Pi / 180
+		t.cosB[c], t.sinB[c] = math.Cos(a), math.Sin(a)
+	}
+	return t
+}()
+
+// inCell reports whether the position (with norm r) provably maps to cell
+// idx under cellIndex, using only multiplications: the latitude band becomes
+// a z-range, and longitude containment becomes two cross products against
+// the boundary meridians (cosB*y - sinB*x = rho*sin(lon-alpha), positive
+// within 180 degrees east of the boundary; for a cell narrower than 180
+// degrees the two half-plane tests intersect in exactly the cell's wedge).
+// False only forces the exact recompute, so false negatives are harmless.
+func (g *visGrid) inCell(idx int32, p geo.Vec3, r float64) bool {
+	// The fixed compile-time dimensions let the row/col split compile to a
+	// multiply-shift instead of an integer division — this runs once per
+	// satellite per sweep step.
+	row := int(idx) / visGridCols
+	col := int(idx) % visGridCols
+	if p.Z < r*cellBoundsTab.sinLo[row] || p.Z > r*cellBoundsTab.sinHi[row] {
+		return false
+	}
+	m := cellBoundMargin * r
+	if cellBoundsTab.cosB[col]*p.Y-cellBoundsTab.sinB[col]*p.X < m {
+		return false
+	}
+	if cellBoundsTab.cosB[col+1]*p.Y-cellBoundsTab.sinB[col+1]*p.X > -m {
+		return false
+	}
+	return true
 }
 
 // visible implements Snapshot.Visible. Candidates are collected, restored to

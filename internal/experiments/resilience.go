@@ -176,8 +176,10 @@ func (s *Suite) resilienceRun(plan *faults.Plan) (ResilienceRow, []spacecdn.Batc
 	// draw identical jitter — the zero-fault identity check depends on it.
 	rng := stats.NewRand(s.Seed).Fork("resilience")
 	var stream []spacecdn.BatchResult
+	cur := s.sweepCursor(s.snapshotTimes()[0])
+	defer cur.Close()
 	for _, at := range s.snapshotTimes() {
-		snap := s.Env.Snapshot(at)
+		snap := cur.AdvanceTo(at)
 		// Placement pass, as in ResolveWorkload: pin the hot object on each
 		// client's overhead satellite, sequentially, before anything resolves.
 		// Placement ignores the fault state — a dead satellite's cache keeps

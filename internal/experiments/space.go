@@ -73,10 +73,12 @@ func (s *Suite) Fig7() (Fig7Result, error) {
 		Terrestrial: measure.IdleCDF(tests, measure.NetworkTerrestrial),
 	}
 	cities := s.clientCities()
+	times := s.snapshotTimes()
 	for _, n := range Fig7HopCounts {
 		var xs []float64
-		for _, at := range s.snapshotTimes() {
-			snap := s.Env.Snapshot(at)
+		cur := s.sweepCursor(times[0])
+		for _, at := range times {
+			snap := cur.AdvanceTo(at)
 			for _, city := range cities {
 				for k := 0; k < samplesPerCity; k++ {
 					rtt, err := sys.FetchAtHops(city.Loc, n, snap, rng)
@@ -87,6 +89,7 @@ func (s *Suite) Fig7() (Fig7Result, error) {
 				}
 			}
 		}
+		cur.Close()
 		if len(xs) == 0 {
 			return Fig7Result{}, fmt.Errorf("experiments: no fig7 samples at %d hops", n)
 		}
@@ -131,8 +134,9 @@ func (s *Suite) Fig8() ([]Fig8Row, float64, error) {
 			return nil, 0, err
 		}
 		var xs []float64
+		cur := s.sweepCursor(s.snapshotTimes()[0])
 		for _, at := range s.snapshotTimes() {
-			snap := s.Env.Snapshot(at)
+			snap := cur.AdvanceTo(at)
 			for _, city := range cities {
 				rtt, _, found := sys.NearestReplicaRTT(city.Loc, obj.ID, snap, rng)
 				if !found {
@@ -141,6 +145,7 @@ func (s *Suite) Fig8() ([]Fig8Row, float64, error) {
 				xs = append(xs, float64(rtt)/float64(time.Millisecond))
 			}
 		}
+		cur.Close()
 		if len(xs) == 0 {
 			return nil, 0, fmt.Errorf("experiments: no fig8 samples at fraction %v", f)
 		}
@@ -180,8 +185,9 @@ func (s *Suite) AblationReplicas() ([]AblationRow, error) {
 		var rtts, hops []float64
 		maxHops := 0
 		attempts, found := 0, 0
+		cur := s.sweepCursor(s.snapshotTimes()[0])
 		for _, at := range s.snapshotTimes() {
-			snap := s.Env.Snapshot(at)
+			snap := cur.AdvanceTo(at)
 			for _, city := range cities {
 				attempts++
 				rtt, h, ok := sys.NearestReplicaRTT(city.Loc, obj.ID, snap, rng)
@@ -196,6 +202,7 @@ func (s *Suite) AblationReplicas() ([]AblationRow, error) {
 				}
 			}
 		}
+		cur.Close()
 		if len(rtts) == 0 {
 			return nil, fmt.Errorf("experiments: ablation k=%d found nothing", k)
 		}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"time"
 
+	"spacecdn/internal/constellation"
 	"spacecdn/internal/measure"
 	"spacecdn/internal/spacecdn"
 	"spacecdn/internal/telemetry"
@@ -24,6 +25,10 @@ type Suite struct {
 	// means one per CPU. Results are identical for every worker count —
 	// sharding and randomness depend only on the work and the seed.
 	Workers int
+	// ScanSweeps forces the time-stepped experiments onto fresh per-step
+	// snapshots instead of the incremental sweep cursor. Outputs are proven
+	// identical either way; equivalence tests flip this and diff streams.
+	ScanSweeps bool
 
 	// Fault-injection knobs for the resilience experiment (E-resilience).
 	// The sweep varies the satellite failure fraction; the ISL and PoP
@@ -60,8 +65,12 @@ func (s *Suite) SetWorkers(n int) { s.Workers = n }
 
 // SetTelemetry attaches telemetry to the suite: every SpaceCDN system the
 // experiments deploy from here on is instrumented with it, so one registry
-// accumulates the whole run. Pass nil to detach.
-func (s *Suite) SetTelemetry(t *telemetry.Telemetry) { s.tel = t }
+// accumulates the whole run. The environment's cache-effectiveness gauges
+// register alongside. Pass nil to detach.
+func (s *Suite) SetTelemetry(t *telemetry.Telemetry) {
+	s.tel = t
+	s.Env.SetTelemetry(t)
+}
 
 // Telemetry returns the suite's attached telemetry, or nil.
 func (s *Suite) Telemetry() *telemetry.Telemetry { return s.tel }
@@ -136,4 +145,14 @@ func (s *Suite) snapshotTimes() []time.Duration {
 		return []time.Duration{0, 23 * time.Minute}
 	}
 	return []time.Duration{0, 11 * time.Minute, 23 * time.Minute, 37 * time.Minute, 51 * time.Minute}
+}
+
+// sweepCursor returns an AdvanceTo-driven cursor positioned at start for
+// walking snapshotTimes, honouring the ScanSweeps flag. Callers must Close
+// it; the sweep form is pooled, so per-configuration cursors are cheap.
+func (s *Suite) sweepCursor(start time.Duration) constellation.Cursor {
+	if s.ScanSweeps {
+		return s.Env.SweepScan(start, 0)
+	}
+	return s.Env.Sweep(start, 0)
 }

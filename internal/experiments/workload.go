@@ -66,8 +66,10 @@ func (s *Suite) ResolveWorkload() (WorkloadResult, error) {
 	}
 	bySource := map[spacecdn.Source]*agg{}
 	res := WorkloadResult{}
+	cur := s.sweepCursor(s.snapshotTimes()[0])
+	defer cur.Close()
 	for _, at := range s.snapshotTimes() {
-		snap := s.Env.Snapshot(at)
+		snap := cur.AdvanceTo(at)
 		// Placement pass: pin the hot object on the satellite currently
 		// overhead each city, the steady state a popularity-driven admission
 		// policy converges to. Placement mutates caches, so it stays

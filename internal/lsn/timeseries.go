@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"spacecdn/internal/constellation"
 	"spacecdn/internal/geo"
 	"spacecdn/internal/stats"
 )
@@ -29,15 +30,31 @@ type RTTSample struct {
 // ReconfigInterval across [from, to): each interval re-resolves the path
 // (satellites have moved) and draws one measured RTT. The series shows the
 // sawtooth the paper's background describes — latency drifts as the serving
-// satellite moves, then steps at handover.
+// satellite moves, then steps at handover. The sampling advances a pooled
+// sweep cursor, so each interval costs the incremental world update rather
+// than a rebuild.
 func (m *Model) RTTTimeSeries(client geo.Point, iso2 string, from, to time.Duration, rng *stats.Rand) ([]RTTSample, error) {
-	if to <= from {
+	cur := m.Constellation.Sweep(from, ReconfigInterval)
+	defer cur.Close()
+	return m.rttTimeSeriesOver(cur, client, iso2, to, rng)
+}
+
+// RTTTimeSeriesScan is the naive reference form of RTTTimeSeries: a fresh
+// snapshot per interval. Kept for the sweep-equivalence proof; the two must
+// produce byte-identical series.
+func (m *Model) RTTTimeSeriesScan(client geo.Point, iso2 string, from, to time.Duration, rng *stats.Rand) ([]RTTSample, error) {
+	cur := m.Constellation.SweepScan(from, ReconfigInterval)
+	return m.rttTimeSeriesOver(cur, client, iso2, to, rng)
+}
+
+func (m *Model) rttTimeSeriesOver(cur constellation.Cursor, client geo.Point, iso2 string, to time.Duration, rng *stats.Rand) ([]RTTSample, error) {
+	if to <= cur.Time() {
 		return nil, fmt.Errorf("lsn: empty time range")
 	}
 	var out []RTTSample
 	prevSat := -1
-	for t := from; t < to; t += ReconfigInterval {
-		snap := m.Constellation.Snapshot(t)
+	for snap := cur.At(); snap.Time() < to; snap = cur.Advance() {
+		t := snap.Time()
 		path, err := m.ResolvePath(client, iso2, snap)
 		if err != nil {
 			// Coverage gap: skip the interval, keep the series going.

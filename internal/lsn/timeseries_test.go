@@ -68,6 +68,85 @@ func TestHandoverRate(t *testing.T) {
 	}
 }
 
+func TestRTTTimeSeriesDeterministic(t *testing.T) {
+	m := testModel()
+	c := mustCity(t, "Madrid, ES")
+	a, err := m.RTTTimeSeries(c.Loc, "ES", 0, 10*time.Minute, stats.NewRand(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.RTTTimeSeries(c.Loc, "ES", 0, 10*time.Minute, stats.NewRand(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs with the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRTTTimeSeriesSweepMatchesScan proves the cursor-backed series
+// byte-identical to the fresh-snapshot reference — positions, resolution,
+// and RTT draws all agree sample for sample.
+func TestRTTTimeSeriesSweepMatchesScan(t *testing.T) {
+	m := testModel()
+	for _, name := range []string{"Madrid, ES", "London, GB"} {
+		c := mustCity(t, name)
+		iso2 := c.Country
+		got, err := m.RTTTimeSeries(c.Loc, iso2, 2*time.Minute, 22*time.Minute, stats.NewRand(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.RTTTimeSeriesScan(c.Loc, iso2, 2*time.Minute, 22*time.Minute, stats.NewRand(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d samples vs %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s sample %d: sweep %+v != scan %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRTTTimeSeriesCoverageGapSkip exercises the gap path: a client near the
+// shell's coverage edge loses service for some intervals, which are skipped
+// rather than aborting the series or emitting zero samples.
+func TestRTTTimeSeriesCoverageGapSkip(t *testing.T) {
+	m := testModel()
+	// Scan northwards until a latitude shows intermittent coverage over the
+	// window; the 53-degree shell guarantees one exists below the hard cutoff.
+	for lat := 54.0; lat < 62.0; lat += 0.5 {
+		loc := geo.NewPoint(lat, -1.0)
+		series, err := m.RTTTimeSeries(loc, "GB", 0, 30*time.Minute, stats.NewRand(3))
+		if err != nil {
+			continue // fully uncovered already; done
+		}
+		if len(series) == 120 {
+			continue // fully covered at this latitude; go higher
+		}
+		// Partial coverage: skipped intervals leave holes, never zero-RTT
+		// placeholders, and timestamps stay strictly increasing.
+		for i, s := range series {
+			if s.RTT <= 0 {
+				t.Fatalf("gap produced a non-positive RTT at sample %d", i)
+			}
+			if i > 0 && s.At <= series[i-1].At {
+				t.Fatal("timestamps not strictly increasing across a gap")
+			}
+		}
+		return
+	}
+	t.Fatal("no latitude with intermittent coverage found below 62N")
+}
+
 func TestRTTTimeSeriesErrors(t *testing.T) {
 	m := testModel()
 	rng := stats.NewRand(11)

@@ -1,0 +1,88 @@
+package measure
+
+// lru is a minimal bounded map with least-recently-used eviction, used to
+// keep the environment's memoization caches from growing with the length of
+// a campaign. Not safe for concurrent use — the Environment guards its
+// caches with one mutex.
+type lru[K comparable, V any] struct {
+	cap        int
+	nodes      map[K]*lruEntry[K, V]
+	head, tail *lruEntry[K, V]
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+func newLRU[K comparable, V any](capacity int) *lru[K, V] {
+	return &lru[K, V]{cap: capacity, nodes: make(map[K]*lruEntry[K, V], capacity)}
+}
+
+func (l *lru[K, V]) len() int { return len(l.nodes) }
+
+// get returns the cached value and refreshes its recency.
+func (l *lru[K, V]) get(k K) (V, bool) {
+	nd, ok := l.nodes[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.moveToFront(nd)
+	return nd.val, true
+}
+
+// put inserts a value, evicting the least recently used entry beyond
+// capacity. When the key is already present the existing value wins and is
+// returned — racing computations of the same deterministic value converge on
+// one shared instance.
+func (l *lru[K, V]) put(k K, v V) V {
+	if nd, ok := l.nodes[k]; ok {
+		l.moveToFront(nd)
+		return nd.val
+	}
+	nd := &lruEntry[K, V]{key: k, val: v}
+	l.nodes[k] = nd
+	l.pushFront(nd)
+	if len(l.nodes) > l.cap {
+		lru := l.tail
+		l.unlink(lru)
+		delete(l.nodes, lru.key)
+	}
+	return v
+}
+
+func (l *lru[K, V]) pushFront(nd *lruEntry[K, V]) {
+	nd.prev = nil
+	nd.next = l.head
+	if l.head != nil {
+		l.head.prev = nd
+	}
+	l.head = nd
+	if l.tail == nil {
+		l.tail = nd
+	}
+}
+
+func (l *lru[K, V]) unlink(nd *lruEntry[K, V]) {
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		l.head = nd.next
+	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		l.tail = nd.prev
+	}
+	nd.prev, nd.next = nil, nil
+}
+
+func (l *lru[K, V]) moveToFront(nd *lruEntry[K, V]) {
+	if l.head == nd {
+		return
+	}
+	l.unlink(nd)
+	l.pushFront(nd)
+}

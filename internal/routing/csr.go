@@ -1,0 +1,107 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the compressed-sparse-row construction path used by
+// time-sweep consumers. A constellation's +grid ISL adjacency is immutable
+// over time — only the edge weights (propagation delays) change as the
+// satellites move — so the adjacency structure is computed once per
+// constellation and every snapshot materializes its graph by filling one
+// contiguous edge array with that step's weights. The per-directed-edge
+// weight index additionally lets an existing graph refresh its weights in
+// place between sweep steps, with zero allocation.
+
+// NewGraphCSR builds a graph over len(offsets)-1 nodes whose adjacency lists
+// are views into one contiguous edge array (compressed sparse row layout).
+// Directed edge k runs from the node whose offset range contains k to
+// targets[k], with weight weights[weightIdx[k]]; sharing a weight slot
+// between the two directions of an undirected edge keeps the weight array at
+// one entry per physical link. The adjacency order within each node is
+// exactly the order of the targets slice, so a CSR build can reproduce the
+// insertion order of an AddEdge-based construction bit for bit.
+//
+// The offsets, targets and weightIdx slices are retained by the graph and
+// must not be mutated afterwards; weights is read during construction (and
+// again on SetCSRWeights) but not retained.
+func NewGraphCSR(offsets, targets, weightIdx []int32, weights []float64) *Graph {
+	if len(offsets) == 0 || offsets[0] != 0 || int(offsets[len(offsets)-1]) != len(targets) {
+		panic(fmt.Sprintf("routing: malformed CSR offsets (len %d, targets %d)", len(offsets), len(targets)))
+	}
+	if len(weightIdx) != len(targets) {
+		panic(fmt.Sprintf("routing: CSR weightIdx length %d != targets length %d", len(weightIdx), len(targets)))
+	}
+	n := len(offsets) - 1
+	edges := make([]Edge, len(targets))
+	g := &Graph{
+		adj:      make([][]Edge, n),
+		csrEdges: edges,
+		csrWidx:  weightIdx,
+	}
+	for k, to := range targets {
+		if to < 0 || int(to) >= n {
+			panic(fmt.Sprintf("routing: CSR target %d out of range [0,%d)", to, n))
+		}
+		edges[k].To = NodeID(to)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo > hi {
+			panic("routing: CSR offsets not non-decreasing")
+		}
+		// Full-slice expression: an accidental append through adj[i] may
+		// never spill into the neighbouring node's edges.
+		g.adj[i] = edges[lo:hi:hi]
+	}
+	g.SetCSRWeights(weights)
+	return g
+}
+
+// SetCSRWeights refreshes every edge weight of a CSR-built graph in place
+// from the per-link weight slice and recomputes the max-weight bound. It is
+// the sweep engine's per-step "rebuild": the adjacency structure is untouched
+// and nothing allocates. The caller must guarantee no concurrent readers.
+// Panics when the graph was not built by NewGraphCSR.
+// SetCSRWeightsUndirected is the fused form of SetCSRWeights for callers that
+// know the two directed slots of each undirected edge (slotA[k], slotB[k]):
+// one pass over the physical links writes both directions and recomputes the
+// max-weight bound, halving the refresh work on the sweep engine's hot path.
+// The result is identical to SetCSRWeights — the same weights land in the
+// same slots, and max over the same multiset is order-independent.
+func (g *Graph) SetCSRWeightsUndirected(slotA, slotB []int32, weights []float64) {
+	if g.csrEdges == nil {
+		panic("routing: SetCSRWeightsUndirected on a non-CSR graph")
+	}
+	maxW := 0.0
+	for k, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("routing: invalid edge weight %v", w))
+		}
+		g.csrEdges[slotA[k]].Weight = w
+		g.csrEdges[slotB[k]].Weight = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	g.maxW = maxW
+}
+
+func (g *Graph) SetCSRWeights(weights []float64) {
+	if g.csrEdges == nil {
+		panic("routing: SetCSRWeights on a non-CSR graph")
+	}
+	maxW := 0.0
+	for k := range g.csrEdges {
+		w := weights[g.csrWidx[k]]
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("routing: invalid edge weight %v", w))
+		}
+		g.csrEdges[k].Weight = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	g.maxW = maxW
+}

@@ -67,6 +67,12 @@ type Edge struct {
 type Graph struct {
 	adj  [][]Edge
 	maxW float64 // largest edge weight added; bounds any h-hop path at h*maxW
+
+	// CSR-built graphs (NewGraphCSR) keep the contiguous edge backing and
+	// the per-directed-edge weight index so SetCSRWeights can refresh all
+	// weights in place between sweep steps. Nil for AddEdge-built graphs.
+	csrEdges []Edge
+	csrWidx  []int32
 }
 
 // NewGraph creates a graph with n nodes and no edges.
@@ -83,6 +89,12 @@ func (g *Graph) Len() int { return len(g.adj) }
 // AddEdge adds a directed edge. It panics on out-of-range nodes or negative
 // weights — both indicate construction bugs, not runtime conditions.
 func (g *Graph) AddEdge(from, to NodeID, w float64) {
+	if g.csrEdges != nil {
+		// Appending through a CSR adjacency view would detach that node's
+		// list from the shared edge backing and silently decouple it from
+		// SetCSRWeights refreshes.
+		panic("routing: AddEdge on a CSR-built graph")
+	}
 	if from < 0 || int(from) >= len(g.adj) || to < 0 || int(to) >= len(g.adj) {
 		panic(fmt.Sprintf("routing: edge %d->%d out of range [0,%d)", from, to, len(g.adj)))
 	}

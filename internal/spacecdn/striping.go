@@ -57,7 +57,7 @@ func (s *System) PlanStripes(client geo.Point, v content.Video, start time.Durat
 		return StripePlan{}, fmt.Errorf("spacecdn: video has no segments")
 	}
 	horizon := start + v.Duration() + 2*time.Minute
-	wins := s.consts.OverheadWindows(client, start, horizon, 15*time.Second)
+	wins := s.overheadWindows(client, start, horizon, 15*time.Second)
 	if len(wins) == 0 {
 		return StripePlan{}, fmt.Errorf("spacecdn: no coverage for client at %v", client)
 	}

@@ -26,6 +26,7 @@ import (
 	"spacecdn/internal/constellation"
 	"spacecdn/internal/content"
 	"spacecdn/internal/faults"
+	"spacecdn/internal/geo"
 	"spacecdn/internal/lsn"
 	"spacecdn/internal/routing"
 )
@@ -67,6 +68,12 @@ type Config struct {
 	// DutyCycle configures fractional caching; nil means all satellites
 	// cache all the time.
 	DutyCycle *DutyCycleConfig
+	// ScanSweeps forces time-stepped simulations (VM handovers, wormhole
+	// planning, striping windows) onto fresh per-step snapshots instead of
+	// the incremental sweep engine. The outputs are proven identical; the
+	// flag exists so the equivalence tests (and any doubting operator) can
+	// diff the two forms.
+	ScanSweeps bool
 }
 
 // DefaultConfig mirrors the paper's simulation setup.
@@ -147,6 +154,25 @@ func (s *System) Config() Config { return s.cfg }
 
 // Constellation returns the underlying constellation.
 func (s *System) Constellation() *constellation.Constellation { return s.consts }
+
+// sweepCursor returns a time cursor for a stepped simulation: the pooled
+// incremental sweep, or the fresh-snapshot reference when Config.ScanSweeps
+// is set. Every stepped consumer in the package goes through here, so the
+// two forms stay diffable end to end.
+func (s *System) sweepCursor(start, step time.Duration) constellation.Cursor {
+	if s.cfg.ScanSweeps {
+		return s.consts.SweepScan(start, step)
+	}
+	return s.consts.Sweep(start, step)
+}
+
+// overheadWindows samples serving windows over a cursor honouring the
+// ScanSweeps flag.
+func (s *System) overheadWindows(ground geo.Point, from, to, step time.Duration) []constellation.OverheadWindow {
+	cur := s.sweepCursor(from, step)
+	defer cur.Close()
+	return constellation.OverheadWindowsOver(cur, ground, to)
+}
 
 // CacheOf returns the cache on a satellite.
 func (s *System) CacheOf(id constellation.SatID) cache.Cache { return s.caches[int(id)] }

@@ -100,18 +100,22 @@ func (s *System) SimulateVMService(area geo.Point, start, dur time.Duration, cfg
 	if dur <= 0 {
 		return VMServiceResult{}, fmt.Errorf("spacecdn: vm service needs positive duration")
 	}
-	wins := s.consts.OverheadWindows(area, start, start+dur, 15*time.Second)
+	wins := s.overheadWindows(area, start, start+dur, 15*time.Second)
 	if len(wins) == 0 {
 		return VMServiceResult{}, fmt.Errorf("spacecdn: no coverage for area %v", area)
 	}
 	res := VMServiceResult{Area: area, Duration: dur}
 
+	// Handover times are monotone (windows come out in serving order), so
+	// one cursor walks the whole timeline.
+	cur := s.sweepCursor(start, 0)
+	defer cur.Close()
 	for i := 1; i < len(wins); i++ {
 		prev, next := wins[i-1], wins[i]
 		if prev.Sat == next.Sat {
 			continue
 		}
-		snap := s.consts.Snapshot(next.Start)
+		snap := cur.AdvanceTo(next.Start)
 		pathDelay, hops, reachable := s.islOneWay(snap, prev.Sat, next.Sat)
 		if !reachable {
 			return VMServiceResult{}, fmt.Errorf("spacecdn: no ISL route for handover %d->%d", prev.Sat, next.Sat)
@@ -160,7 +164,7 @@ func (s *System) SimulateVMService(area geo.Point, start, dur time.Duration, cfg
 // base image. With deterministic orbits this is bounded only by the
 // prediction window used.
 func (s *System) VMPlacementLeadTime(area geo.Point, at, horizon time.Duration) (time.Duration, error) {
-	wins := s.consts.OverheadWindows(area, at, at+horizon, 15*time.Second)
+	wins := s.overheadWindows(area, at, at+horizon, 15*time.Second)
 	if len(wins) < 2 {
 		return 0, fmt.Errorf("spacecdn: cannot predict next serving satellite")
 	}

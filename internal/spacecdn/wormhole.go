@@ -46,8 +46,10 @@ func (s *System) PlanWormhole(src, dst geo.Point, o content.Object, at, horizon 
 	anyVisible := false
 	best := WormholePlan{ArriveAt: -1}
 	seen := map[constellation.SatID]bool{}
+	cur := s.sweepCursor(at, uploadStep)
+	defer cur.Close()
 	for up := at; up <= at+horizon/2; up += uploadStep {
-		snap := s.consts.Snapshot(up)
+		snap := cur.AdvanceTo(up)
 		for _, cand := range snap.Visible(src) {
 			anyVisible = true
 			if seen[cand.ID] {

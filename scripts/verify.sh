@@ -15,9 +15,11 @@
 #   bench  single-iteration benchmark sweep plus the parallel-engine
 #          throughput artifact (BENCH_parallel.json), the resolve
 #          acceleration artifact (BENCH_resolve.json: naive vs accelerated
-#          req/s and allocs/op), and the fault-injection sweep artifact
+#          req/s and allocs/op), the fault-injection sweep artifact
 #          (BENCH_resilience.json: availability, p99 inflation and source
-#          mix vs failure fraction)
+#          mix vs failure fraction), and the sweep-engine artifact
+#          (BENCH_sweep.json: incremental vs fresh steps/sec, allocs per
+#          steady-state advance, output-equivalence flag)
 #
 # No arguments runs the full local gate: fmt vet build test race smoke.
 # The script is non-interactive and exits non-zero on the first failure.
@@ -65,6 +67,8 @@ stage_bench() {
 	cat BENCH_resolve.json
 	go run ./cmd/spacecdn -exp resilience -fast -json >BENCH_resilience.json
 	cat BENCH_resilience.json
+	go run ./cmd/spacecdn -exp sweep-bench -fast -json >BENCH_sweep.json
+	cat BENCH_sweep.json
 }
 
 stages="$*"

@@ -66,6 +66,10 @@ type (
 	SatID = constellation.SatID
 	// ConstellationConfig configures the fleet and link geometry.
 	ConstellationConfig = constellation.Config
+	// Cursor walks snapshots forward in time; Constellation.Sweep returns the
+	// incremental engine, Constellation.SweepScan the rebuild-per-step
+	// reference with identical outputs.
+	Cursor = constellation.Cursor
 )
 
 // StarlinkShell1 returns the paper's simulated shell: 72 planes x 22
