@@ -5,6 +5,8 @@
 //	spacecdn -exp table1|fig2|fig3|fig4|fig5|fig7|fig8|ablation-replicas|capacity|workload|resilience|parallel-bench|resolve-bench|all
 //	         [-fast] [-seed N] [-json] [-city NAME] [-workers N]
 //	         [-metrics-out FILE] [-trace-sample RATE]
+//	         [-series-out FILE] [-series-window DUR] [-trace-out FILE]
+//	         [-serve ADDR] [-serve-linger DUR]
 //	         [-fault-isls F] [-fault-pops F] [-fault-seed N]
 //	spacecdn -list
 //
@@ -22,6 +24,18 @@
 // so the request counters and RTT histogram are populated; -trace-sample
 // sets the fraction of requests retained as traces.
 //
+// -series-out adds the time/space-resolved layer: a windowed series collector
+// rides the sweep cursor (window width set by -series-window, default 1m of
+// sim time) and the artifact — per-window counter deltas, per-window
+// histogram quantiles, the spatial heatmap and sweep-step spans — is written
+// as JSON when the run ends. -trace-out writes the sampled request traces and
+// sweep-step spans as Perfetto/Chrome trace-event JSON (load it at
+// ui.perfetto.dev). -serve starts a live introspection endpoint on ADDR
+// (host:0 picks a free port; the bound address is printed) with /metrics,
+// /series, /traces, /healthz and /debug/pprof/; -serve-linger keeps it up
+// that long after the experiments finish so a scraper can catch the final
+// state. Any of these flags attaches telemetry, same as -metrics-out.
+//
 // The -fault-* flags tune the resilience experiment: -fault-isls / -fault-pops
 // pin the ISL and PoP failure fractions (negative, the default, derives them
 // from the swept satellite fraction), and -fault-seed seeds fault-plan
@@ -34,6 +48,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"spacecdn/internal/experiments"
 	"spacecdn/internal/geo"
@@ -56,6 +71,13 @@ type options struct {
 	Workers     int
 	List        bool
 
+	// Time/space-resolved observability (any of these attaches telemetry).
+	SeriesOut    string
+	SeriesWindow time.Duration
+	TraceOut     string
+	Serve        string
+	ServeLinger  time.Duration
+
 	// Fault-injection knobs for the resilience experiment; negative
 	// fractions mean "derive from the swept satellite fraction", fault seed
 	// 0 means "reuse Seed".
@@ -66,7 +88,10 @@ type options struct {
 
 // defaultOptions mirrors the flag defaults.
 func defaultOptions() options {
-	return options{Exp: "all", Seed: 42, TraceSample: 0.01, FaultISLs: -1, FaultPoPs: -1}
+	return options{
+		Exp: "all", Seed: 42, TraceSample: 0.01, FaultISLs: -1, FaultPoPs: -1,
+		SeriesWindow: telemetry.DefaultSeriesWindow,
+	}
 }
 
 // parseFlags binds the command's flags onto an options value and parses args.
@@ -81,6 +106,11 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.Float64Var(&opts.TraceSample, "trace-sample", opts.TraceSample, "fraction of resolve requests retained as traces (with -metrics-out)")
 	fs.IntVar(&opts.Workers, "workers", opts.Workers, "worker goroutines per experiment (0 = one per CPU; results are identical for any value)")
 	fs.BoolVar(&opts.List, "list", opts.List, "list registered experiments and exit")
+	fs.StringVar(&opts.SeriesOut, "series-out", opts.SeriesOut, "write the windowed series + spatial heatmap artifact (JSON) to this file")
+	fs.DurationVar(&opts.SeriesWindow, "series-window", opts.SeriesWindow, "sim-time width of each metric window (with -series-out or -serve)")
+	fs.StringVar(&opts.TraceOut, "trace-out", opts.TraceOut, "write sampled traces + sweep steps as Perfetto trace-event JSON to this file")
+	fs.StringVar(&opts.Serve, "serve", opts.Serve, "serve live introspection (/metrics /series /traces /healthz /debug/pprof) on this host:port; host:0 picks a port")
+	fs.DurationVar(&opts.ServeLinger, "serve-linger", opts.ServeLinger, "keep the -serve endpoint up this long after experiments finish")
 	fs.Float64Var(&opts.FaultISLs, "fault-isls", opts.FaultISLs, "resilience: ISL failure fraction (negative = half the satellite fraction)")
 	fs.Float64Var(&opts.FaultPoPs, "fault-pops", opts.FaultPoPs, "resilience: PoP failure fraction (negative = a quarter of the satellite fraction)")
 	fs.Int64Var(&opts.FaultSeed, "fault-seed", opts.FaultSeed, "resilience: fault-plan seed (0 = reuse -seed)")
@@ -114,9 +144,26 @@ func run(w io.Writer, opts options) error {
 	suite.FaultPoPFraction = opts.FaultPoPs
 	suite.FaultSeed = opts.FaultSeed
 	var tel *telemetry.Telemetry
-	if opts.MetricsOut != "" {
+	if opts.MetricsOut != "" || opts.SeriesOut != "" || opts.TraceOut != "" || opts.Serve != "" {
 		tel = telemetry.New(opts.TraceSample)
+		if opts.SeriesOut != "" || opts.TraceOut != "" || opts.Serve != "" {
+			// The series collector rides the experiments' sweep cursors; it
+			// also supplies the sweep-step spans the Perfetto export and the
+			// /series endpoint carry.
+			tel.SetSeries(telemetry.NewSeriesCollector(tel.Registry(), opts.SeriesWindow, 0))
+		}
 		suite.SetTelemetry(tel)
+	}
+	var srv *telemetry.Server
+	if opts.Serve != "" {
+		srv, err = telemetry.Serve(opts.Serve, tel)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		// Printed before any experiment runs so a scraper tailing stdout can
+		// hit the endpoint while the sweep is still advancing.
+		fmt.Fprintf(w, "introspection listening on http://%s\n", srv.Addr())
 	}
 	ids := strings.Split(opts.Exp, ",")
 	if opts.Exp == "all" {
@@ -138,13 +185,42 @@ func run(w io.Writer, opts options) error {
 		}
 		fmt.Fprintln(w)
 	}
-	if tel != nil {
+	if opts.MetricsOut != "" {
 		if err := writeMetrics(tel, opts.MetricsOut); err != nil {
 			return fmt.Errorf("metrics-out: %w", err)
 		}
 		fmt.Fprintf(w, "telemetry written to %s\n", opts.MetricsOut)
 	}
+	if opts.SeriesOut != "" {
+		if err := writeArtifact(opts.SeriesOut, tel.WriteSeriesJSON); err != nil {
+			return fmt.Errorf("series-out: %w", err)
+		}
+		fmt.Fprintf(w, "series written to %s\n", opts.SeriesOut)
+	}
+	if opts.TraceOut != "" {
+		if err := writeArtifact(opts.TraceOut, tel.WritePerfettoJSON); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Fprintf(w, "perfetto trace written to %s\n", opts.TraceOut)
+	}
+	if srv != nil && opts.ServeLinger > 0 {
+		fmt.Fprintf(w, "lingering %v for scrapes\n", opts.ServeLinger)
+		time.Sleep(opts.ServeLinger)
+	}
 	return nil
+}
+
+// writeArtifact creates path and streams one telemetry artifact into it.
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // listExperiments prints every registry entry as "id - description", marking

@@ -185,7 +185,10 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := options{Exp: "all", Seed: 42, TraceSample: 0.01, FaultISLs: -1, FaultPoPs: -1}
+	want := options{
+		Exp: "all", Seed: 42, TraceSample: 0.01, FaultISLs: -1, FaultPoPs: -1,
+		SeriesWindow: telemetry.DefaultSeriesWindow,
+	}
 	if opts != want {
 		t.Errorf("defaults = %+v, want %+v", opts, want)
 	}
@@ -198,6 +201,8 @@ func TestParseFlagsRoundTrip(t *testing.T) {
 		"-exp", "workload", "-fast", "-seed", "7", "-json",
 		"-city", "Nairobi", "-metrics-out", "m.prom",
 		"-trace-sample", "0.5", "-workers", "4", "-list",
+		"-series-out", "s.json", "-series-window", "30s",
+		"-trace-out", "t.json", "-serve", "127.0.0.1:0", "-serve-linger", "2s",
 		"-fault-isls", "0.25", "-fault-pops", "0.125", "-fault-seed", "9",
 	})
 	if err != nil {
@@ -207,6 +212,8 @@ func TestParseFlagsRoundTrip(t *testing.T) {
 		Exp: "workload", Fast: true, Seed: 7, JSON: true,
 		City: "Nairobi", MetricsOut: "m.prom", TraceSample: 0.5, Workers: 4,
 		List: true, FaultISLs: 0.25, FaultPoPs: 0.125, FaultSeed: 9,
+		SeriesOut: "s.json", SeriesWindow: 30 * time.Second,
+		TraceOut: "t.json", Serve: "127.0.0.1:0", ServeLinger: 2 * time.Second,
 	}
 	if opts != want {
 		t.Errorf("parsed = %+v, want %+v", opts, want)

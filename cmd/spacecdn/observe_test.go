@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spacecdn/internal/telemetry"
+)
+
+// syncBuffer lets the test read run()'s output while run is still writing —
+// the introspection address line appears before the experiments start.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`introspection listening on (http://\S+)`)
+
+// TestRunObservability drives the full observability surface through run():
+// series and Perfetto artifacts on disk, plus a live introspection endpoint
+// scraped while the process is still serving (the linger window).
+func TestRunObservability(t *testing.T) {
+	dir := t.TempDir()
+	seriesOut := filepath.Join(dir, "series.json")
+	traceOut := filepath.Join(dir, "trace.json")
+	opts := options{
+		Exp: "workload", Fast: true, Seed: 1, TraceSample: 1,
+		SeriesOut: seriesOut, SeriesWindow: time.Minute, TraceOut: traceOut,
+		Serve: "127.0.0.1:0", ServeLinger: 3 * time.Second,
+		FaultISLs: -1, FaultPoPs: -1,
+	}
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(&out, opts) }()
+
+	// Wait for the address line, then scrape the live endpoint.
+	var base string
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("no introspection address printed:\n%s", out.String())
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	// /metrics and /series answer whether the workload has finished or not;
+	// scraping mid-run is the point of the endpoint.
+	if code, _ := get("/metrics"); code != 200 {
+		t.Errorf("/metrics = %d", code)
+	}
+	if code, _ := get("/series"); code != 200 {
+		t.Errorf("/series = %d", code)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The series artifact: windows present, resolve counters in them, and
+	// deltas summing to a positive request count; the spatial block rides
+	// along.
+	raw, err := os.ReadFile(seriesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art telemetry.SeriesArtifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("series artifact does not parse: %v", err)
+	}
+	if art.Series.WindowNs != time.Minute {
+		t.Errorf("windowNs = %v, want 1m", art.Series.WindowNs)
+	}
+	if len(art.Series.Windows) < 2 {
+		t.Fatalf("series windows = %d, want the workload's sim span", len(art.Series.Windows))
+	}
+	var resolved int64
+	for _, w := range art.Series.Windows {
+		for _, cv := range w.Counters {
+			if cv.Name == "spacecdn_resolve_requests_total" {
+				resolved += cv.Value
+			}
+		}
+	}
+	if resolved == 0 {
+		t.Error("no resolve request deltas in any window")
+	}
+	if len(art.Series.Steps) == 0 {
+		t.Error("no sweep steps in the series artifact")
+	}
+	if art.Spatial == nil || len(art.Spatial.Cells) == 0 {
+		t.Error("spatial block missing or empty")
+	}
+
+	// The Perfetto artifact parses and carries request slices.
+	raw, err = os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace telemetry.PerfettoTrace
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("perfetto artifact does not parse: %v", err)
+	}
+	reqSlices := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Cat == "resolve" {
+			reqSlices++
+		}
+	}
+	if reqSlices == 0 {
+		t.Errorf("perfetto trace has no request slices among %d events", len(trace.TraceEvents))
+	}
+
+	for _, want := range []string{"series written to", "perfetto trace written to", "lingering"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"spacecdn/internal/telemetry"
+)
+
+// labelKey renders a label map deterministically for cross-checking window
+// deltas against aggregates.
+func labelKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := name
+	for _, k := range keys {
+		s += fmt.Sprintf("|%s=%s", k, labels[k])
+	}
+	return s
+}
+
+// TestResolveWorkloadSeries runs the resolve workload with the full
+// time/space-resolved layer attached and checks the end-to-end invariants:
+// per-window counter deltas sum exactly to the aggregate counters, windowed
+// histogram counts sum to the aggregate count, the sweep steps were captured
+// through the cursor wrapper, and the spatial heatmap is populated.
+func TestResolveWorkloadSeries(t *testing.T) {
+	s := testSuite(t)
+	tel := telemetry.New(0.05)
+	sc := telemetry.NewSeriesCollector(tel.Registry(), time.Minute, 0)
+	tel.SetSeries(sc)
+	s.SetTelemetry(tel)
+	defer func() { s.SetTelemetry(nil); s.Env.LSN.SetTelemetry(nil) }()
+
+	res, err := s.ResolveWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("workload resolved nothing")
+	}
+
+	series := sc.Snapshot()
+	if len(series.Windows) < 2 {
+		t.Fatalf("windows = %d, want at least two (the workload spans sim minutes)", len(series.Windows))
+	}
+	if series.DroppedWindows != 0 {
+		t.Fatalf("dropped windows = %d; the invariant check needs the full ring", series.DroppedWindows)
+	}
+	if len(series.Steps) == 0 {
+		t.Error("no sweep steps captured — the cursor wrapper is not wired")
+	}
+	for _, st := range series.Steps {
+		if st.AtNs <= st.PrevNs {
+			t.Errorf("step span not forward: %+v", st)
+		}
+	}
+
+	// Sum every counter's window deltas and compare against the aggregates.
+	counterSums := map[string]int64{}
+	histSums := map[string]int64{}
+	for _, w := range series.Windows {
+		for _, cv := range w.Counters {
+			counterSums[labelKey(cv.Name, cv.Labels)] += cv.Value
+		}
+		for _, wh := range w.Histograms {
+			histSums[labelKey(wh.Name, wh.Labels)] += wh.Count
+			if wh.Count > 0 && (wh.P50 < 0 || wh.P99 < wh.P50) {
+				t.Errorf("window %d %s quantiles malformed: %+v", w.Index, wh.Name, wh)
+			}
+		}
+	}
+	agg := tel.Snapshot()
+	for _, cv := range agg.Counters {
+		if got := counterSums[labelKey(cv.Name, cv.Labels)]; got != cv.Value {
+			t.Errorf("counter %s: window deltas sum to %d, aggregate %d",
+				labelKey(cv.Name, cv.Labels), got, cv.Value)
+		}
+	}
+	for _, hv := range agg.Histograms {
+		if got := histSums[labelKey(hv.Name, hv.Labels)]; got != hv.Count {
+			t.Errorf("histogram %s: window counts sum to %d, aggregate %d",
+				labelKey(hv.Name, hv.Labels), got, hv.Count)
+		}
+	}
+
+	// The spatial heatmap saw the workload: serving satellites and client
+	// cells are hot, and total cell sources equal the served request count.
+	heat := tel.Spatial().Snapshot()
+	if len(heat.Sats) == 0 || len(heat.Cells) == 0 {
+		t.Fatalf("spatial heatmap empty: %d sats, %d cells", len(heat.Sats), len(heat.Cells))
+	}
+	var cellSources int64
+	for _, cell := range heat.Cells {
+		cellSources += cell.Overhead + cell.ISL + cell.Ground
+	}
+	if served := int64(res.Requests - res.Errors); cellSources != served {
+		t.Errorf("cell source events = %d, want %d (one per served request)", cellSources, served)
+	}
+
+	// The combined artifact serializes with both layers present.
+	art := tel.SeriesArtifact()
+	if len(art.Series.Windows) != len(series.Windows) && len(art.Series.Windows) != len(series.Windows)+1 {
+		t.Errorf("artifact windows = %d, series snapshot had %d", len(art.Series.Windows), len(series.Windows))
+	}
+	if art.Spatial == nil {
+		t.Error("artifact missing the spatial block")
+	}
+}

@@ -150,9 +150,19 @@ func (s *Suite) snapshotTimes() []time.Duration {
 // sweepCursor returns an AdvanceTo-driven cursor positioned at start for
 // walking snapshotTimes, honouring the ScanSweeps flag. Callers must Close
 // it; the sweep form is pooled, so per-configuration cursors are cheap.
+// When the attached telemetry carries a windowed series collector, the cursor
+// is wrapped so every advance ticks the collector — this is what keys metric
+// windows to sim time across a whole suite run. The concrete-nil check avoids
+// handing ObserveCursor a non-nil interface wrapping a nil *SeriesCollector.
 func (s *Suite) sweepCursor(start time.Duration) constellation.Cursor {
+	var cur constellation.Cursor
 	if s.ScanSweeps {
-		return s.Env.SweepScan(start, 0)
+		cur = s.Env.SweepScan(start, 0)
+	} else {
+		cur = s.Env.Sweep(start, 0)
 	}
-	return s.Env.Sweep(start, 0)
+	if sc := s.tel.Series(); sc != nil {
+		cur = constellation.ObserveCursor(cur, sc)
+	}
+	return cur
 }

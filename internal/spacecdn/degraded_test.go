@@ -375,6 +375,14 @@ func TestDegradedTelemetryCounters(t *testing.T) {
 	if n := reg.Histogram("spacecdn_degraded_source", srcBuckets).Count(); n != 2 {
 		t.Fatalf("degraded source histogram count = %d, want 2", n)
 	}
+	// Each failover also heats the client's lat/lon cell in the spatial table.
+	var failovers int64
+	for _, cell := range tel.Spatial().Snapshot().Cells {
+		failovers += cell.Failovers
+	}
+	if failovers != 3 {
+		t.Fatalf("spatial failover count = %d, want 3 (2 uplink + 1 pop)", failovers)
+	}
 }
 
 // TestFailoverKindStringRoundTrip pins the name table to the constants.

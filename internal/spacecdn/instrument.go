@@ -6,6 +6,7 @@ import (
 
 	"spacecdn/internal/cache"
 	"spacecdn/internal/constellation"
+	"spacecdn/internal/geo"
 	"spacecdn/internal/lsn"
 	"spacecdn/internal/routing"
 	"spacecdn/internal/telemetry"
@@ -34,13 +35,27 @@ type instruments struct {
 	degradedSrc *telemetry.Histogram
 	degradedRTT *telemetry.Histogram
 
+	// spatial attributes each request to the serving satellite and the
+	// client's lat/lon cell — the where-in-orbit heatmap. Shared across every
+	// system wired to the same telemetry bundle.
+	spatial *telemetry.Spatial
+
 	seq atomic.Uint64 // request sequence for trace identity
+}
+
+// spatialSourceEvents maps a Source to its spatial event kind; the
+// [numSources] bound makes a source added without a mapping a compile error.
+var spatialSourceEvents = [numSources]telemetry.SpatialEvent{
+	SourceOverhead: telemetry.SpatialOverhead,
+	SourceISL:      telemetry.SpatialISL,
+	SourceGround:   telemetry.SpatialGround,
 }
 
 // resolveDetail carries the latency components of one resolution so record
 // can decompose the RTT into trace spans. It is filled by assignment only —
 // the instrumented path allocates nothing until a request is sampled.
 type resolveDetail struct {
+	client    geo.Point     // requesting terminal, for spatial attribution
 	uplinkRTT time.Duration // two-way terminal <-> overhead satellite
 	islRTT    time.Duration // two-way ISL leg incl. per-hop switching (ISL source)
 	ground    lsn.Path      // resolved ground path (ground source)
@@ -85,6 +100,7 @@ func (s *System) SetTelemetry(t *telemetry.Telemetry) {
 	}
 	in.degradedSrc = reg.Histogram("spacecdn_degraded_source", srcBuckets)
 	in.degradedRTT = reg.Histogram("spacecdn_degraded_rtt_ms", telemetry.LatencyBucketsMs)
+	in.spatial = t.EnableSpatial(len(s.caches))
 
 	// Fleet and routing state is cheap to read but pointless to push per
 	// request; a collector samples it at exposition time. The collector only
@@ -154,15 +170,19 @@ func (in *instruments) record(res Resolution, err error, d *resolveDetail) {
 	seq := in.seq.Add(1)
 	if d.degraded {
 		// Failovers count even when the request ultimately errors: the
-		// reroute attempt happened.
+		// reroute attempt happened. They heat the client's cell (the region
+		// degraded service hit), not a satellite.
 		if d.uplinkFailover {
 			in.failovers[FailoverUplink].Inc()
+			in.spatial.RecordCell(d.client.LatDeg, d.client.LonDeg, telemetry.SpatialFailover)
 		}
 		if d.replicaFailover {
 			in.failovers[FailoverReplica].Inc()
+			in.spatial.RecordCell(d.client.LatDeg, d.client.LonDeg, telemetry.SpatialFailover)
 		}
 		if d.popFailover {
 			in.failovers[FailoverPoP].Inc()
+			in.spatial.RecordCell(d.client.LatDeg, d.client.LonDeg, telemetry.SpatialFailover)
 		}
 	}
 	if err != nil {
@@ -174,6 +194,14 @@ func (in *instruments) record(res Resolution, err error, d *resolveDetail) {
 		in.degradedRTT.ObserveDuration(res.RTT)
 	}
 	in.requests[res.Source].Inc()
+	ev := spatialSourceEvents[res.Source]
+	in.spatial.RecordCell(d.client.LatDeg, d.client.LonDeg, ev)
+	if res.Source != SourceGround {
+		// Space sources heat the serving satellite; every space serve is by
+		// definition a cache hit on that satellite's shard.
+		in.spatial.RecordSat(int(res.Sat), ev)
+		in.spatial.RecordSat(int(res.Sat), telemetry.SpatialCacheHit)
+	}
 	in.rttMs.ObserveDuration(res.RTT)
 	hops := res.Hops
 	if res.Source == SourceGround && d.hasGround {

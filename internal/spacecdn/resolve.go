@@ -85,6 +85,7 @@ func (s *System) Resolve(client geo.Point, iso2 string, obj content.Object, snap
 		return s.resolveAny(client, iso2, obj, snap, rng, nil)
 	}
 	var d resolveDetail
+	d.client = client
 	res, err := s.resolveAny(client, iso2, obj, snap, rng, &d)
 	in.record(res, err, &d)
 	return res, err

@@ -160,10 +160,22 @@ func (s *System) Constellation() *constellation.Constellation { return s.consts 
 // is set. Every stepped consumer in the package goes through here, so the
 // two forms stay diffable end to end.
 func (s *System) sweepCursor(start, step time.Duration) constellation.Cursor {
+	var cur constellation.Cursor
 	if s.cfg.ScanSweeps {
-		return s.consts.SweepScan(start, step)
+		cur = s.consts.SweepScan(start, step)
+	} else {
+		cur = s.consts.Sweep(start, step)
 	}
-	return s.consts.Sweep(start, step)
+	// When a windowed series collector is attached, every advance ticks it so
+	// metric windows stay keyed to sim time. The concrete-nil check matters:
+	// wrapping a nil *SeriesCollector would pass ObserveCursor a non-nil
+	// interface holding a nil pointer.
+	if s.inst != nil {
+		if sc := s.inst.tel.Series(); sc != nil {
+			cur = constellation.ObserveCursor(cur, sc)
+		}
+	}
+	return cur
 }
 
 // overheadWindows samples serving windows over a cursor honouring the

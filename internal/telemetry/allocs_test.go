@@ -12,17 +12,48 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 	var g *Gauge
 	var h *Histogram
 	var sink *TraceSink
+	var sc *SeriesCollector
+	var sp *Spatial
 	if n := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(2)
 		g.Set(1.5)
 		h.Observe(3)
 		h.ObserveDuration(time.Millisecond)
+		sc.Tick(time.Minute)
+		sc.RecordStep(0, time.Minute, time.Millisecond)
+		sp.RecordSat(3, SpatialISL)
+		sp.RecordCell(10, 20, SpatialGround)
 		if sink.ShouldSample() {
 			t.Fatal("nil sink sampled")
 		}
 	}); n != 0 {
 		t.Fatalf("disabled path allocates %v per op, want 0", n)
+	}
+}
+
+// Enabled spatial records are single atomic adds into pre-sized arrays; they
+// ride every resolve, so they must not allocate.
+func TestEnabledSpatialZeroAllocs(t *testing.T) {
+	sp := NewSpatial(8, 0, 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		sp.RecordSat(3, SpatialISL)
+		sp.RecordSat(3, SpatialCacheHit)
+		sp.RecordCell(48.8, 2.3, SpatialOverhead)
+	}); n != 0 {
+		t.Fatalf("enabled spatial path allocates %v per op, want 0", n)
+	}
+}
+
+// A series tick that stays inside the open window (the overwhelmingly common
+// case — many AdvanceTo calls per window) is a mutex-guarded comparison only.
+func TestSeriesSameWindowTickZeroAllocs(t *testing.T) {
+	sc := NewSeriesCollector(NewRegistry(), time.Minute, 0)
+	sc.Tick(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		sc.Tick(30 * time.Second)
+	}); n != 0 {
+		t.Fatalf("same-window tick allocates %v per op, want 0", n)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Snapshot is the JSON exposition form: every registered instrument's
@@ -96,8 +97,9 @@ func labelMap(ls []Label) map[string]string {
 	return m
 }
 
-// Snapshot captures every instrument. Registration order is preserved, so
-// repeated snapshots of the same registry list metrics identically.
+// Snapshot captures every instrument in sorted (name, labels) order, so two
+// runs registering the same instruments produce byte-identical artifacts
+// regardless of registration interleaving.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
@@ -106,7 +108,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	snap := Snapshot{}
-	for _, mk := range r.keys {
+	for _, mk := range r.sortedKeysLocked() {
 		labels := labelMap(mk.labels)
 		switch mk.kind {
 		case 0:
@@ -152,7 +154,8 @@ func writeJSON(w io.Writer, v interface{}) error {
 
 // WritePrometheus writes every instrument in the Prometheus text exposition
 // format (counters, gauges, and histograms with cumulative le buckets, _sum
-// and _count series).
+// and _count series), in sorted (name, labels) order so scrapes and artifact
+// diffs are byte-stable across runs.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -161,8 +164,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	typed := map[string]bool{} // one # TYPE line per metric name
-	for _, mk := range r.keys {
-		name, labels := mk.key.name, mk.key.labels
+	for _, mk := range r.sortedKeysLocked() {
+		name, labels := mk.key.name, promLabels(mk.labels)
 		switch mk.kind {
 		case 0:
 			if err := typeLine(w, typed, name, "counter"); err != nil {
@@ -223,4 +226,49 @@ func seriesName(name, labels string) string {
 		return name
 	}
 	return name + "{" + labels + "}"
+}
+
+// promLabels renders a label set for the text exposition. Values are escaped
+// per the exposition format — backslash, double-quote and newline only. Go's
+// %q (used for the registry's internal canonical key) escapes more (tabs,
+// non-ASCII), which a Prometheus scraper would un-escape incorrectly, so the
+// wire rendering is built here instead of reusing the key string.
+func promLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes the three characters the Prometheus text format
+// reserves in label values: backslash, double-quote and line feed.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }

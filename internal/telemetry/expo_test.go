@@ -96,6 +96,70 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestExpositionSortedOrder: artifacts are byte-stable across registration
+// orders — two registries with the same instruments registered in opposite
+// orders expose identical bytes, and the order is sorted (name, labels).
+func TestExpositionSortedOrder(t *testing.T) {
+	build := func(reverse bool) *Telemetry {
+		tel := New(0)
+		r := tel.Registry()
+		names := [][2]string{{"zeta_total", "b"}, {"zeta_total", "a"}, {"alpha_total", "x"}}
+		if reverse {
+			names = [][2]string{{"alpha_total", "x"}, {"zeta_total", "a"}, {"zeta_total", "b"}}
+		}
+		for _, n := range names {
+			r.Counter(n[0], "k", n[1]).Inc()
+		}
+		return tel
+	}
+	var fwd, rev bytes.Buffer
+	if err := build(false).WritePrometheus(&fwd); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(true).WritePrometheus(&rev); err != nil {
+		t.Fatal(err)
+	}
+	if fwd.String() != rev.String() {
+		t.Fatalf("exposition depends on registration order:\n--- fwd\n%s--- rev\n%s", fwd.String(), rev.String())
+	}
+	if a, z := strings.Index(fwd.String(), "alpha_total"), strings.Index(fwd.String(), "zeta_total"); a > z {
+		t.Error("names not sorted")
+	}
+	snap := build(false).Snapshot()
+	if snap.Counters[0].Name != "alpha_total" ||
+		snap.Counters[1].Labels["k"] != "a" || snap.Counters[2].Labels["k"] != "b" {
+		t.Fatalf("snapshot order wrong: %+v", snap.Counters)
+	}
+}
+
+// TestPrometheusLabelEscaping: backslash, double quote and newline in label
+// values must escape per the text exposition format, or a hostile object ID
+// used as a label corrupts every scrape.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	tel := New(0)
+	tel.Registry().Counter("hostile_total", "path", "a\\b\"c\nd").Inc()
+	var buf bytes.Buffer
+	if err := tel.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `hostile_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped exposition missing %q:\n%s", want, out)
+	}
+	// The raw newline must not survive into the value position: every line
+	// is either a comment or ends in a number.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("exposition line split by unescaped newline: %q", line)
+		}
+	}
+}
+
 func TestCollectorRunsOnExposition(t *testing.T) {
 	tel := New(0)
 	r := tel.Registry()

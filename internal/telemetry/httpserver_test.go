@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIntrospectionEndpoints(t *testing.T) {
+	tel := exampleTelemetry()
+	sc := NewSeriesCollector(tel.Registry(), time.Minute, 0)
+	tel.SetSeries(sc)
+	sc.Tick(0)
+	sc.Tick(90 * time.Second)
+	sc.RecordStep(0, 90*time.Second, time.Millisecond)
+	tel.EnableSpatial(4).RecordSat(1, SpatialOverhead)
+
+	srv, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := scrape(t, base, "/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := scrape(t, base, "/metrics"); code != 200 ||
+		!strings.Contains(body, `resolve_requests_total{source="overhead"} 3`) {
+		t.Errorf("/metrics = %d, missing counter:\n%s", code, body)
+	}
+	code, body := scrape(t, base, "/series")
+	if code != 200 {
+		t.Fatalf("/series = %d", code)
+	}
+	var art SeriesArtifact
+	if err := json.Unmarshal([]byte(body), &art); err != nil {
+		t.Fatalf("/series does not parse: %v", err)
+	}
+	if len(art.Series.Windows) == 0 || art.Spatial == nil || len(art.Spatial.Sats) != 1 {
+		t.Errorf("/series artifact incomplete: %+v", art)
+	}
+	code, body = scrape(t, base, "/traces")
+	if code != 200 {
+		t.Fatalf("/traces = %d", code)
+	}
+	var trace PerfettoTrace
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/traces does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("/traces carries no events")
+	}
+	if code, body := scrape(t, base, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestIntrospectionConcurrentScrapes hammers every endpoint while writers are
+// still mutating the registry, the series collector and the spatial table —
+// the live-scrape-during-a-sweep contract, checked under -race by verify.
+func TestIntrospectionConcurrentScrapes(t *testing.T) {
+	tel := New(1)
+	reg := tel.Registry()
+	sc := NewSeriesCollector(reg, time.Minute, 0)
+	tel.SetSeries(sc)
+	sp := tel.EnableSpatial(16)
+
+	srv, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	const writers, scrapers, iters = 4, 4, 50
+	var wg sync.WaitGroup
+	for wID := 0; wID < writers; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			c := reg.Counter("load_total", "w", fmt.Sprint(wID))
+			h := reg.Histogram("load_ms", LatencyBucketsMs)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i % 40))
+				sc.Tick(time.Duration(i) * 10 * time.Second)
+				sc.RecordStep(0, time.Second, time.Microsecond)
+				sp.RecordSat(i%16, SpatialISL)
+				sp.RecordCell(float64(i%90), float64(i%180), SpatialGround)
+				if tel.Traces().ShouldSample() {
+					tel.Traces().Add(RequestTrace{Seq: uint64(i), Source: "isl"})
+				}
+			}
+		}(wID)
+	}
+	for sID := 0; sID < scrapers; sID++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			paths := []string{"/metrics", "/series", "/traces", "/healthz"}
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(base + paths[i%len(paths)])
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("scrape %s = %d", paths[i%len(paths)], resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() == "" {
+		t.Error("bound address empty")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Error("closed server still accepting connections")
+	}
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Error("nil server must no-op")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bogus", New(0)); err == nil {
+		t.Fatal("invalid address must error")
+	}
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Perfetto/Chrome trace-event export: the span-decomposed RequestTraces and
+// the sweep-step phase spans rendered as a JSON object trace that
+// ui.perfetto.dev (or chrome://tracing) opens directly.
+//
+// Layout. Two synthetic processes keep the two timelines apart:
+//
+//   - pid 1 "spacecdn resolve": one thread lane per serving source. Requests
+//     have no wall-clock arrival times (the simulator's clock is sim time),
+//     so each lane lays its requests out back to back — a request's slice
+//     starts where the lane's previous one ended, its duration is the RTT,
+//     and its typed spans nest inside it in wire order. Relative span widths
+//     and the latency decomposition are exact; absolute x positions are
+//     synthetic.
+//   - pid 2 "constellation sweep": one lane of cursor advances on the sim
+//     timeline — each slice covers the sim interval [prev, at) of one
+//     advance, with the advance's wall-clock cost attached as an argument.
+
+// TraceEvent is one event in the Chrome trace-event JSON format. Timestamps
+// and durations are microseconds, per the format.
+type TraceEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// PerfettoTrace is the top-level JSON object.
+type PerfettoTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	perfettoResolvePID = 1
+	perfettoSweepPID   = 2
+)
+
+func usOf(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func metaEvent(pid, tid int, kind, name string) TraceEvent {
+	return TraceEvent{
+		Name: kind, Ph: "M", PID: pid, TID: tid,
+		Args: map[string]interface{}{"name": name},
+	}
+}
+
+// PerfettoEvents builds the event list for a set of request traces and sweep
+// steps. Either slice may be empty; the result is always a loadable trace.
+func PerfettoEvents(traces []RequestTrace, steps []StepSpan) []TraceEvent {
+	events := []TraceEvent{
+		metaEvent(perfettoResolvePID, 0, "process_name", "spacecdn resolve"),
+	}
+
+	// One lane per serving source, allocated in first-seen order so unknown
+	// sources from future systems still render.
+	lanes := map[string]int{}
+	laneCursor := map[int]float64{} // lane tid -> next free ts (us)
+	laneOf := func(source string) int {
+		if tid, ok := lanes[source]; ok {
+			return tid
+		}
+		tid := len(lanes) + 1
+		lanes[source] = tid
+		events = append(events, metaEvent(perfettoResolvePID, tid, "thread_name", "source: "+source))
+		return tid
+	}
+
+	for _, tr := range traces {
+		tid := laneOf(tr.Source)
+		start := laneCursor[tid]
+		events = append(events, TraceEvent{
+			Name: fmt.Sprintf("req %d", tr.Seq),
+			Cat:  "resolve",
+			Ph:   "X",
+			TS:   start,
+			Dur:  usOf(tr.RTT),
+			PID:  perfettoResolvePID,
+			TID:  tid,
+			Args: map[string]interface{}{
+				"source": tr.Source,
+				"sat":    tr.Sat,
+				"hops":   tr.Hops,
+				"rttMs":  float64(tr.RTT) / float64(time.Millisecond),
+			},
+		})
+		at := start
+		for _, sp := range tr.Spans {
+			name := sp.Kind.String()
+			if sp.Hop > 0 {
+				name = fmt.Sprintf("%s %d", name, sp.Hop)
+			}
+			events = append(events, TraceEvent{
+				Name: name,
+				Cat:  "span",
+				Ph:   "X",
+				TS:   at,
+				Dur:  usOf(sp.Dur),
+				PID:  perfettoResolvePID,
+				TID:  tid,
+			})
+			at += usOf(sp.Dur)
+		}
+		laneCursor[tid] = start + usOf(tr.RTT)
+	}
+
+	if len(steps) > 0 {
+		events = append(events,
+			metaEvent(perfettoSweepPID, 0, "process_name", "constellation sweep"),
+			metaEvent(perfettoSweepPID, 1, "thread_name", "cursor"))
+		for _, st := range steps {
+			events = append(events, TraceEvent{
+				Name: fmt.Sprintf("advance to %v", st.AtNs),
+				Cat:  "sweep",
+				Ph:   "X",
+				TS:   usOf(st.PrevNs),
+				Dur:  usOf(st.AtNs - st.PrevNs),
+				PID:  perfettoSweepPID,
+				TID:  1,
+				Args: map[string]interface{}{
+					"wallMs": float64(st.WallNs) / float64(time.Millisecond),
+				},
+			})
+		}
+	}
+	return events
+}
+
+// WritePerfetto writes the trace-event JSON for traces and steps.
+func WritePerfetto(w io.Writer, traces []RequestTrace, steps []StepSpan) error {
+	return writeJSON(w, PerfettoTrace{
+		TraceEvents:     PerfettoEvents(traces, steps),
+		DisplayTimeUnit: "ms",
+	})
+}

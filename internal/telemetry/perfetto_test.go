@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func perfettoFixture() ([]RequestTrace, []StepSpan) {
+	traces := []RequestTrace{
+		{
+			Seq: 1, Source: "overhead", Sat: 7, RTT: 10 * time.Millisecond,
+			Spans: []Span{
+				{Kind: SpanUplink, Dur: 6 * time.Millisecond},
+				{Kind: SpanCacheProbe},
+				{Kind: SpanSched, Dur: 4 * time.Millisecond},
+			},
+		},
+		{
+			Seq: 2, Source: "isl", Sat: 9, Hops: 2, RTT: 20 * time.Millisecond,
+			Spans: []Span{
+				{Kind: SpanUplink, Dur: 6 * time.Millisecond},
+				{Kind: SpanISLHop, Hop: 1, Dur: 5 * time.Millisecond},
+				{Kind: SpanISLHop, Hop: 2, Dur: 5 * time.Millisecond},
+				{Kind: SpanSched, Dur: 4 * time.Millisecond},
+			},
+		},
+		{Seq: 3, Source: "overhead", Sat: 4, RTT: 8 * time.Millisecond},
+	}
+	steps := []StepSpan{
+		{PrevNs: 0, AtNs: 30 * time.Second, WallNs: 2 * time.Millisecond},
+		{PrevNs: 30 * time.Second, AtNs: time.Minute, WallNs: time.Millisecond},
+	}
+	return traces, steps
+}
+
+func TestWritePerfettoLoadableJSON(t *testing.T) {
+	traces, steps := perfettoFixture()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, traces, steps); err != nil {
+		t.Fatal(err)
+	}
+	var out PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("perfetto JSON does not parse: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	names := map[string]int{}
+	for _, ev := range out.TraceEvents {
+		names[ev.Name]++
+		if ev.Ph != "X" && ev.Ph != "M" {
+			t.Errorf("unexpected phase %q in %+v", ev.Ph, ev)
+		}
+	}
+	for _, want := range []string{"process_name", "thread_name", "req 1", "req 2", "uplink", "isl-hop 1"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing event %q", want)
+		}
+	}
+}
+
+// TestPerfettoRequestLayout: lanes are per source, requests pack back to back
+// within a lane, and a request's child spans tile its slice exactly.
+func TestPerfettoRequestLayout(t *testing.T) {
+	traces, _ := perfettoFixture()
+	events := PerfettoEvents(traces, nil)
+
+	reqs := map[string]TraceEvent{}
+	spansByTID := map[int][]TraceEvent{}
+	for _, ev := range events {
+		switch ev.Cat {
+		case "resolve":
+			reqs[ev.Name] = ev
+		case "span":
+			spansByTID[ev.TID] = append(spansByTID[ev.TID], ev)
+		}
+	}
+	r1, r3 := reqs["req 1"], reqs["req 3"]
+	if r1.TID != r3.TID {
+		t.Fatalf("same-source requests on different lanes: %d vs %d", r1.TID, r3.TID)
+	}
+	if r3.TS != r1.TS+r1.Dur {
+		t.Errorf("req 3 starts at %v, want back-to-back after req 1 (%v)", r3.TS, r1.TS+r1.Dur)
+	}
+	r2 := reqs["req 2"]
+	if r2.TID == r1.TID {
+		t.Error("isl requests must get their own lane")
+	}
+	if r2.Dur != 20_000 { // 20ms in microseconds
+		t.Errorf("req 2 dur = %v us, want 20000", r2.Dur)
+	}
+	if got := r2.Args["hops"]; got != 2 {
+		t.Errorf("req 2 hops arg = %v (%T), want 2", got, got)
+	}
+	// Child spans of req 2 tile [TS, TS+Dur] in order.
+	var spanSum float64
+	at := r2.TS
+	for _, sp := range spansByTID[r2.TID] {
+		if sp.TS < r2.TS || sp.TS+sp.Dur > r2.TS+r2.Dur+1e-9 {
+			t.Errorf("span %q escapes its request slice: %+v", sp.Name, sp)
+		}
+		if sp.TS != at {
+			t.Errorf("span %q starts at %v, want %v (contiguous)", sp.Name, sp.TS, at)
+		}
+		at += sp.Dur
+		spanSum += sp.Dur
+	}
+	if spanSum != r2.Dur {
+		t.Errorf("span durations sum to %v, want request dur %v", spanSum, r2.Dur)
+	}
+}
+
+func TestPerfettoSweepTrack(t *testing.T) {
+	_, steps := perfettoFixture()
+	events := PerfettoEvents(nil, steps)
+	var sweeps []TraceEvent
+	for _, ev := range events {
+		if ev.Cat == "sweep" {
+			sweeps = append(sweeps, ev)
+		}
+	}
+	if len(sweeps) != 2 {
+		t.Fatalf("sweep slices = %d, want 2", len(sweeps))
+	}
+	first := sweeps[0]
+	if first.TS != 0 || first.Dur != 30_000_000 { // 30s of sim time in us
+		t.Errorf("first sweep slice = ts %v dur %v, want 0/30000000", first.TS, first.Dur)
+	}
+	if first.PID != perfettoSweepPID {
+		t.Errorf("sweep slice on pid %d, want %d", first.PID, perfettoSweepPID)
+	}
+	if wall := first.Args["wallMs"]; wall != 2.0 {
+		t.Errorf("wallMs arg = %v, want 2", wall)
+	}
+}
+
+// TestPerfettoEmptyInputs: no traces and no steps still yields a valid,
+// loadable trace object.
+func TestPerfettoEmptyInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceEvents == nil {
+		t.Fatal("traceEvents must be present (the resolve process metadata)")
+	}
+}

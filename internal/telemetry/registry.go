@@ -169,23 +169,61 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if float64(cum+n) >= target {
-			if i >= len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
-			}
-			lo := 0.0
-			if i > 0 {
-				lo = h.bounds[i-1]
-			}
-			hi := h.bounds[i]
-			frac := (target - float64(cum)) / float64(n)
-			if frac < 0 {
-				frac = 0
-			}
-			return lo + (hi-lo)*frac
+			return h.bucketPoint(i, cum, n, target)
 		}
 		cum += n
 	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// bucketPoint interpolates a quantile target inside bucket i, given the
+// cumulative count before the bucket and the bucket's own count.
+func (h *Histogram) bucketPoint(i int, cum, n int64, target float64) float64 {
+	if i >= len(h.bounds) {
+		return h.bounds[len(h.bounds)-1]
+	}
+	lo := 0.0
+	if i > 0 {
+		lo = h.bounds[i-1]
+	}
+	hi := h.bounds[i]
+	frac := (target - float64(cum)) / float64(n)
+	if frac < 0 {
+		frac = 0
+	}
+	return lo + (hi-lo)*frac
+}
+
+// quantileFromCounts is Quantile over explicit per-bucket counts (len(bounds)
+// buckets plus one overflow slot) — the form the windowed series collector
+// uses on counter deltas, sharing the live histogram's interpolation exactly.
+func quantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
+	h := Histogram{bounds: bounds}
+	total := int64(0)
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := int64(0)
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= target {
+			return h.bucketPoint(i, cum, n, target)
+		}
+		cum += n
+	}
+	return bounds[len(bounds)-1]
 }
 
 // Label is one metric dimension, e.g. {Key: "source", Value: "isl"}.
@@ -248,6 +286,23 @@ func labelsOf(kv []string) ([]Label, string) {
 		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
 	}
 	return ls, b.String()
+}
+
+// sortedKeysLocked returns the registry's instruments ordered by (name,
+// canonical labels). Expositions iterate this instead of registration order,
+// so two runs that register the same instruments — in whatever order their
+// goroutines happened to interleave — produce byte-identical artifacts.
+// Callers must hold r.mu.
+func (r *Registry) sortedKeysLocked() []metricKind {
+	out := make([]metricKind, len(r.keys))
+	copy(out, r.keys)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.name != out[j].key.name {
+			return out[i].key.name < out[j].key.name
+		}
+		return out[i].key.labels < out[j].key.labels
+	})
+	return out
 }
 
 // Counter returns the counter registered under name and label pairs,

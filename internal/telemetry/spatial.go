@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+)
+
+// The spatial accumulator adds a where-in-orbit dimension to the metrics: a
+// per-satellite table and a lat/lon-cell table (the same 18x36 geometry as
+// the constellation's visibility grid) of resolve sources, cache hits and
+// failovers. Records are single atomic adds into pre-sized arrays — no maps,
+// locks or allocations on the hot path — and a nil *Spatial no-ops, so the
+// resolve instruments call it unconditionally.
+
+// SpatialEvent classifies one spatially-attributed occurrence.
+type SpatialEvent int
+
+// The spatial event kinds. numSpatialEvents must stay last — it sizes the
+// name table and the per-slot count arrays, so an added kind without a name
+// fails the exhaustiveness test.
+const (
+	// SpatialOverhead is a request served by the satellite overhead.
+	SpatialOverhead SpatialEvent = iota
+	// SpatialISL is a request served over inter-satellite links.
+	SpatialISL
+	// SpatialGround is a request served by the ground CDN via a PoP.
+	SpatialGround
+	// SpatialCacheHit is a space-cache hit on the serving satellite.
+	SpatialCacheHit
+	// SpatialFailover is a degraded-mode reroute (any failover kind).
+	SpatialFailover
+
+	numSpatialEvents // keep last
+)
+
+// spatialEventNames is the exhaustive name table; indexed by SpatialEvent.
+var spatialEventNames = [numSpatialEvents]string{
+	SpatialOverhead: "overhead",
+	SpatialISL:      "isl",
+	SpatialGround:   "ground",
+	SpatialCacheHit: "cache-hit",
+	SpatialFailover: "failover",
+}
+
+func (e SpatialEvent) String() string {
+	if e < 0 || e >= numSpatialEvents || spatialEventNames[e] == "" {
+		return fmt.Sprintf("spatialevent(%d)", int(e))
+	}
+	return spatialEventNames[e]
+}
+
+// SpatialEventFromString inverts String for the named events.
+func SpatialEventFromString(s string) (SpatialEvent, bool) {
+	for e, name := range spatialEventNames {
+		if name == s {
+			return SpatialEvent(e), true
+		}
+	}
+	return 0, false
+}
+
+// Default heatmap cell geometry, matching the constellation visibility grid.
+const (
+	DefaultHeatRows = 18
+	DefaultHeatCols = 36
+)
+
+// Spatial accumulates per-satellite and per-cell event counts. The zero
+// value is not useful — use NewSpatial. A nil *Spatial is a valid no-op
+// receiver. Safe for concurrent use.
+type Spatial struct {
+	numSats, rows, cols int
+	latStep, lonStep    float64
+	sats                []atomic.Int64 // numSats x numSpatialEvents, row-major
+	cells               []atomic.Int64 // rows*cols x numSpatialEvents
+}
+
+// NewSpatial creates an accumulator for numSats satellites over a rows x
+// cols lat/lon cell grid; non-positive grid dimensions clamp to the
+// defaults, a negative satellite count to zero.
+func NewSpatial(numSats, rows, cols int) *Spatial {
+	if numSats < 0 {
+		numSats = 0
+	}
+	if rows <= 0 {
+		rows = DefaultHeatRows
+	}
+	if cols <= 0 {
+		cols = DefaultHeatCols
+	}
+	return &Spatial{
+		numSats: numSats,
+		rows:    rows,
+		cols:    cols,
+		latStep: 180.0 / float64(rows),
+		lonStep: 360.0 / float64(cols),
+		sats:    make([]atomic.Int64, numSats*int(numSpatialEvents)),
+		cells:   make([]atomic.Int64, rows*cols*int(numSpatialEvents)),
+	}
+}
+
+// NumSats returns the satellite dimension (0 for a nil accumulator).
+func (sp *Spatial) NumSats() int {
+	if sp == nil {
+		return 0
+	}
+	return sp.numSats
+}
+
+// RecordSat counts one event against a satellite. Out-of-range satellites
+// and events are dropped — a system deployed over a larger constellation
+// than the accumulator was sized for degrades to partial coverage, never
+// panics a request path.
+func (sp *Spatial) RecordSat(sat int, ev SpatialEvent) {
+	if sp == nil || sat < 0 || sat >= sp.numSats || ev < 0 || ev >= numSpatialEvents {
+		return
+	}
+	sp.sats[sat*int(numSpatialEvents)+int(ev)].Add(1)
+}
+
+// RecordCell counts one event against the lat/lon cell containing a ground
+// point. The boundary rows/columns absorb out-of-range coordinates, mirroring
+// the visibility grid's clamping.
+func (sp *Spatial) RecordCell(latDeg, lonDeg float64, ev SpatialEvent) {
+	if sp == nil || ev < 0 || ev >= numSpatialEvents {
+		return
+	}
+	sp.cells[sp.cellIndex(latDeg, lonDeg)*int(numSpatialEvents)+int(ev)].Add(1)
+}
+
+// cellIndex maps a point to its cell, clamping the poles and the date line
+// into the last row/column (the visibility grid's convention).
+func (sp *Spatial) cellIndex(latDeg, lonDeg float64) int {
+	r := int((latDeg + 90) / sp.latStep)
+	if r < 0 {
+		r = 0
+	} else if r >= sp.rows {
+		r = sp.rows - 1
+	}
+	c := int((lonDeg + 180) / sp.lonStep)
+	if c < 0 {
+		c = 0
+	} else if c >= sp.cols {
+		c = sp.cols - 1
+	}
+	return r*sp.cols + c
+}
+
+// HeatCounts is one slot's per-event tally, named for JSON readability.
+type HeatCounts struct {
+	Overhead  int64 `json:"overhead,omitempty"`
+	ISL       int64 `json:"isl,omitempty"`
+	Ground    int64 `json:"ground,omitempty"`
+	CacheHits int64 `json:"cacheHits,omitempty"`
+	Failovers int64 `json:"failovers,omitempty"`
+}
+
+// Total sums every event kind.
+func (h HeatCounts) Total() int64 {
+	return h.Overhead + h.ISL + h.Ground + h.CacheHits + h.Failovers
+}
+
+// Count returns the tally for one event kind; the exhaustiveness test pins
+// this switch to the event table.
+func (h HeatCounts) Count(ev SpatialEvent) int64 {
+	switch ev {
+	case SpatialOverhead:
+		return h.Overhead
+	case SpatialISL:
+		return h.ISL
+	case SpatialGround:
+		return h.Ground
+	case SpatialCacheHit:
+		return h.CacheHits
+	case SpatialFailover:
+		return h.Failovers
+	}
+	return 0
+}
+
+// SatHeat is one satellite's row in the heatmap table.
+type SatHeat struct {
+	Sat int `json:"sat"`
+	HeatCounts
+}
+
+// CellHeat is one grid cell's row; LatDeg/LonDeg are the cell center.
+type CellHeat struct {
+	Row    int     `json:"row"`
+	Col    int     `json:"col"`
+	LatDeg float64 `json:"latDeg"`
+	LonDeg float64 `json:"lonDeg"`
+	HeatCounts
+}
+
+// SpatialSnapshot is the compact heatmap table: only slots with activity are
+// listed, in ascending satellite / row-major cell order.
+type SpatialSnapshot struct {
+	Rows    int        `json:"rows"`
+	Cols    int        `json:"cols"`
+	NumSats int        `json:"numSats"`
+	Sats    []SatHeat  `json:"sats"`
+	Cells   []CellHeat `json:"cells"`
+}
+
+// MarshalJSON keeps the artifact diff-friendly: empty tables render as []
+// rather than null.
+func (s SpatialSnapshot) MarshalJSON() ([]byte, error) {
+	type alias SpatialSnapshot
+	a := alias(s)
+	if a.Sats == nil {
+		a.Sats = []SatHeat{}
+	}
+	if a.Cells == nil {
+		a.Cells = []CellHeat{}
+	}
+	return json.Marshal(a)
+}
+
+// Snapshot captures the current tallies. Concurrent records may land between
+// slot reads; each slot's counts are monotone, so the snapshot is a valid
+// (if slightly torn) view — the same contract counters already have.
+func (sp *Spatial) Snapshot() SpatialSnapshot {
+	if sp == nil {
+		return SpatialSnapshot{}
+	}
+	out := SpatialSnapshot{Rows: sp.rows, Cols: sp.cols, NumSats: sp.numSats}
+	for sat := 0; sat < sp.numSats; sat++ {
+		hc, any := sp.slotCounts(sp.sats, sat)
+		if !any {
+			continue
+		}
+		out.Sats = append(out.Sats, SatHeat{Sat: sat, HeatCounts: hc})
+	}
+	for cell := 0; cell < sp.rows*sp.cols; cell++ {
+		hc, any := sp.slotCounts(sp.cells, cell)
+		if !any {
+			continue
+		}
+		r, c := cell/sp.cols, cell%sp.cols
+		out.Cells = append(out.Cells, CellHeat{
+			Row:        r,
+			Col:        c,
+			LatDeg:     -90 + (float64(r)+0.5)*sp.latStep,
+			LonDeg:     -180 + (float64(c)+0.5)*sp.lonStep,
+			HeatCounts: hc,
+		})
+	}
+	return out
+}
+
+// slotCounts reads one slot's events into named counts.
+func (sp *Spatial) slotCounts(arr []atomic.Int64, slot int) (HeatCounts, bool) {
+	base := slot * int(numSpatialEvents)
+	hc := HeatCounts{
+		Overhead:  arr[base+int(SpatialOverhead)].Load(),
+		ISL:       arr[base+int(SpatialISL)].Load(),
+		Ground:    arr[base+int(SpatialGround)].Load(),
+		CacheHits: arr[base+int(SpatialCacheHit)].Load(),
+		Failovers: arr[base+int(SpatialFailover)].Load(),
+	}
+	return hc, hc.Total() != 0
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpatialEventTableExhaustive round-trips every event kind through the
+// name table, mirroring the span-kind test.
+func TestSpatialEventTableExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for e := SpatialEvent(0); e < numSpatialEvents; e++ {
+		name := e.String()
+		if name == "" || strings.HasPrefix(name, "spatialevent(") {
+			t.Fatalf("SpatialEvent %d has no name table entry", int(e))
+		}
+		if seen[name] {
+			t.Fatalf("duplicate event name %q", name)
+		}
+		seen[name] = true
+		back, ok := SpatialEventFromString(name)
+		if !ok || back != e {
+			t.Fatalf("round trip %q -> %v, want %v", name, back, e)
+		}
+	}
+	if _, ok := SpatialEventFromString("no-such-event"); ok {
+		t.Error("unknown name must not parse")
+	}
+	if got := SpatialEvent(99).String(); got != "spatialevent(99)" {
+		t.Errorf("out-of-range stringer = %q", got)
+	}
+}
+
+// TestHeatCountsCountExhaustive pins the Count switch to the event table: a
+// kind recorded once must read back as exactly one through Count.
+func TestHeatCountsCountExhaustive(t *testing.T) {
+	for e := SpatialEvent(0); e < numSpatialEvents; e++ {
+		sp := NewSpatial(1, 0, 0)
+		sp.RecordSat(0, e)
+		snap := sp.Snapshot()
+		if len(snap.Sats) != 1 {
+			t.Fatalf("event %v: sats = %+v", e, snap.Sats)
+		}
+		hc := snap.Sats[0].HeatCounts
+		if hc.Count(e) != 1 || hc.Total() != 1 {
+			t.Errorf("event %v: Count = %d Total = %d, want 1/1", e, hc.Count(e), hc.Total())
+		}
+	}
+}
+
+func TestSpatialRecordAndSnapshot(t *testing.T) {
+	sp := NewSpatial(10, 0, 0)
+	sp.RecordSat(3, SpatialISL)
+	sp.RecordSat(3, SpatialCacheHit)
+	sp.RecordSat(7, SpatialOverhead)
+	sp.RecordCell(0, 0, SpatialGround)
+	sp.RecordCell(0, 0, SpatialGround)
+	sp.RecordCell(51.5, -0.1, SpatialFailover) // London-ish
+
+	snap := sp.Snapshot()
+	if snap.Rows != DefaultHeatRows || snap.Cols != DefaultHeatCols || snap.NumSats != 10 {
+		t.Fatalf("snapshot dims = %+v", snap)
+	}
+	if len(snap.Sats) != 2 {
+		t.Fatalf("sat rows = %+v, want the two active satellites only", snap.Sats)
+	}
+	if snap.Sats[0].Sat != 3 || snap.Sats[0].ISL != 1 || snap.Sats[0].CacheHits != 1 {
+		t.Errorf("sat 3 row = %+v", snap.Sats[0])
+	}
+	if snap.Sats[1].Sat != 7 || snap.Sats[1].Overhead != 1 {
+		t.Errorf("sat 7 row = %+v", snap.Sats[1])
+	}
+	if len(snap.Cells) != 2 {
+		t.Fatalf("cell rows = %+v, want two active cells", snap.Cells)
+	}
+	// (0,0) lives in row 9 (lat band 0..10), col 18 (lon band 0..10).
+	origin := snap.Cells[0]
+	if origin.Row != 9 || origin.Col != 18 || origin.Ground != 2 {
+		t.Errorf("origin cell = %+v", origin)
+	}
+	if origin.LatDeg != 5 || origin.LonDeg != 5 {
+		t.Errorf("origin cell center = (%v,%v), want (5,5)", origin.LatDeg, origin.LonDeg)
+	}
+}
+
+// TestSpatialCellClamping: the poles and the date line land in the boundary
+// row/column instead of indexing out of range — the visibility grid's
+// convention.
+func TestSpatialCellClamping(t *testing.T) {
+	sp := NewSpatial(0, 0, 0)
+	for _, pt := range []struct{ lat, lon float64 }{
+		{90, 180}, {-90, -180}, {95, 400}, {-95, -400},
+	} {
+		sp.RecordCell(pt.lat, pt.lon, SpatialGround)
+	}
+	snap := sp.Snapshot()
+	var total int64
+	for _, cell := range snap.Cells {
+		if cell.Row < 0 || cell.Row >= snap.Rows || cell.Col < 0 || cell.Col >= snap.Cols {
+			t.Errorf("cell out of grid: %+v", cell)
+		}
+		total += cell.Total()
+	}
+	if total != 4 {
+		t.Errorf("clamped records total = %d, want 4 (none dropped)", total)
+	}
+}
+
+// TestSpatialOutOfRangeDrops: satellites beyond the sized constellation and
+// invalid events drop silently — never panic, never corrupt a neighbour.
+func TestSpatialOutOfRangeDrops(t *testing.T) {
+	sp := NewSpatial(2, 0, 0)
+	sp.RecordSat(-1, SpatialISL)
+	sp.RecordSat(2, SpatialISL)
+	sp.RecordSat(0, SpatialEvent(-1))
+	sp.RecordSat(0, numSpatialEvents)
+	sp.RecordCell(0, 0, numSpatialEvents)
+	snap := sp.Snapshot()
+	if len(snap.Sats) != 0 || len(snap.Cells) != 0 {
+		t.Errorf("out-of-range records retained: %+v", snap)
+	}
+}
+
+func TestSpatialNilSafety(t *testing.T) {
+	var sp *Spatial
+	sp.RecordSat(0, SpatialISL)
+	sp.RecordCell(0, 0, SpatialGround)
+	if sp.NumSats() != 0 {
+		t.Error("nil NumSats != 0")
+	}
+	if snap := sp.Snapshot(); snap.Rows != 0 || len(snap.Sats) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestSpatialSnapshotJSONEmptyTables(t *testing.T) {
+	b, err := json.Marshal(NewSpatial(4, 0, 0).Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"sats":[]`) || !strings.Contains(s, `"cells":[]`) {
+		t.Errorf("empty tables must render as [], got %s", s)
+	}
+}
+
+func TestTelemetryEnableSpatialShared(t *testing.T) {
+	tel := New(0)
+	a := tel.EnableSpatial(100)
+	b := tel.EnableSpatial(200) // second system: reuses the first accumulator
+	if a == nil || a != b {
+		t.Fatalf("EnableSpatial must hand every system the same accumulator")
+	}
+	if tel.Spatial() != a {
+		t.Error("Spatial() must return the provisioned accumulator")
+	}
+	var nilTel *Telemetry
+	if nilTel.EnableSpatial(10) != nil {
+		t.Error("nil telemetry must yield a nil accumulator")
+	}
+}

@@ -129,10 +129,16 @@ type TraceSink struct {
 }
 
 // NewTraceSink creates a sink sampling the given fraction of requests
-// (clamped to [0,1]; 0 disables) into a ring of the given capacity.
+// (clamped to [0,1]; 0 disables) into a ring of the given capacity. A
+// non-positive capacity with sampling enabled clamps to
+// DefaultTraceCapacity — a positive sample rate that silently retained
+// nothing would be a wiring footgun, not a configuration.
 func NewTraceSink(sampleRate float64, capacity int) *TraceSink {
-	if sampleRate <= 0 || capacity <= 0 {
+	if sampleRate <= 0 {
 		return &TraceSink{}
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
 	}
 	if sampleRate > 1 {
 		sampleRate = 1

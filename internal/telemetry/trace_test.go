@@ -118,13 +118,33 @@ func TestTraceSinkRingEviction(t *testing.T) {
 }
 
 func TestTraceSinkDisabled(t *testing.T) {
-	for _, s := range []*TraceSink{NewTraceSink(0, 10), NewTraceSink(-1, 10), NewTraceSink(0.5, 0)} {
+	for _, s := range []*TraceSink{NewTraceSink(0, 10), NewTraceSink(-1, 10), NewTraceSink(0, 0)} {
 		if s.ShouldSample() {
 			t.Error("disabled sink must not sample")
 		}
 		s.Add(RequestTrace{})
 		if len(s.Traces()) != 0 {
 			t.Error("disabled sink must retain nothing")
+		}
+	}
+}
+
+// A positive sample rate with a non-positive capacity used to construct a
+// sink that silently retained nothing — the -trace-sample-without-capacity
+// footgun. It now clamps to the default ring.
+func TestTraceSinkCapacityClamp(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		s := NewTraceSink(1, capacity)
+		if !s.ShouldSample() {
+			t.Fatalf("capacity %d: sampling-enabled sink must sample", capacity)
+		}
+		s.Add(RequestTrace{Seq: 1})
+		if got := len(s.Traces()); got != 1 {
+			t.Fatalf("capacity %d: retained %d traces, want 1", capacity, got)
+		}
+		if got := cap(s.ring); got != DefaultTraceCapacity {
+			t.Fatalf("capacity %d: ring capacity %d, want DefaultTraceCapacity %d",
+				capacity, got, DefaultTraceCapacity)
 		}
 	}
 }

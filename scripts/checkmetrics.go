@@ -1,28 +1,51 @@
 //go:build ignore
 
-// Command checkmetrics asserts a telemetry JSON artifact (written by
-// `cmd/spacecdn -metrics-out FILE`) is well-formed: it parses as a
-// telemetry.Snapshot, the per-source request counters are all non-zero, the
-// RTT histogram has observations with ordered quantiles, and every sampled
-// trace's spans sum to its RTT within a microsecond. Used by
-// scripts/verify.sh as the CLI smoke test.
+// Command checkmetrics asserts the telemetry artifacts written by
+// cmd/spacecdn are well-formed.
+//
+//	go run ./scripts/checkmetrics.go METRICS.json [SERIES.json [TRACE.json]]
+//
+// METRICS.json (from -metrics-out) must parse as a telemetry.Snapshot with
+// non-zero per-source request counters, an RTT histogram with ordered
+// quantiles, and traces whose spans sum to their RTT within a microsecond.
+//
+// SERIES.json (from -series-out), when given, must parse as a
+// telemetry.SeriesArtifact whose per-window counter deltas and histogram
+// counts sum exactly to the aggregates in METRICS.json (skipped with a notice
+// when windows were evicted from the ring), with sweep steps recorded and a
+// populated spatial heatmap.
+//
+// TRACE.json (from -trace-out), when given, must parse as a Perfetto trace
+// object with at least one resolve slice. Used by scripts/verify.sh as the
+// smoke and observe stages.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"spacecdn/internal/telemetry"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: checkmetrics METRICS.json")
+	if len(os.Args) < 2 || len(os.Args) > 4 {
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics METRICS.json [SERIES.json [TRACE.json]]")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	snap := checkMetrics(os.Args[1])
+	if len(os.Args) > 2 {
+		checkSeries(os.Args[2], snap)
+	}
+	if len(os.Args) > 3 {
+		checkTrace(os.Args[3])
+	}
+}
+
+func checkMetrics(path string) telemetry.Snapshot {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("read: %v", err)
 	}
@@ -74,6 +97,105 @@ func main() {
 	}
 	fmt.Printf("checkmetrics: OK (%d counters, %d histograms, %d traces)\n",
 		len(snap.Counters), len(snap.Histograms), len(snap.Traces))
+	return snap
+}
+
+// seriesKey renders a metric identity deterministically for delta/aggregate
+// matching.
+func seriesKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := name
+	for _, k := range keys {
+		s += fmt.Sprintf("|%s=%s", k, labels[k])
+	}
+	return s
+}
+
+func checkSeries(path string, snap telemetry.Snapshot) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("series read: %v", err)
+	}
+	var art telemetry.SeriesArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		fail("series parse: %v", err)
+	}
+	if art.Series.WindowNs <= 0 {
+		fail("series windowNs = %v, want > 0", art.Series.WindowNs)
+	}
+	if len(art.Series.Windows) == 0 {
+		fail("series has no windows")
+	}
+	if len(art.Series.Steps) == 0 {
+		fail("series has no sweep steps — the cursor wrapper is not wired")
+	}
+	if art.Spatial == nil || len(art.Spatial.Cells) == 0 {
+		fail("series artifact has no spatial heatmap")
+	}
+
+	counterSums := map[string]int64{}
+	histSums := map[string]int64{}
+	for _, w := range art.Series.Windows {
+		for _, cv := range w.Counters {
+			counterSums[seriesKey(cv.Name, cv.Labels)] += cv.Value
+		}
+		for _, wh := range w.Histograms {
+			histSums[seriesKey(wh.Name, wh.Labels)] += wh.Count
+		}
+	}
+	if art.Series.DroppedWindows > 0 {
+		// Evicted windows took their deltas with them; the exact-sum check
+		// no longer applies, but presence checks above still ran.
+		fmt.Printf("checkmetrics: series OK (%d windows, %d dropped — delta sums not checked)\n",
+			len(art.Series.Windows), art.Series.DroppedWindows)
+		return
+	}
+	for _, cv := range snap.Counters {
+		if got := counterSums[seriesKey(cv.Name, cv.Labels)]; got != cv.Value {
+			fail("counter %s: window deltas sum to %d, aggregate %d",
+				seriesKey(cv.Name, cv.Labels), got, cv.Value)
+		}
+	}
+	for _, hv := range snap.Histograms {
+		if got := histSums[seriesKey(hv.Name, hv.Labels)]; got != hv.Count {
+			fail("histogram %s: window counts sum to %d, aggregate %d",
+				seriesKey(hv.Name, hv.Labels), got, hv.Count)
+		}
+	}
+	fmt.Printf("checkmetrics: series OK (%d windows, %d steps, %d hot cells, deltas match aggregates)\n",
+		len(art.Series.Windows), len(art.Series.Steps), len(art.Spatial.Cells))
+}
+
+func checkTrace(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("trace read: %v", err)
+	}
+	var trace telemetry.PerfettoTrace
+	if err := json.Unmarshal(data, &trace); err != nil {
+		fail("trace parse: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		fail("trace displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	resolve := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "M" {
+			fail("trace event %q has phase %q", ev.Name, ev.Ph)
+		}
+		if ev.Cat == "resolve" {
+			resolve++
+		}
+	}
+	if resolve == 0 {
+		fail("perfetto trace has no resolve slices among %d events", len(trace.TraceEvents))
+	}
+	fmt.Printf("checkmetrics: trace OK (%d events, %d resolve slices)\n",
+		len(trace.TraceEvents), resolve)
 }
 
 func fail(format string, args ...any) {

@@ -12,6 +12,12 @@
 #   race   go test -race
 #   smoke  CLI run asserting the telemetry artifact parses with non-zero
 #          request counters
+#   observe  full observability smoke: a backgrounded run with the live
+#          introspection endpoint is scraped mid-flight (/healthz /metrics
+#          /series /traces), then the windowed-series artifact
+#          (TELEMETRY_series.json) is checked for the delta-sum invariant
+#          against the metrics snapshot and the Perfetto trace for loadable
+#          shape
 #   bench  single-iteration benchmark sweep plus the parallel-engine
 #          throughput artifact (BENCH_parallel.json), the resolve
 #          acceleration artifact (BENCH_resolve.json: naive vs accelerated
@@ -21,7 +27,8 @@
 #          (BENCH_sweep.json: incremental vs fresh steps/sec, allocs per
 #          steady-state advance, output-equivalence flag)
 #
-# No arguments runs the full local gate: fmt vet build test race smoke.
+# No arguments runs the full local gate: fmt vet build test race smoke
+# observe.
 # The script is non-interactive and exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -59,6 +66,26 @@ stage_smoke() {
 	go run ./scripts/checkmetrics.go "$out/metrics.json"
 }
 
+stage_observe() {
+	out=$(mktemp -d)
+	trap 'rm -rf "$out"' EXIT
+	go build -o "$out/spacecdn" ./cmd/spacecdn
+	# Background the run with a linger window so the scraper is guaranteed a
+	# live endpoint even after the fast workload finishes.
+	"$out/spacecdn" -exp workload -fast \
+		-metrics-out "$out/metrics.json" -trace-sample 0.05 \
+		-series-out TELEMETRY_series.json -trace-out "$out/trace.json" \
+		-serve 127.0.0.1:0 -serve-linger 8s >"$out/run.log" 2>&1 &
+	pid=$!
+	go run ./scripts/scrape.go "$out/run.log" \
+		/healthz ok \
+		/metrics "" \
+		/series windowNs \
+		/traces traceEvents
+	wait "$pid"
+	go run ./scripts/checkmetrics.go "$out/metrics.json" TELEMETRY_series.json "$out/trace.json"
+}
+
 stage_bench() {
 	go test -bench=. -benchtime=1x -run '^$' .
 	go run ./cmd/spacecdn -exp parallel-bench -fast -json >BENCH_parallel.json
@@ -73,12 +100,12 @@ stage_bench() {
 
 stages="$*"
 if [ -z "$stages" ]; then
-	stages="fmt vet build test race smoke"
+	stages="fmt vet build test race smoke observe"
 fi
 
 for stage in $stages; do
 	case "$stage" in
-	fmt | vet | build | test | race | smoke | bench) ;;
+	fmt | vet | build | test | race | smoke | observe | bench) ;;
 	*)
 		echo "verify: unknown stage '$stage'" >&2
 		exit 2
