@@ -49,6 +49,7 @@ func registry() []experiment {
 		{"rtt-series", "Subscriber RTT sawtooth across satellite handovers (-city)", true, runRTTSeries},
 		{"workload", "Resolve workload: hot/warm/cold mix by serving source", true, runWorkload},
 		{"resilience", "Resilience sweep: availability, tail latency and source mix vs failure fraction", false, runResilience},
+		{"traffic", "Traffic engine: a million-user streaming day through the resolve path", false, runTraffic},
 		{"parallel-bench", "Benchmark: batch resolution throughput vs workers", false, runParallelBench},
 		{"resolve-bench", "Benchmark: naive vs accelerated resolve pipeline", false, runResolveBench},
 		{"sweep-bench", "Benchmark: incremental sweep vs fresh per-step snapshots", false, runSweepBench},
@@ -487,6 +488,37 @@ func runResilience(w io.Writer, s *experiments.Suite, opts options) error {
 		return err
 	}
 	_, err = fmt.Fprintf(w, "zero-fault pipeline identical to fault-free build: %v\n", res.ZeroFaultIdentical)
+	return err
+}
+
+func runTraffic(w io.Writer, s *experiments.Suite, opts options) error {
+	res, err := s.Traffic()
+	if err != nil {
+		return err
+	}
+	if opts.JSON {
+		return report.WriteJSON(w, res)
+	}
+	t := report.NewTable("Traffic engine: a streaming day through the resolve path",
+		"Users", "Sim hours", "Requests", "Peak step", "Sustained req/s", "Resolve req/s")
+	t.AddRow(res.Users, res.SimHours, res.Requests, res.PeakStepRequests,
+		res.SustainedReqPerSec, res.ResolveReqPerSec)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	m := report.NewTable("Serving mix and client latency",
+		"Overhead", "ISL", "Ground", "Mean ms", "P50 ms", "P95 ms", "P99 ms", "Errors")
+	m.AddRow(
+		fmt.Sprintf("%.0f%%", 100*res.OverheadShare),
+		fmt.Sprintf("%.0f%%", 100*res.ISLShare),
+		fmt.Sprintf("%.0f%%", 100*res.GroundShare),
+		res.MeanMs, res.P50Ms, res.P95Ms, res.P99Ms, res.Errors)
+	if err := m.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"churn: %d releases, %d flash crowds, %d regional events; %d sessions opened (%d re-fetches)\n",
+		res.Releases, res.FlashCrowds, res.RegionalEvents, res.SessionsOpened, res.SessionRequests)
 	return err
 }
 

@@ -11,6 +11,7 @@ import (
 	"spacecdn/internal/measure"
 	"spacecdn/internal/spacecdn"
 	"spacecdn/internal/telemetry"
+	"spacecdn/internal/traffic"
 )
 
 // Suite owns the environment and memoizes the expensive datasets so that
@@ -38,6 +39,12 @@ type Suite struct {
 	FaultISLFraction float64
 	FaultPoPFraction float64
 	FaultSeed        int64
+
+	// TrafficConfig overrides the traffic-engine configuration (E22). Nil
+	// selects the fast or full preset by the Fast flag; tests pin tiny
+	// populations here. Seed and Workers are NOT overridden from the suite
+	// when this is set — the override is taken verbatim.
+	TrafficConfig *traffic.Config
 
 	aim []measure.SpeedTest
 	web []measure.WebMeasurement

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"spacecdn/internal/traffic"
+)
+
+// tinyTrafficConfig keeps the full model (diurnal arrivals, churn, sessions)
+// at a population small enough for the test suite.
+func tinyTrafficConfig(workers int) *traffic.Config {
+	cfg := traffic.DefaultConfig()
+	cfg.Users = 20_000
+	cfg.Horizon = 2 * time.Hour
+	cfg.Step = 15 * time.Minute
+	cfg.ReqPerUserDay = 3
+	cfg.CatalogSize = 256
+	cfg.ReleaseEvery = 40 * time.Minute
+	cfg.Seed = 1
+	cfg.Workers = workers
+	return &cfg
+}
+
+func TestTrafficExperiment(t *testing.T) {
+	s := testSuite(t)
+	s.TrafficConfig = tinyTrafficConfig(0)
+	defer func() { s.TrafficConfig = nil }()
+
+	res, err := s.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Users != 20_000 || res.Steps != 8 || res.Cells == 0 {
+		t.Fatalf("shape wrong: %+v", res)
+	}
+	if res.Requests == 0 || res.Requests != int(res.Arrivals+res.SessionRequests) {
+		t.Fatalf("requests %d != arrivals %d + session re-fetches %d",
+			res.Requests, res.Arrivals, res.SessionRequests)
+	}
+	if res.Errors > res.Requests/10 {
+		t.Fatalf("errors = %d of %d requests", res.Errors, res.Requests)
+	}
+	served := res.Requests - res.Errors
+	if served > 0 {
+		sum := res.OverheadShare + res.ISLShare + res.GroundShare
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("serving shares sum to %v", sum)
+		}
+		if res.P50Ms <= 0 || res.P50Ms > res.P95Ms || res.P95Ms > res.P99Ms {
+			t.Fatalf("latency percentiles out of order: %+v", res)
+		}
+	}
+	if res.SustainedReqPerSec <= 0 || res.ResolveReqPerSec <= 0 {
+		t.Fatalf("throughput not reported: %+v", res)
+	}
+	if res.PeakStepRequests == 0 || res.PeakStepRequests > res.Requests {
+		t.Fatalf("peak step %d outside (0, %d]", res.PeakStepRequests, res.Requests)
+	}
+}
+
+// The end-to-end result — generation plus batch resolution — is identical
+// for every worker count; only the timings may differ.
+func TestTrafficWorkerInvariance(t *testing.T) {
+	s := testSuite(t)
+	defer func() { s.TrafficConfig = nil; s.SetWorkers(0) }()
+
+	strip := func(r TrafficResult) TrafficResult {
+		r.SustainedReqPerSec = 0
+		r.GenReqPerSec = 0
+		r.ResolveReqPerSec = 0
+		r.Workers = 0
+		return r
+	}
+	s.TrafficConfig = tinyTrafficConfig(1)
+	s.SetWorkers(1)
+	seq, err := s.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TrafficConfig = tinyTrafficConfig(6)
+	s.SetWorkers(6)
+	par, err := s.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strip(seq) != strip(par) {
+		t.Fatalf("results diverge across worker counts:\n  seq %+v\n  par %+v", strip(seq), strip(par))
+	}
+}

@@ -1,0 +1,101 @@
+package geo
+
+// Metro-area populations for the embedded city dataset, in thousands of
+// inhabitants (2024 UN/city-agency estimates, rounded). The traffic engine
+// uses these as placement weights — a million simulated users land in cities
+// in proportion to these figures — so relative magnitude matters and the
+// absolute precision does not. Keyed "name|CC" like the dataset index.
+var cityPopulationK = map[string]int64{
+	// Africa
+	"Maputo|MZ": 1130, "Beira|MZ": 530,
+	"Johannesburg|ZA": 6060, "Cape Town|ZA": 4800, "Durban|ZA": 3200,
+	"Nairobi|KE": 5120, "Mombasa|KE": 1340,
+	"Lagos|NG": 16100, "Abuja|NG": 3840,
+	"Kigali|RW": 1250, "Lusaka|ZM": 3180, "Ndola|ZM": 630,
+	"Mbabane|SZ": 100, "Manzini|SZ": 120,
+	"Dar es Salaam|TZ": 7780, "Kampala|UG": 3850,
+	"Accra|GH": 2660, "Abidjan|CI": 5680, "Dakar|SN": 3940,
+	"Cairo|EG": 22180, "Casablanca|MA": 3840, "Tunis|TN": 2440,
+	"Luanda|AO": 9290, "Harare|ZW": 2150, "Gaborone|BW": 270,
+	"Windhoek|NA": 450, "Antananarivo|MG": 3700, "Lilongwe|MW": 1230,
+	"Kinshasa|CD": 16320, "Addis Ababa|ET": 5700,
+
+	// Europe
+	"London|GB": 9650, "Manchester|GB": 2790,
+	"Frankfurt|DE": 2720, "Berlin|DE": 3570, "Munich|DE": 1590,
+	"Paris|FR": 11210, "Marseille|FR": 1620,
+	"Madrid|ES": 6750, "Barcelona|ES": 5690, "Lisbon|PT": 3000,
+	"Milan|IT": 3150, "Rome|IT": 4320,
+	"Amsterdam|NL": 2480, "Brussels|BE": 2120, "Zurich|CH": 1420,
+	"Vienna|AT": 2010, "Warsaw|PL": 1800, "Prague|CZ": 1340,
+	"Stockholm|SE": 1700, "Oslo|NO": 1070, "Copenhagen|DK": 1380,
+	"Helsinki|FI": 1330, "Dublin|IE": 1270,
+	"Vilnius|LT": 580, "Kaunas|LT": 300, "Riga|LV": 610, "Tallinn|EE": 450,
+	"Athens|GR": 3640, "Nicosia|CY": 350, "Limassol|CY": 250,
+	"Sofia|BG": 1290, "Bucharest|RO": 1780, "Budapest|HU": 1780,
+	"Zagreb|HR": 810, "Kyiv|UA": 3010, "Istanbul|TR": 15850,
+	"Reykjavik|IS": 230,
+
+	// North America & Caribbean
+	"Seattle|US": 4050, "Los Angeles|US": 12900, "San Jose|US": 2000,
+	"Denver|US": 3000, "Dallas|US": 7950, "Chicago|US": 9260,
+	"Atlanta|US": 6300, "Ashburn|US": 350, "New York|US": 19620,
+	"Miami|US": 6140, "Kansas City|US": 2200, "Phoenix|US": 5070,
+	"Anchorage|US": 290, "Honolulu|US": 1000,
+	"Toronto|CA": 6700, "Vancouver|CA": 2850, "Montreal|CA": 4310,
+	"Calgary|CA": 1640, "Winnipeg|CA": 850,
+	"Mexico City|MX": 22500, "Queretaro|MX": 1590, "Guadalajara|MX": 5340,
+	"Guatemala City|GT": 3160, "Quetzaltenango|GT": 300,
+	"Port-au-Prince|HT": 2940, "Cap-Haitien|HT": 420,
+	"San Juan|PR": 2440, "Santo Domingo|DO": 3590,
+	"Panama City|PA": 2110, "San Jose CR|CR": 1620, "Kingston|JM": 1220,
+
+	// South America
+	"Sao Paulo|BR": 22620, "Rio de Janeiro|BR": 13730,
+	"Fortaleza|BR": 4230, "Porto Alegre|BR": 4400,
+	"Buenos Aires|AR": 15490, "Cordoba|AR": 1610,
+	"Santiago|CL": 6950, "Punta Arenas|CL": 140,
+	"Lima|PE": 11200, "Bogota|CO": 11340, "Quito|EC": 2000,
+	"Asuncion|PY": 3480, "Montevideo|UY": 1780, "La Paz|BO": 1950,
+	"Caracas|VE": 2940,
+
+	// Asia & Middle East
+	"Tokyo|JP": 37120, "Osaka|JP": 18970, "Sapporo|JP": 2670,
+	"Seoul|KR": 25510, "Singapore|SG": 6040,
+	"Kuala Lumpur|MY": 8420, "Jakarta|ID": 33430, "Manila|PH": 14670,
+	"Bangkok|TH": 17070, "Hanoi|VN": 8590,
+	"Hong Kong|HK": 7500, "Taipei|TW": 7040,
+	"Mumbai|IN": 21670, "Delhi|IN": 33810, "Chennai|IN": 12050,
+	"Karachi|PK": 17650, "Dubai|AE": 3610, "Doha|QA": 2410,
+	"Riyadh|SA": 7680, "Tel Aviv|IL": 4420, "Amman|JO": 4640,
+	"Almaty|KZ": 2150, "Ulaanbaatar|MN": 1670,
+
+	// Oceania
+	"Sydney|AU": 5310, "Melbourne|AU": 5210, "Perth|AU": 2240,
+	"Brisbane|AU": 2630, "Auckland|NZ": 1710, "Christchurch|NZ": 400,
+	"Suva|FJ": 200, "Port Moresby|PG": 400,
+}
+
+// defaultPopulationK keeps a city added to the dataset without a population
+// entry usable as a traffic source instead of silently invisible.
+const defaultPopulationK = 500
+
+// CityPopulation returns the metro population of an embedded city, in
+// persons. Unknown cities weigh in at a small-town default so dataset and
+// population table can evolve independently (the population test pins the
+// two tables together for the committed dataset).
+func CityPopulation(c City) int64 {
+	if k, ok := cityPopulationK[c.Name+"|"+c.Country]; ok {
+		return k * 1000
+	}
+	return defaultPopulationK * 1000
+}
+
+// TotalPopulation sums CityPopulation over the given cities.
+func TotalPopulation(cities []City) int64 {
+	var sum int64
+	for _, c := range cities {
+		sum += CityPopulation(c)
+	}
+	return sum
+}

@@ -1,0 +1,52 @@
+package geo
+
+import "testing"
+
+// Every embedded city must carry an explicit metro population — a new city
+// added to the dataset without one silently falls back to the default and
+// skews traffic apportionment.
+func TestEveryCityHasExplicitPopulation(t *testing.T) {
+	for _, c := range Cities() {
+		if _, ok := cityPopulationK[c.Name+"|"+c.Country]; !ok {
+			t.Errorf("city %s (%s) missing from cityPopulationK", c.Name, c.Country)
+		}
+	}
+	for key := range cityPopulationK {
+		found := false
+		for _, c := range Cities() {
+			if key == c.Name+"|"+c.Country {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("population entry %q matches no embedded city", key)
+		}
+	}
+}
+
+func TestCityPopulationValues(t *testing.T) {
+	tokyo, ok := CityByName("Tokyo")
+	if !ok {
+		t.Fatal("Tokyo missing from dataset")
+	}
+	if p := CityPopulation(tokyo); p < 30_000_000 {
+		t.Fatalf("Tokyo population %d implausibly small", p)
+	}
+	reyk, ok := CityByName("Reykjavik")
+	if !ok {
+		t.Fatal("Reykjavik missing from dataset")
+	}
+	if CityPopulation(reyk) >= CityPopulation(tokyo) {
+		t.Fatal("Reykjavik outweighs Tokyo")
+	}
+	// Unknown cities fall back to the default rather than zero, so a future
+	// dataset addition degrades gracefully instead of dropping users.
+	if p := CityPopulation(City{Name: "Nowhere", Country: "XX"}); p != defaultPopulationK*1000 {
+		t.Fatalf("fallback population %d, want %d", p, defaultPopulationK*1000)
+	}
+	total := TotalPopulation(Cities())
+	if total < 500_000_000 {
+		t.Fatalf("dataset total population %d implausibly small", total)
+	}
+}

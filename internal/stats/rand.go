@@ -75,6 +75,38 @@ func (r *Rand) Exponential(mean float64) float64 {
 	return r.ExpFloat64() * mean
 }
 
+// poissonChunk bounds the mean handled by one Knuth pass: exp(-chunk) must
+// stay comfortably above the float64 denormal floor for the product test to
+// terminate correctly.
+const poissonChunk = 30.0
+
+// Poisson returns a Poisson sample with the given mean. Means above the
+// chunk bound are sampled exactly via additivity — Poisson(a+b) is the sum
+// of independent Poisson(a) and Poisson(b) draws — so the sampler stays
+// exact (no normal approximation) at every rate the traffic engine asks
+// for, at O(mean) uniform draws. Non-positive means return 0.
+func (r *Rand) Poisson(mean float64) int {
+	n := 0
+	for mean > 0 {
+		chunk := mean
+		if chunk > poissonChunk {
+			chunk = poissonChunk
+		}
+		mean -= chunk
+		// Knuth: count uniforms until their product drops below exp(-chunk).
+		l := math.Exp(-chunk)
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p < l {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}
+
 // Uniform returns a sample uniform in [lo, hi).
 func (r *Rand) Uniform(lo, hi float64) float64 {
 	return lo + (hi-lo)*r.Float64()

@@ -1,6 +1,9 @@
 package stats
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestSplitDeterministic(t *testing.T) {
 	a := NewRand(7).Split(8)
@@ -59,6 +62,54 @@ func TestSplitDegenerate(t *testing.T) {
 	}
 	if got := NewRand(1).Split(1); len(got) != 1 {
 		t.Errorf("Split(1) returned %d streams", len(got))
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, b := NewRand(17), NewRand(17)
+	for i := 0; i < 200; i++ {
+		mean := float64(i%7)*13.7 + 0.1
+		if x, y := a.Poisson(mean), b.Poisson(mean); x != y {
+			t.Fatalf("draw %d (mean %v): %d != %d", i, mean, x, y)
+		}
+	}
+}
+
+// The chunked sampler must stay unbiased at every scale — small means (one
+// chunk), means above the chunk size (additivity path), and the large rates
+// the traffic engine's diurnal peaks produce.
+func TestPoissonMeanAndVariance(t *testing.T) {
+	r := NewRand(23)
+	for _, mean := range []float64{0.5, 3, 29.9, 30, 100, 450} {
+		const draws = 20000
+		var sum, sum2 float64
+		for i := 0; i < draws; i++ {
+			x := float64(r.Poisson(mean))
+			sum += x
+			sum2 += x * x
+		}
+		m := sum / draws
+		v := sum2/draws - m*m
+		// Sample mean of Poisson(mean) has sd sqrt(mean/draws).
+		if tol := 6 * math.Sqrt(mean/draws); math.Abs(m-mean) > tol {
+			t.Errorf("mean %v: sample mean %v off by more than %v", mean, m, tol)
+		}
+		// Variance equals the mean for a Poisson; allow a loose 15%% band.
+		if math.Abs(v-mean) > 0.15*mean+1 {
+			t.Errorf("mean %v: sample variance %v, want ~%v", mean, v, mean)
+		}
+	}
+}
+
+func TestPoissonDegenerate(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10; i++ {
+		if n := r.Poisson(0); n != 0 {
+			t.Fatalf("Poisson(0) = %d", n)
+		}
+		if n := r.Poisson(-3); n != 0 {
+			t.Fatalf("Poisson(-3) = %d", n)
+		}
 	}
 }
 

@@ -1,0 +1,40 @@
+package traffic
+
+import (
+	"math"
+	"time"
+)
+
+// The diurnal demand cycle. Production CDN traffic follows the sun: demand
+// troughs in the early morning and peaks in the evening, and because the
+// cycle is keyed to *local* time, a global constellation never sees the
+// whole planet peak at once — the load hotspot migrates westward as the
+// Earth turns, which is exactly the interaction with orbital motion the
+// traffic engine exists to exercise.
+
+const (
+	// diurnalPeakHour is the local hour of peak demand (21:00, the
+	// classic evening streaming peak).
+	diurnalPeakHour = 21.0
+	// diurnalAmplitude is the peak-to-mean demand swing: demand at the
+	// peak is 1+A times the daily mean, at the trough 1-A times.
+	diurnalAmplitude = 0.6
+)
+
+// Diurnal returns the demand multiplier at a local time-of-day expressed in
+// hours [0, 24). It is a raised cosine with mean exactly 1 over a day, so
+// scaling a per-day request budget by Diurnal conserves the budget.
+func Diurnal(localHour float64) float64 {
+	return 1 + diurnalAmplitude*math.Cos(2*math.Pi*(localHour-diurnalPeakHour)/24)
+}
+
+// LocalHour converts simulation time (taken as UTC, with the constellation
+// epoch at midnight) and a longitude into the local solar hour in [0, 24).
+// 15 degrees of longitude are one hour of solar time.
+func LocalHour(t time.Duration, lonDeg float64) float64 {
+	h := math.Mod(t.Hours()+lonDeg/15, 24)
+	if h < 0 {
+		h += 24
+	}
+	return h
+}

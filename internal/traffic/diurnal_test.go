@@ -1,0 +1,60 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// The cycle peaks at 21:00 local, troughs twelve hours opposite, and
+// averages exactly 1 over any set of evenly spaced samples covering a day —
+// that last property is what makes ReqPerUserDay an exact budget.
+func TestDiurnalShape(t *testing.T) {
+	if peak := Diurnal(diurnalPeakHour); math.Abs(peak-(1+diurnalAmplitude)) > 1e-12 {
+		t.Fatalf("peak demand %v, want %v", peak, 1+diurnalAmplitude)
+	}
+	if trough := Diurnal(diurnalPeakHour - 12); math.Abs(trough-(1-diurnalAmplitude)) > 1e-12 {
+		t.Fatalf("trough demand %v, want %v", trough, 1-diurnalAmplitude)
+	}
+	for _, n := range []int{24, 48, 288} {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += Diurnal(24 * float64(i) / float64(n))
+		}
+		if mean := sum / float64(n); math.Abs(mean-1) > 1e-9 {
+			t.Fatalf("%d-sample diurnal mean %v, want 1", n, mean)
+		}
+	}
+	for h := 0.0; h < 24; h += 0.5 {
+		if d := Diurnal(h); d < 1-diurnalAmplitude-1e-12 || d > 1+diurnalAmplitude+1e-12 {
+			t.Fatalf("Diurnal(%v) = %v outside [%v, %v]", h, d, 1-diurnalAmplitude, 1+diurnalAmplitude)
+		}
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	cases := []struct {
+		t    time.Duration
+		lon  float64
+		want float64
+	}{
+		{0, 0, 0},
+		{6 * time.Hour, 0, 6},
+		{0, 15, 1},                  // one hour east
+		{0, -150, 14},               // west of the date line wraps up
+		{20 * time.Hour, 90, 2},     // 20:00 UTC + 6h east wraps past midnight
+		{30 * time.Minute, -7.5, 0}, // half an hour east of -7.5 degrees
+	}
+	for _, c := range cases {
+		if got := LocalHour(c.t, c.lon); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LocalHour(%v, %v) = %v, want %v", c.t, c.lon, got, c.want)
+		}
+	}
+	for _, lon := range []float64{-180, -77.4, 0, 139.7, 180} {
+		for _, at := range []time.Duration{0, 13 * time.Hour, 47 * time.Hour} {
+			if h := LocalHour(at, lon); h < 0 || h >= 24 {
+				t.Fatalf("LocalHour(%v, %v) = %v outside [0, 24)", at, lon, h)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+// Content popularity: a Zipf law over catalog ranks, disturbed by three
+// kinds of churn the paper's scenarios need —
+//
+//   - releases: a new object enters at rank 0 and every incumbent slides
+//     down one rank (the catalog tail recycles, modelling removal);
+//   - flash crowds: one object briefly captures an extra probability mass
+//     everywhere (breaking news, a live event);
+//   - regional events: the same, but only for users in one region ("a Boca
+//     Juniors game is popular mostly over South America").
+//
+// The churn schedule is generated up front from the seed, so the popularity
+// state at any step is a pure function of (config, seed, time) — shards can
+// all read one shared view without coordinating, and the whole request
+// stream stays byte-identical for every worker count.
+//
+// Probability mass is conserved by construction: boosts form a mixture with
+// the base Zipf (sample a boost with probability equal to the active boost
+// mass, otherwise the Zipf base), and releases permute ranks. The
+// mass-conservation test sums the exact per-object probabilities per region
+// and requires 1.
+
+// churnKind labels a churn event.
+type churnKind int
+
+const (
+	churnRelease churnKind = iota
+	churnFlash
+	churnRegional
+)
+
+// churnEvent is one scheduled popularity disturbance.
+type churnEvent struct {
+	at    time.Duration
+	until time.Duration // boost expiry (flash/regional)
+	kind  churnKind
+	obj   int32 // boosted object slot (flash/regional)
+	reg   geo.Region
+	mass  float64 // probability mass the boost captures
+}
+
+// boost is an active flash/regional disturbance.
+type boost struct {
+	obj   int32
+	reg   geo.Region // RegionUnknown means global
+	mass  float64
+	until time.Duration
+}
+
+// maxBoostMass caps the combined active boost mass so the Zipf base always
+// keeps at least half of the probability.
+const maxBoostMass = 0.5
+
+// popularity is the churned-Zipf model. Mutated only by advanceTo between
+// steps; shards sample concurrently through the read-only methods.
+type popularity struct {
+	objs  []content.Object
+	cum   []float64 // base Zipf CDF by rank; cum[len-1] == 1 exactly
+	objOf []int32   // rank -> object slot, permuted by releases
+
+	events []churnEvent
+	next   int // first unapplied event
+	active []boost
+
+	releases, flashes, regionals int
+}
+
+// newPopularity builds the catalog, the Zipf base, and the churn schedule.
+// regionShares weights object home regions by the user population living
+// there (index-aligned with geo.Regions()).
+func newPopularity(cfg Config, rng *stats.Rand, regionShares []float64) (*popularity, error) {
+	n := cfg.CatalogSize
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: catalog size %d too small", n)
+	}
+	p := &popularity{
+		objs:  make([]content.Object, n),
+		cum:   make([]float64, n),
+		objOf: make([]int32, n),
+	}
+	// Base Zipf: weight(rank) = 1/(rank+1)^s, normalized into a CDF. The
+	// final entry is forced to exactly 1 so sampling can never fall off the
+	// end and the mass invariant holds without an epsilon.
+	total := 0.0
+	for r := 0; r < n; r++ {
+		p.cum[r] = 1 / math.Pow(float64(r+1), cfg.ZipfS)
+		total += p.cum[r]
+	}
+	acc := 0.0
+	for r := 0; r < n; r++ {
+		acc += p.cum[r]
+		p.cum[r] = acc / total
+	}
+	p.cum[n-1] = 1
+	regions := geo.Regions()
+	for i := 0; i < n; i++ {
+		p.objOf[i] = int32(i)
+		o := content.Object{
+			ID:     content.ID(fmt.Sprintf("t-%05d", i)),
+			Region: regions[sampleIndex(rng, regionShares)],
+		}
+		// A web-weighted size mix: mostly small assets, a video tail.
+		if rng.Float64() < 0.10 {
+			o.Video = true
+			o.Bytes = int64(rng.Uniform(0.5, 4) * float64(1<<30))
+		} else {
+			o.Bytes = int64(rng.LogNormal(12, 1.5)) // ~e12 B ≈ 160 KB median
+		}
+		p.objs[i] = o
+	}
+	p.events = buildSchedule(cfg, rng, p)
+	return p, nil
+}
+
+// buildSchedule lays out the churn events over the horizon with
+// exponentially distributed interarrivals per kind, then merges them into
+// one deterministic timeline.
+func buildSchedule(cfg Config, rng *stats.Rand, p *popularity) []churnEvent {
+	var events []churnEvent
+	regions := geo.Regions()
+	add := func(kind churnKind, every, dur time.Duration, stream *stats.Rand) {
+		if every <= 0 {
+			return
+		}
+		t := time.Duration(stream.Exponential(float64(every)))
+		for t < cfg.Horizon {
+			ev := churnEvent{at: t, kind: kind}
+			switch kind {
+			case churnRelease:
+				// Nothing else to choose: the tail object re-enters on top.
+			case churnFlash, churnRegional:
+				// Boost a mid-tail object — boosting the head would be
+				// invisible, the deep tail implausible.
+				lo, hi := p.rankRange()
+				ev.obj = p.objOf[lo+stream.Intn(hi-lo)]
+				ev.mass = cfg.FlashBoost
+				ev.until = t + dur
+				if kind == churnRegional {
+					ev.reg = regions[stream.Intn(len(regions))]
+				}
+			}
+			events = append(events, ev)
+			t += time.Duration(stream.Exponential(float64(every)))
+		}
+	}
+	add(churnRelease, cfg.ReleaseEvery, 0, rng.Fork("releases"))
+	add(churnFlash, cfg.FlashEvery, cfg.FlashDuration, rng.Fork("flashes"))
+	add(churnRegional, cfg.RegionalEvery, cfg.FlashDuration, rng.Fork("regionals"))
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		if events[a].kind != events[b].kind {
+			return events[a].kind < events[b].kind
+		}
+		return events[a].obj < events[b].obj
+	})
+	return events
+}
+
+// rankRange is the mid-tail slice boost targets are drawn from.
+func (p *popularity) rankRange() (lo, hi int) {
+	n := len(p.objOf)
+	lo, hi = n/16, n/2
+	if hi <= lo {
+		lo, hi = 0, n
+	}
+	return lo, hi
+}
+
+// advanceTo applies every event scheduled at or before t and expires stale
+// boosts. Call between steps only — samplers hold no locks.
+func (p *popularity) advanceTo(t time.Duration) {
+	// Expire first so a boost ending exactly when another starts never
+	// pushes the combined mass over the cap.
+	live := p.active[:0]
+	for _, b := range p.active {
+		if b.until > t {
+			live = append(live, b)
+		}
+	}
+	p.active = live
+	for p.next < len(p.events) && p.events[p.next].at <= t {
+		ev := p.events[p.next]
+		p.next++
+		switch ev.kind {
+		case churnRelease:
+			// The tail object re-enters at rank 0; everyone else slides
+			// down one rank. objOf stays a permutation by construction.
+			n := len(p.objOf)
+			tail := p.objOf[n-1]
+			copy(p.objOf[1:], p.objOf[:n-1])
+			p.objOf[0] = tail
+			p.releases++
+		case churnFlash, churnRegional:
+			if ev.until <= t {
+				break // already over by the time the step reached it
+			}
+			if p.boostMass(geo.RegionUnknown)+ev.mass > maxBoostMass {
+				break // cap: keep the Zipf base dominant
+			}
+			p.active = append(p.active, boost{obj: ev.obj, reg: ev.reg, mass: ev.mass, until: ev.until})
+			if ev.kind == churnFlash {
+				p.flashes++
+			} else {
+				p.regionals++
+			}
+		}
+	}
+}
+
+// boostMass sums the active boost mass applicable to a region.
+// geo.RegionUnknown sums every active boost (the cap check's view).
+func (p *popularity) boostMass(region geo.Region) float64 {
+	m := 0.0
+	for _, b := range p.active {
+		if region == geo.RegionUnknown || b.reg == geo.RegionUnknown || b.reg == region {
+			m += b.mass
+		}
+	}
+	return m
+}
+
+// sample draws one object slot for a user in the given region: active
+// boosts first (each with its own mass), then the Zipf base on the
+// remaining mass. Draw count per call is 1 when a boost fires, 2 otherwise;
+// both depend only on the popularity state and the shard's own stream.
+func (p *popularity) sample(rng *stats.Rand, region geo.Region) int32 {
+	u := rng.Float64()
+	acc := 0.0
+	for _, b := range p.active {
+		if b.reg != geo.RegionUnknown && b.reg != region {
+			continue
+		}
+		acc += b.mass
+		if u < acc {
+			return b.obj
+		}
+	}
+	rank := sort.SearchFloat64s(p.cum, rng.Float64())
+	if rank >= len(p.cum) {
+		rank = len(p.cum) - 1
+	}
+	return p.objOf[rank]
+}
+
+// mass returns the total probability the model assigns to the whole catalog
+// for one region — exactly 1 when mass is conserved. Exposed for the
+// conservation test, which sums the mixture analytically: the boost mass
+// plus the rescaled base.
+func (p *popularity) mass(region geo.Region) float64 {
+	b := p.boostMass(region)
+	return b + (1-b)*p.cum[len(p.cum)-1]
+}
+
+// top returns the current n hottest objects in rank order.
+func (p *popularity) top(n int) []content.Object {
+	if n > len(p.objOf) {
+		n = len(p.objOf)
+	}
+	out := make([]content.Object, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.objs[p.objOf[i]]
+	}
+	return out
+}
+
+// sampleIndex draws an index from a normalized weight vector.
+func sampleIndex(rng *stats.Rand, weights []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,168 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+func testPopularity(t *testing.T, cfg Config) *popularity {
+	t.Helper()
+	regions := geo.Regions()
+	shares := make([]float64, len(regions))
+	for i := range shares {
+		shares[i] = 1 / float64(len(regions))
+	}
+	p, err := newPopularity(cfg, stats.NewRand(cfg.Seed).Fork("catalog"), shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Mass conservation: at every point of the churn timeline — releases
+// applied, boosts stacking and expiring — the per-region probability over
+// the whole catalog sums to exactly 1, and the combined boost mass never
+// exceeds its cap. Summed analytically (mixture identity), not by sampling.
+func TestPopularityMassConserved(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlashEvery = 20 * time.Minute // dense churn: force boost stacking
+	cfg.RegionalEvery = 15 * time.Minute
+	cfg.ReleaseEvery = 30 * time.Minute
+	cfg.Horizon = 12 * time.Hour
+	p := testPopularity(t, cfg)
+	if len(p.events) == 0 {
+		t.Fatal("dense churn config scheduled no events")
+	}
+	regions := geo.Regions()
+	for at := time.Duration(0); at <= cfg.Horizon; at += cfg.Step {
+		p.advanceTo(at)
+		if bm := p.boostMass(geo.RegionUnknown); bm > maxBoostMass+1e-12 {
+			t.Fatalf("t=%v: combined boost mass %v exceeds cap %v", at, bm, maxBoostMass)
+		}
+		for _, r := range regions {
+			if m := p.mass(r); math.Abs(m-1) > 1e-9 {
+				t.Fatalf("t=%v region %v: catalog mass %v, want 1", at, r, m)
+			}
+		}
+	}
+	if p.flashes == 0 || p.regionals == 0 || p.releases == 0 {
+		t.Fatalf("timeline missed a churn kind: %d releases, %d flashes, %d regionals",
+			p.releases, p.flashes, p.regionals)
+	}
+}
+
+// Releases permute ranks: after any number of them objOf is still a
+// permutation, and a single release moves the old tail to rank 0 with every
+// incumbent shifted down one.
+func TestReleasesPermuteRanks(t *testing.T) {
+	cfg := testConfig()
+	p := testPopularity(t, cfg)
+	n := len(p.objOf)
+	before := make([]int32, n)
+	copy(before, p.objOf)
+
+	// Find the first release and advance exactly onto it.
+	var relAt time.Duration = -1
+	for _, ev := range p.events {
+		if ev.kind == churnRelease {
+			relAt = ev.at
+			break
+		}
+	}
+	if relAt < 0 {
+		t.Fatal("no release scheduled")
+	}
+	p.advanceTo(relAt)
+	if p.releases < 1 {
+		t.Fatal("release did not apply")
+	}
+	if p.releases == 1 {
+		if p.objOf[0] != before[n-1] {
+			t.Fatalf("rank 0 holds object %d after release, want old tail %d", p.objOf[0], before[n-1])
+		}
+		for i := 1; i < n; i++ {
+			if p.objOf[i] != before[i-1] {
+				t.Fatalf("rank %d holds %d after release, want %d", i, p.objOf[i], before[i-1])
+			}
+		}
+	}
+	p.advanceTo(cfg.Horizon)
+	seen := make([]bool, n)
+	for _, o := range p.objOf {
+		if o < 0 || int(o) >= n || seen[o] {
+			t.Fatalf("objOf is not a permutation after %d releases", p.releases)
+		}
+		seen[o] = true
+	}
+}
+
+// The base law is head-skewed: rank 0 must be sampled far more often than a
+// mid-tail rank, and a regional boost must lift its object only for users in
+// that region.
+func TestSamplingSkewAndRegionalBoost(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlashEvery = 0 // no schedule noise: boosts are injected by hand
+	cfg.RegionalEvery = 0
+	cfg.ReleaseEvery = 0
+	p := testPopularity(t, cfg)
+	regions := geo.Regions()
+	rng := stats.NewRand(99)
+
+	const draws = 20000
+	counts := make(map[int32]int)
+	for i := 0; i < draws; i++ {
+		counts[p.sample(rng, regions[0])]++
+	}
+	head, mid := counts[p.objOf[0]], counts[p.objOf[len(p.objOf)/4]]
+	if head < 5*max(mid, 1) {
+		t.Fatalf("head rank drew %d, mid rank %d — Zipf skew missing", head, mid)
+	}
+
+	// Inject a regional boost and compare in- vs out-of-region frequency.
+	boosted := p.objOf[len(p.objOf)/4]
+	p.active = append(p.active, boost{obj: boosted, reg: regions[0], mass: 0.3, until: time.Hour})
+	in, out := 0, 0
+	for i := 0; i < draws; i++ {
+		if p.sample(rng, regions[0]) == boosted {
+			in++
+		}
+		if p.sample(rng, regions[1]) == boosted {
+			out++
+		}
+	}
+	if in < draws/5 { // 0.3 mass plus base; 20% is a loose floor
+		t.Fatalf("boosted object drew %d/%d in-region, want >= %d", in, draws, draws/5)
+	}
+	if out > draws/20 {
+		t.Fatalf("boosted object drew %d/%d out-of-region — boost leaked", out, draws)
+	}
+}
+
+// The catalog is well formed: every object has an ID, positive size, and a
+// known region; sizes show the video/web mix.
+func TestCatalogWellFormed(t *testing.T) {
+	cfg := testConfig()
+	p := testPopularity(t, cfg)
+	videos := 0
+	for i, o := range p.objs {
+		if o.ID == "" || o.Bytes <= 0 {
+			t.Fatalf("object %d malformed: %+v", i, o)
+		}
+		if o.Video {
+			videos++
+			if o.Bytes < 1<<28 {
+				t.Fatalf("video object %d only %d bytes", i, o.Bytes)
+			}
+		}
+	}
+	if videos == 0 || videos > len(p.objs)/2 {
+		t.Fatalf("video mix %d/%d outside the plausible band", videos, len(p.objs))
+	}
+	if got := p.top(10); len(got) != 10 || got[0].ID != p.objs[p.objOf[0]].ID {
+		t.Fatalf("top(10) inconsistent with rank order")
+	}
+}

@@ -1,0 +1,388 @@
+// Package traffic is the simulator's streaming workload engine: it models a
+// production day of demand from a million-user subscriber population and
+// emits it as per-step request batches sized for spacecdn.ResolveAll, so
+// constellation motion (the sweep cursor) and traffic advance together.
+//
+// The model, end to end:
+//
+//   - Placement: users are apportioned to the Starlink-covered cities of the
+//     embedded dataset by metro population (internal/geo's population
+//     table). Users within a city are exchangeable, so the population is
+//     carried as per-city counts — a million users cost no per-user state.
+//   - Arrivals: open-loop Poisson. Each city's arrival rate is its user
+//     count times the per-user daily budget times a diurnal factor keyed to
+//     the city's *local* clock, so the demand hotspot migrates westward
+//     around the planet as the day advances.
+//   - Content: Zipf popularity over a synthetic catalog, churned by
+//     releases, flash crowds, and regional events (popularity.go).
+//   - Sessions: a fraction of arrivals open a session that re-fetches the
+//     same object from the same cell at a fixed cadence — the paper's
+//     "subscriber keeps streaming from wherever they are" behaviour.
+//
+// Determinism contract: generation is sharded over a fixed number of user-
+// space shards (never the worker count), each with its own random stream
+// split off the seed, and batches concatenate in shard order. A run with
+// workers=1 and a run with workers=N therefore produce byte-identical
+// request streams — the same contract internal/parallel gives ResolveAll —
+// and the churn schedule is precomputed from the seed so every shard reads
+// one immutable popularity view per step.
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/parallel"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+)
+
+// shardTarget is the fixed generation shard count — a determinism constant
+// like spacecdn's batch shard target, not a tuning knob: results are
+// identical for any value, but changing it re-keys the per-shard streams.
+const shardTarget = 64
+
+// Config parameterizes a traffic day.
+type Config struct {
+	// Users is the modeled subscriber population.
+	Users int
+	// Horizon is the simulated span (a production day by default).
+	Horizon time.Duration
+	// Step is the batch granularity: one request batch (and one sweep
+	// advance) per step.
+	Step time.Duration
+	// ReqPerUserDay is the mean request budget per user per day at diurnal
+	// mean; the engine is open-loop, so this is demand, not throughput.
+	ReqPerUserDay float64
+
+	// CatalogSize and ZipfS shape the content catalog and its popularity
+	// skew (typical CDN: 0.8–1.2).
+	CatalogSize int
+	ZipfS       float64
+
+	// Churn cadences: mean interval between catalog releases, global flash
+	// crowds, and regional events; zero disables a kind. FlashBoost is the
+	// probability mass one boost captures while active, FlashDuration how
+	// long it stays active.
+	ReleaseEvery  time.Duration
+	FlashEvery    time.Duration
+	RegionalEvery time.Duration
+	FlashBoost    float64
+	FlashDuration time.Duration
+
+	// SessionProb is the fraction of arrivals that open a session;
+	// SessionFollowups the mean number of extra fetches per session
+	// (geometric); SessionGap the sim-time between a session's fetches
+	// (rounded up to one step).
+	SessionProb      float64
+	SessionFollowups float64
+	SessionGap       time.Duration
+
+	Seed int64
+	// Workers bounds generation goroutines; <= 0 means one per CPU. The
+	// request stream is identical for every value.
+	Workers int
+}
+
+// DefaultConfig models a production day: two million users, five-minute
+// batches, half a request per user per day (the engine thins real per-user
+// request counts — the *mix* is what experiments measure, and thinning
+// keeps full runs in benchmark time).
+func DefaultConfig() Config {
+	return Config{
+		Users:            2_000_000,
+		Horizon:          24 * time.Hour,
+		Step:             5 * time.Minute,
+		ReqPerUserDay:    0.5,
+		CatalogSize:      4096,
+		ZipfS:            0.9,
+		ReleaseEvery:     3 * time.Hour,
+		FlashEvery:       6 * time.Hour,
+		RegionalEvery:    4 * time.Hour,
+		FlashBoost:       0.08,
+		FlashDuration:    90 * time.Minute,
+		SessionProb:      0.35,
+		SessionFollowups: 2,
+		SessionGap:       10 * time.Minute,
+		Seed:             42,
+	}
+}
+
+// FastConfig keeps the full million-user day but thins the request budget
+// and coarsens the step so the whole stream resolves in CI time: one
+// million users, half-hour batches, ≥1e5 resolved requests expected.
+func FastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 1_000_000
+	cfg.Step = 30 * time.Minute
+	cfg.ReqPerUserDay = 0.10
+	cfg.ReleaseEvery = 5 * time.Hour
+	return cfg
+}
+
+// validate rejects configurations the model cannot run.
+func (c Config) validate() error {
+	switch {
+	case c.Users <= 0:
+		return fmt.Errorf("traffic: non-positive user count %d", c.Users)
+	case c.Step <= 0 || c.Horizon < c.Step:
+		return fmt.Errorf("traffic: horizon %v must cover at least one step %v", c.Horizon, c.Step)
+	case c.ReqPerUserDay <= 0:
+		return fmt.Errorf("traffic: non-positive request budget %v", c.ReqPerUserDay)
+	case c.SessionProb < 0 || c.SessionProb > 1:
+		return fmt.Errorf("traffic: session probability %v outside [0,1]", c.SessionProb)
+	case c.FlashBoost < 0 || c.FlashBoost >= maxBoostMass:
+		return fmt.Errorf("traffic: flash boost %v outside [0,%v)", c.FlashBoost, maxBoostMass)
+	}
+	return nil
+}
+
+// session is one user's ongoing re-fetch chain, pinned to its cell.
+type session struct {
+	cell int32
+	obj  int32
+	left int16 // fetches still owed
+	next int32 // step index of the next fetch
+}
+
+// shard is one generation shard: a contiguous span of the user index space
+// with its own random stream, session table, and output buffer. Shards
+// never read each other's state.
+type shard struct {
+	rng      *stats.Rand
+	cities   []shardCity
+	wcum     []float64 // per-step scratch: cumulative arrival weight by city
+	sessions []session
+	buf      []spacecdn.Request
+
+	arrivals    int64
+	sessionReqs int64
+	sessionsNew int64
+}
+
+// Stats aggregates a run's generation counters.
+type Stats struct {
+	Arrivals        int64 // fresh Poisson arrivals
+	SessionRequests int64 // session re-fetches on top of arrivals
+	SessionsOpened  int64
+	Releases        int // churn events applied so far
+	FlashCrowds     int
+	RegionalEvents  int
+}
+
+// Generator streams a traffic day as per-step request batches.
+type Generator struct {
+	cfg         Config
+	cells       []cell
+	pop         *popularity
+	shards      []shard
+	batch       []spacecdn.Request
+	step        int
+	steps       int
+	gapSteps    int32
+	ratePerStep float64 // per-user mean requests per step before diurnal
+}
+
+// New builds a generator over the Starlink-covered cities. The entire
+// future of the workload — user placement, churn schedule, per-shard
+// streams — is fixed here from the config and seed.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cities := coveredCities()
+	if len(cities) == 0 {
+		return nil, fmt.Errorf("traffic: no covered cities in dataset")
+	}
+	weights := make([]int64, len(cities))
+	for i, c := range cities {
+		weights[i] = geo.CityPopulation(c)
+	}
+	counts := apportion(cfg.Users, weights)
+
+	regions := geo.Regions()
+	regionIx := make(map[geo.Region]int, len(regions))
+	for i, r := range regions {
+		regionIx[r] = i
+	}
+	g := &Generator{
+		cfg:         cfg,
+		steps:       int(cfg.Horizon / cfg.Step),
+		ratePerStep: cfg.ReqPerUserDay * cfg.Step.Hours() / 24,
+	}
+	g.gapSteps = int32((cfg.SessionGap + cfg.Step - 1) / cfg.Step)
+	if g.gapSteps < 1 {
+		g.gapSteps = 1
+	}
+	regionShares := make([]float64, len(regions))
+	ucum := make([]int, len(cities)+1)
+	for i, c := range cities {
+		g.cells = append(g.cells, cell{City: c, Users: counts[i]})
+		ucum[i+1] = ucum[i] + counts[i]
+		regionShares[regionIx[c.Region]] += float64(counts[i])
+	}
+	for i := range regionShares {
+		regionShares[i] /= float64(cfg.Users)
+	}
+
+	// One root stream fans out: the catalog/churn stream first, then the
+	// fixed per-shard split. Order is part of the determinism contract.
+	root := stats.NewRand(cfg.Seed).Fork("traffic")
+	pop, err := newPopularity(cfg, root.Fork("catalog"), regionShares)
+	if err != nil {
+		return nil, err
+	}
+	g.pop = pop
+	spans := parallel.Split(cfg.Users, shardTarget)
+	rngs := root.Split(len(spans))
+	g.shards = make([]shard, len(spans))
+	for i, span := range spans {
+		g.shards[i] = shard{
+			rng:    rngs[i],
+			cities: overlaps(ucum, span.Lo, span.Hi),
+		}
+		g.shards[i].wcum = make([]float64, len(g.shards[i].cities))
+	}
+	return g, nil
+}
+
+// Users returns the modeled subscriber population.
+func (g *Generator) Users() int { return g.cfg.Users }
+
+// Steps returns the number of batches the horizon holds.
+func (g *Generator) Steps() int { return g.steps }
+
+// Step returns the batch granularity.
+func (g *Generator) Step() time.Duration { return g.cfg.Step }
+
+// Cells returns the number of populated cells (cities with users).
+func (g *Generator) Cells() int { return len(g.cells) }
+
+// Top returns the currently hottest n catalog objects in rank order — the
+// placement tier an experiment pins onto satellites.
+func (g *Generator) Top(n int) []content.Object { return g.pop.top(n) }
+
+// Releases counts the release events applied so far; experiments use it as
+// a cheap epoch to refresh placement only when ranks actually moved.
+func (g *Generator) Releases() int { return g.pop.releases }
+
+// Stats returns the run's generation counters so far.
+func (g *Generator) Stats() Stats {
+	s := Stats{
+		Releases:       g.pop.releases,
+		FlashCrowds:    g.pop.flashes,
+		RegionalEvents: g.pop.regionals,
+	}
+	for i := range g.shards {
+		s.Arrivals += g.shards[i].arrivals
+		s.SessionRequests += g.shards[i].sessionReqs
+		s.SessionsOpened += g.shards[i].sessionsNew
+	}
+	return s
+}
+
+// NextBatch generates the next step's request batch: session re-fetches due
+// this step plus fresh Poisson arrivals, in shard order. The returned slice
+// and its backing array are reused by the following call — consume (or
+// copy) before advancing. ok is false once the horizon is exhausted.
+func (g *Generator) NextBatch() (reqs []spacecdn.Request, at time.Duration, ok bool) {
+	if g.step >= g.steps {
+		return nil, 0, false
+	}
+	step := g.step
+	at = time.Duration(step) * g.cfg.Step
+	// Churn is applied once, before the fan-out: every shard samples one
+	// immutable popularity view.
+	g.pop.advanceTo(at)
+	_ = parallel.Run(g.cfg.Workers, len(g.shards), func(i int) error {
+		g.shardStep(&g.shards[i], step, at)
+		return nil
+	})
+	g.batch = g.batch[:0]
+	for i := range g.shards {
+		g.batch = append(g.batch, g.shards[i].buf...)
+	}
+	g.step++
+	return g.batch, at, true
+}
+
+// shardStep generates one shard's slice of a step.
+func (g *Generator) shardStep(sh *shard, step int, at time.Duration) {
+	sh.buf = sh.buf[:0]
+	// Session re-fetches first, in table order (creation order): a session
+	// pins its user's fetches to the cell it opened in.
+	live := sh.sessions[:0]
+	for _, s := range sh.sessions {
+		if s.next == int32(step) {
+			sh.buf = append(sh.buf, g.request(s.cell, s.obj))
+			sh.sessionReqs++
+			s.left--
+			s.next += g.gapSteps
+		}
+		if s.left > 0 {
+			live = append(live, s)
+		}
+	}
+	sh.sessions = live
+
+	// Open-loop arrivals: the shard's rate is the sum over its city
+	// overlaps of users x per-step budget x local diurnal factor.
+	lam := 0.0
+	for i, sc := range sh.cities {
+		c := &g.cells[sc.cell]
+		lam += float64(sc.users) * g.ratePerStep * Diurnal(LocalHour(at, c.City.Loc.LonDeg))
+		sh.wcum[i] = lam
+	}
+	n := sh.rng.Poisson(lam)
+	for i := 0; i < n; i++ {
+		ci := sh.cities[pickWeighted(sh.rng, sh.wcum, lam)].cell
+		obj := g.pop.sample(sh.rng, g.cells[ci].City.Region)
+		sh.buf = append(sh.buf, g.request(ci, obj))
+		sh.arrivals++
+		if g.cfg.SessionProb > 0 && sh.rng.Bool(g.cfg.SessionProb) {
+			extra := geometricCount(sh.rng, g.cfg.SessionFollowups)
+			if extra > 0 {
+				sh.sessions = append(sh.sessions, session{
+					cell: ci, obj: obj, left: extra,
+					next: int32(step) + g.gapSteps,
+				})
+				sh.sessionsNew++
+			}
+		}
+	}
+}
+
+// request materializes one request from a cell and an object slot.
+func (g *Generator) request(cell, obj int32) spacecdn.Request {
+	c := &g.cells[cell]
+	return spacecdn.Request{Client: c.City.Loc, ISO2: c.City.Country, Obj: g.pop.objs[obj]}
+}
+
+// pickWeighted draws an index from a cumulative weight vector summing to
+// total. Linear scan: shards overlap a handful of cities.
+func pickWeighted(rng *stats.Rand, wcum []float64, total float64) int {
+	u := rng.Float64() * total
+	for i, w := range wcum {
+		if u < w {
+			return i
+		}
+	}
+	return len(wcum) - 1
+}
+
+// geometricCount draws a geometric count with the given mean, capped so a
+// single session can never outlive the table's int16 budget.
+func geometricCount(rng *stats.Rand, mean float64) int16 {
+	if mean <= 0 {
+		return 0
+	}
+	// Geometric on {0,1,...} with success probability 1/(1+mean).
+	p := 1 / (1 + mean)
+	n := int16(0)
+	for n < 64 && !rng.Bool(p) {
+		n++
+	}
+	return n
+}

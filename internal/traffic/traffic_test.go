@@ -1,0 +1,277 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacecdn/internal/spacecdn"
+)
+
+// testConfig is a small-but-real day: enough users that every covered city
+// gets a few, short enough that the full horizon runs in milliseconds.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 50_000
+	cfg.Horizon = 4 * time.Hour
+	cfg.Step = 10 * time.Minute
+	cfg.ReqPerUserDay = 2
+	cfg.CatalogSize = 512
+	cfg.ReleaseEvery = time.Hour
+	cfg.FlashEvery = 90 * time.Minute
+	cfg.RegionalEvery = time.Hour
+	cfg.Seed = 7
+	return cfg
+}
+
+// drain runs a generator to exhaustion, copying each batch (NextBatch reuses
+// its backing array).
+func drain(t *testing.T, g *Generator) [][]spacecdn.Request {
+	t.Helper()
+	var out [][]spacecdn.Request
+	for {
+		reqs, _, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		cp := make([]spacecdn.Request, len(reqs))
+		copy(cp, reqs)
+		out = append(out, cp)
+	}
+	if len(out) != g.Steps() {
+		t.Fatalf("drained %d batches, want %d", len(out), g.Steps())
+	}
+	return out
+}
+
+// The determinism contract: the request stream is byte-identical for every
+// worker count, because sharding is fixed and each shard owns its stream.
+func TestWorkerCountInvariance(t *testing.T) {
+	cfg := testConfig()
+	for _, workers := range []int{2, 7, 64} {
+		c1, cn := cfg, cfg
+		c1.Workers = 1
+		cn.Workers = workers
+		g1, err := New(c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gn, err := New(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, bn := drain(t, g1), drain(t, gn)
+		for s := range b1 {
+			if len(b1[s]) != len(bn[s]) {
+				t.Fatalf("workers=%d step %d: %d requests, want %d",
+					workers, s, len(bn[s]), len(b1[s]))
+			}
+			for i := range b1[s] {
+				if b1[s][i] != bn[s][i] {
+					t.Fatalf("workers=%d step %d request %d differs:\n  got  %+v\n  want %+v",
+						workers, s, i, bn[s][i], b1[s][i])
+				}
+			}
+		}
+		if g1.Stats() != gn.Stats() {
+			t.Fatalf("workers=%d stats differ: %+v vs %+v", workers, gn.Stats(), g1.Stats())
+		}
+	}
+}
+
+// A different seed must actually change the stream — otherwise the
+// invariance test above proves nothing.
+func TestSeedChangesStream(t *testing.T) {
+	a, b := testConfig(), testConfig()
+	b.Seed = a.Seed + 1
+	ga, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _, _ := ga.NextBatch()
+	rb, _, _ := gb.NextBatch()
+	if len(ra) == len(rb) {
+		same := true
+		for i := range ra {
+			if ra[i] != rb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical first batches")
+		}
+	}
+}
+
+// Sessions pin their re-fetches to the opening cell and object: an injected
+// session must surface, at its due step, as a request for exactly that
+// city's location and that catalog object — ahead of the step's arrivals.
+func TestSessionPinsCellAndObject(t *testing.T) {
+	cfg := testConfig()
+	cfg.SessionProb = 0 // no organic sessions: the injected one stands alone
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cellIx, objIx = 3, 5
+	g.shards[0].sessions = append(g.shards[0].sessions, session{
+		cell: cellIx, obj: objIx, left: 2, next: 1,
+	})
+	if _, _, ok := g.NextBatch(); !ok {
+		t.Fatal("no step 0")
+	}
+	reqs, _, ok := g.NextBatch() // step 1: the session is due
+	if !ok {
+		t.Fatal("no step 1")
+	}
+	want := spacecdn.Request{
+		Client: g.cells[cellIx].City.Loc,
+		ISO2:   g.cells[cellIx].City.Country,
+		Obj:    g.pop.objs[objIx],
+	}
+	if len(reqs) == 0 || reqs[0] != want {
+		t.Fatalf("session re-fetch not first in shard 0's slot: got %+v, want %+v", reqs[0], want)
+	}
+	// left=2 means one more fetch is owed after step 1.
+	if n := len(g.shards[0].sessions); n != 1 {
+		t.Fatalf("session table size %d after first re-fetch, want 1", n)
+	}
+	if s := g.shards[0].sessions[0]; s.cell != cellIx || s.obj != objIx || s.left != 1 {
+		t.Fatalf("surviving session %+v, want cell %d obj %d left 1", s, cellIx, objIx)
+	}
+}
+
+// Over a full 24h horizon the diurnal factor averages exactly 1 (the steps
+// sample the cosine evenly), so total arrivals are Poisson with mean
+// Users x ReqPerUserDay; the realized count must sit within a few standard
+// deviations of it.
+func TestArrivalVolumeMatchesBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.Horizon = 24 * time.Hour
+	cfg.Step = time.Hour
+	cfg.SessionProb = 0
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, g)
+	mean := float64(cfg.Users) * cfg.ReqPerUserDay
+	got := float64(g.Stats().Arrivals)
+	if sd := math.Sqrt(mean); math.Abs(got-mean) > 6*sd {
+		t.Fatalf("arrivals = %.0f, want %.0f +/- %.0f", got, mean, 6*sd)
+	}
+}
+
+// Every request must come from a populated cell and reference a catalog
+// object; sessions only add requests on top of arrivals.
+func TestStreamWellFormed(t *testing.T) {
+	cfg := testConfig()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := make(map[spacecdn.Request]bool)
+	total := 0
+	for _, b := range drain(t, g) {
+		total += len(b)
+		for _, r := range b {
+			key := spacecdn.Request{Client: r.Client, ISO2: r.ISO2}
+			if !valid[key] {
+				found := false
+				for i := range g.cells {
+					c := &g.cells[i]
+					if c.City.Loc == r.Client && c.City.Country == r.ISO2 && c.Users > 0 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("request from unpopulated location %+v", r)
+				}
+				valid[key] = true
+			}
+			if r.Obj.ID == "" || r.Obj.Bytes <= 0 {
+				t.Fatalf("malformed object in request: %+v", r.Obj)
+			}
+		}
+	}
+	st := g.Stats()
+	if int64(total) != st.Arrivals+st.SessionRequests {
+		t.Fatalf("stream length %d != arrivals %d + session re-fetches %d",
+			total, st.Arrivals, st.SessionRequests)
+	}
+	if st.SessionRequests == 0 || st.SessionsOpened == 0 {
+		t.Fatalf("no session traffic generated: %+v", st)
+	}
+}
+
+// Apportionment is exact and deterministic, and overlaps partition the user
+// index space.
+func TestApportionAndOverlaps(t *testing.T) {
+	weights := []int64{5, 1, 0, 3, 1}
+	counts := apportion(97, weights)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 97 {
+		t.Fatalf("apportioned %d users, want 97 (counts %v)", sum, counts)
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight city got %d users", counts[2])
+	}
+	for i := 0; i < 5; i++ {
+		if again := apportion(97, weights); len(again) != len(counts) {
+			t.Fatal("apportion length unstable")
+		} else {
+			for j := range again {
+				if again[j] != counts[j] {
+					t.Fatalf("apportion not deterministic: %v vs %v", again, counts)
+				}
+			}
+		}
+	}
+	ucum := make([]int, len(counts)+1)
+	for i, c := range counts {
+		ucum[i+1] = ucum[i] + c
+	}
+	covered := 0
+	for _, span := range [][2]int{{0, 40}, {40, 65}, {65, 97}} {
+		for _, sc := range overlaps(ucum, span[0], span[1]) {
+			covered += sc.users
+			if sc.users <= 0 {
+				t.Fatalf("empty overlap emitted: %+v", sc)
+			}
+		}
+	}
+	if covered != 97 {
+		t.Fatalf("overlaps cover %d users, want 97", covered)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Step = 0 },
+		func(c *Config) { c.Horizon = c.Step / 2 },
+		func(c *Config) { c.ReqPerUserDay = 0 },
+		func(c *Config) { c.SessionProb = 1.5 },
+		func(c *Config) { c.FlashBoost = maxBoostMass },
+		func(c *Config) { c.CatalogSize = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(testConfig()); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}

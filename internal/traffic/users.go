@@ -1,0 +1,99 @@
+package traffic
+
+import (
+	"sort"
+
+	"spacecdn/internal/geo"
+)
+
+// User placement. The engine models millions of subscribers without ever
+// materializing them: users are apportioned to the Starlink-covered cities
+// in proportion to metro population, and because users within one city are
+// exchangeable for the arrival process (same cell, same local clock, same
+// regional popularity), the population survives only as per-city counts.
+// A shard owns a contiguous span of the user index space, so the city
+// counts project onto each shard as a short list of (city, users) overlaps.
+
+// cell is one city's slice of the user population.
+type cell struct {
+	City  geo.City
+	Users int
+}
+
+// coveredCities returns the Starlink-covered subset of the embedded city
+// dataset — the population eligible to subscribe — in dataset order.
+func coveredCities() []geo.City {
+	var out []geo.City
+	for _, c := range geo.Cities() {
+		country, ok := geo.CountryByISO(c.Country)
+		if !ok || !country.Starlink {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// apportion distributes total units over integer weights by the largest-
+// remainder method: exact (counts sum to total), deterministic (ties break
+// by index), and proportional to within one unit per weight. A non-positive
+// total or an all-zero weight vector returns all-zero counts.
+func apportion(total int, weights []int64) []int {
+	counts := make([]int, len(weights))
+	if total <= 0 || len(weights) == 0 {
+		return counts
+	}
+	var sum int64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		return counts
+	}
+	type frac struct {
+		idx int
+		rem int64 // numerator of the fractional part, denominator sum
+	}
+	fracs := make([]frac, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		q := int64(total) * w
+		counts[i] = int(q / sum)
+		assigned += counts[i]
+		fracs[i] = frac{idx: i, rem: q % sum}
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for i := 0; i < total-assigned; i++ {
+		counts[fracs[i].idx]++
+	}
+	return counts
+}
+
+// shardCity is one city's overlap with a shard's user span.
+type shardCity struct {
+	cell  int32 // index into Generator.cells
+	users int   // users of that cell inside this shard's span
+}
+
+// overlaps projects the per-cell user counts onto a user-index span,
+// returning the (cell, count) pairs the span covers in cell order. ucum is
+// the exclusive prefix sum of cell user counts (len(cells)+1 entries).
+func overlaps(ucum []int, lo, hi int) []shardCity {
+	var out []shardCity
+	for c := 0; c+1 < len(ucum); c++ {
+		cLo, cHi := ucum[c], ucum[c+1]
+		if cHi <= lo || cLo >= hi {
+			continue
+		}
+		n := min(cHi, hi) - max(cLo, lo)
+		if n > 0 {
+			out = append(out, shardCity{cell: int32(c), users: n})
+		}
+	}
+	return out
+}

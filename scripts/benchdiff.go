@@ -1,0 +1,195 @@
+//go:build ignore
+
+// Command benchdiff is the bench-regression gate: it compares the fresh
+// BENCH_*.json artifacts written by `scripts/verify.sh bench` against the
+// committed baselines in bench_baselines.json and fails when any gated
+// metric leaves its tolerance band.
+//
+//	go run ./scripts/benchdiff.go [-baselines FILE] [-print] [artifact...]
+//
+// The baseline file maps artifact name -> dot-path metric -> check:
+//
+//	{"BENCH_traffic.json": {"Requests": {"op": "eq", "want": 165900},
+//	                        "P99Ms":    {"op": "band", "want": 169, "rel": 0.05},
+//	                        "ResolveReqPerSec": {"op": "min", "want": 4000}}}
+//
+// Dot-paths walk JSON objects and arrays ("Rows.2.Availability"). Booleans
+// compare as 1/0. Ops:
+//
+//	eq    exact equality — for deterministic counts and flags; any drift is
+//	      a seeded-model change and must be acknowledged by updating the
+//	      baseline in the same commit
+//	min   got >= want — throughput floors (loose: CI machines vary)
+//	max   got <= want — allocation and error ceilings
+//	band  |got - want| <= tol + rel*|want| — deterministic floats that may
+//	      wobble across Go versions or FP contraction differences
+//
+// -print dumps the current value of every gated metric in baseline-file
+// order, which is how the committed values were produced in the first
+// place. With artifact arguments, only those files are checked.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type check struct {
+	Op   string  `json:"op"`
+	Want float64 `json:"want"`
+	Tol  float64 `json:"tol,omitempty"`
+	Rel  float64 `json:"rel,omitempty"`
+}
+
+func main() {
+	baselines := flag.String("baselines", "bench_baselines.json", "committed baseline file")
+	printMode := flag.Bool("print", false, "print current values of gated metrics instead of checking")
+	flag.Parse()
+
+	data, err := os.ReadFile(*baselines)
+	if err != nil {
+		fatal("baselines: %v", err)
+	}
+	// Underscore-prefixed top-level keys are comments, not artifacts.
+	var rawBase map[string]json.RawMessage
+	if err := json.Unmarshal(data, &rawBase); err != nil {
+		fatal("baselines parse: %v", err)
+	}
+	base := make(map[string]map[string]check, len(rawBase))
+	for name, raw := range rawBase {
+		if strings.HasPrefix(name, "_") {
+			continue
+		}
+		var checks map[string]check
+		if err := json.Unmarshal(raw, &checks); err != nil {
+			fatal("baselines parse %s: %v", name, err)
+		}
+		base[name] = checks
+	}
+
+	files := flag.Args()
+	if len(files) == 0 {
+		for f := range base {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+	}
+
+	failures := 0
+	checked := 0
+	for _, file := range files {
+		checks, ok := base[file]
+		if !ok {
+			fatal("%s: no baseline entry — add one to %s", file, *baselines)
+		}
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fatal("%s: %v (run `scripts/verify.sh bench` first)", file, err)
+		}
+		var doc any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fatal("%s: parse: %v", file, err)
+		}
+		paths := make([]string, 0, len(checks))
+		for p := range checks {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			got, err := lookup(doc, path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: %s %s: %v\n", file, path, err)
+				failures++
+				continue
+			}
+			if *printMode {
+				fmt.Printf("%s\t%s\t%v\n", file, path, got)
+				continue
+			}
+			checked++
+			c := checks[path]
+			if msg := c.compare(got); msg != "" {
+				fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s %s: %s\n", file, path, msg)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		fatal("%d metric(s) failed", failures)
+	}
+	if !*printMode {
+		fmt.Printf("benchdiff: OK (%d metrics within tolerance across %d artifacts)\n", checked, len(files))
+	}
+}
+
+// compare applies the check to a value; empty string means pass.
+func (c check) compare(got float64) string {
+	switch c.Op {
+	case "eq":
+		if got != c.Want {
+			return fmt.Sprintf("got %v, baseline requires exactly %v", got, c.Want)
+		}
+	case "min":
+		if got < c.Want {
+			return fmt.Sprintf("got %v, below floor %v", got, c.Want)
+		}
+	case "max":
+		if got > c.Want {
+			return fmt.Sprintf("got %v, above ceiling %v", got, c.Want)
+		}
+	case "band":
+		tol := c.Tol + c.Rel*math.Abs(c.Want)
+		if math.Abs(got-c.Want) > tol {
+			return fmt.Sprintf("got %v, outside %v +/- %v", got, c.Want, tol)
+		}
+	default:
+		return fmt.Sprintf("unknown op %q", c.Op)
+	}
+	return ""
+}
+
+// lookup walks a dot-path through decoded JSON and returns the numeric leaf
+// (booleans as 1/0).
+func lookup(doc any, path string) (float64, error) {
+	cur := doc
+	for _, seg := range strings.Split(path, ".") {
+		switch node := cur.(type) {
+		case map[string]any:
+			next, ok := node[seg]
+			if !ok {
+				return 0, fmt.Errorf("no field %q", seg)
+			}
+			cur = next
+		case []any:
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(node) {
+				return 0, fmt.Errorf("bad array index %q (len %d)", seg, len(node))
+			}
+			cur = node[i]
+		default:
+			return 0, fmt.Errorf("segment %q indexes a scalar", seg)
+		}
+	}
+	switch v := cur.(type) {
+	case float64:
+		return v, nil
+	case bool:
+		if v {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("leaf is %T, want number or bool", cur)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -18,17 +18,25 @@
 #          (TELEMETRY_series.json) is checked for the delta-sum invariant
 #          against the metrics snapshot and the Perfetto trace for loadable
 #          shape
+#   staticcheck  honnef.co/go/tools staticcheck when the binary is on PATH
+#          (skipped with a notice otherwise — the container image does not
+#          bake it in; CI installs it)
 #   bench  single-iteration benchmark sweep plus the parallel-engine
 #          throughput artifact (BENCH_parallel.json), the resolve
 #          acceleration artifact (BENCH_resolve.json: naive vs accelerated
 #          req/s and allocs/op), the fault-injection sweep artifact
 #          (BENCH_resilience.json: availability, p99 inflation and source
-#          mix vs failure fraction), and the sweep-engine artifact
+#          mix vs failure fraction), the sweep-engine artifact
 #          (BENCH_sweep.json: incremental vs fresh steps/sec, allocs per
-#          steady-state advance, output-equivalence flag)
+#          steady-state advance, output-equivalence flag), and the traffic
+#          engine artifact (BENCH_traffic.json: a million-user streaming
+#          day — sustained req/s, serving mix, latency percentiles)
+#   benchdiff  bench-regression gate: compares every BENCH_*.json against
+#          the committed bench_baselines.json tolerance bands (runs the
+#          bench stage first if artifacts are missing)
 #
-# No arguments runs the full local gate: fmt vet build test race smoke
-# observe.
+# No arguments runs the full local gate: fmt vet build staticcheck test
+# race smoke observe.
 # The script is non-interactive and exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -48,6 +56,14 @@ stage_vet() {
 
 stage_build() {
 	go build ./...
+}
+
+stage_staticcheck() {
+	if command -v staticcheck >/dev/null 2>&1; then
+		staticcheck ./...
+	else
+		echo "staticcheck not installed; skipping (CI runs it)"
+	fi
 }
 
 stage_test() {
@@ -96,16 +112,31 @@ stage_bench() {
 	cat BENCH_resilience.json
 	go run ./cmd/spacecdn -exp sweep-bench -fast -json >BENCH_sweep.json
 	cat BENCH_sweep.json
+	go run ./cmd/spacecdn -exp traffic -fast -json >BENCH_traffic.json
+	cat BENCH_traffic.json
+}
+
+stage_benchdiff() {
+	# The gate needs fresh artifacts; regenerate when any is missing so a
+	# bare `verify.sh benchdiff` works from a clean tree.
+	for artifact in BENCH_parallel.json BENCH_resolve.json BENCH_resilience.json BENCH_sweep.json BENCH_traffic.json; do
+		if [ ! -f "$artifact" ]; then
+			echo "benchdiff: $artifact missing; running bench stage first"
+			stage_bench
+			break
+		fi
+	done
+	go run ./scripts/benchdiff.go
 }
 
 stages="$*"
 if [ -z "$stages" ]; then
-	stages="fmt vet build test race smoke observe"
+	stages="fmt vet build staticcheck test race smoke observe"
 fi
 
 for stage in $stages; do
 	case "$stage" in
-	fmt | vet | build | test | race | smoke | observe | bench) ;;
+	fmt | vet | build | staticcheck | test | race | smoke | observe | bench | benchdiff) ;;
 	*)
 		echo "verify: unknown stage '$stage'" >&2
 		exit 2
