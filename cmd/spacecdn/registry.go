@@ -53,6 +53,7 @@ func registry() []experiment {
 		{"parallel-bench", "Benchmark: batch resolution throughput vs workers", false, runParallelBench},
 		{"resolve-bench", "Benchmark: naive vs accelerated resolve pipeline", false, runResolveBench},
 		{"sweep-bench", "Benchmark: incremental sweep vs fresh per-step snapshots", false, runSweepBench},
+		{"scale-bench", "Benchmark: snapshot, sweep and resolve costs vs constellation size", false, runScaleBench},
 	}
 }
 
@@ -566,4 +567,26 @@ func runSweepBench(w io.Writer, s *experiments.Suite, opts options) error {
 	t.AddRow("fresh", res.Steps, res.FreshStepsPerSec, "", 1.0, res.Identical)
 	t.AddRow("sweep", res.Steps, res.SweepStepsPerSec, res.SweepAllocsPerStep, res.Speedup, res.Identical)
 	return t.Render(w)
+}
+
+func runScaleBench(w io.Writer, s *experiments.Suite, opts options) error {
+	res, err := s.ScaleBench()
+	if err != nil {
+		return err
+	}
+	if opts.JSON {
+		return report.WriteJSON(w, res)
+	}
+	t := report.NewTable("Mega-constellation scale sweep",
+		"Config", "Sats", "Shells", "Grid", "Memo cap", "Snapshot ms", "Sweep steps/s", "Allocs/step", "Resolve req/s")
+	for _, p := range res.Points {
+		t.AddRow(p.Name, p.Sats, p.Shells, fmt.Sprintf("%dx%d", p.GridRows, p.GridCols),
+			p.MemoCap, p.SnapshotBuildMs, p.SweepStepsPerSec, p.SweepAllocsPerStep, p.ResolveReqPerSec)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "resolve sub-linear in satellite count: %v; sweep zero-alloc at all scales: %v\n",
+		res.ResolveSubLinear, res.SweepZeroAlloc)
+	return err
 }

@@ -178,17 +178,17 @@ func TestPathTreeMemo(t *testing.T) {
 	c := MustNew(DefaultConfig())
 	snap := c.Snapshot(0)
 	g := snap.ISLGraph()
-	ResetPathMemoCounters()
+	c.ResetPathMemoCounters()
 
 	t1 := snap.PathTree(7)
-	if h, m := PathMemoCounters(); h != 0 || m != 1 {
+	if h, m := c.PathMemoCounters(); h != 0 || m != 1 {
 		t.Fatalf("after first build: hits=%d misses=%d, want 0/1", h, m)
 	}
 	t2 := snap.PathTree(7)
 	if t1 != t2 {
 		t.Fatal("second PathTree call must return the memoized tree")
 	}
-	if h, _ := PathMemoCounters(); h != 1 {
+	if h, _ := c.PathMemoCounters(); h != 1 {
 		t.Fatalf("hits = %d, want 1", h)
 	}
 	// The memoized tree must agree with a direct Dijkstra.
@@ -217,21 +217,34 @@ func TestPathTreeMemoEviction(t *testing.T) {
 	cfg := DefaultConfig()
 	c := MustNew(cfg)
 	snap := c.Snapshot(0)
-	// Fill past capacity; the memo must stay bounded and keep serving
-	// correct trees.
-	for i := 0; i < pathMemoCap+32; i++ {
+	// The scaled capacity is max(pathMemoCap, N) = 1,584 at the default
+	// scale. Fill past it; the memo must stay bounded and keep serving
+	// correct trees. The fill needs more distinct sources than satellites,
+	// so roll the memo generation to mint extra keys for the overflow.
+	capacity := c.memoCap
+	if capacity != c.Total() {
+		t.Fatalf("memo capacity = %d, want satellite count %d", capacity, c.Total())
+	}
+	for i := 0; i < capacity; i++ {
 		if snap.PathTree(SatID(i)) == nil {
 			t.Fatalf("tree %d is nil", i)
 		}
 	}
-	if n := len(snap.memo.nodes); n != pathMemoCap {
-		t.Fatalf("memo holds %d entries, want cap %d", n, pathMemoCap)
+	snap.memoGen++ // retire the old keys, as a sweep step would
+	for i := 0; i < 32; i++ {
+		if snap.PathTree(SatID(i)) == nil {
+			t.Fatalf("post-roll tree %d is nil", i)
+		}
+	}
+	if n := len(snap.memo.nodes); n != capacity {
+		t.Fatalf("memo holds %d entries, want cap %d", n, capacity)
 	}
 	// The most recent sources are still memoized (pointer-equal on re-query).
-	hot := snap.PathTree(SatID(pathMemoCap + 31))
-	if again := snap.PathTree(SatID(pathMemoCap + 31)); again != hot {
+	hot := snap.PathTree(31)
+	if again := snap.PathTree(31); again != hot {
 		t.Fatal("recently used tree was evicted")
 	}
+	snap.memoGen--
 	// The oldest source was evicted: a re-query recomputes (equal values,
 	// distinct pointer is acceptable — just verify correctness).
 	tr := snap.PathTree(0)
@@ -288,9 +301,9 @@ func TestVisGridCandidateWindowsAreConservative(t *testing.T) {
 }
 
 func TestVisGridEmptyConstellationNearest(t *testing.T) {
-	vg := &visGrid{rows: visGridRows, cols: visGridCols,
-		latStep: 180.0 / visGridRows, lonStep: 360.0 / visGridCols,
-		start: make([]int32, visGridRows*visGridCols+1), minR: math.Inf(1)}
+	gm := newGridGeom(0)
+	vg := &visGrid{geom: gm,
+		start: make([]int32, gm.rows*gm.cols+1), minR: math.Inf(1)}
 	if lam := vg.maxCentralAngleRad(geo.EarthRadiusKm, 1000); lam != 0 {
 		t.Fatalf("empty grid central angle = %v, want 0", lam)
 	}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spacecdn/internal/geo"
@@ -19,19 +20,42 @@ import (
 	"spacecdn/internal/routing"
 )
 
-// SatID identifies a satellite as a dense index in [0, Total).
-// Index = plane*SatsPerPlane + slot.
+// SatID identifies a satellite as a dense index in [0, Total). Within one
+// shell ids are plane-major (local index = plane*SatsPerPlane + slot); in a
+// multi-shell composite each shell owns a contiguous id range starting at its
+// offset, in Config.Shells order.
 type SatID int
+
+// WalkerShell is one Walker-delta shell of a (possibly multi-shell)
+// constellation: its own altitude, inclination, plane count, satellites per
+// plane and phasing factor.
+type WalkerShell = orbit.Walker
 
 // Config describes the constellation and its link geometry.
 type Config struct {
+	// Walker is the single-shell form. Mutually exclusive with Shells.
 	Walker orbit.Walker
+	// Shells is the multi-shell composite form: each shell contributes a
+	// contiguous SatID range and a contiguous global plane-index range, in
+	// order. When non-empty, Walker must be the zero value.
+	Shells []WalkerShell
 	// MinElevationDeg is the user-terminal elevation mask. Starlink
 	// terminals track satellites above 25 degrees.
 	MinElevationDeg float64
 	// CrossPlaneISLs enables the east-west links of the +grid topology.
-	// When false only intra-plane (north-south) ISLs exist.
+	// When false only intra-plane (north-south) ISLs exist. ISLs never
+	// cross shells: real deployments keep laser links within a shell, where
+	// relative geometry is stationary.
 	CrossPlaneISLs bool
+}
+
+// shellList returns the configured shells in id order — the single Walker as
+// a one-element list, or Shells verbatim.
+func (cfg *Config) shellList() []orbit.Walker {
+	if len(cfg.Shells) > 0 {
+		return cfg.Shells
+	}
+	return []orbit.Walker{cfg.Walker}
 }
 
 // DefaultConfig returns the paper's simulation setup: Starlink Shell 1 with
@@ -44,13 +68,48 @@ func DefaultConfig() Config {
 	}
 }
 
+// StarlinkGen2Config returns the three-shell Starlink Gen2 system (7,500
+// satellites) with the default elevation mask and +grid ISLs.
+func StarlinkGen2Config() Config {
+	return Config{
+		Shells:          orbit.StarlinkGen2(),
+		MinElevationDeg: 25,
+		CrossPlaneISLs:  true,
+	}
+}
+
+// KuiperConfig returns the three-shell Project Kuiper system (3,236
+// satellites) with the default elevation mask and +grid ISLs.
+func KuiperConfig() Config {
+	return Config{
+		Shells:          orbit.Kuiper(),
+		MinElevationDeg: 25,
+		CrossPlaneISLs:  true,
+	}
+}
+
+// shellSpan is one shell's placement in the composite id space: its Walker
+// geometry plus the first SatID and first global plane index it owns.
+type shellSpan struct {
+	w          orbit.Walker
+	firstSat   SatID
+	firstPlane int
+}
+
 // Constellation owns the satellite set. It is immutable after construction
 // and safe for concurrent use; the lazily built ISL topology and the sweep
 // cursor pool are internal caches of immutable derived state.
 type Constellation struct {
 	cfg      Config
+	shells   []shellSpan // always >= 1; single-shell configs normalize to one span
 	elements []orbit.Elements
 	eng      *posEngine
+
+	maxSlantKm float64   // slant range at the mask for the highest shell
+	geom       *gridGeom // visibility-grid geometry sized to the satellite count
+	memoCap    int       // per-snapshot path-memo capacity, scaled with size
+
+	memoHits, memoMisses atomic.Int64 // path-memo effectiveness, per constellation
 
 	topoOnce sync.Once
 	topo     *islTopology // time-invariant +grid CSR structure, built once
@@ -60,14 +119,38 @@ type Constellation struct {
 
 // New builds a constellation from the configuration.
 func New(cfg Config) (*Constellation, error) {
-	if err := cfg.Walker.Validate(); err != nil {
-		return nil, err
+	if len(cfg.Shells) > 0 && cfg.Walker != (orbit.Walker{}) {
+		return nil, fmt.Errorf("constellation: Config.Walker and Config.Shells are mutually exclusive")
+	}
+	ws := cfg.shellList()
+	for i, w := range ws {
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("constellation: shell %d: %w", i, err)
+		}
 	}
 	if cfg.MinElevationDeg < 0 || cfg.MinElevationDeg >= 90 {
 		return nil, fmt.Errorf("constellation: elevation mask %v out of range [0,90)", cfg.MinElevationDeg)
 	}
-	els := cfg.Walker.All()
-	return &Constellation{cfg: cfg, elements: els, eng: newPosEngine(els)}, nil
+	c := &Constellation{cfg: cfg, shells: make([]shellSpan, 0, len(ws))}
+	maxAlt := 0.0
+	nextSat, nextPlane := SatID(0), 0
+	for _, w := range ws {
+		c.shells = append(c.shells, shellSpan{w: w, firstSat: nextSat, firstPlane: nextPlane})
+		c.elements = append(c.elements, w.All()...)
+		nextSat += SatID(w.Total())
+		nextPlane += w.Planes
+		if w.AltitudeKm > maxAlt {
+			maxAlt = w.AltitudeKm
+		}
+	}
+	c.maxSlantKm = geo.SlantRangeKm(maxAlt, cfg.MinElevationDeg)
+	c.geom = newGridGeom(len(c.elements))
+	c.memoCap = len(c.elements)
+	if c.memoCap < pathMemoCap {
+		c.memoCap = pathMemoCap
+	}
+	c.eng = newPosEngine(c.elements)
+	return c, nil
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -85,21 +168,86 @@ func (c *Constellation) Config() Config { return c.cfg }
 // Total returns the number of satellites.
 func (c *Constellation) Total() int { return len(c.elements) }
 
-// Planes returns the number of orbital planes.
-func (c *Constellation) Planes() int { return c.cfg.Walker.Planes }
+// ShellCount returns the number of Walker shells.
+func (c *Constellation) ShellCount() int { return len(c.shells) }
 
-// SatsPerPlane returns the number of satellites per plane.
-func (c *Constellation) SatsPerPlane() int { return c.cfg.Walker.SatsPerPlane }
+// Shell returns the Walker geometry of shell i.
+func (c *Constellation) Shell(i int) WalkerShell { return c.shells[i].w }
 
-// Plane returns the plane index of a satellite.
-func (c *Constellation) Plane(id SatID) int { return int(id) / c.cfg.Walker.SatsPerPlane }
+// ShellRange returns the contiguous SatID range [first, first+count) owned
+// by shell i.
+func (c *Constellation) ShellRange(i int) (first SatID, count int) {
+	return c.shells[i].firstSat, c.shells[i].w.Total()
+}
+
+// ShellOf returns the index of the shell owning the satellite.
+func (c *Constellation) ShellOf(id SatID) int { return c.shellOf(id) }
+
+// GridDims reports the visibility-grid resolution the adaptive sizing rule
+// chose for this constellation's satellite count. Diagnostic — ScaleBench
+// records it next to its throughput numbers.
+func (c *Constellation) GridDims() (rows, cols int) { return c.geom.rows, c.geom.cols }
+
+// PathMemoCap reports the per-snapshot path-memo capacity, which scales with
+// the satellite count so mega-constellation sweeps keep their hit rate.
+func (c *Constellation) PathMemoCap() int { return c.memoCap }
+
+// shellOf locates id's shell by a reverse linear scan over the (at most a
+// handful of) spans — faster than binary search at realistic shell counts
+// and branch-free for the single-shell case.
+func (c *Constellation) shellOf(id SatID) int {
+	for i := len(c.shells) - 1; i > 0; i-- {
+		if id >= c.shells[i].firstSat {
+			return i
+		}
+	}
+	return 0
+}
+
+// Planes returns the total number of orbital planes across all shells.
+// Plane indices are global: shell 0 owns planes [0, P0), shell 1 owns
+// [P0, P0+P1), and so on.
+func (c *Constellation) Planes() int {
+	last := c.shells[len(c.shells)-1]
+	return last.firstPlane + last.w.Planes
+}
+
+// SatsPerPlane returns the number of satellites per plane of the first
+// shell. Every plane of a single-shell constellation has this count;
+// multi-shell callers should use PlaneSlots, which is exact per plane.
+func (c *Constellation) SatsPerPlane() int { return c.shells[0].w.SatsPerPlane }
+
+// PlaneSlots returns the number of satellites in the given global plane.
+func (c *Constellation) PlaneSlots(plane int) int {
+	return c.shells[c.shellOfPlane(plane)].w.SatsPerPlane
+}
+
+// shellOfPlane locates the shell owning a global plane index.
+func (c *Constellation) shellOfPlane(plane int) int {
+	for i := len(c.shells) - 1; i > 0; i-- {
+		if plane >= c.shells[i].firstPlane {
+			return i
+		}
+	}
+	return 0
+}
+
+// Plane returns the global plane index of a satellite.
+func (c *Constellation) Plane(id SatID) int {
+	sh := &c.shells[c.shellOf(id)]
+	return sh.firstPlane + (int(id)-int(sh.firstSat))/sh.w.SatsPerPlane
+}
 
 // Slot returns the in-plane slot index of a satellite.
-func (c *Constellation) Slot(id SatID) int { return int(id) % c.cfg.Walker.SatsPerPlane }
+func (c *Constellation) Slot(id SatID) int {
+	sh := &c.shells[c.shellOf(id)]
+	return (int(id) - int(sh.firstSat)) % sh.w.SatsPerPlane
+}
 
-// ID returns the satellite identifier for a (plane, slot) pair.
+// ID returns the satellite identifier for a (global plane, slot) pair.
 func (c *Constellation) ID(plane, slot int) SatID {
-	return SatID(plane*c.cfg.Walker.SatsPerPlane + slot)
+	sh := &c.shells[c.shellOfPlane(plane)]
+	return sh.firstSat + SatID((plane-sh.firstPlane)*sh.w.SatsPerPlane+slot)
 }
 
 // Elements returns the orbital elements of a satellite.
@@ -109,7 +257,9 @@ func (c *Constellation) Elements(id SatID) orbit.Elements { return c.elements[id
 func (c *Constellation) Snapshot(t time.Duration) *Snapshot {
 	pos := make([]geo.Vec3, len(c.elements))
 	c.eng.positionsInto(t, pos)
-	return &Snapshot{c: c, t: t, pos: pos}
+	s := &Snapshot{c: c, t: t, pos: pos}
+	s.memo.cap = c.memoCap
+	return s
 }
 
 // Snapshot is the constellation geometry frozen at one instant. It is
@@ -137,6 +287,16 @@ type Snapshot struct {
 
 	maskMu sync.Mutex
 	masked map[uint64]*MaskedView // fault epoch -> cached fault-aware view
+
+	// Visibility memo: ground stations and city clients query Visible at the
+	// same points thousands of times per snapshot, and the list's size (and
+	// sort cost) grows with the constellation — without the memo the ground
+	// fallback stage alone makes resolve throughput degrade linearly in
+	// satellite count. Entries are retired by sweep generation, like the path
+	// memo, but with a lazy clear so advances stay allocation-free.
+	visMu   sync.Mutex
+	visGen  uint32
+	visMemo map[geo.Point][]VisibleSat
 }
 
 // memoEpoch composes the snapshot's sweep generation with a fault epoch into
@@ -185,32 +345,36 @@ func (s *Snapshot) ISLNeighbors(id SatID) []SatID {
 
 // appendISLNeighbors appends the +grid neighbours of id to out and returns
 // the extended slice. The append count is fixed per configuration: two
-// intra-plane entries, plus two cross-plane entries when enabled. The
-// neighbour set depends only on plane/slot indices, never on time — which is
-// what lets the topology be hoisted out of the per-snapshot build.
+// intra-plane entries, plus two cross-plane entries when enabled. Neighbours
+// stay within id's shell — plane and slot arithmetic is local to the shell's
+// Walker, offset back into the composite id space. The neighbour set depends
+// only on plane/slot indices, never on time — which is what lets the
+// topology be hoisted out of the per-snapshot build.
 func (c *Constellation) appendISLNeighbors(id SatID, out []SatID) []SatID {
-	w := c.cfg.Walker
-	p, k := c.Plane(id), c.Slot(id)
+	sh := &c.shells[c.shellOf(id)]
+	w := sh.w
+	base := int(sh.firstSat)
+	local := int(id) - base
+	p, k := local/w.SatsPerPlane, local%w.SatsPerPlane
 	out = append(out,
-		c.ID(p, (k+1)%w.SatsPerPlane),
-		c.ID(p, (k-1+w.SatsPerPlane)%w.SatsPerPlane),
+		SatID(base+p*w.SatsPerPlane+(k+1)%w.SatsPerPlane),
+		SatID(base+p*w.SatsPerPlane+(k-1+w.SatsPerPlane)%w.SatsPerPlane),
 	)
 	if c.cfg.CrossPlaneISLs {
 		east := (p + 1) % w.Planes
 		west := (p - 1 + w.Planes) % w.Planes
 		out = append(out,
-			c.ID(east, c.crossPlaneSlot(p, k, east)),
-			c.ID(west, c.crossPlaneSlot(p, k, west)),
+			SatID(base+east*w.SatsPerPlane+crossPlaneSlot(w, p, k, east)),
+			SatID(base+west*w.SatsPerPlane+crossPlaneSlot(w, p, k, west)),
 		)
 	}
 	return out
 }
 
-// crossPlaneSlot returns the slot in plane q whose orbital phase is nearest
-// to that of satellite (p, k). Since all satellites advance at the same rate,
-// the pairing is time-invariant.
-func (c *Constellation) crossPlaneSlot(p, k, q int) int {
-	w := c.cfg.Walker
+// crossPlaneSlot returns the slot in plane q of shell w whose orbital phase
+// is nearest to that of satellite (p, k). Since all satellites of a shell
+// advance at the same rate, the pairing is time-invariant.
+func crossPlaneSlot(w orbit.Walker, p, k, q int) int {
 	// phase(q, s) = 360*s/S + 360*F*q/(P*S); solve for s nearest to
 	// phase(p, k).
 	phase := 360*float64(k)/float64(w.SatsPerPlane) +
@@ -346,13 +510,51 @@ func (s *Snapshot) Visible(ground geo.Point) []VisibleSat {
 	return s.visGridLazy().visible(s, ground)
 }
 
+// visMemoCap bounds the per-snapshot visibility memo. The working set is the
+// fixed ground segment plus the client cities — a few hundred points — so the
+// cap only matters for pathological query mixes, where excess points are
+// simply served unmemoized.
+const visMemoCap = 4096
+
+// VisibleShared returns the same elevation-sorted list as Visible, memoized
+// per snapshot and query point. The returned slice is shared with every other
+// caller of the same point — treat it as read-only. Ground stations and
+// recurring clients resolve thousands of times against one snapshot, and the
+// visible list's size grows with the constellation, so memoizing here is what
+// keeps the ground-fallback resolve stage sub-linear in satellite count.
+// Sweep advances retire entries by generation (lazily, so advances stay
+// allocation-free); a duplicate compute during a racing first query is
+// harmless because the lists are deterministic.
+func (s *Snapshot) VisibleShared(ground geo.Point) []VisibleSat {
+	s.visMu.Lock()
+	if s.visMemo == nil {
+		s.visMemo = make(map[geo.Point][]VisibleSat, 64)
+	} else if s.visGen != s.memoGen {
+		clear(s.visMemo)
+	}
+	s.visGen = s.memoGen
+	if out, ok := s.visMemo[ground]; ok {
+		s.visMu.Unlock()
+		return out
+	}
+	s.visMu.Unlock()
+	out := s.Visible(ground)
+	s.visMu.Lock()
+	if len(s.visMemo) < visMemoCap && s.visGen == s.memoGen {
+		s.visMemo[ground] = out
+	}
+	s.visMu.Unlock()
+	return out
+}
+
 // VisibleScan is the reference implementation of Visible: a linear scan over
 // every satellite. Kept for equivalence tests and benchmark baselines.
 func (s *Snapshot) VisibleScan(ground geo.Point) []VisibleSat {
 	g := ground.ToECEF()
 	// Pre-filter with the coverage cone: a satellite can only be visible if
-	// its distance from the ground point is at most the max slant range.
-	maxSlant := geo.SlantRangeKm(s.c.cfg.Walker.AltitudeKm, s.c.cfg.MinElevationDeg)
+	// its distance from the ground point is at most the max slant range —
+	// taken at the highest shell's altitude, which bounds every lower shell.
+	maxSlant := s.c.maxSlantKm
 	var out []VisibleSat
 	for id, p := range s.pos {
 		d := p.Sub(g).Norm()
@@ -364,8 +566,23 @@ func (s *Snapshot) VisibleScan(ground geo.Point) []VisibleSat {
 			out = append(out, VisibleSat{ID: SatID(id), ElevationDeg: el, SlantKm: d})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ElevationDeg > out[j].ElevationDeg })
+	sortByElevation(out)
 	return out
+}
+
+// sortByElevation orders visible satellites best-first, breaking exact
+// elevation ties toward the lower id. The explicit tie-break matters for
+// multi-shell composites: two shells can park satellites at bit-identical
+// elevations (both exactly overhead), where an unstable sort would leave the
+// winner to partition luck — and BestVisible's running-max tie-break must
+// agree with the sorted order.
+func sortByElevation(out []VisibleSat) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ElevationDeg != out[j].ElevationDeg {
+			return out[i].ElevationDeg > out[j].ElevationDeg
+		}
+		return out[i].ID < out[j].ID
+	})
 }
 
 // BestVisible returns the highest-elevation visible satellite. ok is false

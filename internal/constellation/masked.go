@@ -110,6 +110,24 @@ func (v *MaskedView) Visible(ground geo.Point) []VisibleSat {
 	return out
 }
 
+// VisibleShared is the memo-backed form of Visible: the healthy list comes
+// from the snapshot's visibility memo, and a fault-epoch view filters it into
+// a fresh slice (never in place — the memoized list is shared). Callers must
+// treat the result as read-only, like Snapshot.VisibleShared.
+func (v *MaskedView) VisibleShared(ground geo.Point) []VisibleSat {
+	vis := v.snap.VisibleShared(ground)
+	if v.epoch == 0 {
+		return vis
+	}
+	out := make([]VisibleSat, 0, len(vis))
+	for _, sat := range vis {
+		if v.Alive(sat.ID) {
+			out = append(out, sat)
+		}
+	}
+	return out
+}
+
 // BestVisible returns the highest-elevation surviving satellite. When the
 // healthy best is alive — the overwhelmingly common case — this costs one
 // mask probe on top of the healthy query; the failover scan runs only when
@@ -122,7 +140,7 @@ func (v *MaskedView) BestVisible(ground geo.Point) (VisibleSat, bool) {
 	if v.Alive(best.ID) {
 		return best, true
 	}
-	for _, sat := range v.snap.Visible(ground) {
+	for _, sat := range v.snap.VisibleShared(ground) {
 		if v.Alive(sat.ID) {
 			return sat, true
 		}
@@ -159,10 +177,10 @@ func (v *MaskedView) PathTree(src SatID) *routing.SPTree {
 	}
 	epoch := v.snap.memoEpoch(v.epoch)
 	if t, ok := v.snap.memo.lookup(src, epoch); ok {
-		memoStats.hits.Add(1)
+		v.snap.c.memoHits.Add(1)
 		return t
 	}
-	memoStats.misses.Add(1)
+	v.snap.c.memoMisses.Add(1)
 	t := v.ISLGraph().SPTreeFrom(routing.NodeID(src))
 	if t != nil {
 		v.snap.memo.insert(src, epoch, t)

@@ -2,38 +2,34 @@ package constellation
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"spacecdn/internal/routing"
 )
 
-// pathMemoCap bounds the per-snapshot tree memo. The working set is every
-// uplink satellite visible from the client cities — the CDN resolve path
-// roots trees at each city's serving satellite (~100 sources) and the ground
-// fallback prices every visible uplink (~450 sources fleet-wide at the
-// default scale) — so 1024 covers it with headroom while bounding the
-// worst-case footprint to ~20 MB per snapshot (1024 trees x ~20 KB).
+// pathMemoCap is the floor of the per-snapshot tree memo capacity. The
+// working set is every uplink satellite visible from the client cities — the
+// CDN resolve path roots trees at each city's serving satellite (~100
+// sources) and the ground fallback prices every visible uplink (~450 sources
+// fleet-wide at the default scale) — so 1024 covers the paper's shell with
+// headroom while bounding the worst-case footprint to ~20 MB per snapshot
+// (1024 trees x ~20 KB). Bigger constellations have proportionally more
+// visible uplinks, so the effective capacity scales with the satellite
+// count: max(1024, N), set per constellation (Constellation.memoCap).
 const pathMemoCap = 1024
 
-// Process-wide memo effectiveness counters, exported to telemetry as gauges.
-// They aggregate across snapshots for the same reason the routing op counters
-// do: snapshots are created per instant and per system, so per-snapshot
-// counters would vanish with their snapshot.
-var memoStats struct {
-	hits   atomic.Int64
-	misses atomic.Int64
-}
-
-// PathMemoCounters returns the process-wide path-tree memo hit and miss
-// counts.
-func PathMemoCounters() (hits, misses int64) {
-	return memoStats.hits.Load(), memoStats.misses.Load()
+// PathMemoCounters returns this constellation's path-tree memo hit and miss
+// counts. Counters are per constellation — multi-shell experiments running
+// several constellations in one process read their own effectiveness — and
+// aggregate across the constellation's snapshots, because snapshots are
+// created per instant and per system and would vanish with their counters.
+func (c *Constellation) PathMemoCounters() (hits, misses int64) {
+	return c.memoHits.Load(), c.memoMisses.Load()
 }
 
 // ResetPathMemoCounters zeroes the memo counters (test isolation).
-func ResetPathMemoCounters() {
-	memoStats.hits.Store(0)
-	memoStats.misses.Store(0)
+func (c *Constellation) ResetPathMemoCounters() {
+	c.memoHits.Store(0)
+	c.memoMisses.Store(0)
 }
 
 // memoKey identifies one memoized tree: the source satellite and the
@@ -63,6 +59,7 @@ type memoNode struct {
 // it keeps Dijkstra latency out of the critical section.
 type pathMemo struct {
 	mu         sync.Mutex
+	cap        int // max entries; 0 falls back to pathMemoCap
 	nodes      map[memoKey]*memoNode
 	head, tail *memoNode
 }
@@ -87,8 +84,12 @@ func (m *pathMemo) lookup(src SatID, epoch uint64) (*routing.SPTree, bool) {
 func (m *pathMemo) insert(src SatID, epoch uint64, t *routing.SPTree) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	capacity := m.cap
+	if capacity <= 0 {
+		capacity = pathMemoCap
+	}
 	if m.nodes == nil {
-		m.nodes = make(map[memoKey]*memoNode, pathMemoCap)
+		m.nodes = make(map[memoKey]*memoNode, capacity)
 	}
 	key := memoKey{src: src, epoch: epoch}
 	if nd := m.nodes[key]; nd != nil {
@@ -98,7 +99,7 @@ func (m *pathMemo) insert(src SatID, epoch uint64, t *routing.SPTree) {
 	nd := &memoNode{key: key, tree: t}
 	m.nodes[key] = nd
 	m.pushFront(nd)
-	if len(m.nodes) > pathMemoCap {
+	if len(m.nodes) > capacity {
 		lru := m.tail
 		m.unlink(lru)
 		delete(m.nodes, lru.key)
@@ -146,10 +147,10 @@ func (m *pathMemo) moveToFront(nd *memoNode) {
 func (s *Snapshot) PathTree(src SatID) *routing.SPTree {
 	epoch := s.memoEpoch(0)
 	if t, ok := s.memo.lookup(src, epoch); ok {
-		memoStats.hits.Add(1)
+		s.c.memoHits.Add(1)
 		return t
 	}
-	memoStats.misses.Add(1)
+	s.c.memoMisses.Add(1)
 	t := s.ISLGraph().SPTreeFrom(routing.NodeID(src))
 	if t != nil {
 		s.memo.insert(src, epoch, t)
@@ -164,9 +165,9 @@ func (s *Snapshot) PathTree(src SatID) *routing.SPTree {
 // ones). Returns nil when src is out of range.
 func (s *Snapshot) PathTreeWithin(src SatID, maxCost float64) *routing.SPTree {
 	if t, ok := s.memo.lookup(src, s.memoEpoch(0)); ok {
-		memoStats.hits.Add(1)
+		s.c.memoHits.Add(1)
 		return t
 	}
-	memoStats.misses.Add(1)
+	s.c.memoMisses.Add(1)
 	return s.ISLGraph().SPTreeFromWithin(routing.NodeID(src), maxCost)
 }

@@ -16,37 +16,39 @@ import (
 //
 // For a circular orbit the argument of latitude is u(t) = phase + n*t, and
 // the ECEF position is a fixed per-satellite basis pair combined by
-// (cos u, sin u) and rotated by the Earth angle. When every satellite shares
-// one altitude (any Walker shell), n is common, so cos(n*t)/sin(n*t) and the
-// Earth rotation terms are computed once per call and each satellite costs a
-// handful of multiply-adds — no per-satellite trigonometry. The basis arrays
-// are the pooled SoA layout the sweep advances into.
+// (cos u, sin u) and rotated by the Earth angle. Satellites sharing one
+// altitude share one mean motion n, so cos(n*t)/sin(n*t) is computed once
+// per group and each satellite costs a handful of multiply-adds — no
+// per-satellite trigonometry. A multi-shell composite contributes one group
+// per contiguous equal-altitude run (shells are contiguous by construction),
+// so the fast path covers every configuration; a single shell is exactly one
+// group, reproducing the single-shell engine operation for operation. The
+// basis arrays are the pooled SoA layout the sweep advances into.
 type posEngine struct {
-	// uniform is true when all satellites share one mean motion; the SoA
-	// fast path requires it. Otherwise positionsInto falls back to per-
-	// element propagation (still consistent between snapshot and sweep).
-	uniform bool
-	n       float64 // shared mean motion, rad/s
+	groups []posGroup
 
 	// Per-satellite, time-invariant: cos/sin of the epoch phase and the
 	// radius-scaled ECI basis vectors. ECI(t) = cosU*basisA + sinU*basisB.
 	cosP, sinP     []float64
 	basisA, basisB []geo.Vec3
+}
 
-	els []orbit.Elements // fallback path
+// posGroup is a contiguous id range sharing one mean motion.
+type posGroup struct {
+	n      float64 // shared mean motion, rad/s
+	lo, hi int     // satellite index range [lo, hi)
 }
 
 func newPosEngine(els []orbit.Elements) *posEngine {
-	pe := &posEngine{uniform: true, els: els}
+	pe := &posEngine{}
 	if len(els) == 0 {
 		return pe
 	}
-	pe.n = els[0].MeanMotionRadPerSec()
-	for _, e := range els {
-		if e.AltitudeKm != els[0].AltitudeKm {
-			pe.uniform = false
-			return pe
+	for i, e := range els {
+		if len(pe.groups) == 0 || e.AltitudeKm != els[pe.groups[len(pe.groups)-1].lo].AltitudeKm {
+			pe.groups = append(pe.groups, posGroup{n: e.MeanMotionRadPerSec(), lo: i})
 		}
+		pe.groups[len(pe.groups)-1].hi = i + 1
 	}
 	pe.cosP = make([]float64, len(els))
 	pe.sinP = make([]float64, len(els))
@@ -70,24 +72,20 @@ func newPosEngine(els []orbit.Elements) *posEngine {
 // positionsInto writes the ECEF position of every satellite at time t into
 // dst (len must equal the satellite count). It never allocates.
 func (pe *posEngine) positionsInto(t time.Duration, dst []geo.Vec3) {
-	if !pe.uniform {
-		for i, e := range pe.els {
-			dst[i] = e.PositionECEF(t)
-		}
-		return
-	}
 	sec := t.Seconds()
-	cnt, snt := math.Cos(pe.n*sec), math.Sin(pe.n*sec)
 	theta := orbit.EarthRotationRadPerSec * sec
 	ct, st := math.Cos(theta), math.Sin(theta)
-	for i := range dst {
-		cu := pe.cosP[i]*cnt - pe.sinP[i]*snt
-		su := pe.sinP[i]*cnt + pe.cosP[i]*snt
-		a, b := pe.basisA[i], pe.basisB[i]
-		x := cu*a.X + su*b.X
-		y := cu*a.Y + su*b.Y
-		z := cu*a.Z + su*b.Z
-		// ECEF = Rz(-theta) * ECI.
-		dst[i] = geo.Vec3{X: x*ct + y*st, Y: y*ct - x*st, Z: z}
+	for _, gr := range pe.groups {
+		cnt, snt := math.Cos(gr.n*sec), math.Sin(gr.n*sec)
+		for i := gr.lo; i < gr.hi; i++ {
+			cu := pe.cosP[i]*cnt - pe.sinP[i]*snt
+			su := pe.sinP[i]*cnt + pe.cosP[i]*snt
+			a, b := pe.basisA[i], pe.basisB[i]
+			x := cu*a.X + su*b.X
+			y := cu*a.Y + su*b.Y
+			z := cu*a.Z + su*b.Z
+			// ECEF = Rz(-theta) * ECI.
+			dst[i] = geo.Vec3{X: x*ct + y*st, Y: y*ct - x*st, Z: z}
+		}
 	}
 }

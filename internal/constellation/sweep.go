@@ -62,7 +62,8 @@ func (c *Constellation) Sweep(start, step time.Duration) *Sweep {
 		n := len(c.elements)
 		w = &Sweep{c: c}
 		w.snap = &Snapshot{c: c, pos: make([]geo.Vec3, n)}
-		w.snap.grid = newSweepGrid(n)
+		w.snap.memo.cap = c.memoCap
+		w.snap.grid = newSweepGrid(c)
 		w.snap.gridOnce.Do(func() {}) // the grid is owned, never lazily built
 	}
 	w.closed = false

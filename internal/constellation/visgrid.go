@@ -8,11 +8,11 @@ import (
 )
 
 // visGrid is a lat/lon cell index over the snapshot's satellite sub-points.
-// Ground visibility queries against 1,584 satellites used to scan all of
-// them; the coverage cone of a 550 km satellite above a 25 degree mask spans
-// under ten degrees of central angle, so only a handful of grid cells can
-// hold visible satellites. The grid maps a ground point to those cells with
-// conservative spherical bounds and re-checks each candidate with the exact
+// Ground visibility queries used to scan every satellite; the coverage cone
+// of a ~550 km satellite above a 25 degree mask spans under ten degrees of
+// central angle, so only a handful of grid cells can hold visible
+// satellites. The grid maps a ground point to those cells with conservative
+// spherical bounds and re-checks each candidate with the exact
 // slant/elevation predicate, so query results are identical to the full scan.
 //
 // The grid has two layouts sharing one query path:
@@ -28,26 +28,118 @@ import (
 // candidates with the exact predicate and resolves order via sorts or
 // explicit id tie-breaks, so within-cell order is immaterial.
 type visGrid struct {
-	rows, cols       int
-	latStep, lonStep float64 // degrees per cell
-	start            []int32 // len rows*cols+1 prefix offsets into sats
-	sats             []int32
-	minR, maxR       float64 // satellite orbital radius bounds, km
+	geom       *gridGeom // shared per-constellation cell geometry
+	start      []int32   // len rows*cols+1 prefix offsets into sats
+	sats       []int32
+	minR, maxR float64 // satellite orbital radius bounds, km
 
 	// List layout (non-nil head selects it): per-cell doubly-linked lists
-	// over a fixed satellite arena, plus each satellite's current cell.
-	head       []int32
-	next, prev []int32
-	cellOf     []int32
+	// over a fixed satellite arena, plus each satellite's current cell as a
+	// (row, col) pair — split so the sweep's hot stayer test never divides
+	// by the runtime column count.
+	head         []int32
+	next, prev   []int32
+	rowOf, colOf []int32
 }
 
-// visGridRows/Cols give 10 degree cells: 648 cells for the sphere, a few
-// satellites per cell at Starlink Shell 1 density, and candidate windows of
-// roughly a dozen cells per query.
+// visGridMinRows/visGridCellOccupancy size the grid to the constellation.
+// The resolution rule rows = max(18, ceil(sqrt(N/8))), cols = 2*rows keeps
+// the expected satellites per cell bounded (~8 at the equator, fewer toward
+// the poles) as N grows: cells shrink like 1/sqrt(N), so candidate windows
+// stay a few dozen satellites at any scale. N = 1,584 (Starlink Shell 1)
+// sits below the breakpoint and keeps the original 18x36 grid of 10 degree
+// cells.
 const (
-	visGridRows = 18
-	visGridCols = 36
+	visGridMinRows       = 18
+	visGridCellOccupancy = 8
 )
+
+// gridGeom is the cell geometry of a constellation's visibility grids,
+// computed once per constellation and shared by every fresh-snapshot grid
+// and pooled sweep grid: cell steps, the merged polar caps, and the
+// margin-shrunk boundary tables of the in-cell fast test.
+//
+// Polar caps: rows poleward of roughly +-70 degrees latitude merge all
+// longitude columns into the row's column-0 cell. An inclined shell
+// concentrates sub-points near its inclination turnaround, and longitude
+// converges at the poles — a polar row's cells all neighbour each other, so
+// the per-column pre-filter degenerates into a whole-band scan anyway.
+// Merging makes that explicit: one cell per cap row, one yield per query,
+// and a z-band-only membership test.
+type gridGeom struct {
+	rows, cols       int
+	latStep, lonStep float64 // degrees per cell
+	capRows          int     // rows at each pole merged into one cell per row
+
+	sinLo, sinHi []float64 // per-row sin(latitude) band bounds, margin-shrunk
+	cosB, sinB   []float64 // unit direction of each column boundary meridian
+}
+
+// newGridGeom builds the geometry for an n-satellite constellation.
+func newGridGeom(n int) *gridGeom {
+	rows := visGridMinRows
+	if r := int(math.Ceil(math.Sqrt(float64(n) / visGridCellOccupancy))); r > rows {
+		rows = r
+	}
+	cols := 2 * rows
+	gm := &gridGeom{
+		rows:    rows,
+		cols:    cols,
+		latStep: 180.0 / float64(rows),
+		lonStep: 360.0 / float64(cols),
+		// rows/9 caps the ~20 degrees nearest each pole at any resolution
+		// (2 rows of the 18-row grid, 4 of a 37-row grid).
+		capRows: rows / 9,
+		sinLo:   make([]float64, rows),
+		sinHi:   make([]float64, rows),
+		cosB:    make([]float64, cols+1),
+		sinB:    make([]float64, cols+1),
+	}
+	for r := 0; r < rows; r++ {
+		lo := (-90 + float64(r)*gm.latStep) * math.Pi / 180
+		hi := (-90 + float64(r+1)*gm.latStep) * math.Pi / 180
+		gm.sinLo[r] = math.Sin(lo) + cellBoundMargin
+		gm.sinHi[r] = math.Sin(hi) - cellBoundMargin
+	}
+	for c := 0; c <= cols; c++ {
+		a := (-180 + float64(c)*gm.lonStep) * math.Pi / 180
+		gm.cosB[c], gm.sinB[c] = math.Cos(a), math.Sin(a)
+	}
+	return gm
+}
+
+// capRow reports whether row r belongs to a merged polar cap.
+func (gm *gridGeom) capRow(r int) bool {
+	return r < gm.capRows || r >= gm.rows-gm.capRows
+}
+
+// cellRC maps a sub-point to its (row, col) cell, clamping the boundary
+// cases (lat = 90, lon = 180) into the last row/column. Cap rows map every
+// longitude to column 0 — the row's single merged cell.
+func (gm *gridGeom) cellRC(latDeg, lonDeg float64) (int, int) {
+	r := int((latDeg + 90) / gm.latStep)
+	if r < 0 {
+		r = 0
+	} else if r >= gm.rows {
+		r = gm.rows - 1
+	}
+	if gm.capRow(r) {
+		return r, 0
+	}
+	c := int((lonDeg + 180) / gm.lonStep)
+	if c < 0 {
+		c = 0
+	} else if c >= gm.cols {
+		c = gm.cols - 1
+	}
+	return r, c
+}
+
+// cellIndex is cellRC flattened into the grid's cell array.
+func (gm *gridGeom) cellIndex(latDeg, lonDeg float64) int {
+	r, c := gm.cellRC(latDeg, lonDeg)
+	return r*gm.cols + c
+}
 
 // visGridLazy builds the grid on first use; concurrent first callers share
 // one build.
@@ -57,16 +149,11 @@ func (s *Snapshot) visGridLazy() *visGrid {
 }
 
 func buildVisGrid(s *Snapshot) *visGrid {
-	g := &visGrid{
-		rows:    visGridRows,
-		cols:    visGridCols,
-		latStep: 180.0 / visGridRows,
-		lonStep: 360.0 / visGridCols,
-		minR:    math.Inf(1),
-	}
+	gm := s.c.geom
+	g := &visGrid{geom: gm, minR: math.Inf(1)}
 	n := len(s.pos)
 	cell := make([]int32, n)
-	g.start = make([]int32, g.rows*g.cols+1)
+	g.start = make([]int32, gm.rows*gm.cols+1)
 	for i, p := range s.pos {
 		r := p.Norm()
 		if r < g.minR {
@@ -76,38 +163,20 @@ func buildVisGrid(s *Snapshot) *visGrid {
 			g.maxR = r
 		}
 		pt := p.ToPoint()
-		cell[i] = int32(g.cellIndex(pt.LatDeg, pt.LonDeg))
+		cell[i] = int32(gm.cellIndex(pt.LatDeg, pt.LonDeg))
 		g.start[cell[i]+1]++
 	}
 	for i := 1; i < len(g.start); i++ {
 		g.start[i] += g.start[i-1]
 	}
 	g.sats = make([]int32, n)
-	fill := make([]int32, g.rows*g.cols)
+	fill := make([]int32, gm.rows*gm.cols)
 	for i := 0; i < n; i++ {
 		c := cell[i]
 		g.sats[g.start[c]+fill[c]] = int32(i)
 		fill[c]++
 	}
 	return g
-}
-
-// cellIndex maps a sub-point to its cell, clamping the boundary cases
-// (lat = 90, lon = 180) into the last row/column.
-func (g *visGrid) cellIndex(latDeg, lonDeg float64) int {
-	r := int((latDeg + 90) / g.latStep)
-	if r < 0 {
-		r = 0
-	} else if r >= g.rows {
-		r = g.rows - 1
-	}
-	c := int((lonDeg + 180) / g.lonStep)
-	if c < 0 {
-		c = 0
-	} else if c >= g.cols {
-		c = g.cols - 1
-	}
-	return r*g.cols + c
 }
 
 // maxCentralAngleRad returns the largest possible central angle between a
@@ -163,39 +232,45 @@ func (g *visGrid) chordLowerBoundKm(rg, lamRad float64) float64 {
 // lamRad central angle of the ground point. The latitude band is exact; the
 // per-row longitude half-width follows from the haversine identity
 // hav(A) >= cos(lat1)*cos(lat2)*hav(dLon), taken conservatively over the
-// row's latitude range (rows touching a pole widen to the full circle).
+// row's latitude range (rows touching a pole widen to the full circle). A
+// cap row holds its whole band in one merged cell, yielded once.
 // Candidates are a superset — callers re-check each one exactly.
 func (g *visGrid) forEachCandidate(latDeg, lonDeg, lamRad float64, yield func(int32)) {
+	gm := g.geom
 	lamDeg := lamRad * 180 / math.Pi
-	r0 := int(math.Floor((latDeg - lamDeg + 90) / g.latStep))
+	r0 := int(math.Floor((latDeg - lamDeg + 90) / gm.latStep))
 	if r0 < 0 {
 		r0 = 0
 	}
-	r1 := int(math.Floor((latDeg + lamDeg + 90) / g.latStep))
-	if r1 >= g.rows {
-		r1 = g.rows - 1
+	r1 := int(math.Floor((latDeg + lamDeg + 90) / gm.latStep))
+	if r1 >= gm.rows {
+		r1 = gm.rows - 1
 	}
 	cosG := math.Cos(latDeg * math.Pi / 180)
 	sinHalf := math.Sin(lamRad / 2)
-	c0 := int((lonDeg + 180) / g.lonStep)
+	c0 := int((lonDeg + 180) / gm.lonStep)
 	if c0 < 0 {
 		c0 = 0
-	} else if c0 >= g.cols {
-		c0 = g.cols - 1
+	} else if c0 >= gm.cols {
+		c0 = gm.cols - 1
 	}
 	for r := r0; r <= r1; r++ {
-		bandLo := -90 + float64(r)*g.latStep
-		bandHi := bandLo + g.latStep
+		if gm.capRow(r) {
+			g.yieldCell(r, 0, yield)
+			continue
+		}
+		bandLo := -90 + float64(r)*gm.latStep
+		bandHi := bandLo + gm.latStep
 		minCos := math.Min(math.Cos(bandLo*math.Pi/180), math.Cos(bandHi*math.Pi/180))
-		span := g.cols // cells on each side of c0; cols means the full circle
+		span := gm.cols // cells on each side of c0; cols means the full circle
 		if denom := cosG * minCos; denom > 1e-12 {
 			if q := sinHalf / math.Sqrt(denom); q < 1 {
 				dLonDeg := 2 * math.Asin(q) * 180 / math.Pi
-				span = int(dLonDeg/g.lonStep) + 1
+				span = int(dLonDeg/gm.lonStep) + 1
 			}
 		}
-		if 2*span+1 >= g.cols {
-			for c := 0; c < g.cols; c++ {
+		if 2*span+1 >= gm.cols {
+			for c := 0; c < gm.cols; c++ {
 				g.yieldCell(r, c, yield)
 			}
 			continue
@@ -203,9 +278,9 @@ func (g *visGrid) forEachCandidate(latDeg, lonDeg, lamRad float64, yield func(in
 		for dc := -span; dc <= span; dc++ {
 			c := c0 + dc
 			if c < 0 {
-				c += g.cols
-			} else if c >= g.cols {
-				c -= g.cols
+				c += gm.cols
+			} else if c >= gm.cols {
+				c -= gm.cols
 			}
 			g.yieldCell(r, c, yield)
 		}
@@ -213,7 +288,7 @@ func (g *visGrid) forEachCandidate(latDeg, lonDeg, lamRad float64, yield func(in
 }
 
 func (g *visGrid) yieldCell(r, c int, yield func(int32)) {
-	idx := r*g.cols + c
+	idx := r*g.geom.cols + c
 	if g.head != nil {
 		for id := g.head[idx]; id >= 0; id = g.next[id] {
 			yield(id)
@@ -225,18 +300,18 @@ func (g *visGrid) yieldCell(r, c int, yield func(int32)) {
 	}
 }
 
-// newSweepGrid allocates an empty list-layout grid over n satellites; the
-// sweep cursor owns it and (re)fills it with rebuildLists.
-func newSweepGrid(n int) *visGrid {
+// newSweepGrid allocates an empty list-layout grid over the constellation's
+// satellites; the sweep cursor owns it and (re)fills it with rebuildLists.
+func newSweepGrid(c *Constellation) *visGrid {
+	gm := c.geom
+	n := c.Total()
 	return &visGrid{
-		rows:    visGridRows,
-		cols:    visGridCols,
-		latStep: 180.0 / visGridRows,
-		lonStep: 360.0 / visGridCols,
-		head:    make([]int32, visGridRows*visGridCols),
-		next:    make([]int32, n),
-		prev:    make([]int32, n),
-		cellOf:  make([]int32, n),
+		geom:  gm,
+		head:  make([]int32, gm.rows*gm.cols),
+		next:  make([]int32, n),
+		prev:  make([]int32, n),
+		rowOf: make([]int32, n),
+		colOf: make([]int32, n),
 	}
 }
 
@@ -245,6 +320,7 @@ func newSweepGrid(n int) *visGrid {
 // insensitive to; the radius bounds are computed with exactly the fresh
 // build's operation sequence so they match it bit for bit.
 func (g *visGrid) rebuildLists(s *Snapshot) {
+	gm := g.geom
 	for i := range g.head {
 		g.head[i] = -1
 	}
@@ -258,9 +334,9 @@ func (g *visGrid) rebuildLists(s *Snapshot) {
 			g.maxR = r
 		}
 		pt := p.ToPoint()
-		c := int32(g.cellIndex(pt.LatDeg, pt.LonDeg))
-		g.cellOf[i] = c
-		g.linkFront(int32(i), c)
+		row, col := gm.cellRC(pt.LatDeg, pt.LonDeg)
+		g.rowOf[i], g.colOf[i] = int32(row), int32(col)
+		g.linkFront(int32(i), int32(row*gm.cols+col))
 	}
 }
 
@@ -273,6 +349,7 @@ func (g *visGrid) rebuildLists(s *Snapshot) {
 // pays the exact asin/atan2 recompute. The relink is O(1); the radius bounds
 // are recomputed with the fresh build's operation sequence. Allocation-free.
 func (g *visGrid) advance(s *Snapshot) {
+	gm := g.geom
 	minR, maxR := math.Inf(1), 0.0
 	for i, p := range s.pos {
 		r := p.Norm()
@@ -282,28 +359,32 @@ func (g *visGrid) advance(s *Snapshot) {
 		if r > maxR {
 			maxR = r
 		}
-		old := g.cellOf[i]
-		// The stayer test is inCell inlined by hand: the compiler refuses the
-		// full function, and one opaque call per satellite per step is the
-		// single largest cost of an advance. Keep in lockstep with inCell.
-		row := int(old) / visGridCols
-		col := int(old) % visGridCols
-		if p.Z >= r*cellBoundsTab.sinLo[row] && p.Z <= r*cellBoundsTab.sinHi[row] {
+		row := int(g.rowOf[i])
+		col := int(g.colOf[i])
+		// The stayer test is inCellRC inlined by hand: the compiler refuses
+		// the full function, and one opaque call per satellite per step is
+		// the single largest cost of an advance. Keep in lockstep with
+		// inCellRC. A cap cell spans every longitude, so its test is the
+		// z-band alone.
+		if p.Z >= r*gm.sinLo[row] && p.Z <= r*gm.sinHi[row] {
+			if gm.capRow(row) {
+				continue
+			}
 			m := cellBoundMargin * r
-			if cellBoundsTab.cosB[col]*p.Y-cellBoundsTab.sinB[col]*p.X >= m &&
-				cellBoundsTab.cosB[col+1]*p.Y-cellBoundsTab.sinB[col+1]*p.X <= -m {
+			if gm.cosB[col]*p.Y-gm.sinB[col]*p.X >= m &&
+				gm.cosB[col+1]*p.Y-gm.sinB[col+1]*p.X <= -m {
 				continue
 			}
 		}
-		nc := g.neighborCell(old, p, r)
-		if nc < 0 {
+		nr, nc := g.neighborCell(row, col, p, r)
+		if nr < 0 {
 			pt := p.ToPoint()
-			nc = int32(g.cellIndex(pt.LatDeg, pt.LonDeg))
+			nr, nc = gm.cellRC(pt.LatDeg, pt.LonDeg)
 		}
-		if nc != old {
-			g.unlink(int32(i), old)
-			g.linkFront(int32(i), nc)
-			g.cellOf[i] = nc
+		if nr != row || nc != col {
+			g.unlink(int32(i), int32(row*gm.cols+col))
+			g.linkFront(int32(i), int32(nr*gm.cols+nc))
+			g.rowOf[i], g.colOf[i] = int32(nr), int32(nc)
 		}
 	}
 	g.minR, g.maxR = minR, maxR
@@ -317,31 +398,34 @@ var neighborCellOffsets = [8][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1
 // neighborCell locates a boundary-crossing satellite's new cell without
 // trigonometry: one sweep step moves a satellite a fraction of a cell, so the
 // destination is almost always one of the eight neighbours, and the same
-// margin-shrunk inCell test that cleared the stayers proves membership — a
-// true result implies the exact cellIndex recompute would agree (cells are
-// disjoint, so at most one can test true). Returns -1 when no neighbour
+// margin-shrunk inCellRC test that cleared the stayers proves membership — a
+// true result implies the exact cellRC recompute would agree (cells are
+// disjoint, so at most one can test true). A neighbour row inside a polar
+// cap collapses to the row's merged cell. Returns row -1 when no neighbour
 // strictly contains the point (large AdvanceTo jumps, or a sub-point within
 // the margin of a boundary); the caller then falls back to the exact
 // asin/atan2 recompute.
-func (g *visGrid) neighborCell(old int32, p geo.Vec3, r float64) int32 {
-	row := int(old) / visGridCols
-	col := int(old) % visGridCols
+func (g *visGrid) neighborCell(row, col int, p geo.Vec3, r float64) (int, int) {
+	gm := g.geom
 	for _, d := range neighborCellOffsets {
 		nr := row + d[0]
-		if nr < 0 || nr >= visGridRows {
+		if nr < 0 || nr >= gm.rows {
 			continue // latitude rows do not wrap
 		}
 		nc := col + d[1]
 		if nc < 0 {
-			nc += visGridCols
-		} else if nc >= visGridCols {
-			nc -= visGridCols
+			nc += gm.cols
+		} else if nc >= gm.cols {
+			nc -= gm.cols
 		}
-		if idx := int32(nr*visGridCols + nc); g.inCell(idx, p, r) {
-			return idx
+		if gm.capRow(nr) {
+			nc = 0
+		}
+		if gm.inCellRC(nr, nc, p, r) {
+			return nr, nc
 		}
 	}
-	return -1
+	return -1, -1
 }
 
 func (g *visGrid) linkFront(i, cell int32) {
@@ -367,55 +451,33 @@ func (g *visGrid) unlink(i, cell int32) {
 // cellBoundMargin is the safety margin (radians-scale) of the in-cell fast
 // test. A satellite within the margin of any cell boundary falls back to the
 // exact asin/atan2 recompute, so the fast test can never disagree with
-// cellIndex: sin is 1-Lipschitz in latitude and the longitude test measures
+// cellRC: sin is 1-Lipschitz in latitude and the longitude test measures
 // the sine of the angle to the boundary meridian, so passing the shrunk
 // bounds proves the sub-point lies strictly inside the cell by at least the
 // margin — about six orders of magnitude beyond double rounding error.
 const cellBoundMargin = 1e-9
 
-// cellBoundsTab precomputes the boundary geometry of the fixed grid: per-row
-// sin(latitude) band bounds (margin-shrunk) and the unit direction of each
-// column boundary meridian.
-var cellBoundsTab = func() (t struct {
-	sinLo, sinHi [visGridRows]float64
-	cosB, sinB   [visGridCols + 1]float64
-}) {
-	latStep := 180.0 / visGridRows
-	for r := 0; r < visGridRows; r++ {
-		lo := (-90 + float64(r)*latStep) * math.Pi / 180
-		hi := (-90 + float64(r+1)*latStep) * math.Pi / 180
-		t.sinLo[r] = math.Sin(lo) + cellBoundMargin
-		t.sinHi[r] = math.Sin(hi) - cellBoundMargin
-	}
-	lonStep := 360.0 / visGridCols
-	for c := 0; c <= visGridCols; c++ {
-		a := (-180 + float64(c)*lonStep) * math.Pi / 180
-		t.cosB[c], t.sinB[c] = math.Cos(a), math.Sin(a)
-	}
-	return t
-}()
-
-// inCell reports whether the position (with norm r) provably maps to cell
-// idx under cellIndex, using only multiplications: the latitude band becomes
-// a z-range, and longitude containment becomes two cross products against
-// the boundary meridians (cosB*y - sinB*x = rho*sin(lon-alpha), positive
-// within 180 degrees east of the boundary; for a cell narrower than 180
-// degrees the two half-plane tests intersect in exactly the cell's wedge).
-// False only forces the exact recompute, so false negatives are harmless.
-func (g *visGrid) inCell(idx int32, p geo.Vec3, r float64) bool {
-	// The fixed compile-time dimensions let the row/col split compile to a
-	// multiply-shift instead of an integer division — this runs once per
-	// satellite per sweep step.
-	row := int(idx) / visGridCols
-	col := int(idx) % visGridCols
-	if p.Z < r*cellBoundsTab.sinLo[row] || p.Z > r*cellBoundsTab.sinHi[row] {
+// inCellRC reports whether the position (with norm r) provably maps to cell
+// (row, col) under cellRC, using only multiplications: the latitude band
+// becomes a z-range, and longitude containment becomes two cross products
+// against the boundary meridians (cosB*y - sinB*x = rho*sin(lon-alpha),
+// positive within 180 degrees east of the boundary; for a cell narrower than
+// 180 degrees the two half-plane tests intersect in exactly the cell's
+// wedge). A merged cap cell owns its entire latitude band, so the z-range is
+// the whole test. False only forces the exact recompute, so false negatives
+// are harmless.
+func (gm *gridGeom) inCellRC(row, col int, p geo.Vec3, r float64) bool {
+	if p.Z < r*gm.sinLo[row] || p.Z > r*gm.sinHi[row] {
 		return false
+	}
+	if gm.capRow(row) {
+		return true
 	}
 	m := cellBoundMargin * r
-	if cellBoundsTab.cosB[col]*p.Y-cellBoundsTab.sinB[col]*p.X < m {
+	if gm.cosB[col]*p.Y-gm.sinB[col]*p.X < m {
 		return false
 	}
-	if cellBoundsTab.cosB[col+1]*p.Y-cellBoundsTab.sinB[col+1]*p.X > -m {
+	if gm.cosB[col+1]*p.Y-gm.sinB[col+1]*p.X > -m {
 		return false
 	}
 	return true
@@ -427,7 +489,7 @@ func (g *visGrid) inCell(idx int32, p geo.Vec3, r float64) bool {
 // is element-for-element identical to VisibleScan's.
 func (g *visGrid) visible(s *Snapshot, ground geo.Point) []VisibleSat {
 	gv := ground.ToECEF()
-	maxSlant := geo.SlantRangeKm(s.c.cfg.Walker.AltitudeKm, s.c.cfg.MinElevationDeg)
+	maxSlant := s.c.maxSlantKm
 	lam := g.maxCentralAngleRad(gv.Norm(), maxSlant)
 	var cand []int32
 	g.forEachCandidate(ground.LatDeg, ground.LonDeg, lam, func(id int32) {
@@ -446,7 +508,7 @@ func (g *visGrid) visible(s *Snapshot, ground geo.Point) []VisibleSat {
 			out = append(out, VisibleSat{ID: SatID(id), ElevationDeg: el, SlantKm: d})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ElevationDeg > out[j].ElevationDeg })
+	sortByElevation(out)
 	return out
 }
 
@@ -456,7 +518,7 @@ func (g *visGrid) visible(s *Snapshot, ground geo.Point) []VisibleSat {
 // ties (measure zero for real geometry) break toward the lower id.
 func (g *visGrid) bestVisible(s *Snapshot, ground geo.Point) (VisibleSat, bool) {
 	gv := ground.ToECEF()
-	maxSlant := geo.SlantRangeKm(s.c.cfg.Walker.AltitudeKm, s.c.cfg.MinElevationDeg)
+	maxSlant := s.c.maxSlantKm
 	lam := g.maxCentralAngleRad(gv.Norm(), maxSlant)
 	best := VisibleSat{ID: -1}
 	g.forEachCandidate(ground.LatDeg, ground.LonDeg, lam, func(id int32) {
@@ -486,7 +548,7 @@ func (g *visGrid) bestVisible(s *Snapshot, ground geo.Point) (VisibleSat, bool) 
 func (g *visGrid) nearest(s *Snapshot, ground geo.Point) VisibleSat {
 	gv := ground.ToECEF()
 	rg := gv.Norm()
-	lam := 1.5 * g.latStep * math.Pi / 180
+	lam := 1.5 * g.geom.latStep * math.Pi / 180
 	for {
 		bestID := int32(-1)
 		bestD := math.Inf(1)

@@ -167,9 +167,14 @@ func (m *Model) ResolvePath(client geo.Point, iso2 string, snap *constellation.S
 // topology is what path resolution prices against: the healthy snapshot, or
 // a fault-masked view of one. Both expose elevation-sorted visibility and
 // memoized shortest-path trees; a masked topology simply lacks the dead
-// satellites and their edges.
+// satellites and their edges. Visibility goes through the shared (memoized)
+// form: path resolution queries the same ground stations and recurring
+// clients against one snapshot thousands of times, and re-enumerating a
+// visible list that grows with the constellation made the ground stage
+// degrade linearly in satellite count. The shared lists are read-only here —
+// the uplink list is only re-sliced, never written.
 type topology interface {
-	Visible(geo.Point) []constellation.VisibleSat
+	VisibleShared(geo.Point) []constellation.VisibleSat
 	PathTree(constellation.SatID) *routing.SPTree
 }
 
@@ -184,7 +189,7 @@ func (m *Model) resolvePath(client geo.Point, iso2 string, snap *constellation.S
 // resolvePathVia prices the client's path to one fixed PoP over the given
 // topology — the PoP-assignment-free core of resolvePath.
 func (m *Model) resolvePathVia(snap topology, client geo.Point, pop groundseg.PoP) (Path, error) {
-	ups := snap.Visible(client)
+	ups := snap.VisibleShared(client)
 	if len(ups) == 0 {
 		return Path{}, fmt.Errorf("%w: client at %v", ErrNoVisibility, client)
 	}
@@ -203,7 +208,7 @@ func (m *Model) resolvePathVia(snap topology, client geo.Point, pop groundseg.Po
 	}
 	var gss []gsInfo
 	for _, gs := range stations {
-		vis := snap.Visible(gs.Loc)
+		vis := snap.VisibleShared(gs.Loc)
 		if len(vis) == 0 {
 			continue
 		}

@@ -135,6 +135,30 @@ func StarlinkShell1() Walker {
 	}
 }
 
+// StarlinkGen2 is a three-shell approximation of Starlink's Gen2 system as
+// filed with the FCC: 7,500 satellites split across 525/530/535 km shells at
+// 53, 43 and 33 degrees inclination. Plane counts and phasing follow the
+// Gen2A modification; exact slot arithmetic matters less than the shape —
+// three dense shells at distinct altitudes and inclinations.
+func StarlinkGen2() []Walker {
+	return []Walker{
+		{AltitudeKm: 525, InclinationDeg: 53, Planes: 28, SatsPerPlane: 120, PhasingF: 13},
+		{AltitudeKm: 530, InclinationDeg: 43, Planes: 28, SatsPerPlane: 120, PhasingF: 13},
+		{AltitudeKm: 535, InclinationDeg: 33, Planes: 13, SatsPerPlane: 60, PhasingF: 5},
+	}
+}
+
+// Kuiper is Amazon's Project Kuiper first-generation system: 3,236
+// satellites across three shells at 630/610/590 km and 51.9/42/33 degrees
+// inclination, per the FCC authorization.
+func Kuiper() []Walker {
+	return []Walker{
+		{AltitudeKm: 630, InclinationDeg: 51.9, Planes: 34, SatsPerPlane: 34, PhasingF: 11},
+		{AltitudeKm: 610, InclinationDeg: 42, Planes: 36, SatsPerPlane: 36, PhasingF: 13},
+		{AltitudeKm: 590, InclinationDeg: 33, Planes: 28, SatsPerPlane: 28, PhasingF: 9},
+	}
+}
+
 // Total returns the number of satellites in the constellation.
 func (w Walker) Total() int { return w.Planes * w.SatsPerPlane }
 

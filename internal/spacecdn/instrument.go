@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"spacecdn/internal/cache"
-	"spacecdn/internal/constellation"
 	"spacecdn/internal/geo"
 	"spacecdn/internal/lsn"
 	"spacecdn/internal/routing"
@@ -145,7 +144,10 @@ func (s *System) SetTelemetry(t *telemetry.Telemetry) {
 		dijkstraMs.Set(float64(ops.DijkstraNanos) / float64(time.Millisecond))
 		bfs.Set(float64(ops.BFSSearches))
 		bfsMs.Set(float64(ops.BFSNanos) / float64(time.Millisecond))
-		hits, misses := constellation.PathMemoCounters()
+		// Memo counters are per constellation, so a process running several
+		// systems (multi-shell scale sweeps) reports this system's own
+		// effectiveness rather than a process-wide aggregate.
+		hits, misses := s.consts.PathMemoCounters()
 		memoHits.Set(float64(hits))
 		memoMisses.Set(float64(misses))
 	})

@@ -31,15 +31,20 @@ func (p PerPlaneSpacing) Replicas(s *System, o content.Object) []constellation.S
 		return nil
 	}
 	c := s.Constellation()
-	spp := c.SatsPerPlane()
-	if k > spp {
-		k = spp
-	}
-	offset := int(fnv32(string(o.ID))) % spp
+	h := int(fnv32(string(o.ID)))
 	var out []constellation.SatID
+	// Plane sizes vary across shells of a multi-shell composite, so the
+	// spacing arithmetic runs per plane; a single-shell constellation
+	// reproduces the original uniform spacing exactly.
 	for plane := 0; plane < c.Planes(); plane++ {
-		for i := 0; i < k; i++ {
-			slot := (offset + i*spp/k) % spp
+		spp := c.PlaneSlots(plane)
+		kk := k
+		if kk > spp {
+			kk = spp
+		}
+		offset := h % spp
+		for i := 0; i < kk; i++ {
+			slot := (offset + i*spp/kk) % spp
 			out = append(out, c.ID(plane, slot))
 		}
 	}
@@ -60,11 +65,11 @@ func (p SinglePlaneSpacing) Replicas(s *System, o content.Object) []constellatio
 		return nil
 	}
 	c := s.Constellation()
-	spp := c.SatsPerPlane()
+	plane := p.Plane % c.Planes()
+	spp := c.PlaneSlots(plane)
 	if k > spp {
 		k = spp
 	}
-	plane := p.Plane % c.Planes()
 	offset := int(fnv32(string(o.ID))) % spp
 	var out []constellation.SatID
 	for i := 0; i < k; i++ {

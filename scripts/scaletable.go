@@ -1,0 +1,62 @@
+//go:build ignore
+
+// Command scaletable renders the README's mega-constellation scale table
+// from a BENCH_scale.json artifact (written by `scripts/verify.sh scale` or
+// `go run ./cmd/spacecdn -exp scale-bench -json`).
+//
+//	go run ./scripts/scaletable.go [BENCH_scale.json]
+//
+// The markdown table goes to stdout; paste it over the table in README.md
+// when refreshing the published numbers. Run the full (non -fast) sweep for
+// the README so all three scale points appear.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type point struct {
+	Name               string
+	Sats               int
+	Shells             int
+	GridRows, GridCols int
+	MemoCap            int
+	SnapshotBuildMs    float64
+	SweepStepsPerSec   float64
+	SweepAllocsPerStep float64
+	ResolveReqPerSec   float64
+}
+
+type result struct {
+	Points           []point
+	ResolveSubLinear bool
+	SweepZeroAlloc   bool
+}
+
+func main() {
+	file := "BENCH_scale.json"
+	if len(os.Args) > 1 {
+		file = os.Args[1]
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scaletable: %v\n", err)
+		os.Exit(1)
+	}
+	var res result
+	if err := json.Unmarshal(data, &res); err != nil {
+		fmt.Fprintf(os.Stderr, "scaletable: parse %s: %v\n", file, err)
+		os.Exit(1)
+	}
+	fmt.Println("| Configuration | Sats | Shells | Grid | Snapshot build | Sweep steps/s | Resolve req/s |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, p := range res.Points {
+		fmt.Printf("| %s | %d | %d | %dx%d | %.2f ms | %.0f | %.0f |\n",
+			p.Name, p.Sats, p.Shells, p.GridRows, p.GridCols,
+			p.SnapshotBuildMs, p.SweepStepsPerSec, p.ResolveReqPerSec)
+	}
+	fmt.Printf("\nresolve sub-linear in satellite count: %v; sweep advances allocation-free at every scale: %v\n",
+		res.ResolveSubLinear, res.SweepZeroAlloc)
+}

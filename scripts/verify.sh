@@ -31,6 +31,10 @@
 #          steady-state advance, output-equivalence flag), and the traffic
 #          engine artifact (BENCH_traffic.json: a million-user streaming
 #          day — sustained req/s, serving mix, latency percentiles)
+#   scale  mega-constellation scale sweep artifact (BENCH_scale.json:
+#          snapshot-build time, sweep steps/sec and allocations, and resolve
+#          throughput vs satellite count; -fast keeps the smallest two scale
+#          points so the CI gate stays quick)
 #   benchdiff  bench-regression gate: compares every BENCH_*.json against
 #          the committed bench_baselines.json tolerance bands (runs the
 #          bench stage first if artifacts are missing)
@@ -116,6 +120,11 @@ stage_bench() {
 	cat BENCH_traffic.json
 }
 
+stage_scale() {
+	go run ./cmd/spacecdn -exp scale-bench -fast -json >BENCH_scale.json
+	cat BENCH_scale.json
+}
+
 stage_benchdiff() {
 	# The gate needs fresh artifacts; regenerate when any is missing so a
 	# bare `verify.sh benchdiff` works from a clean tree.
@@ -126,6 +135,10 @@ stage_benchdiff() {
 			break
 		fi
 	done
+	if [ ! -f BENCH_scale.json ]; then
+		echo "benchdiff: BENCH_scale.json missing; running scale stage first"
+		stage_scale
+	fi
 	go run ./scripts/benchdiff.go
 }
 
@@ -136,7 +149,7 @@ fi
 
 for stage in $stages; do
 	case "$stage" in
-	fmt | vet | build | staticcheck | test | race | smoke | observe | bench | benchdiff) ;;
+	fmt | vet | build | staticcheck | test | race | smoke | observe | bench | scale | benchdiff) ;;
 	*)
 		echo "verify: unknown stage '$stage'" >&2
 		exit 2
