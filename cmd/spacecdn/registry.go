@@ -50,6 +50,7 @@ func registry() []experiment {
 		{"workload", "Resolve workload: hot/warm/cold mix by serving source", true, runWorkload},
 		{"resilience", "Resilience sweep: availability, tail latency and source mix vs failure fraction", false, runResilience},
 		{"traffic", "Traffic engine: a million-user streaming day through the resolve path", false, runTraffic},
+		{"lifecycle", "Content lifecycle: TTL class mix x churn x purge sweep, coalescing, purge floods", false, runLifecycle},
 		{"parallel-bench", "Benchmark: batch resolution throughput vs workers", false, runParallelBench},
 		{"resolve-bench", "Benchmark: naive vs accelerated resolve pipeline", false, runResolveBench},
 		{"sweep-bench", "Benchmark: incremental sweep vs fresh per-step snapshots", false, runSweepBench},
@@ -520,6 +521,42 @@ func runTraffic(w io.Writer, s *experiments.Suite, opts options) error {
 	_, err = fmt.Fprintf(w,
 		"churn: %d releases, %d flash crowds, %d regional events; %d sessions opened (%d re-fetches)\n",
 		res.Releases, res.FlashCrowds, res.RegionalEvents, res.SessionsOpened, res.SessionRequests)
+	return err
+}
+
+func runLifecycle(w io.Writer, s *experiments.Suite, opts options) error {
+	res, err := s.Lifecycle()
+	if err != nil {
+		return err
+	}
+	if opts.JSON {
+		return report.WriteJSON(w, res)
+	}
+	t := report.NewTable("Content lifecycle: serve mix under TTL class mix x churn x purge rate",
+		"Mix", "Step s", "Purges", "Requests", "Fresh", "Stale", "Expired", "Miss",
+		"Fetches", "Coalesced", "Inconsistent", "Bulk hits", "Promotions")
+	for _, r := range res.Rows {
+		t.AddRow(r.Mix, r.StepSeconds, r.PurgesPerStep, r.Requests,
+			fmt.Sprintf("%.0f%%", 100*r.FreshShare),
+			fmt.Sprintf("%.0f%%", 100*r.StaleShare),
+			fmt.Sprintf("%.0f%%", 100*r.ExpiredShare),
+			fmt.Sprintf("%.0f%%", 100*r.MissShare),
+			r.OriginFetches, r.Coalesced, r.Inconsistent, r.BulkHits, r.Promotions)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	f := report.NewTable("Flash crowd coalescing and purge propagation",
+		"Crowd reqs", "Cells", "Origin needed", "Flights", "Reduction", "Purge window ms", "Mean ms", "P99 ms")
+	f.AddRow(res.FlashRequests, res.FlashCells, res.FlashOriginNeeded, res.FlashOriginFetches,
+		fmt.Sprintf("%.0fx", res.ReductionX), res.PurgeWindowMs, res.PurgeMeanMs, res.PurgeP99Ms)
+	if err := f.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"purge reached %d/%d sats (masked: %d/%d with %d dead); TTL response: %v; disabled path identical: %v\n",
+		res.PurgeReached, res.PurgeTotalSats, res.MaskedReached, res.PurgeTotalSats,
+		res.MaskedDeadSats, res.TTLResponse, res.DisabledIdentical)
 	return err
 }
 

@@ -12,6 +12,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Key identifies a cached object.
@@ -25,6 +26,15 @@ type Item struct {
 	// Tag is opaque metadata the eviction policy may use (the content
 	// bubble policy stores the object's popularity region here).
 	Tag string
+
+	// Lifecycle metadata (internal/lifecycle). Caches carry these fields
+	// opaquely — they never interpret them; classification of an entry as
+	// fresh / stale-revalidate / expired happens in the serving path. The
+	// zero values mean "unversioned, immutable": exactly the semantics every
+	// pre-lifecycle caller gets without changing a line.
+	Version    int64         // content version this replica holds
+	ExpiresAt  time.Duration // sim time the entry stops being fresh (0 = never)
+	StaleUntil time.Duration // sim time the stale-revalidate grace ends (0 = none)
 }
 
 // EvictionReason classifies why an item left a cache.
@@ -38,6 +48,12 @@ const (
 	// EvictRegionChange is the geo-aware policy shedding content tagged for
 	// a region the satellite is leaving (the paper's content bubbles, §5).
 	EvictRegionChange
+	// EvictTTLExpired is the lifecycle layer dropping an entry whose TTL and
+	// stale-revalidate grace both ran out before a fresh fill replaced it.
+	EvictTTLExpired
+	// EvictPurged is a control-plane purge invalidating the entry: the
+	// satellite received the purge flood and dropped the stale version.
+	EvictPurged
 
 	numEvictionReasons // keep last
 )
@@ -46,6 +62,8 @@ const (
 var evictionReasonNames = [numEvictionReasons]string{
 	EvictCapacity:     "capacity",
 	EvictRegionChange: "region-change",
+	EvictTTLExpired:   "ttl-expired",
+	EvictPurged:       "purged",
 }
 
 func (r EvictionReason) String() string {
@@ -112,8 +130,17 @@ type Cache interface {
 	// Put inserts an item, evicting as needed. It reports whether the item
 	// was admitted (an item larger than the capacity is rejected).
 	Put(it Item) bool
+	// Entry returns the cached item's metadata without side effects (no
+	// recency or frequency update) — the lifecycle layer reads entry
+	// versions and expiry stamps through it on the resolve path.
+	Entry(k Key) (Item, bool)
 	// Remove deletes a key if present.
 	Remove(k Key) bool
+	// Drop deletes a key if present and counts it as an eviction attributed
+	// to the given reason (Remove counts nothing). The lifecycle layer uses
+	// it for TTL-expiry and purge invalidations so the eviction-reason
+	// telemetry sees them.
+	Drop(k Key, reason EvictionReason) bool
 	// Len returns the number of cached items.
 	Len() int
 	// UsedBytes returns the sum of cached item sizes.
@@ -228,6 +255,12 @@ func (c *LRU) evictLocked() {
 		c.notify(e.it.Key, false)
 	}
 }
+
+// Entry implements Cache: metadata lookup without promotion.
+func (c *LRU) Entry(k Key) (Item, bool) { return c.item(k) }
+
+// Drop implements Cache: remove and count as an eviction for reason.
+func (c *LRU) Drop(k Key, reason EvictionReason) bool { return c.evict(k, reason) }
 
 // Remove implements Cache.
 func (c *LRU) Remove(k Key) bool {

@@ -1,0 +1,40 @@
+package cache
+
+import "fmt"
+
+// CheckConsistency audits a cache's internal bookkeeping: Keys() must
+// enumerate exactly Len() distinct keys, each key must resolve through
+// Entry(), and the entry sizes must sum to UsedBytes() without exceeding
+// Capacity(). It returns nil when consistent. Tests run it after white-box
+// mutation sequences; the replica bitset index silently desyncs when a
+// mutation path skips its listener, and a Len/bytes mismatch is the earliest
+// observable symptom of the same class of bug.
+func CheckConsistency(c Cache) error {
+	keys := c.Keys()
+	if got, want := len(keys), c.Len(); got != want {
+		return fmt.Errorf("cache: Keys() yields %d keys but Len() = %d", got, want)
+	}
+	seen := make(map[Key]struct{}, len(keys))
+	var bytes int64
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("cache: duplicate key %q in Keys()", k)
+		}
+		seen[k] = struct{}{}
+		it, ok := c.Entry(k)
+		if !ok {
+			return fmt.Errorf("cache: key %q listed but Entry() misses", k)
+		}
+		if it.Key != k {
+			return fmt.Errorf("cache: entry for %q carries key %q", k, it.Key)
+		}
+		bytes += it.Size
+	}
+	if used := c.UsedBytes(); bytes != used {
+		return fmt.Errorf("cache: entry sizes sum to %d but UsedBytes() = %d", bytes, used)
+	}
+	if used, capacity := c.UsedBytes(), c.Capacity(); used > capacity {
+		return fmt.Errorf("cache: UsedBytes() %d exceeds Capacity() %d", used, capacity)
+	}
+	return nil
+}

@@ -132,6 +132,12 @@ func (c *LRU) evict(k Key, reason EvictionReason) bool {
 	return true
 }
 
+// Entry implements Cache.
+func (c *GeoAware) Entry(k Key) (Item, bool) { return c.lru.Entry(k) }
+
+// Drop implements Cache.
+func (c *GeoAware) Drop(k Key, reason EvictionReason) bool { return c.lru.Drop(k, reason) }
+
 // Remove implements Cache.
 func (c *GeoAware) Remove(k Key) bool { return c.lru.Remove(k) }
 

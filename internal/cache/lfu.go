@@ -9,13 +9,31 @@ import (
 // LFU is a least-frequently-used byte-capacity cache. Ties are broken by
 // insertion order (older first), which makes eviction deterministic.
 type LFU struct {
-	mu    sync.Mutex
-	cap   int64
-	used  int64
-	items map[Key]*lfuEntry
-	heap  lfuHeap
-	seq   int64
-	stats Stats
+	mu       sync.Mutex
+	cap      int64
+	used     int64
+	items    map[Key]*lfuEntry
+	heap     lfuHeap
+	seq      int64
+	stats    Stats
+	onChange func(Key, bool) // membership listener; nil when unset
+}
+
+// SetOnChange registers a membership listener with the same contract as
+// LRU.SetOnChange: (key, true) on insert, (key, false) on any departure
+// (capacity eviction, Remove, Drop), delivered in mutation order under the
+// cache mutex. Overwrites do not fire. Pass nil to detach.
+func (c *LFU) SetOnChange(fn func(Key, bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onChange = fn
+}
+
+// notify fires the membership listener; callers hold c.mu.
+func (c *LFU) notify(k Key, present bool) {
+	if c.onChange != nil {
+		c.onChange(k, present)
+	}
 }
 
 type lfuEntry struct {
@@ -104,6 +122,7 @@ func (c *LFU) Put(it Item) bool {
 	heap.Push(&c.heap, e)
 	c.used += it.Size
 	c.stats.Inserts++
+	c.notify(it.Key, true)
 	c.evictLocked(it.Key)
 	return true
 }
@@ -132,13 +151,36 @@ func (c *LFU) evictLocked(protect Key) {
 		c.used -= e.it.Size
 		c.stats.Evictions++
 		c.stats.ByReason[EvictCapacity]++
+		c.notify(e.it.Key, false)
 	}
+}
+
+// Entry implements Cache: metadata lookup without a frequency bump.
+func (c *LFU) Entry(k Key) (Item, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[k]
+	if !ok {
+		return Item{}, false
+	}
+	return e.it, true
 }
 
 // Remove implements Cache.
 func (c *LFU) Remove(k Key) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.removeLocked(k, false, EvictCapacity)
+}
+
+// Drop implements Cache: remove and count as an eviction for reason.
+func (c *LFU) Drop(k Key, reason EvictionReason) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeLocked(k, true, reason)
+}
+
+func (c *LFU) removeLocked(k Key, countEviction bool, reason EvictionReason) bool {
 	e, ok := c.items[k]
 	if !ok {
 		return false
@@ -146,6 +188,13 @@ func (c *LFU) Remove(k Key) bool {
 	heap.Remove(&c.heap, e.index)
 	delete(c.items, k)
 	c.used -= e.it.Size
+	if countEviction {
+		c.stats.Evictions++
+		if reason >= 0 && reason < numEvictionReasons {
+			c.stats.ByReason[reason]++
+		}
+	}
+	c.notify(k, false)
 	return true
 }
 

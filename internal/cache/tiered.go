@@ -1,0 +1,377 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Tier identifies a storage tier inside a Tiered store.
+type Tier int
+
+// Tiers. Hot models on-board RAM (small, fast); Bulk models the bulk
+// SSD/flash store (large, slower). numTiers must stay last.
+const (
+	TierHot Tier = iota
+	TierBulk
+
+	numTiers // keep last
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierHot:
+		return "hot"
+	case TierBulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Tiered is a two-tier byte-capacity store: a hot RAM tier backed by a bulk
+// SSD tier, each with its own capacity and (in the serving path) its own hit
+// latency. New fills land in the hot tier; hot-tier pressure demotes the
+// least recently used entries into bulk instead of dropping them; bulk
+// pressure evicts for real. Promotion back to hot is explicit via Touch —
+// Get never migrates an entry, so concurrent read-only lookups cannot make
+// tier membership depend on goroutine schedule.
+//
+// The membership listener (SetOnChange) sees union membership: an entry
+// moving between tiers is still present, so demotion and promotion fire
+// nothing; only a true insert or a true departure fires.
+type Tiered struct {
+	mu       sync.Mutex
+	hotCap   int64
+	bulkCap  int64
+	hotUsed  int64
+	bulkUsed int64
+	hot      *list.List // front = most recently used
+	bulk     *list.List // front = most recently demoted/promoted-from
+	items    map[Key]*list.Element
+	stats    Stats
+	tstats   TieredStats
+	onChange func(Key, bool)
+}
+
+type tieredEntry struct {
+	it   Item
+	tier Tier
+}
+
+// TieredStats snapshots tier occupancy and movement counters.
+type TieredStats struct {
+	HotLen     int
+	BulkLen    int
+	HotBytes   int64
+	BulkBytes  int64
+	HotHits    int64
+	BulkHits   int64
+	Promotions int64 // bulk → hot moves (Touch on a bulk entry)
+	Demotions  int64 // hot → bulk moves under hot-tier pressure
+}
+
+// NewTiered creates a two-tier store with the given per-tier byte
+// capacities. It panics on a non-positive capacity (a construction bug).
+func NewTiered(hotCap, bulkCap int64) *Tiered {
+	if hotCap <= 0 || bulkCap <= 0 {
+		panic(fmt.Sprintf("cache: non-positive tier capacity hot=%d bulk=%d", hotCap, bulkCap))
+	}
+	return &Tiered{
+		hotCap:  hotCap,
+		bulkCap: bulkCap,
+		hot:     list.New(),
+		bulk:    list.New(),
+		items:   make(map[Key]*list.Element),
+	}
+}
+
+// SetOnChange registers a membership listener; same contract as
+// LRU.SetOnChange, over the union of both tiers.
+func (c *Tiered) SetOnChange(fn func(Key, bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onChange = fn
+}
+
+func (c *Tiered) notify(k Key, present bool) {
+	if c.onChange != nil {
+		c.onChange(k, present)
+	}
+}
+
+// Get implements Cache. A hit in either tier refreshes recency within that
+// tier only; it never promotes (see Touch).
+func (c *Tiered) Get(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	e := el.Value.(*tieredEntry)
+	c.tierList(e.tier).MoveToFront(el)
+	c.stats.Hits++
+	if e.tier == TierHot {
+		c.tstats.HotHits++
+	} else {
+		c.tstats.BulkHits++
+	}
+	return true
+}
+
+// Peek implements Cache.
+func (c *Tiered) Peek(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[k]
+	return ok
+}
+
+// PeekTier reports which tier holds the key, with no side effects at all —
+// the read-only lookup the sharded resolve phase uses.
+func (c *Tiered) PeekTier(k Key) (Tier, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return 0, false
+	}
+	return el.Value.(*tieredEntry).tier, true
+}
+
+// Entry implements Cache.
+func (c *Tiered) Entry(k Key) (Item, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return Item{}, false
+	}
+	return el.Value.(*tieredEntry).it, true
+}
+
+// Put implements Cache. Fills land in the hot tier; an item too large for
+// hot but fitting bulk goes straight to bulk. Items larger than both tiers
+// are rejected.
+func (c *Tiered) Put(it Item) bool {
+	if it.Size < 0 || (it.Size > c.hotCap && it.Size > c.bulkCap) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[it.Key]; ok {
+		e := el.Value.(*tieredEntry)
+		delta := it.Size - e.it.Size
+		if e.tier == TierHot {
+			c.hotUsed += delta
+		} else {
+			c.bulkUsed += delta
+		}
+		e.it = it
+		c.tierList(e.tier).MoveToFront(el)
+		c.rebalanceLocked(it.Key)
+		return true
+	}
+	e := &tieredEntry{it: it, tier: TierHot}
+	if it.Size > c.hotCap {
+		e.tier = TierBulk
+		c.items[it.Key] = c.bulk.PushFront(e)
+		c.bulkUsed += it.Size
+	} else {
+		c.items[it.Key] = c.hot.PushFront(e)
+		c.hotUsed += it.Size
+	}
+	c.stats.Inserts++
+	c.notify(it.Key, true)
+	c.rebalanceLocked(it.Key)
+	return true
+}
+
+// Touch promotes a bulk entry to the hot tier (the re-reference promotion
+// from the ISSUE), or refreshes recency of a hot entry. It reports whether
+// the key was present. Callers apply promotions sequentially, in batch
+// order, so tier state stays deterministic.
+func (c *Tiered) Touch(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*tieredEntry)
+	if e.tier == TierHot {
+		c.hot.MoveToFront(el)
+		return true
+	}
+	if e.it.Size > c.hotCap {
+		// Too large for hot: stays bulk, recency refresh only.
+		c.bulk.MoveToFront(el)
+		return true
+	}
+	c.bulk.Remove(el)
+	c.bulkUsed -= e.it.Size
+	e.tier = TierHot
+	c.items[k] = c.hot.PushFront(e)
+	c.hotUsed += e.it.Size
+	c.tstats.Promotions++
+	c.rebalanceLocked(k)
+	return true
+}
+
+// rebalanceLocked demotes hot overflow into bulk (protecting the key that
+// triggered the pressure), then evicts bulk overflow for capacity.
+func (c *Tiered) rebalanceLocked(protect Key) {
+	for c.hotUsed > c.hotCap {
+		back := c.hot.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*tieredEntry)
+		if e.it.Key == protect && c.hot.Len() == 1 {
+			break
+		}
+		victim := back
+		if e.it.Key == protect {
+			victim = back.Prev()
+			e = victim.Value.(*tieredEntry)
+		}
+		c.hot.Remove(victim)
+		c.hotUsed -= e.it.Size
+		if e.it.Size > c.bulkCap {
+			// Cannot fit bulk at all: a real eviction.
+			delete(c.items, e.it.Key)
+			c.stats.Evictions++
+			c.stats.ByReason[EvictCapacity]++
+			c.notify(e.it.Key, false)
+			continue
+		}
+		e.tier = TierBulk
+		c.items[e.it.Key] = c.bulk.PushFront(e)
+		c.bulkUsed += e.it.Size
+		c.tstats.Demotions++
+	}
+	for c.bulkUsed > c.bulkCap {
+		back := c.bulk.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*tieredEntry)
+		if e.it.Key == protect {
+			if c.bulk.Len() == 1 {
+				break
+			}
+			back = back.Prev()
+			e = back.Value.(*tieredEntry)
+		}
+		c.bulk.Remove(back)
+		delete(c.items, e.it.Key)
+		c.bulkUsed -= e.it.Size
+		c.stats.Evictions++
+		c.stats.ByReason[EvictCapacity]++
+		c.notify(e.it.Key, false)
+	}
+}
+
+// Remove implements Cache.
+func (c *Tiered) Remove(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeLocked(k, false, EvictCapacity)
+}
+
+// Drop implements Cache.
+func (c *Tiered) Drop(k Key, reason EvictionReason) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeLocked(k, true, reason)
+}
+
+func (c *Tiered) removeLocked(k Key, countEviction bool, reason EvictionReason) bool {
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*tieredEntry)
+	c.tierList(e.tier).Remove(el)
+	if e.tier == TierHot {
+		c.hotUsed -= e.it.Size
+	} else {
+		c.bulkUsed -= e.it.Size
+	}
+	delete(c.items, k)
+	if countEviction {
+		c.stats.Evictions++
+		if reason >= 0 && reason < numEvictionReasons {
+			c.stats.ByReason[reason]++
+		}
+	}
+	c.notify(k, false)
+	return true
+}
+
+func (c *Tiered) tierList(t Tier) *list.List {
+	if t == TierHot {
+		return c.hot
+	}
+	return c.bulk
+}
+
+// Len implements Cache (union of both tiers).
+func (c *Tiered) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// UsedBytes implements Cache (union of both tiers).
+func (c *Tiered) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hotUsed + c.bulkUsed
+}
+
+// Capacity implements Cache (sum of tier capacities).
+func (c *Tiered) Capacity() int64 { return c.hotCap + c.bulkCap }
+
+// Stats implements Cache.
+func (c *Tiered) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// TierStats snapshots per-tier occupancy and movement counters.
+func (c *Tiered) TierStats() TieredStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tstats
+	t.HotLen = c.hot.Len()
+	t.BulkLen = c.bulk.Len()
+	t.HotBytes = c.hotUsed
+	t.BulkBytes = c.bulkUsed
+	return t
+}
+
+// Keys implements Cache: hot tier MRU-first, then bulk tier.
+func (c *Tiered) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, len(c.items))
+	for el := c.hot.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*tieredEntry).it.Key)
+	}
+	for el := c.bulk.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*tieredEntry).it.Key)
+	}
+	return out
+}
+
+// String describes the store state briefly.
+func (c *Tiered) String() string {
+	t := c.TierStats()
+	return fmt.Sprintf("tiered(hot %d items %d/%d bytes, bulk %d items %d/%d bytes)",
+		t.HotLen, t.HotBytes, c.hotCap, t.BulkLen, t.BulkBytes, c.bulkCap)
+}
+
+var _ Cache = (*Tiered)(nil)

@@ -18,12 +18,63 @@ import (
 // ID identifies a content object.
 type ID string
 
+// Class partitions the catalog by content lifecycle: how long an object
+// stays fresh and how it is revalidated. The zero value is ClassStatic —
+// immutable content — so catalogs generated before classes existed keep
+// their semantics unchanged.
+type Class int
+
+// Content classes, ordered roughly by TTL (longest first). numClasses must
+// stay last; the name table is sized by it.
+const (
+	// ClassStatic is immutable content (software downloads, media files,
+	// versioned web assets): effectively infinite TTL.
+	ClassStatic Class = iota
+	// ClassNews is breaking-news style content: minutes-scale TTL with a
+	// stale-while-revalidate grace.
+	ClassNews
+	// ClassLiveSegment is a live-video segment: seconds-scale TTL, no grace
+	// worth serving once the next segment exists.
+	ClassLiveSegment
+	// ClassAPI is a dynamic API response: short TTL, short grace.
+	ClassAPI
+
+	numClasses // keep last
+)
+
+var classNames = [numClasses]string{
+	ClassStatic:      "static",
+	ClassNews:        "news",
+	ClassLiveSegment: "live-segment",
+	ClassAPI:         "api",
+}
+
+func (c Class) String() string {
+	if c < 0 || c >= numClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// NumClasses returns the number of defined content classes.
+func NumClasses() int { return int(numClasses) }
+
+// Classes lists every defined class, for exhaustive iteration.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
 // Object is a cacheable content object.
 type Object struct {
 	ID     ID
 	Bytes  int64
 	Region geo.Region // home region whose users favour this object
 	Video  bool
+	Class  Class // lifecycle class; zero value = static (immutable)
 }
 
 // Catalog is an immutable set of objects with popularity structure.
@@ -53,7 +104,20 @@ type CatalogConfig struct {
 	// object's rank in its home region improves by roughly this factor.
 	RegionBoost float64
 	Seed        int64
+	// ClassMix assigns lifecycle classes: fractions of the catalog that are
+	// news, live segments, and API responses; the remainder stays static.
+	// All-zero (the default) skips class assignment entirely, leaving every
+	// object static and the catalog bit-identical to a pre-lifecycle one.
+	NewsFraction float64
+	LiveFraction float64
+	APIFraction  float64
 }
+
+// classSeedSalt decorrelates the class-assignment stream from the main
+// catalog stream. Classes are drawn in a second pass from an independent
+// rng so enabling a class mix cannot shift the region/size/video draws of
+// the existing seeded catalogs (which eq-gated benchmarks depend on).
+const classSeedSalt = 0x1f5ec1a55
 
 // DefaultCatalogConfig returns a web-plus-video mix of 10k objects.
 func DefaultCatalogConfig() CatalogConfig {
@@ -94,6 +158,24 @@ func GenerateCatalog(cfg CatalogConfig) (*Catalog, error) {
 			Bytes:  size,
 			Region: region,
 			Video:  video,
+		}
+	}
+	if cfg.NewsFraction < 0 || cfg.LiveFraction < 0 || cfg.APIFraction < 0 ||
+		cfg.NewsFraction+cfg.LiveFraction+cfg.APIFraction > 1 {
+		return nil, fmt.Errorf("content: class mix fractions must be non-negative and sum to at most 1")
+	}
+	if cfg.NewsFraction+cfg.LiveFraction+cfg.APIFraction > 0 {
+		crng := stats.NewRand(cfg.Seed ^ classSeedSalt)
+		for i := range objs {
+			u := crng.Float64()
+			switch {
+			case u < cfg.NewsFraction:
+				objs[i].Class = ClassNews
+			case u < cfg.NewsFraction+cfg.LiveFraction:
+				objs[i].Class = ClassLiveSegment
+			case u < cfg.NewsFraction+cfg.LiveFraction+cfg.APIFraction:
+				objs[i].Class = ClassAPI
+			}
 		}
 	}
 	c := &Catalog{

@@ -1,0 +1,175 @@
+package content
+
+import (
+	"testing"
+
+	"spacecdn/internal/geo"
+	"spacecdn/internal/stats"
+)
+
+// TestClassMixAssignsClasses checks the second-pass class assignment hits
+// every class at roughly the configured fractions.
+func TestClassMixAssignsClasses(t *testing.T) {
+	cfg := DefaultCatalogConfig()
+	cfg.Objects = 4000
+	cfg.NewsFraction = 0.2
+	cfg.LiveFraction = 0.1
+	cfg.APIFraction = 0.15
+	c, err := GenerateCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, NumClasses())
+	for i := 0; i < c.Len(); i++ {
+		counts[c.ByRank(geo.Regions()[0], i).Class]++
+	}
+	total := float64(cfg.Objects)
+	wantShares := map[Class]float64{
+		ClassStatic:      0.55,
+		ClassNews:        0.2,
+		ClassLiveSegment: 0.1,
+		ClassAPI:         0.15,
+	}
+	for cls, want := range wantShares {
+		got := float64(counts[cls]) / total
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("class %v share = %.3f, want ~%.2f", cls, got, want)
+		}
+	}
+}
+
+// TestClassMixDoesNotPerturbCatalog proves enabling a class mix changes
+// ONLY the Class field: region, size, and video draws stay bit-identical,
+// because classes come from an independent seeded stream in a second pass.
+func TestClassMixDoesNotPerturbCatalog(t *testing.T) {
+	base := DefaultCatalogConfig()
+	base.Objects = 500
+	plain, err := GenerateCatalog(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := base
+	mixed.NewsFraction, mixed.LiveFraction, mixed.APIFraction = 0.3, 0.1, 0.1
+	withMix, err := GenerateCatalog(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < plain.Len(); i++ {
+		a := plain.ByRank(geo.Regions()[0], i)
+		b := withMix.ByRank(geo.Regions()[0], i)
+		a.Class, b.Class = 0, 0
+		if a != b {
+			t.Fatalf("object %d differs beyond Class:\n plain %+v\n mixed %+v", i, a, b)
+		}
+	}
+	// And all-zero mix means all static.
+	for i := 0; i < plain.Len(); i++ {
+		if got := plain.ByRank(geo.Regions()[0], i).Class; got != ClassStatic {
+			t.Fatalf("zero-mix catalog object has class %v", got)
+		}
+	}
+}
+
+// TestClassMixValidation rejects impossible mixes.
+func TestClassMixValidation(t *testing.T) {
+	cfg := DefaultCatalogConfig()
+	cfg.Objects = 10
+	cfg.NewsFraction = 0.8
+	cfg.APIFraction = 0.5 // sums over 1
+	if _, err := GenerateCatalog(cfg); err == nil {
+		t.Fatal("accepted class mix summing over 1")
+	}
+	cfg.NewsFraction, cfg.APIFraction = -0.1, 0
+	if _, err := GenerateCatalog(cfg); err == nil {
+		t.Fatal("accepted negative class fraction")
+	}
+}
+
+// TestSingleObjectCatalogRanks exercises the regional rank tables at the
+// smallest catalog: one object. Every region's table must rank it, and the
+// regions the object does not call home (the "empty region" case — zero
+// home-region objects) must still rank, sample, and score affinity sanely.
+func TestSingleObjectCatalogRanks(t *testing.T) {
+	cfg := DefaultCatalogConfig()
+	cfg.Objects = 1
+	c, err := GenerateCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("catalog len = %d, want 1", c.Len())
+	}
+	only := c.ByRank(geo.Regions()[0], 0)
+	rng := stats.NewRand(7)
+	for _, r := range geo.Regions() {
+		if got := c.ByRank(r, 0); got.ID != only.ID {
+			t.Errorf("region %v ByRank(0) = %v, want %v", r, got.ID, only.ID)
+		}
+		if top := c.TopN(r, 5); len(top) != 1 || top[0].ID != only.ID {
+			t.Errorf("region %v TopN(5) = %v, want exactly the one object", r, top)
+		}
+		if got := c.Sample(r, rng); got.ID != only.ID {
+			t.Errorf("region %v Sample = %v, want %v", r, got.ID, only.ID)
+		}
+		wantAff := 0.0
+		if r == only.Region {
+			wantAff = 1.0
+		}
+		if got := c.RegionAffinity(r, 1); got != wantAff {
+			t.Errorf("region %v affinity = %v, want %v", r, got, wantAff)
+		}
+	}
+	if got := c.RegionAffinity(only.Region, 0); got != 0 {
+		t.Errorf("affinity over zero ranks = %v, want 0", got)
+	}
+}
+
+// TestRankTablesArePermutations checks that every region's rank table is a
+// complete permutation of the catalog — including regions with zero
+// home-region objects, which the boost re-sort must not drop or duplicate.
+func TestRankTablesArePermutations(t *testing.T) {
+	cfg := DefaultCatalogConfig()
+	cfg.Objects = 97 // small and prime, so region buckets are uneven
+	cfg.Seed = 3
+	c, err := GenerateCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count home objects per region; with 97 objects across all regions at
+	// least the distribution is uneven, and the permutation property must
+	// hold regardless of whether a region has 0, 1, or many home objects.
+	homeCount := make(map[geo.Region]int)
+	for i := 0; i < c.Len(); i++ {
+		homeCount[c.ByRank(geo.Regions()[0], i).Region]++
+	}
+	for _, r := range geo.Regions() {
+		seen := make(map[ID]int, c.Len())
+		for i := 0; i < c.Len(); i++ {
+			seen[c.ByRank(r, i).ID]++
+		}
+		if len(seen) != c.Len() {
+			t.Errorf("region %v (home objects: %d): rank table covers %d of %d objects",
+				r, homeCount[r], len(seen), c.Len())
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Errorf("region %v: object %v appears %d times in rank table", r, id, n)
+			}
+		}
+	}
+}
+
+// TestClassStringsRoundTrip keeps the class name table exhaustive.
+func TestClassStringsRoundTrip(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, cls := range Classes() {
+		s := cls.String()
+		if s == "" || seen[s] {
+			t.Errorf("class %d has empty or duplicate name %q", int(cls), s)
+		}
+		seen[s] = true
+	}
+	if Class(-1).String() == ClassStatic.String() {
+		t.Error("out-of-range class collides with a named class")
+	}
+}

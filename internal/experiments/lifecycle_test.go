@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLifecycleExperiment(t *testing.T) {
+	s := testSuite(t)
+	res, err := s.Lifecycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(lifecycleMixes()) * 2 * 2
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	for _, r := range res.Rows {
+		if r.Requests == 0 || r.Errors > 0 {
+			t.Fatalf("row %s/%v/%d: requests %d errors %d", r.Mix, r.StepSeconds, r.PurgesPerStep, r.Requests, r.Errors)
+		}
+		sum := r.FreshShare + r.StaleShare + r.ExpiredShare + r.MissShare
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %s/%v/%d: serve shares sum to %v", r.Mix, r.StepSeconds, r.PurgesPerStep, sum)
+		}
+		if r.OriginNeeded != r.OriginFetches+r.Coalesced {
+			t.Fatalf("row %s/%v/%d: needed %d != fetches %d + coalesced %d",
+				r.Mix, r.StepSeconds, r.PurgesPerStep, r.OriginNeeded, r.OriginFetches, r.Coalesced)
+		}
+		if r.PurgesPerStep == 0 {
+			if r.PurgesIssued != 0 || r.PurgeWindowMsMean != 0 {
+				t.Fatalf("row %s/%v/0 reports purge activity: %+v", r.Mix, r.StepSeconds, r)
+			}
+			if r.Mix == "static" && (r.StaleShare != 0 || r.ExpiredShare != 0) {
+				t.Fatalf("static mix without purges produced non-fresh serves: %+v", r)
+			}
+		} else if r.PurgesIssued == 0 || r.PurgeWindowMsMean <= 0 {
+			t.Fatalf("row %s/%v/%d missing purge activity: %+v", r.Mix, r.StepSeconds, r.PurgesPerStep, r)
+		}
+		if r.Promotions > r.BulkHits {
+			t.Fatalf("row %s/%v/%d: %d promotions exceed %d bulk hits",
+				r.Mix, r.StepSeconds, r.PurgesPerStep, r.Promotions, r.BulkHits)
+		}
+	}
+	if !res.TTLResponse {
+		t.Error("serve mix did not respond to the TTL sweep")
+	}
+	if res.ReductionX < 10 {
+		t.Errorf("coalescing reduction %.1fx below the 10x acceptance floor", res.ReductionX)
+	}
+	if res.FlashOriginNeeded != res.FlashOriginFetches+res.FlashCoalesced {
+		t.Errorf("flash accounting: %d != %d + %d", res.FlashOriginNeeded, res.FlashOriginFetches, res.FlashCoalesced)
+	}
+	if int64(res.FlashCells) != res.FlashOriginFetches {
+		t.Errorf("flights %d != populated cells %d", res.FlashOriginFetches, res.FlashCells)
+	}
+	if !res.ConvergedAll || res.PurgeReached != res.PurgeTotalSats {
+		t.Errorf("healthy purge reached %d/%d", res.PurgeReached, res.PurgeTotalSats)
+	}
+	if res.PurgeWindowMs <= 0 || res.PurgeMeanMs <= 0 || res.PurgeP99Ms > res.PurgeWindowMs {
+		t.Errorf("purge window malformed: window %v mean %v p99 %v", res.PurgeWindowMs, res.PurgeMeanMs, res.PurgeP99Ms)
+	}
+	if res.PreReceiptInconsistent < 1 {
+		t.Error("no inconsistent serve observed inside the purge window")
+	}
+	if res.MaskedReached != res.PurgeTotalSats-res.MaskedDeadSats {
+		t.Errorf("masked purge reached %d, want %d live satellites",
+			res.MaskedReached, res.PurgeTotalSats-res.MaskedDeadSats)
+	}
+	if !res.DisabledIdentical {
+		t.Error("disabled lifecycle path diverged from the plain pipeline")
+	}
+}
+
+func TestLifecycleWorkerInvariance(t *testing.T) {
+	s := testSuite(t)
+	defer s.SetWorkers(0)
+	s.SetWorkers(1)
+	seq, err := s.Lifecycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(6)
+	par, err := s.Lifecycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("results diverge across worker counts:\n  seq %+v\n  par %+v", seq, par)
+	}
+}

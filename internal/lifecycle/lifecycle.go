@@ -1,0 +1,280 @@
+// Package lifecycle gives cached content a life: versions, per-class TTLs
+// with stale-while-revalidate grace, and control-plane purges that must
+// physically propagate to every moving cache over the ISL topology.
+//
+// The package is deliberately passive: it classifies and stamps, but never
+// touches a cache or serves a request itself. The serving path
+// (internal/spacecdn) consults a Manager at each cache hit and acts on the
+// verdict. A zero-policy Manager with no purges issued is inert — the
+// serving path checks Active() before anything else and runs its
+// pre-lifecycle pipeline byte-identically.
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/content"
+)
+
+// Freshness classifies a cache hit against the entry's lifecycle stamps.
+type Freshness int
+
+// Freshness verdicts. numFreshness must stay last; the name table and the
+// serving path's per-verdict counters are sized by it.
+const (
+	// Fresh: within TTL (or immutable); serve directly.
+	Fresh Freshness = iota
+	// StaleRevalidate: past TTL but within the stale-while-revalidate
+	// grace; serve the cached copy and revalidate against origin off-path.
+	StaleRevalidate
+	// Expired: past grace, version-invalidated by a received purge, or
+	// otherwise unservable; treat as a miss and refetch.
+	Expired
+
+	numFreshness // keep last
+)
+
+var freshnessNames = [numFreshness]string{
+	Fresh:           "fresh",
+	StaleRevalidate: "stale-revalidate",
+	Expired:         "expired",
+}
+
+func (f Freshness) String() string {
+	if f < 0 || f >= numFreshness {
+		return fmt.Sprintf("freshness(%d)", int(f))
+	}
+	return freshnessNames[f]
+}
+
+// NumFreshness returns the number of freshness verdicts.
+func NumFreshness() int { return int(numFreshness) }
+
+// FreshnessValues lists every verdict, for exhaustive iteration.
+func FreshnessValues() []Freshness {
+	out := make([]Freshness, numFreshness)
+	for i := range out {
+		out[i] = Freshness(i)
+	}
+	return out
+}
+
+// ClassTTL is the lifecycle policy for one content class. The zero value
+// means immutable: never expires, no grace needed.
+type ClassTTL struct {
+	// TTL is how long a fill stays fresh. 0 = immutable.
+	TTL time.Duration
+	// StaleFor extends servability past the TTL: the stale-while-revalidate
+	// grace. Ignored when TTL is 0.
+	StaleFor time.Duration
+}
+
+// Policy maps content classes to their TTLs. The zero value is the inert
+// policy: every class immutable, exactly the pre-lifecycle world.
+type Policy struct {
+	Static      ClassTTL
+	News        ClassTTL
+	LiveSegment ClassTTL
+	API         ClassTTL
+}
+
+// For returns the class's TTL configuration.
+func (p Policy) For(c content.Class) ClassTTL {
+	switch c {
+	case content.ClassNews:
+		return p.News
+	case content.ClassLiveSegment:
+		return p.LiveSegment
+	case content.ClassAPI:
+		return p.API
+	default:
+		return p.Static
+	}
+}
+
+// Zero reports whether the policy is inert (all classes immutable).
+func (p Policy) Zero() bool {
+	return p == Policy{}
+}
+
+// DefaultPolicy returns CDN-typical TTLs: static immutable, news on a
+// minutes-scale TTL with generous grace, live segments on seconds with
+// barely any, API responses in between.
+func DefaultPolicy() Policy {
+	return Policy{
+		News:        ClassTTL{TTL: 5 * time.Minute, StaleFor: 5 * time.Minute},
+		LiveSegment: ClassTTL{TTL: 10 * time.Second, StaleFor: 4 * time.Second},
+		API:         ClassTTL{TTL: 30 * time.Second, StaleFor: 30 * time.Second},
+	}
+}
+
+// purgeWave is one issued purge: the version it established and when each
+// satellite learned about it (receipt epoch; negative = never, e.g. the
+// satellite was partitioned from the flood).
+type purgeWave struct {
+	version  int64
+	issuedAt time.Duration
+	receipts []time.Duration
+}
+
+// Manager is the content lifecycle authority: current object versions, the
+// TTL policy, and the receipt epochs of every purge flood. It is safe for
+// concurrent use; classification takes a read lock and the Active gate is a
+// single atomic load, so an inert manager costs the serving path one branch.
+type Manager struct {
+	mu      sync.RWMutex
+	policy  Policy
+	numSats int
+	active  atomic.Bool
+	// versions holds the latest authoritative version per object; absent
+	// means version 1 (every object starts at 1, and unstamped cache entries
+	// with Version 0 are read as 1).
+	versions map[content.ID]int64
+	purges   map[content.ID][]purgeWave
+}
+
+// NewManager creates a lifecycle manager over a fleet of numSats caches.
+// A zero policy yields an inert manager until the first purge is issued.
+func NewManager(policy Policy, numSats int) *Manager {
+	m := &Manager{
+		policy:   policy,
+		numSats:  numSats,
+		versions: make(map[content.ID]int64),
+		purges:   make(map[content.ID][]purgeWave),
+	}
+	if !policy.Zero() {
+		m.active.Store(true)
+	}
+	return m
+}
+
+// Active reports whether the manager can affect serving at all: false only
+// for a zero policy with no purges ever issued. The serving path gates on
+// this before any other lifecycle work.
+func (m *Manager) Active() bool { return m.active.Load() }
+
+// Policy returns the TTL policy.
+func (m *Manager) Policy() Policy {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.policy
+}
+
+// NumSats returns the fleet size receipts are tracked for.
+func (m *Manager) NumSats() int { return m.numSats }
+
+// LatestVersion returns the current authoritative version of an object.
+func (m *Manager) LatestVersion(obj content.ID) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.latestLocked(obj)
+}
+
+func (m *Manager) latestLocked(obj content.ID) int64 {
+	if v, ok := m.versions[obj]; ok {
+		return v
+	}
+	return 1
+}
+
+// KnownVersion returns the version satellite sat believes current at time
+// now: the highest purge-established version whose flood receipt has
+// arrived, else 1.
+func (m *Manager) KnownVersion(sat int, obj content.ID, now time.Duration) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.knownLocked(sat, obj, now)
+}
+
+func (m *Manager) knownLocked(sat int, obj content.ID, now time.Duration) int64 {
+	known := int64(1)
+	for _, w := range m.purges[obj] {
+		if sat >= 0 && sat < len(w.receipts) {
+			if r := w.receipts[sat]; r >= 0 && r <= now && w.version > known {
+				known = w.version
+			}
+		}
+	}
+	return known
+}
+
+// Stamp fills an entry's lifecycle metadata at fill time: the current
+// authoritative version and the policy expiry stamps for the class.
+func (m *Manager) Stamp(it *cache.Item, class content.Class, obj content.ID, now time.Duration) {
+	m.mu.RLock()
+	it.Version = m.latestLocked(obj)
+	ct := m.policy.For(class)
+	m.mu.RUnlock()
+	if ct.TTL > 0 {
+		it.ExpiresAt = now + ct.TTL
+		if ct.StaleFor > 0 {
+			it.StaleUntil = it.ExpiresAt + ct.StaleFor
+		} else {
+			it.StaleUntil = it.ExpiresAt
+		}
+	} else {
+		it.ExpiresAt = 0
+		it.StaleUntil = 0
+	}
+}
+
+// Classify judges a cache hit on satellite sat at time now. inconsistent
+// reports a measurable stale serve inside a purge's inconsistency window:
+// the entry was superseded by a purge the satellite has not yet received,
+// so it (correctly, per its own knowledge) serves the old version.
+func (m *Manager) Classify(sat int, entry cache.Item, obj content.ID, now time.Duration) (f Freshness, inconsistent bool) {
+	if !m.active.Load() {
+		return Fresh, false
+	}
+	m.mu.RLock()
+	latest := m.latestLocked(obj)
+	known := m.knownLocked(sat, obj, now)
+	m.mu.RUnlock()
+
+	ev := entry.Version
+	if ev == 0 {
+		ev = 1 // unstamped pre-lifecycle entries hold the initial version
+	}
+	if ev < known {
+		// The satellite has received a purge superseding this entry.
+		return Expired, false
+	}
+	switch {
+	case entry.ExpiresAt == 0 || now <= entry.ExpiresAt:
+		f = Fresh
+	case now <= entry.StaleUntil:
+		f = StaleRevalidate
+	default:
+		f = Expired
+	}
+	if f != Expired && ev < latest {
+		inconsistent = true
+	}
+	return f, inconsistent
+}
+
+// Superseded reports whether the entry holds a version behind what the
+// satellite already knows — i.e. a received purge invalidated it. The
+// serving path uses this to attribute an Expired verdict to the purge
+// (EvictPurged) rather than TTL expiry.
+func (m *Manager) Superseded(sat int, entry cache.Item, obj content.ID, now time.Duration) bool {
+	if !m.active.Load() {
+		return false
+	}
+	ev := entry.Version
+	if ev == 0 {
+		ev = 1
+	}
+	return ev < m.KnownVersion(sat, obj, now)
+}
+
+// PurgeCount returns how many purges have been issued for an object.
+func (m *Manager) PurgeCount(obj content.ID) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.purges[obj])
+}

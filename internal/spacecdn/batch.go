@@ -57,6 +57,16 @@ func (s *System) ResolveAll(reqs []Request, snap *constellation.Snapshot, rng *s
 	if len(reqs) == 0 {
 		return nil
 	}
+	// An active lifecycle manager switches to the two-phase batch form
+	// (read-only sharded resolve, then sequential intent application with
+	// request coalescing) — unless active faults claim the batch first, in
+	// which case the degraded pipeline runs per request as usual. Both paths
+	// are byte-identical across worker counts.
+	if s.lc != nil && s.lc.Active() {
+		if s.faults == nil || s.faults.ViewAt(snap.Time()).Empty() {
+			return s.resolveAllLifecycle(reqs, snap, rng, workers)
+		}
+	}
 	out := make([]BatchResult, len(reqs))
 	spans := parallel.Split(len(reqs), batchShardTarget)
 	rngs := rng.Split(len(spans))

@@ -34,6 +34,13 @@ type instruments struct {
 	degradedSrc *telemetry.Histogram
 	degradedRTT *telemetry.Histogram
 
+	// Lifecycle instruments: serve mix by freshness, coalescing savings,
+	// inconsistency-window serves, and the purge propagation distribution.
+	lcServes       [numServeClasses]*telemetry.Counter
+	lcCoalesced    *telemetry.Counter
+	lcInconsistent *telemetry.Counter
+	lcPurgeMs      *telemetry.Histogram
+
 	// spatial attributes each request to the serving satellite and the
 	// client's lat/lon cell — the where-in-orbit heatmap. Shared across every
 	// system wired to the same telemetry bundle.
@@ -99,6 +106,12 @@ func (s *System) SetTelemetry(t *telemetry.Telemetry) {
 	}
 	in.degradedSrc = reg.Histogram("spacecdn_degraded_source", srcBuckets)
 	in.degradedRTT = reg.Histogram("spacecdn_degraded_rtt_ms", telemetry.LatencyBucketsMs)
+	for _, sc := range ServeClasses() {
+		in.lcServes[sc] = reg.Counter("lifecycle_serve_total", "freshness", sc.String())
+	}
+	in.lcCoalesced = reg.Counter("lifecycle_coalesced_total")
+	in.lcInconsistent = reg.Counter("lifecycle_inconsistent_serves_total")
+	in.lcPurgeMs = reg.Histogram("lifecycle_purge_propagation_ms", telemetry.LatencyBucketsMs)
 	in.spatial = t.EnableSpatial(len(s.caches))
 
 	// Fleet and routing state is cheap to read but pointless to push per
@@ -115,6 +128,16 @@ func (s *System) SetTelemetry(t *telemetry.Telemetry) {
 	for i, r := range evictReasons {
 		byReason[i] = reg.Gauge("spacecdn_cache_evictions_by_reason", "reason", r.String())
 	}
+	tierHits := [2]*telemetry.Gauge{
+		reg.Gauge("spacecdn_tier_hits", "tier", "hot"),
+		reg.Gauge("spacecdn_tier_hits", "tier", "bulk"),
+	}
+	tierItems := [2]*telemetry.Gauge{
+		reg.Gauge("spacecdn_tier_items", "tier", "hot"),
+		reg.Gauge("spacecdn_tier_items", "tier", "bulk"),
+	}
+	tierPromotions := reg.Gauge("spacecdn_tier_promotions")
+	tierDemotions := reg.Gauge("spacecdn_tier_demotions")
 	dijkstras := reg.Gauge("routing_dijkstras_total")
 	dijkstraMs := reg.Gauge("routing_dijkstra_ms_total")
 	bfs := reg.Gauge("routing_bfs_searches_total")
@@ -138,6 +161,29 @@ func (s *System) SetTelemetry(t *telemetry.Telemetry) {
 		}
 		for i, g := range byReason {
 			g.Set(float64(totals[i]))
+		}
+		// Two-tier store occupancy and movement; all-zero when the tiered
+		// store is not in use (the gate keeps the fleet walk off the common
+		// path).
+		if s.tierCfg != nil {
+			var ts cache.TieredStats
+			for _, c := range s.caches {
+				if tc, ok := c.(*cache.Tiered); ok {
+					one := tc.TierStats()
+					ts.HotHits += one.HotHits
+					ts.BulkHits += one.BulkHits
+					ts.HotLen += one.HotLen
+					ts.BulkLen += one.BulkLen
+					ts.Promotions += one.Promotions
+					ts.Demotions += one.Demotions
+				}
+			}
+			tierHits[0].Set(float64(ts.HotHits))
+			tierHits[1].Set(float64(ts.BulkHits))
+			tierItems[0].Set(float64(ts.HotLen))
+			tierItems[1].Set(float64(ts.BulkLen))
+			tierPromotions.Set(float64(ts.Promotions))
+			tierDemotions.Set(float64(ts.Demotions))
 		}
 		ops := routing.Counters()
 		dijkstras.Set(float64(ops.Dijkstras))

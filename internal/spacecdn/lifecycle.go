@@ -1,0 +1,518 @@
+package spacecdn
+
+import (
+	"fmt"
+	"time"
+
+	"spacecdn/internal/cache"
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/lifecycle"
+	"spacecdn/internal/orbit"
+	"spacecdn/internal/parallel"
+	"spacecdn/internal/routing"
+	"spacecdn/internal/stats"
+)
+
+// Content-lifecycle serving: when a lifecycle.Manager is attached AND
+// active (non-zero TTL policy or at least one purge issued), the resolve
+// path classifies every cache hit as fresh / stale-revalidate / expired,
+// drops invalidated entries with attributed eviction reasons, pulls misses
+// through from origin into the overhead satellite's cache, and — in batch
+// mode — coalesces concurrent origin fetches for the same object version
+// and ground cell into a single flight.
+//
+// Determinism: the batch form resolves in two phases. Phase 1 is the usual
+// fixed-shard parallel fan-out and is read-only over cache state — lookups
+// go through Entry/PeekTier, never mutating membership, tiers, or recency —
+// while each request records what it WOULD do in a per-slot intent. Phase 2
+// applies the intents sequentially in batch order: coalescing winners are
+// "first in batch order" by construction, fills/drops/promotions happen in
+// one deterministic sequence, and no outcome depends on goroutine schedule.
+
+// Tier read latencies for the two-tier store: a hot-RAM hit is effectively
+// free at millisecond scale, a bulk-SSD hit pays a read-and-stage cost.
+// Applied only in the lifecycle path and only when the store is Tiered.
+const (
+	tierHotRead  = 50 * time.Microsecond
+	tierBulkRead = 2 * time.Millisecond
+)
+
+// ServeClass is how a lifecycle-managed request was ultimately served.
+type ServeClass int
+
+// Serve classes. The first three mirror lifecycle.Freshness (the hit's
+// classification where the serve happened); ServeMiss is a request for an
+// object no consulted cache held at all. numServeClasses sizes the
+// counter arrays.
+const (
+	ServeFresh ServeClass = iota
+	ServeStale
+	ServeExpired
+	ServeMiss
+
+	numServeClasses // keep last
+)
+
+var serveClassNames = [numServeClasses]string{
+	ServeFresh:   "fresh",
+	ServeStale:   "stale-revalidate",
+	ServeExpired: "expired",
+	ServeMiss:    "miss",
+}
+
+func (c ServeClass) String() string {
+	if c < 0 || c >= numServeClasses {
+		return fmt.Sprintf("serveclass(%d)", int(c))
+	}
+	return serveClassNames[c]
+}
+
+// ServeClasses lists every serve class, in declaration order.
+func ServeClasses() []ServeClass {
+	out := make([]ServeClass, numServeClasses)
+	for i := range out {
+		out[i] = ServeClass(i)
+	}
+	return out
+}
+
+// TierSizing configures the two-tier per-satellite store.
+type TierSizing struct {
+	HotBytes  int64
+	BulkBytes int64
+}
+
+// SetLifecycle attaches (or, with nil, detaches) a lifecycle manager. An
+// attached-but-inert manager (zero policy, no purges) leaves the resolve
+// pipeline byte-identical to a system without one — the gate is a single
+// atomic load before any other lifecycle work, mirroring the fault-plan
+// contract. Attach before concurrent resolves begin.
+func (s *System) SetLifecycle(m *lifecycle.Manager) { s.lc = m }
+
+// Lifecycle returns the attached manager, or nil.
+func (s *System) Lifecycle() *lifecycle.Manager { return s.lc }
+
+// UseTieredStore swaps every satellite's cache for a two-tier hot/bulk
+// store, preserving the replica-index listeners. Existing cache contents
+// are discarded; call before placement, and never during concurrent
+// resolves.
+func (s *System) UseTieredStore(t TierSizing) error {
+	if t.HotBytes <= 0 || t.BulkBytes <= 0 {
+		return fmt.Errorf("spacecdn: tier capacities must be positive, got hot=%d bulk=%d", t.HotBytes, t.BulkBytes)
+	}
+	s.tierCfg = &t
+	for i := range s.caches {
+		tc := cache.NewTiered(t.HotBytes, t.BulkBytes)
+		tc.SetOnChange(s.replicas.listener(i))
+		s.caches[i] = tc
+	}
+	s.replicas.reset()
+	return nil
+}
+
+// StoreVersioned places an object with lifecycle stamps (current version,
+// class TTL expiry at time now). Without an attached manager it behaves
+// exactly like Store.
+func (s *System) StoreVersioned(id constellation.SatID, o content.Object, now time.Duration) bool {
+	it := cache.Item{
+		Key:  cache.Key(o.ID),
+		Size: o.Bytes,
+		Tag:  o.Region.String(),
+	}
+	if s.lc != nil {
+		s.lc.Stamp(&it, o.Class, o.ID, now)
+	}
+	return s.caches[int(id)].Put(it)
+}
+
+// IssuePurge invalidates an object fleet-wide: the purge enters the
+// constellation at the best satellite visible from the origin ground point
+// and floods over the ISL topology at the snapshot time. When the attached
+// fault plan has active outages, the flood runs over the fault-masked
+// topology — dead satellites and partitioned components never receive, and
+// keep serving the superseded version (stale-while-partitioned).
+func (s *System) IssuePurge(obj content.ID, origin geo.Point, snap *constellation.Snapshot) (lifecycle.PurgeResult, error) {
+	if s.lc == nil {
+		return lifecycle.PurgeResult{}, fmt.Errorf("spacecdn: no lifecycle manager attached")
+	}
+	t := snap.Time()
+	up, ok := snap.BestVisible(origin)
+	var topo lifecycle.Topology = snap
+	if s.faults != nil {
+		if fv := s.faults.ViewAt(t); !fv.Empty() {
+			view := snap.Masked(fv.Epoch, fv.DeadSats, fv.DeadLinks)
+			if ok && fv.SatDead(up.ID) {
+				up, ok = view.BestVisible(origin)
+			}
+			topo = view
+		}
+	}
+	if !ok {
+		return lifecycle.PurgeResult{}, fmt.Errorf("spacecdn: no satellite visible from purge origin %v", origin)
+	}
+	uplinkMs := float64(orbit.PropagationDelay(up.SlantKm)) / float64(time.Millisecond)
+	res, err := s.lc.IssuePurge(obj, topo, up.ID, t, s.cfg.PerHopProcMs, uplinkMs)
+	if err != nil {
+		return res, err
+	}
+	s.lcstats.purges.Add(1)
+	if in := s.inst; in != nil {
+		for _, r := range res.Receipts {
+			if r >= 0 {
+				in.lcPurgeMs.Observe(float64(r-res.IssuedAt) / float64(time.Millisecond))
+			}
+		}
+	}
+	return res, nil
+}
+
+// LifecycleStats is a snapshot of the always-on lifecycle counters. They
+// advance regardless of telemetry attachment, like FaultStats.
+type LifecycleStats struct {
+	// Serves counts lifecycle-path requests by how they were served.
+	FreshServes   int64
+	StaleServes   int64
+	ExpiredServes int64
+	MissServes    int64
+	// InconsistentServes counts serves of a version superseded by a purge
+	// the serving satellite had not yet received — the inconsistency window
+	// made visible.
+	InconsistentServes int64
+	// OriginNeeded counts requests that required origin contact (miss,
+	// expired refetch, or stale revalidation); OriginFetches counts the
+	// flights actually dispatched after coalescing; Coalesced is the
+	// difference, attributed to followers.
+	OriginNeeded  int64
+	OriginFetches int64
+	Coalesced     int64
+	// PurgesIssued counts IssuePurge calls.
+	PurgesIssued int64
+	// Tier movement, summed over the fleet at snapshot time (zero when the
+	// tiered store is not in use).
+	HotHits    int64
+	BulkHits   int64
+	Promotions int64
+	Demotions  int64
+}
+
+// LifecycleStats returns the lifecycle counters accumulated since the
+// system was created.
+func (s *System) LifecycleStats() LifecycleStats {
+	ls := LifecycleStats{
+		FreshServes:        s.lcstats.serves[ServeFresh].Load(),
+		StaleServes:        s.lcstats.serves[ServeStale].Load(),
+		ExpiredServes:      s.lcstats.serves[ServeExpired].Load(),
+		MissServes:         s.lcstats.serves[ServeMiss].Load(),
+		InconsistentServes: s.lcstats.inconsistent.Load(),
+		OriginNeeded:       s.lcstats.originNeeded.Load(),
+		OriginFetches:      s.lcstats.originFetches.Load(),
+		Coalesced:          s.lcstats.coalesced.Load(),
+		PurgesIssued:       s.lcstats.purges.Load(),
+	}
+	if s.tierCfg != nil {
+		for _, c := range s.caches {
+			if tc, ok := c.(*cache.Tiered); ok {
+				ts := tc.TierStats()
+				ls.HotHits += ts.HotHits
+				ls.BulkHits += ts.BulkHits
+				ls.Promotions += ts.Promotions
+				ls.Demotions += ts.Demotions
+			}
+		}
+	}
+	return ls
+}
+
+// lcIntent records what one lifecycle-path request would do to shared
+// state. Phase 1 fills it without mutating anything; phase 2 applies it
+// sequentially in batch order. The inline (single-Resolve) path applies it
+// immediately with no coalescing.
+type lcIntent struct {
+	valid        bool // resolution succeeded; serve counters apply
+	obj          content.Object
+	class        ServeClass
+	inconsistent bool
+
+	hit     bool // counted Get + tier Touch on hitSat
+	hitSat  constellation.SatID
+	bulkHit bool
+
+	// Up to two expired entries can drop per request: the overhead
+	// satellite's and the ISL target's.
+	drops    [2]lcDrop
+	numDrops int
+
+	needOrigin bool // origin contact required; subject to coalescing
+	fill       bool // the flight winner fills/refreshes fillSat
+	fillSat    constellation.SatID
+	flight     lifecycle.FlightKey
+}
+
+type lcDrop struct {
+	sat    constellation.SatID
+	reason cache.EvictionReason
+}
+
+func (it *lcIntent) addDrop(sat constellation.SatID, reason cache.EvictionReason) {
+	if it.numDrops < len(it.drops) {
+		it.drops[it.numDrops] = lcDrop{sat: sat, reason: reason}
+		it.numDrops++
+	}
+}
+
+// expiredReason attributes an Expired verdict: purge-superseded entries
+// drop as EvictPurged, TTL runouts as EvictTTLExpired.
+func (s *System) expiredReason(sat constellation.SatID, entry cache.Item, obj content.ID, t time.Duration) cache.EvictionReason {
+	if s.lc.Superseded(int(sat), entry, obj, t) {
+		return cache.EvictPurged
+	}
+	return cache.EvictTTLExpired
+}
+
+// tierRead returns the extra read latency for a hit on the satellite's
+// store, and whether it came from the bulk tier. Zero for non-tiered
+// stores.
+func (s *System) tierRead(id constellation.SatID, key cache.Key) (time.Duration, bool) {
+	if s.tierCfg == nil {
+		return 0, false
+	}
+	tc, ok := s.caches[int(id)].(*cache.Tiered)
+	if !ok {
+		return 0, false
+	}
+	tier, ok := tc.PeekTier(key)
+	if !ok {
+		return 0, false
+	}
+	if tier == cache.TierBulk {
+		return tierBulkRead, true
+	}
+	return tierHotRead, false
+}
+
+// resolveLifecycleInline is the single-request lifecycle path: resolve,
+// then apply the intent immediately (every origin need is its own flight —
+// coalescing only exists across a batch).
+func (s *System) resolveLifecycleInline(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand, d *resolveDetail) (Resolution, error) {
+	var it lcIntent
+	res, err := s.resolveLifecycleOne(client, iso2, obj, snap, rng, d, &it)
+	s.applyLcIntent(&it, snap.Time(), nil)
+	return res, err
+}
+
+// resolveLifecycleOne mirrors resolve's three stages with freshness
+// classification at each hit point. It is read-only over cache state: all
+// mutations (hit accounting, promotions, drops, fills) land in the intent.
+func (s *System) resolveLifecycleOne(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand, d *resolveDetail, it *lcIntent) (Resolution, error) {
+	it.obj = obj
+	up, ok := snap.BestVisible(client)
+	if !ok {
+		return Resolution{}, fmt.Errorf("spacecdn: no satellite visible from %v", client)
+	}
+	t := snap.Time()
+	upDelay := orbit.PropagationDelay(up.SlantKm)
+	sched := s.schedDelay(rng)
+	if d != nil {
+		d.uplinkRTT = 2 * upDelay
+	}
+	key := cache.Key(obj.ID)
+	hadExpired := false
+
+	// Stage 1: directly overhead, classified.
+	if s.Active(up.ID, t) {
+		if entry, ok := s.caches[int(up.ID)].Entry(key); ok {
+			f, inconsistent := s.lc.Classify(int(up.ID), entry, obj.ID, t)
+			if f == lifecycle.Expired {
+				it.addDrop(up.ID, s.expiredReason(up.ID, entry, obj.ID, t))
+				hadExpired = true
+			} else {
+				tierLat, bulk := s.tierRead(up.ID, key)
+				it.valid = true
+				it.hit, it.hitSat, it.bulkHit = true, up.ID, bulk
+				it.inconsistent = inconsistent
+				if f == lifecycle.Fresh {
+					it.class = ServeFresh
+				} else {
+					// Stale-while-revalidate: serve the cached copy now,
+					// refresh off-path (a coalescable origin contact).
+					it.class = ServeStale
+					it.needOrigin = true
+					it.fill, it.fillSat = true, up.ID
+					it.flight = lifecycle.FlightKey{Object: obj.ID, Version: s.lc.LatestVersion(obj.ID), Cell: lifecycle.Cell(client)}
+				}
+				return Resolution{
+					Source: SourceOverhead,
+					Sat:    up.ID,
+					RTT:    2*upDelay + sched + tierLat,
+				}, nil
+			}
+		}
+	}
+
+	// Stage 2: nearest replica over ISLs, classified at the target.
+	g := snap.ISLGraph()
+	members := s.replicas.bitset(key)
+	if hit, ok := g.NearestInSet(routing.NodeID(up.ID), s.cfg.MaxISLSearchHops, members, s.activeSet(t)); ok {
+		target := constellation.SatID(hit.Node)
+		if entry, ok2 := s.caches[int(target)].Entry(key); ok2 {
+			f, inconsistent := s.lc.Classify(int(target), entry, obj.ID, t)
+			if f == lifecycle.Expired {
+				it.addDrop(target, s.expiredReason(target, entry, obj.ID, t))
+				hadExpired = true
+			} else if islRTT, hops, reachable := s.islRoundTrip(snap, up.ID, target); reachable {
+				tierLat, bulk := s.tierRead(target, key)
+				it.valid = true
+				it.hit, it.hitSat, it.bulkHit = true, target, bulk
+				it.inconsistent = inconsistent
+				if f == lifecycle.Fresh {
+					it.class = ServeFresh
+				} else {
+					it.class = ServeStale
+					it.needOrigin = true
+					it.fill, it.fillSat = true, target
+					it.flight = lifecycle.FlightKey{Object: obj.ID, Version: s.lc.LatestVersion(obj.ID), Cell: lifecycle.Cell(client)}
+				}
+				if d != nil {
+					d.islRTT = islRTT
+				}
+				return Resolution{
+					Source: SourceISL,
+					Sat:    target,
+					Hops:   hops,
+					RTT:    2*upDelay + islRTT + sched + tierLat,
+				}, nil
+			}
+		}
+	}
+
+	// Stage 3: origin fetch through the ground path. The overhead satellite
+	// pulls the object through into its cache (stamped with the current
+	// version), so the next request in the cell is a space hit.
+	if s.lsn == nil {
+		return Resolution{}, fmt.Errorf("spacecdn: no ground fallback configured and object %s not in space", obj.ID)
+	}
+	path, err := s.lsn.ResolvePath(client, iso2, snap)
+	if err != nil {
+		return Resolution{}, fmt.Errorf("spacecdn: ground fallback: %w", err)
+	}
+	if d != nil {
+		d.ground = path
+		d.hasGround = true
+	}
+	it.valid = true
+	if hadExpired {
+		it.class = ServeExpired
+	} else {
+		it.class = ServeMiss
+	}
+	it.needOrigin = true
+	it.fill, it.fillSat = true, up.ID
+	it.flight = lifecycle.FlightKey{Object: obj.ID, Version: s.lc.LatestVersion(obj.ID), Cell: lifecycle.Cell(client)}
+	return Resolution{
+		Source: SourceGround,
+		RTT:    s.lsn.SampleRTTToPoP(path, rng),
+	}, nil
+}
+
+// applyLcIntent commits one request's intent. flights de-duplicates origin
+// fetches per {object, version, cell} across a batch — the winner is the
+// first intent applied, and application order is batch order, so the
+// winner is schedule-independent. A nil flights map means no coalescing
+// (single-request path).
+func (s *System) applyLcIntent(it *lcIntent, t time.Duration, flights map[lifecycle.FlightKey]struct{}) {
+	in := s.inst
+	for i := 0; i < it.numDrops; i++ {
+		d := it.drops[i]
+		s.caches[int(d.sat)].Drop(cache.Key(it.obj.ID), d.reason)
+	}
+	if it.hit {
+		key := cache.Key(it.obj.ID)
+		s.caches[int(it.hitSat)].Get(key)
+		if s.tierCfg != nil {
+			if tc, ok := s.caches[int(it.hitSat)].(*cache.Tiered); ok {
+				// Promotion on re-reference: a bulk hit moves the entry to
+				// the hot tier (sequenced here, so tiers are deterministic).
+				tc.Touch(key)
+			}
+		}
+	}
+	if it.valid {
+		s.lcstats.serves[it.class].Add(1)
+		if in != nil {
+			in.lcServes[it.class].Inc()
+		}
+		if it.inconsistent {
+			s.lcstats.inconsistent.Add(1)
+			if in != nil {
+				in.lcInconsistent.Inc()
+			}
+		}
+	}
+	if !it.needOrigin {
+		return
+	}
+	s.lcstats.originNeeded.Add(1)
+	first := true
+	if flights != nil {
+		if _, dup := flights[it.flight]; dup {
+			first = false
+		} else {
+			flights[it.flight] = struct{}{}
+		}
+	}
+	if !first {
+		s.lcstats.coalesced.Add(1)
+		if in != nil {
+			in.lcCoalesced.Inc()
+		}
+		return
+	}
+	s.lcstats.originFetches.Add(1)
+	if it.fill {
+		item := cache.Item{
+			Key:  cache.Key(it.obj.ID),
+			Size: it.obj.Bytes,
+			Tag:  it.obj.Region.String(),
+		}
+		s.lc.Stamp(&item, it.obj.Class, it.obj.ID, t)
+		s.caches[int(it.fillSat)].Put(item)
+	}
+}
+
+// resolveAllLifecycle is the two-phase batch form: a fixed-shard parallel
+// read-only resolve (phase 1), then sequential intent application in batch
+// order (phase 2) where coalescing winners are selected and fills, drops,
+// hit accounting, and tier promotions commit deterministically.
+func (s *System) resolveAllLifecycle(reqs []Request, snap *constellation.Snapshot, rng *stats.Rand, workers int) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	intents := make([]lcIntent, len(reqs))
+	spans := parallel.Split(len(reqs), batchShardTarget)
+	rngs := rng.Split(len(spans))
+	snap.ISLGraph()
+	_ = parallel.Run(workers, len(spans), func(shard int) error {
+		r := rngs[shard]
+		for i := spans[shard].Lo; i < spans[shard].Hi; i++ {
+			req := reqs[i]
+			var res Resolution
+			var err error
+			if in := s.inst; in != nil {
+				var d resolveDetail
+				d.client = req.Client
+				res, err = s.resolveLifecycleOne(req.Client, req.ISO2, req.Obj, snap, r, &d, &intents[i])
+				in.record(res, err, &d)
+			} else {
+				res, err = s.resolveLifecycleOne(req.Client, req.ISO2, req.Obj, snap, r, nil, &intents[i])
+			}
+			out[i] = BatchResult{Resolution: res, Err: err}
+		}
+		return nil
+	})
+	flights := make(map[lifecycle.FlightKey]struct{})
+	t := snap.Time()
+	for i := range intents {
+		s.applyLcIntent(&intents[i], t, flights)
+	}
+	return out
+}

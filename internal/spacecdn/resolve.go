@@ -93,14 +93,18 @@ func (s *System) Resolve(client geo.Point, iso2 string, obj content.Object, snap
 
 // resolveAny routes a request down the healthy pipeline or, when the
 // attached fault plan has active outages at the snapshot time, the degraded
-// one. The fault check happens before any rng draw, so with no plan — or a
-// plan with nothing active — the healthy path runs untouched and its output
-// stays byte-identical to a system without fault injection.
+// one; with an active lifecycle manager (and no active faults) it runs the
+// freshness-classifying lifecycle pipeline. Both checks happen before any
+// rng draw, so with no plan and an absent-or-inert manager the healthy path
+// runs untouched and its output stays byte-identical to a bare system.
 func (s *System) resolveAny(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand, d *resolveDetail) (Resolution, error) {
 	if s.faults != nil {
 		if fv := s.faults.ViewAt(snap.Time()); !fv.Empty() {
 			return s.resolveDegraded(client, iso2, obj, snap, fv, rng, d)
 		}
+	}
+	if s.lc != nil && s.lc.Active() {
+		return s.resolveLifecycleInline(client, iso2, obj, snap, rng, d)
 	}
 	return s.resolve(client, iso2, obj, snap, rng, d)
 }

@@ -27,6 +27,7 @@ import (
 	"spacecdn/internal/content"
 	"spacecdn/internal/faults"
 	"spacecdn/internal/geo"
+	"spacecdn/internal/lifecycle"
 	"spacecdn/internal/lsn"
 	"spacecdn/internal/routing"
 )
@@ -110,11 +111,13 @@ type System struct {
 	cfg      Config
 	consts   *constellation.Constellation
 	lsn      *lsn.Model
-	caches   []cache.Cache // indexed by SatID
-	replicas *replicaIndex // object -> replica bitset, fed by cache listeners
-	duty     *DutyCycler   // nil when always-on
-	inst     *instruments  // nil when telemetry is detached (see SetTelemetry)
-	faults   *faults.Plan  // nil when no fault injection (see SetFaultPlan)
+	caches   []cache.Cache      // indexed by SatID
+	replicas *replicaIndex      // object -> replica bitset, fed by cache listeners
+	duty     *DutyCycler        // nil when always-on
+	inst     *instruments       // nil when telemetry is detached (see SetTelemetry)
+	faults   *faults.Plan       // nil when no fault injection (see SetFaultPlan)
+	lc       *lifecycle.Manager // nil when content has no lifecycle (see SetLifecycle)
+	tierCfg  *TierSizing        // nil unless UseTieredStore swapped the stores
 
 	// fstats are the always-on degraded-mode counters; atomics because
 	// resolve shards update them concurrently.
@@ -123,6 +126,19 @@ type System struct {
 		uplinkFO  atomic.Int64
 		replicaFO atomic.Int64
 		popFO     atomic.Int64
+	}
+
+	// lcstats are the always-on lifecycle counters (see LifecycleStats).
+	// Serve/inconsistency counters only advance in sequential intent
+	// application, but purge issuance can race a live telemetry scrape, so
+	// they stay atomics like fstats.
+	lcstats struct {
+		serves        [numServeClasses]atomic.Int64
+		inconsistent  atomic.Int64
+		originNeeded  atomic.Int64
+		originFetches atomic.Int64
+		coalesced     atomic.Int64
+		purges        atomic.Int64
 	}
 }
 
@@ -292,9 +308,16 @@ func (s *System) TotalCacheBytes() int64 {
 	return int64(s.consts.Total()) * s.cfg.CacheBytesPerSat
 }
 
-// ClearAll empties every satellite cache and resets the replica index.
+// ClearAll empties every satellite cache and resets the replica index,
+// preserving the store kind (geo-aware or tiered).
 func (s *System) ClearAll() {
 	for i := range s.caches {
+		if s.tierCfg != nil {
+			tc := cache.NewTiered(s.tierCfg.HotBytes, s.tierCfg.BulkBytes)
+			tc.SetOnChange(s.replicas.listener(i))
+			s.caches[i] = tc
+			continue
+		}
 		gc := cache.NewGeoAware(s.cfg.CacheBytesPerSat, "")
 		gc.SetOnChange(s.replicas.listener(i))
 		s.caches[i] = gc

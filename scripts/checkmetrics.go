@@ -3,11 +3,16 @@
 // Command checkmetrics asserts the telemetry artifacts written by
 // cmd/spacecdn are well-formed.
 //
-//	go run ./scripts/checkmetrics.go METRICS.json [SERIES.json [TRACE.json]]
+//	go run ./scripts/checkmetrics.go [-lifecycle] METRICS.json [SERIES.json [TRACE.json]]
 //
 // METRICS.json (from -metrics-out) must parse as a telemetry.Snapshot with
 // non-zero per-source request counters, an RTT histogram with ordered
 // quantiles, and traces whose spans sum to their RTT within a microsecond.
+//
+// With -lifecycle, METRICS.json must additionally carry the content
+// lifecycle counters: freshness-labelled serves (fresh and miss non-zero),
+// a non-zero coalescing counter, and a purge propagation histogram with
+// observations and ordered quantiles.
 //
 // SERIES.json (from -series-out), when given, must parse as a
 // telemetry.SeriesArtifact whose per-window counter deltas and histogram
@@ -31,17 +36,68 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 || len(os.Args) > 4 {
-		fmt.Fprintln(os.Stderr, "usage: checkmetrics METRICS.json [SERIES.json [TRACE.json]]")
+	args := os.Args[1:]
+	lifecycle := false
+	if len(args) > 0 && args[0] == "-lifecycle" {
+		lifecycle = true
+		args = args[1:]
+	}
+	if len(args) < 1 || len(args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics [-lifecycle] METRICS.json [SERIES.json [TRACE.json]]")
 		os.Exit(2)
 	}
-	snap := checkMetrics(os.Args[1])
-	if len(os.Args) > 2 {
-		checkSeries(os.Args[2], snap)
+	snap := checkMetrics(args[0])
+	if lifecycle {
+		checkLifecycle(snap)
 	}
-	if len(os.Args) > 3 {
-		checkTrace(os.Args[3])
+	if len(args) > 1 {
+		checkSeries(args[1], snap)
 	}
+	if len(args) > 2 {
+		checkTrace(args[2])
+	}
+}
+
+// checkLifecycle asserts the content-lifecycle counters the lifecycle
+// experiment must populate: freshness-labelled serves, coalescing, and the
+// purge propagation histogram.
+func checkLifecycle(snap telemetry.Snapshot) {
+	serves := map[string]int64{}
+	coalesced := int64(-1)
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "lifecycle_serve_total":
+			serves[c.Labels["freshness"]] = c.Value
+		case "lifecycle_coalesced_total":
+			coalesced = c.Value
+		}
+	}
+	for _, want := range []string{"fresh", "miss"} {
+		if serves[want] <= 0 {
+			fail("lifecycle_serve_total{freshness=%s} = %d, want > 0", want, serves[want])
+		}
+	}
+	if coalesced <= 0 {
+		fail("lifecycle_coalesced_total = %d, want > 0", coalesced)
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name != "lifecycle_purge_propagation_ms" {
+			continue
+		}
+		found = true
+		if h.Count <= 0 {
+			fail("purge propagation histogram has no observations")
+		}
+		if !(h.P50 > 0 && h.P50 <= h.P95 && h.P95 <= h.P99) {
+			fail("purge propagation quantiles malformed: p50=%v p95=%v p99=%v", h.P50, h.P95, h.P99)
+		}
+	}
+	if !found {
+		fail("missing histogram lifecycle_purge_propagation_ms")
+	}
+	fmt.Printf("checkmetrics: lifecycle OK (serves fresh=%d miss=%d stale=%d expired=%d, coalesced=%d)\n",
+		serves["fresh"], serves["miss"], serves["stale-revalidate"], serves["expired"], coalesced)
 }
 
 func checkMetrics(path string) telemetry.Snapshot {

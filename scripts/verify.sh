@@ -35,6 +35,12 @@
 #          snapshot-build time, sweep steps/sec and allocations, and resolve
 #          throughput vs satellite count; -fast keeps the smallest two scale
 #          points so the CI gate stays quick)
+#   lifecycle  content lifecycle artifact (BENCH_lifecycle.json: serve mix
+#          under the TTL class mix x churn x purge sweep, flash-crowd
+#          coalescing reduction, purge-flood convergence windows, and the
+#          disabled-path identity flag), plus an instrumented run whose
+#          telemetry is checked for the lifecycle counters (bench runs this
+#          stage too)
 #   benchdiff  bench-regression gate: compares every BENCH_*.json against
 #          the committed bench_baselines.json tolerance bands (runs the
 #          bench stage first if artifacts are missing)
@@ -118,6 +124,21 @@ stage_bench() {
 	cat BENCH_sweep.json
 	go run ./cmd/spacecdn -exp traffic -fast -json >BENCH_traffic.json
 	cat BENCH_traffic.json
+	stage_lifecycle
+}
+
+stage_lifecycle() {
+	# Two runs: a pure -json run for the artifact (mixing -metrics-out into
+	# the same invocation would append its status line to stdout and corrupt
+	# the JSON), then an instrumented run whose telemetry must carry the
+	# lifecycle counters (purge propagation, coalescing, freshness serves).
+	go run ./cmd/spacecdn -exp lifecycle -fast -json >BENCH_lifecycle.json
+	cat BENCH_lifecycle.json
+	out=$(mktemp -d)
+	trap 'rm -rf "$out"' EXIT
+	go run ./cmd/spacecdn -exp lifecycle -fast \
+		-metrics-out "$out/lifecycle-metrics.json" >/dev/null
+	go run ./scripts/checkmetrics.go -lifecycle "$out/lifecycle-metrics.json"
 }
 
 stage_scale() {
@@ -128,7 +149,7 @@ stage_scale() {
 stage_benchdiff() {
 	# The gate needs fresh artifacts; regenerate when any is missing so a
 	# bare `verify.sh benchdiff` works from a clean tree.
-	for artifact in BENCH_parallel.json BENCH_resolve.json BENCH_resilience.json BENCH_sweep.json BENCH_traffic.json; do
+	for artifact in BENCH_parallel.json BENCH_resolve.json BENCH_resilience.json BENCH_sweep.json BENCH_traffic.json BENCH_lifecycle.json; do
 		if [ ! -f "$artifact" ]; then
 			echo "benchdiff: $artifact missing; running bench stage first"
 			stage_bench
@@ -149,7 +170,7 @@ fi
 
 for stage in $stages; do
 	case "$stage" in
-	fmt | vet | build | staticcheck | test | race | smoke | observe | bench | scale | benchdiff) ;;
+	fmt | vet | build | staticcheck | test | race | smoke | observe | bench | scale | lifecycle | benchdiff) ;;
 	*)
 		echo "verify: unknown stage '$stage'" >&2
 		exit 2

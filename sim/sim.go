@@ -21,6 +21,7 @@ import (
 	"spacecdn/internal/faults"
 	"spacecdn/internal/geo"
 	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lifecycle"
 	"spacecdn/internal/lsn"
 	"spacecdn/internal/measure"
 	"spacecdn/internal/orbit"
@@ -222,6 +223,45 @@ func NewFaultPlan(env *Environment, cfg FaultConfig) (*FaultPlan, error) {
 	}
 	return faults.NewPlan(cfg, env.Constellation, names)
 }
+
+// Content lifecycle: TTLs, purge broadcast, coalescing, tiered stores
+// (DESIGN.md §15).
+type (
+	// LifecycleManager owns freshness policy, versions and the purge log;
+	// attach one with SpaceCDN.SetLifecycle.
+	LifecycleManager = lifecycle.Manager
+	// LifecyclePolicy maps content classes to TTL ladders.
+	LifecyclePolicy = lifecycle.Policy
+	// ContentClass classifies an object's update behaviour (static, news,
+	// live segment, API).
+	ContentClass = content.Class
+	// PurgeResult reports a purge flood's per-satellite receipt schedule.
+	PurgeResult = lifecycle.PurgeResult
+	// TierSizing sets the hot-RAM and bulk-SSD capacities for
+	// SpaceCDN.UseTieredStore.
+	TierSizing = spacecdn.TierSizing
+	// LifecycleStats snapshots a system's always-on lifecycle counters.
+	LifecycleStats = spacecdn.LifecycleStats
+)
+
+// Content classes.
+const (
+	ClassStatic      = content.ClassStatic
+	ClassNews        = content.ClassNews
+	ClassLiveSegment = content.ClassLiveSegment
+	ClassAPI         = content.ClassAPI
+)
+
+// NewLifecycleManager creates a lifecycle manager for a fleet of numSats
+// caches. A zero policy is inert: the system serves exactly as if no
+// manager were attached.
+func NewLifecycleManager(p LifecyclePolicy, numSats int) *LifecycleManager {
+	return lifecycle.NewManager(p, numSats)
+}
+
+// DefaultLifecyclePolicy returns the per-class TTL ladder (static immortal,
+// news 5m+5m stale, live segments 4s+2s, API 30s+30s).
+func DefaultLifecyclePolicy() LifecyclePolicy { return lifecycle.DefaultPolicy() }
 
 // Observability.
 type (
