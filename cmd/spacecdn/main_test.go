@@ -242,7 +242,7 @@ func TestRegistryWellFormed(t *testing.T) {
 		}
 		seen[e.id] = true
 	}
-	for _, id := range []string{"table1", "workload", "resilience", "resolve-bench"} {
+	for _, id := range []string{"table1", "workload", "resilience", "resolve-bench", "serve-bench"} {
 		if !seen[id] {
 			t.Errorf("registry missing %q", id)
 		}

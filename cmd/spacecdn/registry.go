@@ -55,6 +55,7 @@ func registry() []experiment {
 		{"resolve-bench", "Benchmark: naive vs accelerated resolve pipeline", false, runResolveBench},
 		{"sweep-bench", "Benchmark: incremental sweep vs fresh per-step snapshots", false, runSweepBench},
 		{"scale-bench", "Benchmark: snapshot, sweep and resolve costs vs constellation size", false, runScaleBench},
+		{"serve-bench", "Benchmark: daemon serving core — worker scaling, allocs/req, replay", false, runServeBench},
 	}
 }
 
@@ -604,6 +605,30 @@ func runSweepBench(w io.Writer, s *experiments.Suite, opts options) error {
 	t.AddRow("fresh", res.Steps, res.FreshStepsPerSec, "", 1.0, res.Identical)
 	t.AddRow("sweep", res.Steps, res.SweepStepsPerSec, res.SweepAllocsPerStep, res.Speedup, res.Identical)
 	return t.Render(w)
+}
+
+func runServeBench(w io.Writer, s *experiments.Suite, opts options) error {
+	res, err := s.ServeBench()
+	if err != nil {
+		return err
+	}
+	if opts.JSON {
+		return report.WriteJSON(w, res)
+	}
+	t := report.NewTable("Serving daemon: closed-loop throughput vs workers (live sweeper)",
+		"Workers", "Requests", "Req/s", "p50 ms", "p95 ms", "p99 ms", "Stale")
+	for _, r := range res.Rows {
+		t.AddRow(r.Workers, res.RequestsPerRow, r.ReqPerSec, r.P50Ms, r.P95Ms, r.P99Ms, r.Stale)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"scaling %0.2fx; steady allocs/req %v over %d space-served; replay identical: %v\n"+
+			"http %0.0f req/s; %d epoch swaps (p99 %0.3f ms), %d stale-epoch serves\n",
+		res.ScalingX, res.SteadyAllocsPerReq, res.SteadyRequests, res.ReplayIdentical,
+		res.HTTPReqPerSec, res.EpochSwaps, res.EpochSwapP99Ms, res.StaleServed)
+	return err
 }
 
 func runScaleBench(w io.Writer, s *experiments.Suite, opts options) error {

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spacecdn/internal/telemetry"
+)
+
+func TestParseFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("spacecdnd", flag.ContinueOnError)
+	opts, err := parseFlags(fs, []string{
+		"-addr", "127.0.0.1:0", "-seed", "7", "-step", "30s", "-interval", "2ms",
+		"-cities", "6", "-replay-seed", "99", "-trace-sample", "0.5",
+		"-burst", "120", "-burst-workers", "3", "-burst-http",
+		"-metrics-out", "m.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := options{
+		Addr: "127.0.0.1:0", Seed: 7, Step: 30 * time.Second, Interval: 2 * time.Millisecond,
+		Cities: 6, ReplaySeed: 99, TraceSample: 0.5,
+		Burst: 120, BurstWorkers: 3, BurstHTTP: true,
+		MetricsOut: "m.json",
+	}
+	if opts != want {
+		t.Fatalf("parsed %+v, want %+v", opts, want)
+	}
+	if def := defaultOptions(); def.Burst != 0 || def.Interval <= 0 || def.Addr == "" {
+		t.Fatalf("implausible defaults %+v", def)
+	}
+}
+
+// TestBurstRun is the end-to-end daemon smoke: boot with a live sweeper,
+// self-drive a burst over real HTTP sockets, export telemetry, exit clean.
+func TestBurstRun(t *testing.T) {
+	metrics := filepath.Join(t.TempDir(), "METRICS.json")
+	var out bytes.Buffer
+	opts := defaultOptions()
+	opts.Addr = "127.0.0.1:0"
+	opts.Interval = 2 * time.Millisecond
+	opts.Cities = 6
+	opts.Burst = 120
+	opts.BurstWorkers = 2
+	opts.BurstHTTP = true
+	opts.TraceSample = 0.05
+	opts.MetricsOut = metrics
+	if err := run(&out, opts, nil); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"spacecdnd serving on http://", "burst: 120 requests, 0 errors", "epochs:", "telemetry written to"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics artifact not a telemetry snapshot: %v", err)
+	}
+	var served, swaps int64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "serve_requests_total":
+			served = c.Value
+		case "serve_epoch_swaps_total":
+			swaps = c.Value
+		}
+	}
+	if served != 120 || swaps < 1 {
+		t.Fatalf("exported serve counters: requests=%d swaps=%d, want 120 and >= 1", served, swaps)
+	}
+}
+
+// TestServeUntilStop covers the daemon's long-running mode: it serves until
+// the stop channel fires, then drains and exits.
+func TestServeUntilStop(t *testing.T) {
+	var out bytes.Buffer
+	opts := defaultOptions()
+	opts.Addr = "127.0.0.1:0"
+	opts.Interval = 2 * time.Millisecond
+	opts.Cities = 4
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- run(&out, opts, stop) }()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after stop")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("output missing shutdown notice:\n%s", out.String())
+	}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"spacecdn/internal/serve"
+	"spacecdn/internal/serve/loadgen"
+	"spacecdn/internal/spacecdn"
+)
+
+// ServeBenchRow is one worker-count point of the serving-throughput sweep:
+// closed-loop in-process workers against a live daemon whose sweeper keeps
+// swapping epochs underneath them.
+type ServeBenchRow struct {
+	Workers   int
+	ReqPerSec float64
+	P50Ms     float64
+	P95Ms     float64
+	P99Ms     float64
+	Stale     int64 // requests that finished on a superseded epoch
+}
+
+// ServeBenchResult is the daemon serving benchmark (experiment id
+// "serve-bench"). CI uploads the JSON as BENCH_serve.json and benchdiff
+// gates it, so every commit records the serving core's throughput scaling,
+// its steady-state allocation count, and the deterministic-replay bit.
+type ServeBenchResult struct {
+	// RequestsPerRow is the closed-loop request budget behind each row.
+	RequestsPerRow int
+	Rows           []ServeBenchRow
+	// ScalingX is the last row's throughput over the first row's — the
+	// worker-scaling figure of merit (bounded by the runner's core count).
+	ScalingX float64
+
+	// SteadyRequests / SteadyAllocsPerReq cover the pinned-epoch in-process
+	// path over space-served requests only (the ground stage legitimately
+	// allocates its path). The acceptance bar is SteadyAllocsPerReq == 0
+	// with telemetry attached and trace sampling off.
+	SteadyRequests     int
+	SteadyAllocsPerReq float64
+
+	// ReplayIdentical reports that replaying one recorded request log was
+	// byte-identical across worker counts 1, 2 and 8.
+	ReplayIdentical bool
+
+	// HTTPReqPerSec is a full-surface sanity point: closed-loop HTTP
+	// clients through a real listener (sockets, parsing, JSON encode).
+	HTTPReqPerSec float64
+
+	// Sweeper-side counters from the live server: epochs published while
+	// the sweep ran, build-and-publish p99, and stale-epoch serves across
+	// every row.
+	EpochSwaps     uint64
+	EpochSwapP99Ms float64
+	StaleServed    int64
+}
+
+// ServeBench measures the spacecdnd serving core. Two servers run in
+// sequence: a pinned-epoch one (no sweeper) for the allocation and replay
+// contracts, then a live one — sweeper advancing sim time every 2 ms —
+// for the worker-scaling sweep and the HTTP surface point.
+func (s *Suite) ServeBench() (ServeBenchResult, error) {
+	var res ServeBenchResult
+
+	// Pinned server: steady-state allocations and deterministic replay.
+	// Telemetry is attached (serve.New insists on it) with trace sampling
+	// off — the zero-alloc bar includes the metrics hot path.
+	sysA, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), s.Env.Constellation, s.Env.LSN)
+	if err != nil {
+		return res, err
+	}
+	srvA, err := serve.New(sysA, serve.Config{Seed: s.Seed, ReplaySeed: s.Seed + 1})
+	if err != nil {
+		return res, err
+	}
+	defer srvA.Close()
+	wlA, err := srvA.PlaceWorkload(8)
+	if err != nil {
+		return res, err
+	}
+	probe := 240
+	if s.Fast {
+		probe = 120
+	}
+	sc := srvA.AcquireScratch()
+	var steady []spacecdn.Request
+	for i := 0; i < probe; i++ {
+		req := wlA.Request(uint64(i))
+		r, err := srvA.ResolveOnce(req, sc)
+		if err != nil {
+			srvA.ReleaseScratch(sc)
+			return res, err
+		}
+		if r.Res.Source != spacecdn.SourceGround {
+			steady = append(steady, req)
+		}
+	}
+	srvA.ReleaseScratch(sc)
+	res.SteadyRequests = len(steady)
+	if res.SteadyAllocsPerReq, err = loadgen.MeasureAllocs(srvA, steady); err != nil {
+		return res, err
+	}
+
+	logN := 960
+	if s.Fast {
+		logN = 240
+	}
+	log := wlA.Log(logN)
+	base, err := srvA.Replay(log, 1)
+	if err != nil {
+		return res, err
+	}
+	res.ReplayIdentical = true
+	for _, workers := range []int{2, 8} {
+		got, err := srvA.Replay(log, workers)
+		if err != nil {
+			return res, err
+		}
+		if !bytes.Equal(got, base) {
+			res.ReplayIdentical = false
+			return res, fmt.Errorf("experiments: replay with %d workers diverged from the sequential stream", workers)
+		}
+	}
+
+	// Live server: sweeper swapping epochs every 2 ms while closed-loop
+	// workers hammer the in-process path, then an HTTP burst through the
+	// real listener.
+	sysB, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), s.Env.Constellation, s.Env.LSN)
+	if err != nil {
+		return res, err
+	}
+	srvB, err := serve.New(sysB, serve.Config{
+		Seed:     s.Seed,
+		Step:     15 * time.Second,
+		Interval: 2 * time.Millisecond,
+		Addr:     "127.0.0.1:0",
+	})
+	if err != nil {
+		return res, err
+	}
+	defer srvB.Close()
+	wlB, err := srvB.PlaceWorkload(8)
+	if err != nil {
+		return res, err
+	}
+	if err := srvB.Start(); err != nil {
+		return res, err
+	}
+	res.RequestsPerRow = 4000
+	httpN := 1200
+	if s.Fast {
+		res.RequestsPerRow = 600
+		httpN = 150
+	}
+	for _, workers := range []int{1, 2, 8} {
+		r, err := loadgen.Run(srvB, wlB, loadgen.Config{Workers: workers, Requests: res.RequestsPerRow})
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, ServeBenchRow{
+			Workers:   workers,
+			ReqPerSec: r.ReqPerSec,
+			P50Ms:     r.P50Ms,
+			P95Ms:     r.P95Ms,
+			P99Ms:     r.P99Ms,
+			Stale:     r.Stale,
+		})
+	}
+	res.ScalingX = res.Rows[len(res.Rows)-1].ReqPerSec / res.Rows[0].ReqPerSec
+
+	httpRes, err := loadgen.Run(srvB, wlB, loadgen.Config{
+		Workers: 4, Requests: httpN, Mode: loadgen.HTTP, BaseURL: "http://" + srvB.Addr(),
+	})
+	if err != nil {
+		return res, err
+	}
+	res.HTTPReqPerSec = httpRes.ReqPerSec
+
+	if err := srvB.Close(); err != nil {
+		return res, err
+	}
+	st := srvB.Stats()
+	res.EpochSwaps = st.Epochs
+	res.EpochSwapP99Ms = st.SwapP99Ms
+	res.StaleServed = st.StaleServed
+	return res, nil
+}

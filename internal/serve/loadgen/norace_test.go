@@ -1,0 +1,7 @@
+//go:build !race
+
+package loadgen
+
+// raceEnabled skips exact-zero allocation assertions under the race
+// detector, whose instrumentation allocates on otherwise alloc-free paths.
+const raceEnabled = false

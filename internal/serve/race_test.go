@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled skips exact-zero allocation assertions under the race
+// detector, whose instrumentation allocates on otherwise alloc-free paths.
+const raceEnabled = true

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+
+	"spacecdn/internal/parallel"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+)
+
+// replayShardTarget is the replay fan-out's determinism constant, mirroring
+// ResolveAll's batchShardTarget: the shard count derives from the log size
+// only, never the worker count. Replay output is invariant to it regardless
+// (each request has its own rng stream), but a fixed value keeps shard
+// boundaries stable for profiling comparisons.
+const replayShardTarget = 64
+
+// Replay resolves a recorded request log deterministically and returns the
+// concatenated response stream — the same bytes, in log order, that the
+// HTTP handler would emit for those requests. Request i always draws from
+// rng stream mix(ReplaySeed, i) and resolves against the currently
+// published epoch, so the output is byte-identical for any worker count
+// (workers <= 0 means GOMAXPROCS).
+//
+// Byte-identity holds because resolution is read-only over cache
+// membership; run Replay against a pinned epoch (Interval <= 0) on a
+// system without an active lifecycle manager — lifecycle fills mutate
+// membership mid-stream, which is load-order-dependent by design.
+func (s *Server) Replay(log []spacecdn.Request, workers int) ([]byte, error) {
+	if s.cfg.ReplaySeed == 0 {
+		return nil, fmt.Errorf("serve: replay requires a non-zero ReplaySeed")
+	}
+	ep := s.epoch.Load()
+	outs := make([][]byte, len(log))
+	spans := parallel.Split(len(log), replayShardTarget)
+	_ = parallel.Run(workers, len(spans), func(shard int) error {
+		rng := stats.NewRand(0)
+		for i := spans[shard].Lo; i < spans[shard].Hi; i++ {
+			rng.Seed(mixStream(s.cfg.ReplaySeed, uint64(i)))
+			res, err := s.sys.ResolveAt(ep, log[i].Client, log[i].ISO2, log[i].Obj, rng)
+			if err != nil {
+				outs[i] = []byte(fmt.Sprintf("{\"error\":%q}\n", err.Error()))
+				continue
+			}
+			outs[i] = appendResponse(nil, Result{Res: res, Epoch: ep.Seq(), SimTime: ep.Time()})
+		}
+		return nil
+	})
+	return bytes.Join(outs, nil), nil
+}

@@ -1,0 +1,418 @@
+// Package serve is the spacecdnd daemon core: a long-running HTTP front end
+// over one SpaceCDN system, serving the resolve path while a background
+// sweeper advances the constellation underneath it.
+//
+// The concurrency design is epoch publication (DESIGN.md §16). The sweeper
+// goroutine owns all state transitions: each tick it builds a fresh
+// immutable snapshot at the next sim instant, finishes every lazy structure
+// a request could touch (ISL graph, pinned fault view), wraps the result in
+// a spacecdn.Epoch, and publishes it with one atomic pointer store. Request
+// goroutines pin the current epoch with one atomic load and resolve against
+// it lock-free; superseded epochs stay valid for the requests still holding
+// them and are reclaimed by the garbage collector when the last borrower
+// returns. Readers therefore never block the sweeper, the sweeper never
+// blocks readers, and no request ever observes a half-advanced topology —
+// at the price that a request racing a swap is served on a stale-but-valid
+// epoch, which the serve_stale_epoch_total counter makes visible.
+//
+// Per-request state (rng stream, response buffer) comes from a sync.Pool of
+// Scratch values, so the steady-state in-process request path allocates
+// nothing. The one write path — lifecycle intent application — funnels
+// through the System's single-writer applier, keeping origin-fetch
+// coalescing deterministic under concurrent misses.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/spacecdn"
+	"spacecdn/internal/stats"
+	"spacecdn/internal/telemetry"
+)
+
+// Config parameterizes a serving daemon.
+type Config struct {
+	// Addr is the HTTP listen address ("host:0" lets the kernel pick a
+	// port); empty serves in-process only.
+	Addr string
+	// Seed derives every per-connection rng stream.
+	Seed int64
+	// Start is the sim instant of the first epoch; Step is how far each
+	// sweep advances sim time.
+	Start, Step time.Duration
+	// Interval is the wall-clock period between sweeps. Zero or negative
+	// pins the initial epoch forever (no sweeper goroutine) — the replay
+	// and allocation-measurement configuration.
+	Interval time.Duration
+	// ReplaySeed, when non-zero, switches request rng to per-request-index
+	// streams: request i always draws from stream mix(ReplaySeed, i), so a
+	// recorded request log replays byte-identically (see Replay).
+	ReplaySeed int64
+	// TraceSample is the request-trace sampling rate for a telemetry bundle
+	// the server creates itself (ignored when the system already has one).
+	TraceSample float64
+	// ShutdownTimeout bounds the HTTP drain on Close; zero means 5s.
+	ShutdownTimeout time.Duration
+}
+
+// DefaultConfig returns a live-daemon configuration: 100 ms sweeps, each
+// advancing sim time 15 s.
+func DefaultConfig() Config {
+	return Config{
+		Seed:     42,
+		Step:     15 * time.Second,
+		Interval: 100 * time.Millisecond,
+	}
+}
+
+// Scratch is the pooled per-request state: a private rng stream and a
+// response encode buffer. Acquire one per worker (or borrow per request)
+// and release it when done; a Scratch must not be used concurrently.
+type Scratch struct {
+	rng *stats.Rand
+	buf []byte
+}
+
+// Result is one served request: the resolution plus the epoch it was
+// pinned to.
+type Result struct {
+	Res spacecdn.Resolution
+	// Epoch is the pinned epoch's sequence number; SimTime its instant.
+	Epoch   uint64
+	SimTime time.Duration
+	// Stale reports the request finished after its epoch was superseded —
+	// served on a stale-but-valid epoch.
+	Stale bool
+}
+
+// Server is a running serving daemon.
+type Server struct {
+	cfg Config
+	sys *spacecdn.System
+	tel *telemetry.Telemetry
+
+	// epoch is the published serving state; seq trails it (store epoch,
+	// then seq), so a reader comparing its pinned epoch against seq can
+	// flag stale serves without ever false-flagging the freshest epoch.
+	epoch atomic.Pointer[spacecdn.Epoch]
+	seq   atomic.Uint64
+
+	reqIdx  atomic.Uint64 // request index for replay-mode rng streams
+	streams atomic.Int64  // scratch stream counter for live-mode rng forks
+	scratch sync.Pool
+
+	objects map[content.ID]content.Object // HTTP lookup; frozen at Start
+
+	reqs, errs, stale, swaps *telemetry.Counter
+	latMs, swapMs            *telemetry.Histogram
+
+	served, errCount, staleCount atomic.Int64
+
+	mu        sync.Mutex
+	swapDurMs []float64
+
+	ln          net.Listener
+	hsrv        *http.Server
+	sweepStop   chan struct{}
+	sweepDone   chan struct{}
+	applierStop func()
+	started     bool
+	closed      bool
+}
+
+// New builds a server over a deployed system and publishes the initial
+// epoch (swap #1), so ResolveOnce works immediately — Start is only needed
+// for the listener and the background sweeper. When the system has no
+// telemetry attached, New attaches a fresh bundle sampling cfg.TraceSample.
+func New(sys *spacecdn.System, cfg Config) (*Server, error) {
+	if cfg.Step <= 0 {
+		cfg.Step = 15 * time.Second
+	}
+	if cfg.ShutdownTimeout <= 0 {
+		cfg.ShutdownTimeout = 5 * time.Second
+	}
+	tel := sys.Telemetry()
+	if tel == nil {
+		tel = telemetry.New(cfg.TraceSample)
+		sys.SetTelemetry(tel)
+	}
+	reg := tel.Registry()
+	s := &Server{
+		cfg:     cfg,
+		sys:     sys,
+		tel:     tel,
+		objects: make(map[content.ID]content.Object),
+		reqs:    reg.Counter("serve_requests_total"),
+		errs:    reg.Counter("serve_errors_total"),
+		stale:   reg.Counter("serve_stale_epoch_total"),
+		swaps:   reg.Counter("serve_epoch_swaps_total"),
+		latMs:   reg.Histogram("serve_request_latency_ms", telemetry.LatencyBucketsMs),
+		swapMs:  reg.Histogram("serve_epoch_swap_ms", telemetry.LatencyBucketsMs),
+	}
+	s.scratch.New = func() any {
+		return &Scratch{
+			rng: stats.NewRand(mixStream(cfg.Seed, uint64(s.streams.Add(1)))),
+			buf: make([]byte, 0, 192),
+		}
+	}
+	s.advance()
+	return s, nil
+}
+
+// mixStream derives stream i from a seed with two FNV-1a rounds, matching
+// the package-wide mixing idiom so adjacent streams share no low bits.
+func mixStream(seed int64, i uint64) int64 {
+	h := uint64(1469598103934665603) ^ uint64(seed)
+	h *= 1099511628211
+	h ^= i
+	h *= 1099511628211
+	return int64(h)
+}
+
+// System returns the served system.
+func (s *Server) System() *spacecdn.System { return s.sys }
+
+// Telemetry returns the server's telemetry bundle.
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// Epoch returns the currently published epoch.
+func (s *Server) Epoch() *spacecdn.Epoch { return s.epoch.Load() }
+
+// RegisterObjects adds objects to the HTTP /resolve lookup table. The table
+// is frozen once serving starts: call before Start, never concurrently
+// with requests.
+func (s *Server) RegisterObjects(objs ...content.Object) {
+	for _, o := range objs {
+		s.objects[o.ID] = o
+	}
+}
+
+// AcquireScratch borrows per-request state from the pool.
+func (s *Server) AcquireScratch() *Scratch { return s.scratch.Get().(*Scratch) }
+
+// ReleaseScratch returns a Scratch to the pool.
+func (s *Server) ReleaseScratch(sc *Scratch) { s.scratch.Put(sc) }
+
+// advance builds and publishes the next epoch. Only New and the sweeper
+// goroutine call it, so seq increments are single-writer; the epoch store
+// happens before the seq store, which keeps the reader-side staleness test
+// (pinned seq < current seq) free of false positives on the fresh epoch.
+func (s *Server) advance() {
+	n := s.seq.Load() + 1
+	t := s.cfg.Start + time.Duration(n-1)*s.cfg.Step
+	begin := time.Now()
+	ep := s.sys.NewEpoch(n, s.sys.Constellation().Snapshot(t))
+	s.epoch.Store(ep)
+	s.seq.Store(n)
+	ms := float64(time.Since(begin)) / float64(time.Millisecond)
+	s.swaps.Inc()
+	s.swapMs.Observe(ms)
+	s.mu.Lock()
+	s.swapDurMs = append(s.swapDurMs, ms)
+	s.mu.Unlock()
+}
+
+// ResolveOnce serves one request against the currently published epoch —
+// the in-process entry shared by the HTTP handler and the load generator.
+// The Scratch must be goroutine-local; at steady state the call allocates
+// nothing.
+func (s *Server) ResolveOnce(req spacecdn.Request, sc *Scratch) (Result, error) {
+	begin := time.Now()
+	if s.cfg.ReplaySeed != 0 {
+		sc.rng.Seed(mixStream(s.cfg.ReplaySeed, s.reqIdx.Add(1)-1))
+	}
+	ep := s.epoch.Load()
+	res, err := s.sys.ResolveAt(ep, req.Client, req.ISO2, req.Obj, sc.rng)
+	r := Result{Res: res, Epoch: ep.Seq(), SimTime: ep.Time()}
+	if err != nil {
+		s.errCount.Add(1)
+		s.errs.Inc()
+		return r, err
+	}
+	if ep.Seq() < s.seq.Load() {
+		r.Stale = true
+		s.staleCount.Add(1)
+		s.stale.Inc()
+	}
+	s.served.Add(1)
+	s.reqs.Inc()
+	s.latMs.ObserveDuration(time.Since(begin))
+	return r, nil
+}
+
+// Start brings up the background sweeper (when Interval > 0), the
+// lifecycle applier (when the system has a lifecycle manager), and the
+// HTTP listener (when Addr is set).
+func (s *Server) Start() error {
+	if s.started {
+		return fmt.Errorf("serve: already started")
+	}
+	s.started = true
+	if s.sys.Lifecycle() != nil {
+		s.applierStop = s.sys.StartLifecycleApplier(0)
+	}
+	if s.cfg.Interval > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop()
+	}
+	if s.cfg.Addr != "" {
+		ln, err := net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+		}
+		s.ln = ln
+		s.hsrv = &http.Server{Handler: s.handler()}
+		go func() {
+			// ErrServerClosed is the normal Shutdown path; anything else
+			// already went through http.Server's own error logging.
+			_ = s.hsrv.Serve(ln)
+		}()
+	}
+	return nil
+}
+
+// Addr returns the bound HTTP address, or "" when serving in-process only.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) sweepLoop() {
+	defer close(s.sweepDone)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-ticker.C:
+			s.advance()
+		}
+	}
+}
+
+// Close shuts the daemon down in dependency order: drain in-flight HTTP
+// requests (bounded by ShutdownTimeout), stop the sweeper, then stop the
+// lifecycle applier — requests must have stopped before the applier does,
+// which the HTTP drain guarantees for the network path. In-process callers
+// (load generators) must finish before Close. Idempotent.
+func (s *Server) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.hsrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+		err = s.hsrv.Shutdown(ctx)
+		cancel()
+	}
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+	}
+	if s.applierStop != nil {
+		s.applierStop()
+	}
+	return err
+}
+
+// Stats is a point-in-time summary of the serving counters.
+type Stats struct {
+	Requests, Errors int64
+	// StaleServed counts requests that finished on a superseded epoch.
+	StaleServed int64
+	// Epochs is the published epoch count (the initial publication is #1).
+	Epochs uint64
+	// SwapP50Ms / SwapP99Ms summarize epoch build-and-publish latency.
+	SwapP50Ms, SwapP99Ms float64
+}
+
+// Stats returns the serving counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:    s.served.Load(),
+		Errors:      s.errCount.Load(),
+		StaleServed: s.staleCount.Load(),
+		Epochs:      s.seq.Load(),
+	}
+	s.mu.Lock()
+	durs := append([]float64(nil), s.swapDurMs...)
+	s.mu.Unlock()
+	if len(durs) > 0 {
+		cdf := stats.NewCDF(durs)
+		st.SwapP50Ms = cdf.Median()
+		st.SwapP99Ms = cdf.Quantile(0.99)
+	}
+	return st
+}
+
+// handler mounts /resolve next to the full telemetry introspection surface
+// (/metrics /series /traces /healthz /debug/pprof).
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/resolve", s.handleResolve)
+	mux.Handle("/", telemetry.Handler(s.tel))
+	return mux
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lat, errLat := strconv.ParseFloat(q.Get("lat"), 64)
+	lon, errLon := strconv.ParseFloat(q.Get("lon"), 64)
+	if errLat != nil || errLon != nil {
+		http.Error(w, "bad lat/lon", http.StatusBadRequest)
+		return
+	}
+	obj, ok := s.objects[content.ID(q.Get("obj"))]
+	if !ok {
+		http.Error(w, "unknown object", http.StatusNotFound)
+		return
+	}
+	sc := s.AcquireScratch()
+	defer s.ReleaseScratch(sc)
+	res, err := s.ResolveOnce(spacecdn.Request{
+		Client: geo.NewPoint(lat, lon),
+		ISO2:   q.Get("iso2"),
+		Obj:    obj,
+	}, sc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	sc.buf = appendResponse(sc.buf[:0], res)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(sc.buf)
+}
+
+// appendResponse encodes one response line into b. The encoder is shared
+// by the HTTP handler and Replay, so the deterministic-replay guarantee
+// covers the exact bytes a network client sees.
+func appendResponse(b []byte, r Result) []byte {
+	b = append(b, `{"epoch":`...)
+	b = strconv.AppendUint(b, r.Epoch, 10)
+	b = append(b, `,"t_ms":`...)
+	b = strconv.AppendInt(b, int64(r.SimTime/time.Millisecond), 10)
+	b = append(b, `,"source":"`...)
+	b = append(b, r.Res.Source.String()...)
+	b = append(b, `","sat":`...)
+	b = strconv.AppendInt(b, int64(r.Res.Sat), 10)
+	b = append(b, `,"hops":`...)
+	b = strconv.AppendInt(b, int64(r.Res.Hops), 10)
+	b = append(b, `,"rtt_us":`...)
+	b = strconv.AppendInt(b, int64(r.Res.RTT/time.Microsecond), 10)
+	b = append(b, "}\n"...)
+	return b
+}

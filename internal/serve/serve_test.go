@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/groundseg"
+	"spacecdn/internal/lsn"
+	"spacecdn/internal/spacecdn"
+)
+
+var (
+	testConst = constellation.MustNew(constellation.DefaultConfig())
+	testLSN   = lsn.NewModel(testConst, groundseg.NewCatalog(), lsn.DefaultConfig())
+)
+
+// newTestServer builds a server (and its workload) over a fresh system.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Workload) {
+	t.Helper()
+	sys, err := spacecdn.NewSystem(spacecdn.DefaultConfig(), testConst, testLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := srv.PlaceWorkload(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, wl
+}
+
+func TestServeInProcess(t *testing.T) {
+	srv, wl := newTestServer(t, Config{Seed: 1})
+	defer srv.Close()
+	if got := srv.Stats().Epochs; got != 1 {
+		t.Fatalf("initial epochs = %d, want 1 (New publishes the first epoch)", got)
+	}
+	sc := srv.AcquireScratch()
+	defer srv.ReleaseScratch(sc)
+	const n = 60
+	for i := 0; i < n; i++ {
+		res, err := srv.ResolveOnce(wl.Request(uint64(i)), sc)
+		if err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+		if res.Epoch != 1 || res.SimTime != 0 || res.Stale {
+			t.Fatalf("req %d: pinned-epoch result %+v, want epoch 1 t=0 fresh", i, res)
+		}
+	}
+	st := srv.Stats()
+	if st.Requests != n || st.Errors != 0 || st.StaleServed != 0 {
+		t.Fatalf("stats = %+v, want %d clean requests", st, n)
+	}
+	// Telemetry counters track the always-on stats exactly.
+	reg := srv.Telemetry().Registry()
+	if v := reg.Counter("serve_requests_total").Value(); v != n {
+		t.Fatalf("serve_requests_total = %d, want %d", v, n)
+	}
+	if v := reg.Counter("serve_epoch_swaps_total").Value(); v != 1 {
+		t.Fatalf("serve_epoch_swaps_total = %d, want 1", v)
+	}
+	if c := reg.Histogram("serve_request_latency_ms", nil).Count(); c != n {
+		t.Fatalf("latency histogram count = %d, want %d", c, n)
+	}
+	// The workload mix reached space: hot requests must not all fall to
+	// ground.
+	res, err := srv.ResolveOnce(wl.Request(0), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Res.Source == spacecdn.SourceGround {
+		t.Fatalf("hot request served from ground: %+v", res)
+	}
+}
+
+func TestServeSweeperAdvances(t *testing.T) {
+	srv, wl := newTestServer(t, Config{Seed: 2, Step: 15 * time.Second, Interval: time.Millisecond})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := srv.AcquireScratch()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Epochs < 4 && time.Now().Before(deadline) {
+		if _, err := srv.ResolveOnce(wl.Request(0), sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.ReleaseScratch(sc)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Epochs < 4 {
+		t.Fatalf("sweeper published %d epochs, want >= 4", st.Epochs)
+	}
+	if ep := srv.Epoch(); ep.Time() != time.Duration(ep.Seq()-1)*15*time.Second {
+		t.Fatalf("epoch %d pins t=%v, want lockstep with seq", ep.Seq(), ep.Time())
+	}
+	if st.SwapP99Ms <= 0 {
+		t.Fatalf("swap latency p99 = %v, want positive", st.SwapP99Ms)
+	}
+	// Close is idempotent and the sweeper must have stopped.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	epochs := srv.Stats().Epochs
+	time.Sleep(5 * time.Millisecond)
+	if got := srv.Stats().Epochs; got != epochs {
+		t.Fatalf("sweeper still publishing after Close: %d -> %d", epochs, got)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	srv, wl := newTestServer(t, Config{Seed: 3, Addr: "127.0.0.1:0", Interval: 5 * time.Millisecond})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	city := wl.Cities[0]
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/resolve?lat=" + floatQ(city.Loc.LatDeg) + "&lon=" + floatQ(city.Loc.LonDeg) +
+		"&iso2=" + city.Country + "&obj=" + string(wl.Hot.ID))
+	if code != http.StatusOK {
+		t.Fatalf("/resolve status %d: %s", code, body)
+	}
+	var decoded struct {
+		Epoch  uint64 `json:"epoch"`
+		TMs    int64  `json:"t_ms"`
+		Source string `json:"source"`
+		Sat    int    `json:"sat"`
+		Hops   int    `json:"hops"`
+		RTTUs  int64  `json:"rtt_us"`
+	}
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("response not JSON: %v (%s)", err, body)
+	}
+	if decoded.Epoch == 0 || decoded.RTTUs <= 0 {
+		t.Fatalf("implausible response %+v", decoded)
+	}
+	if _, ok := spacecdn.SourceFromString(decoded.Source); !ok {
+		t.Fatalf("unknown source %q", decoded.Source)
+	}
+
+	if code, _ := get("/resolve?lat=x&lon=0&iso2=MZ&obj=" + string(wl.Hot.ID)); code != http.StatusBadRequest {
+		t.Fatalf("bad lat: status %d, want 400", code)
+	}
+	if code, _ := get("/resolve?lat=0&lon=0&iso2=MZ&obj=no-such-object"); code != http.StatusNotFound {
+		t.Fatalf("unknown object: status %d, want 404", code)
+	}
+
+	// The telemetry introspection surface is mounted next to /resolve.
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "serve_requests_total") {
+		t.Fatalf("/metrics missing serve counters: %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("clean shutdown: %v", err)
+	}
+}
+
+func floatQ(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+// TestReplayDeterministic is the replay acceptance bar: same seed + same
+// recorded request log => byte-identical response stream, regardless of
+// serving concurrency.
+func TestReplayDeterministic(t *testing.T) {
+	cfg := Config{Seed: 4, ReplaySeed: 99}
+	srv, wl := newTestServer(t, cfg)
+	defer srv.Close()
+	log := wl.Log(240)
+	base, err := srv.Replay(log, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(base, []byte("\n")); n != len(log) {
+		t.Fatalf("replay emitted %d lines, want %d", n, len(log))
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := srv.Replay(log, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, base) {
+			t.Fatalf("workers=%d replay diverged from sequential stream", workers)
+		}
+	}
+	// A live single-connection client sees the same bytes: arrival order is
+	// log order, so the per-request-index streams line up with Replay's.
+	srv2, wl2 := newTestServer(t, cfg)
+	defer srv2.Close()
+	sc := srv2.AcquireScratch()
+	defer srv2.ReleaseScratch(sc)
+	var live []byte
+	for i := range log {
+		res, err := srv2.ResolveOnce(wl2.Request(uint64(i)), sc)
+		if err != nil {
+			t.Fatalf("live req %d: %v", i, err)
+		}
+		live = appendResponse(live, res)
+	}
+	if !bytes.Equal(live, base) {
+		t.Fatal("sequential live serving diverged from replay stream")
+	}
+	// Replay demands a replay seed.
+	srv3, wl3 := newTestServer(t, Config{Seed: 4})
+	defer srv3.Close()
+	if _, err := srv3.Replay(wl3.Log(3), 1); err == nil {
+		t.Fatal("replay without ReplaySeed must error")
+	}
+}
+
+// TestServeSteadyAllocsFree pins the tentpole's allocation contract: the
+// in-process request path allocates nothing at steady state (space-served
+// requests, warmed pools and memos, telemetry attached with trace
+// sampling off).
+func TestServeSteadyAllocsFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not exact under the race detector")
+	}
+	srv, wl := newTestServer(t, Config{Seed: 5})
+	defer srv.Close()
+	sc := srv.AcquireScratch()
+	defer srv.ReleaseScratch(sc)
+	// Steady subset: requests the pinned epoch serves from space.
+	var steady []spacecdn.Request
+	for i := 0; i < 120; i++ {
+		req := wl.Request(uint64(i))
+		res, err := srv.ResolveOnce(req, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Res.Source != spacecdn.SourceGround {
+			steady = append(steady, req)
+		}
+	}
+	if len(steady) == 0 {
+		t.Fatal("no space-served requests in workload")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, r := range steady {
+			if _, err := srv.ResolveOnce(r, sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if perReq := allocs / float64(len(steady)); perReq != 0 {
+		t.Errorf("steady-state allocations = %v/req, want 0", perReq)
+	}
+}

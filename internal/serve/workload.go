@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+
+	"spacecdn/internal/content"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/spacecdn"
+)
+
+// Workload is the daemon's standard serving mix: the hot/warm/cold object
+// triple from experiments.ResolveWorkload, requested from every
+// Starlink-covered client city. Request synthesis is a pure function of the
+// request index, so a load generator can reconstruct any request stream
+// (and a replay can re-derive a recorded log) without shared state.
+type Workload struct {
+	Cities []geo.City
+	// Hot is pinned on each city's overhead satellite at placement time,
+	// Warm is sparsely replicated so it resolves over ISLs, Cold lives only
+	// on the ground CDN.
+	Hot, Warm, Cold content.Object
+}
+
+// PlaceWorkload seeds the serving mix against the currently published
+// epoch's snapshot and registers the objects for HTTP lookup. maxCities
+// caps the client set (<= 0 keeps every Starlink-covered city). Placement
+// mutates caches: call before serving starts, never during it.
+func (s *Server) PlaceWorkload(maxCities int) (*Workload, error) {
+	w := &Workload{
+		Hot:  content.Object{ID: "srv-hot", Bytes: 64 << 20, Region: geo.RegionEurope, Class: content.ClassStatic},
+		Warm: content.Object{ID: "srv-warm", Bytes: 256 << 20, Region: geo.RegionEurope, Class: content.ClassStatic},
+		Cold: content.Object{ID: "srv-cold", Bytes: 1 << 30, Region: geo.RegionEurope, Class: content.ClassNews},
+	}
+	for _, c := range geo.Cities() {
+		country, ok := geo.CountryByISO(c.Country)
+		if !ok || !country.Starlink {
+			continue
+		}
+		w.Cities = append(w.Cities, c)
+	}
+	if maxCities > 0 && len(w.Cities) > maxCities {
+		w.Cities = w.Cities[:maxCities]
+	}
+	if len(w.Cities) == 0 {
+		return nil, fmt.Errorf("serve: no Starlink-covered client cities")
+	}
+	snap := s.Epoch().Snapshot()
+	now := snap.Time()
+	for _, city := range w.Cities {
+		if up, ok := snap.BestVisible(city.Loc); ok {
+			s.sys.StoreVersioned(up.ID, w.Hot, now)
+		}
+	}
+	if _, err := spacecdn.Apply(s.sys, spacecdn.PerPlaneSpacing{ReplicasPerPlane: 1}, w.Warm); err != nil {
+		return nil, err
+	}
+	s.RegisterObjects(w.Hot, w.Warm, w.Cold)
+	return w, nil
+}
+
+// Request synthesizes request i of the workload stream: the object class
+// cycles hot/warm/cold and the client city advances every full cycle.
+func (w *Workload) Request(i uint64) spacecdn.Request {
+	city := w.Cities[int(i/3)%len(w.Cities)]
+	var obj content.Object
+	switch i % 3 {
+	case 0:
+		obj = w.Hot
+	case 1:
+		obj = w.Warm
+	default:
+		obj = w.Cold
+	}
+	return spacecdn.Request{Client: city.Loc, ISO2: city.Country, Obj: obj}
+}
+
+// Log materializes the first n workload requests — a recorded request log
+// for Replay.
+func (w *Workload) Log(n int) []spacecdn.Request {
+	out := make([]spacecdn.Request, n)
+	for i := range out {
+		out[i] = w.Request(uint64(i))
+	}
+	return out
+}

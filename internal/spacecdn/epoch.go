@@ -1,0 +1,181 @@
+package spacecdn
+
+import (
+	"sync"
+	"time"
+
+	"spacecdn/internal/constellation"
+	"spacecdn/internal/content"
+	"spacecdn/internal/faults"
+	"spacecdn/internal/geo"
+	"spacecdn/internal/lifecycle"
+	"spacecdn/internal/stats"
+)
+
+// Concurrent serving support: the serve daemon advances the constellation in
+// a background sweeper and publishes each step as an immutable Epoch; request
+// goroutines pin one epoch with a single atomic pointer load and resolve
+// against it with ResolveAt. The epoch carries everything a resolution reads
+// from time-varying state — the snapshot (with its ISL graph and path-tree
+// memos) and the fault view for the snapshot instant — so a request never
+// observes a half-advanced topology and never takes a lock on the hot path.
+//
+// Ownership: the sweeper owns epoch construction (NewEpoch forces the lazy
+// graph build so readers only ever see a finished topology), readers own
+// nothing — they borrow the epoch for the duration of one resolution and the
+// garbage collector reclaims superseded epochs once the last borrower
+// returns. Lifecycle mutation is the one write the serve path performs; it is
+// funneled through the single-writer applier (StartLifecycleApplier) so
+// origin-fetch coalescing stays deterministic under concurrent misses.
+
+// Epoch pins the time-varying inputs of one resolution instant: a finished
+// constellation snapshot and the fault view active at its time. Epochs are
+// immutable after construction and safe to share across any number of
+// request goroutines.
+type Epoch struct {
+	seq  uint64
+	snap *constellation.Snapshot
+	fv   *faults.View
+}
+
+// NewEpoch builds a publishable epoch over a finished snapshot. It forces
+// the snapshot's lazy ISL-graph build and pins the attached fault plan's
+// view at the snapshot time, so every cost of epoch construction lands on
+// the sweeper, never on a request goroutine. The seq is the publisher's
+// monotonic epoch counter; readers use it to detect serving on a
+// stale-but-valid epoch.
+func (s *System) NewEpoch(seq uint64, snap *constellation.Snapshot) *Epoch {
+	snap.ISLGraph()
+	ep := &Epoch{seq: seq, snap: snap}
+	if s.faults != nil {
+		ep.fv = s.faults.ViewAt(snap.Time())
+	}
+	return ep
+}
+
+// Seq returns the publisher's epoch counter.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// Time returns the simulation instant the epoch pins.
+func (e *Epoch) Time() time.Duration { return e.snap.Time() }
+
+// Snapshot returns the pinned constellation snapshot.
+func (e *Epoch) Snapshot() *constellation.Snapshot { return e.snap }
+
+// Degraded reports whether the epoch pins an active-outage fault view, i.e.
+// resolutions against it run the fault-aware pipeline.
+func (e *Epoch) Degraded() bool { return e.fv != nil && !e.fv.Empty() }
+
+// ResolveAt serves one request against a pinned epoch. It is the
+// concurrency-safe counterpart of Resolve: where Resolve consults the fault
+// plan at call time, ResolveAt uses the view pinned at epoch construction,
+// so every request on one epoch sees one consistent outage state even while
+// the plan's interval cache is warming under other epochs. The rng must be
+// goroutine-local (fork one stream per connection or per request); all other
+// inputs are shared and read-only.
+//
+// For equal snapshot, fault state, and rng state, ResolveAt returns the
+// byte-identical Resolution stream Resolve would — the epoch changes when
+// state is read, never what is computed.
+func (s *System) ResolveAt(ep *Epoch, client geo.Point, iso2 string, obj content.Object, rng *stats.Rand) (Resolution, error) {
+	in := s.inst
+	if in == nil {
+		return s.resolveAtAny(ep, client, iso2, obj, rng, nil)
+	}
+	var d resolveDetail
+	d.client = client
+	res, err := s.resolveAtAny(ep, client, iso2, obj, rng, &d)
+	in.record(res, err, &d)
+	return res, err
+}
+
+// resolveAtAny routes an epoch-pinned request down the same three pipelines
+// as resolveAny, substituting the pinned fault view for a plan lookup and
+// the queued lifecycle form for the inline one.
+func (s *System) resolveAtAny(ep *Epoch, client geo.Point, iso2 string, obj content.Object, rng *stats.Rand, d *resolveDetail) (Resolution, error) {
+	if ep.fv != nil && !ep.fv.Empty() {
+		return s.resolveDegraded(client, iso2, obj, ep.snap, ep.fv, rng, d)
+	}
+	if s.lc != nil && s.lc.Active() {
+		return s.resolveLifecycleQueued(client, iso2, obj, ep.snap, rng, d)
+	}
+	return s.resolve(client, iso2, obj, ep.snap, rng, d)
+}
+
+// intentMsg carries one request's lifecycle intent to the applier.
+type intentMsg struct {
+	it *lcIntent
+	t  time.Duration
+}
+
+// lcApplier is the single-writer lifecycle apply loop. All cache mutation
+// the serve path performs (fills, drops, hit accounting, tier promotion)
+// funnels through its channel, so coalescing-winner selection is a plain
+// map probe with no locking and arrival order fully determines outcomes.
+type lcApplier struct {
+	ch   chan intentMsg
+	done chan struct{}
+}
+
+// intentPool recycles lifecycle intents between the resolve goroutine that
+// fills one and the applier goroutine that retires it, keeping the
+// lifecycle serve path allocation-free at steady state.
+var intentPool = sync.Pool{New: func() any { return new(lcIntent) }}
+
+// StartLifecycleApplier starts the single-writer apply goroutine and routes
+// subsequent ResolveAt lifecycle intents through it. Origin fetches
+// coalesce per {object, version, cell} within one epoch: the flights map
+// resets whenever the applied intent's sim time changes, so one epoch is
+// one coalescing window — mirroring ResolveAll's per-batch window.
+//
+// The returned stop function detaches the applier, drains queued intents,
+// and waits for the goroutine to exit. Contract: stop resolving before
+// calling stop (the same attach-before-concurrent-resolves discipline as
+// SetFaultPlan and SetLifecycle) — a resolve racing stop could submit to a
+// closed channel. Without a started applier, ResolveAt applies intents
+// inline with no coalescing, exactly like a single Resolve.
+func (s *System) StartLifecycleApplier(buf int) (stop func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	a := &lcApplier{ch: make(chan intentMsg, buf), done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		flights := make(map[lifecycle.FlightKey]struct{})
+		cur := time.Duration(-1)
+		for m := range a.ch {
+			if m.t != cur {
+				clear(flights)
+				cur = m.t
+			}
+			s.applyLcIntent(m.it, m.t, flights)
+			*m.it = lcIntent{}
+			intentPool.Put(m.it)
+		}
+	}()
+	s.applier.Store(a)
+	return func() {
+		s.applier.Store(nil)
+		close(a.ch)
+		<-a.done
+	}
+}
+
+// resolveLifecycleQueued is the serve-path lifecycle form: the read-only
+// resolve fills a pooled intent, which is handed to the single-writer
+// applier (or applied inline, un-coalesced, when none is attached). The
+// response returns before the intent applies — a served stale copy is
+// reported immediately while its revalidating refill commits behind it,
+// which is exactly a CDN's stale-while-revalidate contract.
+func (s *System) resolveLifecycleQueued(client geo.Point, iso2 string, obj content.Object, snap *constellation.Snapshot, rng *stats.Rand, d *resolveDetail) (Resolution, error) {
+	it := intentPool.Get().(*lcIntent)
+	res, err := s.resolveLifecycleOne(client, iso2, obj, snap, rng, d, it)
+	if a := s.applier.Load(); a != nil {
+		a.ch <- intentMsg{it: it, t: snap.Time()}
+		return res, err
+	}
+	s.applyLcIntent(it, snap.Time(), nil)
+	*it = lcIntent{}
+	intentPool.Put(it)
+	return res, err
+}

@@ -119,6 +119,10 @@ type System struct {
 	lc       *lifecycle.Manager // nil when content has no lifecycle (see SetLifecycle)
 	tierCfg  *TierSizing        // nil unless UseTieredStore swapped the stores
 
+	// applier is the single-writer lifecycle apply loop used by the serve
+	// path (see StartLifecycleApplier); nil routes ResolveAt intents inline.
+	applier atomic.Pointer[lcApplier]
+
 	// fstats are the always-on degraded-mode counters; atomics because
 	// resolve shards update them concurrently.
 	fstats struct {

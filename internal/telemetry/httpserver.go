@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // The introspection server is the first concrete step toward the spacecdnd
@@ -31,6 +33,9 @@ func Handler(t *Telemetry) http.Handler {
 		_ = t.WritePrometheus(w)
 	})
 	mux.HandleFunc("/series", func(w http.ResponseWriter, _ *http.Request) {
+		if d := scrapeDelay; d != nil {
+			d()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = t.WriteSeriesJSON(w)
 	})
@@ -49,6 +54,16 @@ func Handler(t *Telemetry) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
+
+// scrapeDelay, when non-nil, runs at the start of every /series scrape.
+// It exists for the graceful-shutdown test, which needs a scrape provably
+// in flight when Close begins draining; production code never sets it.
+var scrapeDelay func()
+
+// drainTimeout bounds how long Close waits for in-flight scrapes. A scrape
+// is a bounded render of in-memory state, so anything still running after
+// this long is a stuck client and gets cut off.
+const drainTimeout = 5 * time.Second
 
 // Server is a running introspection endpoint.
 type Server struct {
@@ -86,7 +101,10 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server, interrupting in-flight requests. Idempotent.
+// Close stops the server gracefully: the listener closes immediately (no
+// new scrapes), in-flight requests — a /series render mid-write, a pprof
+// profile still streaming — run to completion, and only a drain exceeding
+// drainTimeout is cut off. Idempotent.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
@@ -97,5 +115,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
 }

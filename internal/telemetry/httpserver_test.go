@@ -163,3 +163,77 @@ func TestServeBadAddr(t *testing.T) {
 		t.Fatal("invalid address must error")
 	}
 }
+
+// TestServerGracefulShutdown: a /series scrape still in flight when Close
+// begins must run to completion — Close drains via http.Server.Shutdown
+// instead of cutting connections. The scrapeDelay hook parks the handler
+// until the test has Close underway.
+func TestServerGracefulShutdown(t *testing.T) {
+	tel := exampleTelemetry()
+	sc := NewSeriesCollector(tel.Registry(), time.Minute, 0)
+	tel.SetSeries(sc)
+	sc.Tick(0)
+	sc.Tick(90 * time.Second)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	scrapeDelay = func() {
+		close(entered)
+		<-release
+	}
+	defer func() { scrapeDelay = nil }()
+
+	srv, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type scrapeResult struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan scrapeResult, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/series")
+		if err != nil {
+			got <- scrapeResult{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- scrapeResult{code: resp.StatusCode, body: string(body), err: err}
+	}()
+	<-entered // the scrape is inside the handler now
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v with a scrape still parked in the handler", err)
+	case <-time.After(50 * time.Millisecond):
+		// Close is draining, as it should be.
+	}
+	close(release)
+
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("in-flight scrape failed during shutdown: %v", res.err)
+	}
+	if res.code != 200 {
+		t.Fatalf("in-flight scrape status %d during shutdown", res.code)
+	}
+	var art SeriesArtifact
+	if err := json.Unmarshal([]byte(res.body), &art); err != nil {
+		t.Fatalf("drained scrape body truncated: %v", err)
+	}
+	if len(art.Series.Windows) == 0 {
+		t.Fatalf("drained scrape artifact incomplete: %+v", art)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close after drain: %v", err)
+	}
+	// The listener is down: new scrapes must be refused.
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("scrape succeeded after Close")
+	}
+}

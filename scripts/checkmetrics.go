@@ -3,7 +3,7 @@
 // Command checkmetrics asserts the telemetry artifacts written by
 // cmd/spacecdn are well-formed.
 //
-//	go run ./scripts/checkmetrics.go [-lifecycle] METRICS.json [SERIES.json [TRACE.json]]
+//	go run ./scripts/checkmetrics.go [-lifecycle] [-serve] METRICS.json [SERIES.json [TRACE.json]]
 //
 // METRICS.json (from -metrics-out) must parse as a telemetry.Snapshot with
 // non-zero per-source request counters, an RTT histogram with ordered
@@ -12,6 +12,11 @@
 // With -lifecycle, METRICS.json must additionally carry the content
 // lifecycle counters: freshness-labelled serves (fresh and miss non-zero),
 // a non-zero coalescing counter, and a purge propagation histogram with
+// observations and ordered quantiles.
+//
+// With -serve, METRICS.json must additionally carry the spacecdnd daemon
+// counters: non-zero serve_requests_total and serve_epoch_swaps_total, a
+// balanced error/stale accounting, and a request-latency histogram with
 // observations and ordered quantiles.
 //
 // SERIES.json (from -series-out), when given, must parse as a
@@ -37,18 +42,29 @@ import (
 
 func main() {
 	args := os.Args[1:]
-	lifecycle := false
-	if len(args) > 0 && args[0] == "-lifecycle" {
-		lifecycle = true
+	lifecycle, serve := false, false
+	for len(args) > 0 {
+		switch args[0] {
+		case "-lifecycle":
+			lifecycle = true
+		case "-serve":
+			serve = true
+		default:
+			goto parsed
+		}
 		args = args[1:]
 	}
+parsed:
 	if len(args) < 1 || len(args) > 3 {
-		fmt.Fprintln(os.Stderr, "usage: checkmetrics [-lifecycle] METRICS.json [SERIES.json [TRACE.json]]")
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics [-lifecycle] [-serve] METRICS.json [SERIES.json [TRACE.json]]")
 		os.Exit(2)
 	}
 	snap := checkMetrics(args[0])
 	if lifecycle {
 		checkLifecycle(snap)
+	}
+	if serve {
+		checkServe(snap)
 	}
 	if len(args) > 1 {
 		checkSeries(args[1], snap)
@@ -98,6 +114,43 @@ func checkLifecycle(snap telemetry.Snapshot) {
 	}
 	fmt.Printf("checkmetrics: lifecycle OK (serves fresh=%d miss=%d stale=%d expired=%d, coalesced=%d)\n",
 		serves["fresh"], serves["miss"], serves["stale-revalidate"], serves["expired"], coalesced)
+}
+
+// checkServe asserts the daemon counters the spacecdnd burst must populate:
+// served requests, epoch swaps, and the request-latency histogram whose
+// count accounts for every successful request.
+func checkServe(snap telemetry.Snapshot) {
+	vals := map[string]int64{}
+	for _, c := range snap.Counters {
+		if len(c.Labels) == 0 {
+			vals[c.Name] = c.Value
+		}
+	}
+	if vals["serve_requests_total"] <= 0 {
+		fail("serve_requests_total = %d, want > 0", vals["serve_requests_total"])
+	}
+	if vals["serve_epoch_swaps_total"] <= 0 {
+		fail("serve_epoch_swaps_total = %d, want > 0", vals["serve_epoch_swaps_total"])
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name != "serve_request_latency_ms" {
+			continue
+		}
+		found = true
+		if h.Count != vals["serve_requests_total"] {
+			fail("serve latency histogram counts %d requests, counter says %d", h.Count, vals["serve_requests_total"])
+		}
+		if !(h.P50 >= 0 && h.P50 <= h.P95 && h.P95 <= h.P99) {
+			fail("serve latency quantiles malformed: p50=%v p95=%v p99=%v", h.P50, h.P95, h.P99)
+		}
+	}
+	if !found {
+		fail("missing histogram serve_request_latency_ms")
+	}
+	fmt.Printf("checkmetrics: serve OK (%d requests, %d errors, %d epoch swaps, %d stale-epoch serves)\n",
+		vals["serve_requests_total"], vals["serve_errors_total"],
+		vals["serve_epoch_swaps_total"], vals["serve_stale_epoch_total"])
 }
 
 func checkMetrics(path string) telemetry.Snapshot {

@@ -28,13 +28,20 @@
 #          (BENCH_resilience.json: availability, p99 inflation and source
 #          mix vs failure fraction), the sweep-engine artifact
 #          (BENCH_sweep.json: incremental vs fresh steps/sec, allocs per
-#          steady-state advance, output-equivalence flag), and the traffic
+#          steady-state advance, output-equivalence flag), the traffic
 #          engine artifact (BENCH_traffic.json: a million-user streaming
-#          day — sustained req/s, serving mix, latency percentiles)
+#          day — sustained req/s, serving mix, latency percentiles), and
+#          the serving-daemon artifact (BENCH_serve.json: closed-loop
+#          throughput vs workers under a live sweeper, steady-state
+#          allocs/req, deterministic-replay flag, epoch-swap latency)
 #   scale  mega-constellation scale sweep artifact (BENCH_scale.json:
 #          snapshot-build time, sweep steps/sec and allocations, and resolve
 #          throughput vs satellite count; -fast keeps the smallest two scale
 #          points so the CI gate stays quick)
+#   serve  daemon smoke: boot cmd/spacecdnd with a fast sweeper, self-drive
+#          an HTTP loadgen burst, assert clean shutdown and well-formed
+#          serve counters (requests, epoch swaps, latency histogram) in the
+#          exported telemetry
 #   lifecycle  content lifecycle artifact (BENCH_lifecycle.json: serve mix
 #          under the TTL class mix x churn x purge sweep, flash-crowd
 #          coalescing reduction, purge-flood convergence windows, and the
@@ -112,18 +119,22 @@ stage_observe() {
 	go run ./scripts/checkmetrics.go "$out/metrics.json" TELEMETRY_series.json "$out/trace.json"
 }
 
+# run_bench regenerates one benchmark artifact: run_bench EXPERIMENT FILE.
+# Every artifact goes through here so the invocation shape (fast, JSON,
+# echoed to the log) stays uniform.
+run_bench() {
+	go run ./cmd/spacecdn -exp "$1" -fast -json >"$2"
+	cat "$2"
+}
+
 stage_bench() {
 	go test -bench=. -benchtime=1x -run '^$' .
-	go run ./cmd/spacecdn -exp parallel-bench -fast -json >BENCH_parallel.json
-	cat BENCH_parallel.json
-	go run ./cmd/spacecdn -exp resolve-bench -fast -json >BENCH_resolve.json
-	cat BENCH_resolve.json
-	go run ./cmd/spacecdn -exp resilience -fast -json >BENCH_resilience.json
-	cat BENCH_resilience.json
-	go run ./cmd/spacecdn -exp sweep-bench -fast -json >BENCH_sweep.json
-	cat BENCH_sweep.json
-	go run ./cmd/spacecdn -exp traffic -fast -json >BENCH_traffic.json
-	cat BENCH_traffic.json
+	run_bench parallel-bench BENCH_parallel.json
+	run_bench resolve-bench BENCH_resolve.json
+	run_bench resilience BENCH_resilience.json
+	run_bench sweep-bench BENCH_sweep.json
+	run_bench traffic BENCH_traffic.json
+	run_bench serve-bench BENCH_serve.json
 	stage_lifecycle
 }
 
@@ -132,8 +143,7 @@ stage_lifecycle() {
 	# the same invocation would append its status line to stdout and corrupt
 	# the JSON), then an instrumented run whose telemetry must carry the
 	# lifecycle counters (purge propagation, coalescing, freshness serves).
-	go run ./cmd/spacecdn -exp lifecycle -fast -json >BENCH_lifecycle.json
-	cat BENCH_lifecycle.json
+	run_bench lifecycle BENCH_lifecycle.json
 	out=$(mktemp -d)
 	trap 'rm -rf "$out"' EXIT
 	go run ./cmd/spacecdn -exp lifecycle -fast \
@@ -142,14 +152,25 @@ stage_lifecycle() {
 }
 
 stage_scale() {
-	go run ./cmd/spacecdn -exp scale-bench -fast -json >BENCH_scale.json
-	cat BENCH_scale.json
+	run_bench scale-bench BENCH_scale.json
+}
+
+stage_serve() {
+	# Boot the daemon with a fast sweeper, let it drive itself with an HTTP
+	# loadgen burst, and assert a clean shutdown (exit 0) plus well-formed
+	# serve counters in the exported telemetry.
+	out=$(mktemp -d)
+	trap 'rm -rf "$out"' EXIT
+	go run ./cmd/spacecdnd -addr 127.0.0.1:0 -interval 5ms -cities 8 \
+		-burst 600 -burst-workers 4 -burst-http -trace-sample 0.02 \
+		-metrics-out "$out/serve-metrics.json"
+	go run ./scripts/checkmetrics.go -serve "$out/serve-metrics.json"
 }
 
 stage_benchdiff() {
 	# The gate needs fresh artifacts; regenerate when any is missing so a
 	# bare `verify.sh benchdiff` works from a clean tree.
-	for artifact in BENCH_parallel.json BENCH_resolve.json BENCH_resilience.json BENCH_sweep.json BENCH_traffic.json BENCH_lifecycle.json; do
+	for artifact in BENCH_parallel.json BENCH_resolve.json BENCH_resilience.json BENCH_sweep.json BENCH_traffic.json BENCH_serve.json BENCH_lifecycle.json; do
 		if [ ! -f "$artifact" ]; then
 			echo "benchdiff: $artifact missing; running bench stage first"
 			stage_bench
@@ -170,7 +191,7 @@ fi
 
 for stage in $stages; do
 	case "$stage" in
-	fmt | vet | build | staticcheck | test | race | smoke | observe | bench | scale | lifecycle | benchdiff) ;;
+	fmt | vet | build | staticcheck | test | race | smoke | observe | bench | scale | serve | lifecycle | benchdiff) ;;
 	*)
 		echo "verify: unknown stage '$stage'" >&2
 		exit 2

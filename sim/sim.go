@@ -25,6 +25,8 @@ import (
 	"spacecdn/internal/lsn"
 	"spacecdn/internal/measure"
 	"spacecdn/internal/orbit"
+	"spacecdn/internal/serve"
+	"spacecdn/internal/serve/loadgen"
 	"spacecdn/internal/spacecdn"
 	"spacecdn/internal/stats"
 	"spacecdn/internal/telemetry"
@@ -289,6 +291,50 @@ func WithTelemetry(s *SpaceCDN, sampleRate float64) *Telemetry {
 	t := telemetry.New(sampleRate)
 	s.SetTelemetry(t)
 	return t
+}
+
+// Serving daemon (DESIGN.md §16): a long-running HTTP front end over one
+// SpaceCDN, epoch-publishing the advancing constellation under lock-free
+// request goroutines.
+type (
+	// Server is the spacecdnd serving core.
+	Server = serve.Server
+	// ServeConfig parameterizes it (listen address, sweep cadence, replay
+	// seed).
+	ServeConfig = serve.Config
+	// ServeWorkload is the standard hot/warm/cold serving workload.
+	ServeWorkload = serve.Workload
+	// ServeResult is one served request with its pinned epoch.
+	ServeResult = serve.Result
+	// ServeStats snapshots a server's serving counters.
+	ServeStats = serve.Stats
+	// Epoch is one published serving state: an immutable snapshot plus the
+	// fault view pinned at its instant.
+	Epoch = spacecdn.Epoch
+	// LoadgenConfig parameterizes a closed-loop load-generation run.
+	LoadgenConfig = loadgen.Config
+	// LoadgenResult summarizes one run (throughput and latency quantiles).
+	LoadgenResult = loadgen.Result
+)
+
+// Loadgen driving modes.
+const (
+	LoadgenInProcess = loadgen.InProcess
+	LoadgenHTTP      = loadgen.HTTP
+)
+
+// NewServer builds a serving daemon over a deployed SpaceCDN and publishes
+// its first epoch; call Start for the sweeper and listener.
+func NewServer(s *SpaceCDN, cfg ServeConfig) (*Server, error) { return serve.New(s, cfg) }
+
+// DefaultServeConfig returns the live-daemon configuration: 100 ms sweeps,
+// each advancing sim time 15 s.
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// RunLoadgen drives a server with closed-loop workers until the request
+// budget is spent.
+func RunLoadgen(srv *Server, wl *ServeWorkload, cfg LoadgenConfig) (LoadgenResult, error) {
+	return loadgen.Run(srv, wl, cfg)
 }
 
 // Measurements and experiments.

@@ -173,3 +173,56 @@ func TestFacadeTelemetry(t *testing.T) {
 		t.Error("prometheus exposition missing rtt histogram")
 	}
 }
+
+// TestFacadeServe exercises the serving-daemon surface exactly as a
+// downstream user would: deploy, wrap in a Server, place the standard
+// workload, drive a closed-loop burst, inspect stats.
+func TestFacadeServe(t *testing.T) {
+	env, err := sim.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.DeploySpaceCDN(env, sim.DefaultSpaceCDNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultServeConfig()
+	if cfg.Step != 15*time.Second || cfg.Interval <= 0 {
+		t.Fatalf("implausible default serve config %+v", cfg)
+	}
+	cfg.Interval = 0 // pin the first epoch: no sweeper in a unit test
+	srv, err := sim.NewServer(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var ep *sim.Epoch = srv.Epoch()
+	if ep.Seq() != 1 {
+		t.Fatalf("first epoch seq = %d, want 1", ep.Seq())
+	}
+	wl, err := srv.PlaceWorkload(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunLoadgen(srv, wl, sim.LoadgenConfig{Workers: 2, Requests: 90, Mode: sim.LoadgenInProcess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 90 || res.Errors != 0 || res.ReqPerSec <= 0 {
+		t.Fatalf("loadgen result %+v, want 90 clean requests", res)
+	}
+	var st sim.ServeStats = srv.Stats()
+	if st.Requests != 90 || st.Epochs != 1 {
+		t.Fatalf("serve stats %+v, want 90 requests on 1 epoch", st)
+	}
+	var one sim.ServeResult
+	sc := srv.AcquireScratch()
+	one, err = srv.ResolveOnce(wl.Request(0), sc)
+	srv.ReleaseScratch(sc)
+	if err != nil || one.Epoch != 1 || one.Stale {
+		t.Fatalf("ResolveOnce = %+v, %v; want fresh epoch-1 serve", one, err)
+	}
+	if _, ok := interface{}(srv).(*sim.Server); !ok {
+		t.Fatal("facade Server alias does not cover serve.Server")
+	}
+}
